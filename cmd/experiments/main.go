@@ -1,0 +1,319 @@
+// Command experiments regenerates every table and figure of the paper's
+// evaluation section from the synthetic dataset registry, writing ASCII
+// tables and CSV series under -out (default ./out).
+//
+// Usage:
+//
+//	experiments                 # run everything (minutes)
+//	experiments -run tableII    # one experiment
+//	experiments -quick          # reduced sampling, seconds
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"github.com/trustnet/trustnet/internal/experiments"
+	"github.com/trustnet/trustnet/internal/report"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
+	var (
+		only  = fs.String("run", "", "run one experiment: tableI | figure1 | figure2 | tableII | figure3 | figure4 | figure5 | cross | dynamic | modulated | attacker | betweenness | sweep")
+		quick = fs.Bool("quick", false, "reduced sampling for a fast smoke run")
+		seed  = fs.Int64("seed", 1, "measurement seed")
+		out   = fs.String("out", "out", "output directory")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	opts := experiments.Options{Quick: *quick, Seed: *seed}
+	ctx := context.Background()
+
+	type job struct {
+		name string
+		run  func() error
+	}
+	jobs := []job{
+		{"tableI", func() error { return runTableI(opts, *out) }},
+		{"figure1", func() error { return runFigure1(opts, *out) }},
+		{"figure2", func() error { return runFigure2(opts, *out) }},
+		{"tableII", func() error { return runTableII(opts, *out) }},
+		{"figure3", func() error { return runFigure3(ctx, opts, *out) }},
+		{"figure4", func() error { return runFigure4(ctx, opts, *out) }},
+		{"figure5", func() error { return runFigure5(opts, *out) }},
+		{"cross", func() error { return runCross(ctx, opts, *out) }},
+		{"dynamic", func() error { return runDynamic(ctx, opts, *out) }},
+		{"modulated", func() error { return runModulated(opts, *out) }},
+		{"attacker", func() error { return runAttacker(opts, *out) }},
+		{"betweenness", func() error { return runBetweenness(ctx, opts, *out) }},
+		{"sweep", func() error { return runSweep(ctx, opts, *out) }},
+	}
+	ran := 0
+	for _, j := range jobs {
+		if *only != "" && !strings.EqualFold(*only, j.name) {
+			continue
+		}
+		start := time.Now()
+		fmt.Printf("== %s ==\n", j.name)
+		if err := j.run(); err != nil {
+			return fmt.Errorf("%s: %w", j.name, err)
+		}
+		fmt.Printf("(%s in %v)\n\n", j.name, time.Since(start).Round(time.Millisecond))
+		ran++
+	}
+	if ran == 0 {
+		return fmt.Errorf("unknown experiment %q", *only)
+	}
+	return nil
+}
+
+func runTableI(opts experiments.Options, out string) error {
+	res, err := experiments.TableI(opts)
+	if err != nil {
+		return err
+	}
+	t, err := res.Table()
+	if err != nil {
+		return err
+	}
+	if err := t.Render(os.Stdout); err != nil {
+		return err
+	}
+	return report.SaveTable(filepath.Join(out, "tableI.txt"), t)
+}
+
+func runFigure1(opts experiments.Options, out string) error {
+	res, err := experiments.Figure1(opts)
+	if err != nil {
+		return err
+	}
+	if err := report.SaveCSV(filepath.Join(out, "figure1a.csv"), res.PanelA); err != nil {
+		return err
+	}
+	if err := report.SaveCSV(filepath.Join(out, "figure1b.csv"), res.PanelB); err != nil {
+		return err
+	}
+	if err := report.SaveCSV(filepath.Join(out, "figure1-sources.csv"), res.SourceECDFs); err != nil {
+		return err
+	}
+	t := report.NewTable("Figure 1: mixing time T(0.1) per dataset (0 = not within budget)", "Dataset", "T(0.1)")
+	for _, s := range append(res.PanelA, res.PanelB...) {
+		if err := t.AddRow(s.Name, report.Int(res.MixingTimes[s.Name])); err != nil {
+			return err
+		}
+	}
+	return t.Render(os.Stdout)
+}
+
+func runFigure2(opts experiments.Options, out string) error {
+	res, err := experiments.Figure2(opts)
+	if err != nil {
+		return err
+	}
+	if err := report.SaveCSV(filepath.Join(out, "figure2a.csv"), res.PanelA); err != nil {
+		return err
+	}
+	if err := report.SaveCSV(filepath.Join(out, "figure2b.csv"), res.PanelB); err != nil {
+		return err
+	}
+	t := report.NewTable("Figure 2: degeneracy per dataset", "Dataset", "Degeneracy")
+	for _, s := range append(res.PanelA, res.PanelB...) {
+		if err := t.AddRow(s.Name, report.Int(res.Degeneracy[s.Name])); err != nil {
+			return err
+		}
+	}
+	return t.Render(os.Stdout)
+}
+
+func runTableII(opts experiments.Options, out string) error {
+	res, err := experiments.TableII(opts)
+	if err != nil {
+		return err
+	}
+	t, err := res.Table()
+	if err != nil {
+		return err
+	}
+	if err := t.Render(os.Stdout); err != nil {
+		return err
+	}
+	return report.SaveTable(filepath.Join(out, "tableII.txt"), t)
+}
+
+func runFigure3(ctx context.Context, opts experiments.Options, out string) error {
+	res, err := experiments.Figure3(ctx, opts)
+	if err != nil {
+		return err
+	}
+	for _, p := range res.Panels {
+		path := filepath.Join(out, fmt.Sprintf("figure3-%s.csv", p.Name))
+		if err := report.SaveCSV(path, []report.Series{p.Min, p.Mean, p.Max}); err != nil {
+			return err
+		}
+	}
+	fmt.Printf("wrote %d figure 3 panels\n", len(res.Panels))
+	return nil
+}
+
+func runFigure4(ctx context.Context, opts experiments.Options, out string) error {
+	res, err := experiments.Figure4(ctx, opts)
+	if err != nil {
+		return err
+	}
+	if err := report.SaveCSV(filepath.Join(out, "figure4a.csv"), res.PanelA); err != nil {
+		return err
+	}
+	if err := report.SaveCSV(filepath.Join(out, "figure4b.csv"), res.PanelB); err != nil {
+		return err
+	}
+	t := report.NewTable("Figure 4: mean expansion factor over small sets", "Dataset", "mean alpha")
+	for _, s := range append(res.PanelA, res.PanelB...) {
+		if err := t.AddRow(s.Name, report.Float(res.MeanAlphaSmall[s.Name], 3)); err != nil {
+			return err
+		}
+	}
+	return t.Render(os.Stdout)
+}
+
+func runFigure5(opts experiments.Options, out string) error {
+	res, err := experiments.Figure5(opts)
+	if err != nil {
+		return err
+	}
+	t := report.NewTable("Figure 5: core structure", "Dataset", "Degeneracy", "Top cores")
+	for _, p := range res.Panels {
+		path := filepath.Join(out, fmt.Sprintf("figure5-%s.csv", p.Name))
+		if err := report.SaveCSV(path, []report.Series{p.RelativeSize, p.LargestRelativeSize, p.NumCores}); err != nil {
+			return err
+		}
+		if err := t.AddRow(p.Name, report.Int(p.Degeneracy), report.Int(p.TopComponents)); err != nil {
+			return err
+		}
+	}
+	return t.Render(os.Stdout)
+}
+
+func runDynamic(ctx context.Context, opts experiments.Options, out string) error {
+	res, err := experiments.FutureWorkDynamic(ctx, opts)
+	if err != nil {
+		return err
+	}
+	t, err := res.Table()
+	if err != nil {
+		return err
+	}
+	if err := t.Render(os.Stdout); err != nil {
+		return err
+	}
+	if err := report.SaveTable(filepath.Join(out, "dynamic.txt"), t); err != nil {
+		return err
+	}
+	return report.SaveCSV(filepath.Join(out, "dynamic.csv"),
+		[]report.Series{res.SLEM, res.Mixing, res.MinAlpha, res.AvgDegree})
+}
+
+func runModulated(opts experiments.Options, out string) error {
+	res, err := experiments.FutureWorkModulated(opts)
+	if err != nil {
+		return err
+	}
+	t, err := res.Table()
+	if err != nil {
+		return err
+	}
+	if err := t.Render(os.Stdout); err != nil {
+		return err
+	}
+	if err := report.SaveTable(filepath.Join(out, "modulated.txt"), t); err != nil {
+		return err
+	}
+	return report.SaveCSV(filepath.Join(out, "modulated.csv"), res.Curves)
+}
+
+func runAttacker(opts experiments.Options, out string) error {
+	res, err := experiments.AttackerModels(opts)
+	if err != nil {
+		return err
+	}
+	t, err := res.Table()
+	if err != nil {
+		return err
+	}
+	if err := t.Render(os.Stdout); err != nil {
+		return err
+	}
+	return report.SaveTable(filepath.Join(out, "attacker.txt"), t)
+}
+
+func runBetweenness(ctx context.Context, opts experiments.Options, out string) error {
+	res, err := experiments.BetweennessDistribution(ctx, opts)
+	if err != nil {
+		return err
+	}
+	t, err := res.Table()
+	if err != nil {
+		return err
+	}
+	if err := t.Render(os.Stdout); err != nil {
+		return err
+	}
+	if err := report.SaveTable(filepath.Join(out, "betweenness.txt"), t); err != nil {
+		return err
+	}
+	return report.SaveCSV(filepath.Join(out, "betweenness.csv"), res.ECDFs)
+}
+
+func runSweep(ctx context.Context, opts experiments.Options, out string) error {
+	res, err := experiments.BridgeSweep(ctx, opts)
+	if err != nil {
+		return err
+	}
+	t, err := res.Table()
+	if err != nil {
+		return err
+	}
+	if err := t.Render(os.Stdout); err != nil {
+		return err
+	}
+	return report.SaveTable(filepath.Join(out, "sweep.txt"), t)
+}
+
+func runCross(ctx context.Context, opts experiments.Options, out string) error {
+	res, err := experiments.CrossProperty(ctx, opts)
+	if err != nil {
+		return err
+	}
+	sum, err := res.SummaryTable()
+	if err != nil {
+		return err
+	}
+	corr, err := res.CorrelationTable()
+	if err != nil {
+		return err
+	}
+	if err := sum.Render(os.Stdout); err != nil {
+		return err
+	}
+	fmt.Println()
+	if err := corr.Render(os.Stdout); err != nil {
+		return err
+	}
+	if err := report.SaveTable(filepath.Join(out, "cross-summary.txt"), sum); err != nil {
+		return err
+	}
+	return report.SaveTable(filepath.Join(out, "cross-correlations.txt"), corr)
+}

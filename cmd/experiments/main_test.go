@@ -1,0 +1,72 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestRunSingleExperiments(t *testing.T) {
+	dir := t.TempDir()
+	// Quick single runs; tableI also exercises the save path.
+	for _, name := range []string{"tableI", "figure2", "figure5"} {
+		if err := run([]string{"-quick", "-run", name, "-out", dir}); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+	}
+	if _, err := os.Stat(filepath.Join(dir, "tableI.txt")); err != nil {
+		t.Errorf("tableI.txt not written: %v", err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "figure2a.csv")); err != nil {
+		t.Errorf("figure2a.csv not written: %v", err)
+	}
+}
+
+func TestRunFigure1And4(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-dataset experiments are slow")
+	}
+	dir := t.TempDir()
+	for _, name := range []string{"figure1", "figure4", "tableII"} {
+		if err := run([]string{"-quick", "-run", name, "-out", dir}); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+	}
+	for _, f := range []string{"figure1a.csv", "figure1b.csv", "figure4a.csv", "tableII.txt"} {
+		if _, err := os.Stat(filepath.Join(dir, f)); err != nil {
+			t.Errorf("%s not written: %v", f, err)
+		}
+	}
+}
+
+func TestRunRemainingExperiments(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-experiment run is slow")
+	}
+	dir := t.TempDir()
+	for _, name := range []string{"figure3", "cross", "dynamic", "modulated", "attacker", "betweenness"} {
+		if err := run([]string{"-quick", "-run", name, "-out", dir}); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+	}
+	for _, f := range []string{
+		"cross-summary.txt", "cross-correlations.txt", "dynamic.csv",
+		"modulated.csv", "attacker.txt", "betweenness.csv",
+	} {
+		if _, err := os.Stat(filepath.Join(dir, f)); err != nil {
+			t.Errorf("%s not written: %v", f, err)
+		}
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	if err := run([]string{"-run", "nope", "-out", t.TempDir()}); err == nil {
+		t.Error("run(-run nope): want error")
+	}
+}
+
+func TestRunBadFlag(t *testing.T) {
+	if err := run([]string{"-definitely-not-a-flag"}); err == nil {
+		t.Error("run(bad flag): want error")
+	}
+}

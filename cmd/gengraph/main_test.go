@@ -1,0 +1,111 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"github.com/trustnet/trustnet/internal/graph"
+)
+
+func TestRunList(t *testing.T) {
+	if err := run([]string{"-list"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunDatasetToFile(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "g.txt")
+	if err := run([]string{"-dataset", "rice-grad", "-out", out}); err != nil {
+		t.Fatal(err)
+	}
+	g, err := graph.LoadEdgeList(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumNodes() != 500 {
+		t.Errorf("nodes = %d, want 500", g.NumNodes())
+	}
+}
+
+func TestRunModels(t *testing.T) {
+	dir := t.TempDir()
+	tests := []struct {
+		name string
+		args []string
+	}{
+		{"ba", []string{"-model", "ba", "-n", "100", "-param", "3"}},
+		{"gnp", []string{"-model", "gnp", "-n", "100", "-param", "0.05"}},
+		{"gnm", []string{"-model", "gnm", "-n", "100", "-param", "200"}},
+		{"ws", []string{"-model", "ws", "-n", "100", "-param", "4", "-beta", "0.2"}},
+		{"sbm", []string{"-model", "sbm", "-n", "120", "-param", "0.3", "-communities", "3"}},
+		{"clustered", []string{"-model", "clustered", "-n", "200", "-param", "3", "-communities", "4", "-bridges", "2"}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			out := filepath.Join(dir, tt.name+".txt")
+			args := append(tt.args, "-out", out)
+			if err := run(args); err != nil {
+				t.Fatal(err)
+			}
+			g, err := graph.LoadEdgeList(out)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if g.NumEdges() == 0 {
+				t.Error("generated graph has no edges")
+			}
+		})
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	tests := [][]string{
+		{},
+		{"-model", "nope"},
+		{"-dataset", "nope"},
+		{"-dataset", "rice-grad", "-model", "ba"},
+		{"-model", "ba", "-n", "2", "-param", "5"},
+	}
+	for _, args := range tests {
+		if err := run(args); err == nil {
+			t.Errorf("run(%v): want error", args)
+		}
+	}
+}
+
+func TestRunStdout(t *testing.T) {
+	// Default output is stdout; redirect to capture.
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	runErr := run([]string{"-model", "ba", "-n", "20", "-param", "2"})
+	w.Close()
+	os.Stdout = old
+	if runErr != nil {
+		t.Fatal(runErr)
+	}
+	buf := make([]byte, 1<<16)
+	n, _ := r.Read(buf)
+	if !strings.Contains(string(buf[:n]), "# nodes: 20") {
+		t.Errorf("stdout missing header: %q", string(buf[:n]))
+	}
+}
+
+func TestRunBinaryOutput(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "g.bin")
+	if err := run([]string{"-model", "ba", "-n", "80", "-param", "3", "-out", out}); err != nil {
+		t.Fatal(err)
+	}
+	g, err := graph.LoadBinary(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumNodes() != 80 {
+		t.Errorf("nodes = %d, want 80", g.NumNodes())
+	}
+}

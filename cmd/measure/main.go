@@ -1,0 +1,213 @@
+// Command measure runs the paper's property measurements on a graph: the
+// mixing time (sampling method), the SLEM spectral bound, the k-core
+// structure, and the expansion — individually or as the full suite.
+//
+// Usage:
+//
+//	measure -in graph.txt all
+//	measure -dataset wiki-vote mixing
+//	measure -dataset physics-1 -eps 0.01 slem cores expansion
+//	measure -dataset wiki-vote centrality community
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"github.com/trustnet/trustnet/internal/centrality"
+	"github.com/trustnet/trustnet/internal/community"
+	"github.com/trustnet/trustnet/internal/core"
+	"github.com/trustnet/trustnet/internal/datasets"
+	"github.com/trustnet/trustnet/internal/graph"
+	"github.com/trustnet/trustnet/internal/report"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "measure:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("measure", flag.ContinueOnError)
+	var (
+		in      = fs.String("in", "", "edge-list file to measure")
+		dataset = fs.String("dataset", "", "registry dataset to measure instead of -in")
+		eps     = fs.Float64("eps", 0, "variation distance target (default 1/n)")
+		sources = fs.Int("sources", 50, "sampled walk sources for the mixing measurement")
+		steps   = fs.Int("steps", 200, "max walk length for the mixing measurement")
+		expSrc  = fs.Int("expansion-sources", 0, "sampled BFS cores for expansion (0 = all nodes)")
+		seed    = fs.Int64("seed", 1, "measurement seed")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	what := fs.Args()
+	if len(what) == 0 {
+		what = []string{"all"}
+	}
+
+	g, name, err := loadGraph(*in, *dataset)
+	if err != nil {
+		return err
+	}
+	if !graph.IsConnected(g) {
+		var kept []graph.NodeID
+		g, kept = graph.LargestComponent(g)
+		fmt.Printf("note: graph disconnected; measuring largest component (%d of %d nodes)\n",
+			len(kept), len(kept))
+	}
+
+	rep, err := core.Measure(context.Background(), name, g, core.Config{
+		MixingSources:    *sources,
+		MixingMaxSteps:   *steps,
+		Epsilon:          *eps,
+		ExpansionSources: *expSrc,
+		Seed:             *seed,
+	})
+	if err != nil {
+		return err
+	}
+
+	show := map[string]bool{}
+	for _, w := range what {
+		show[w] = true
+	}
+	all := show["all"]
+
+	fmt.Printf("graph %s: n=%d m=%d\n\n", rep.Name, rep.Nodes, rep.Edges)
+	if all || show["slem"] {
+		fmt.Printf("SLEM mu = %.6f\n", rep.SLEM)
+		fmt.Printf("Sinclair bounds at eps=%.2e: %.1f <= T <= %.1f\n\n",
+			rep.Epsilon, rep.Bounds.Lower, rep.Bounds.Upper)
+	}
+	if all || show["mixing"] {
+		if rep.MixedWithinBudget {
+			fmt.Printf("sampling-method mixing time T(%.2e) = %d steps (worst of %d sources)\n",
+				rep.Epsilon, rep.MixingTime, len(rep.Mixing.Sources))
+		} else {
+			fmt.Printf("graph did not mix to eps=%.2e within %d steps (final worst TVD %.4f)\n",
+				rep.Epsilon, len(rep.Mixing.MaxTVD), rep.Mixing.MaxTVD[len(rep.Mixing.MaxTVD)-1])
+		}
+		t := report.NewTable("", "walk length", "min TVD", "mean TVD", "max TVD")
+		for _, i := range []int{0, 1, 3, 7, 15, 31, 63, 127, 199} {
+			if i >= len(rep.Mixing.MeanTVD) {
+				break
+			}
+			if err := t.AddRow(report.Int(i+1),
+				report.Float(rep.Mixing.MinTVD[i], 4),
+				report.Float(rep.Mixing.MeanTVD[i], 4),
+				report.Float(rep.Mixing.MaxTVD[i], 4)); err != nil {
+				return err
+			}
+		}
+		if err := t.Render(os.Stdout); err != nil {
+			return err
+		}
+		fmt.Println()
+	}
+	if all || show["cores"] {
+		fmt.Printf("degeneracy %d; top core: nu=%.3f nu~=%.3f components=%d; mean coreness %.2f\n\n",
+			rep.Cores.Degeneracy, rep.Cores.TopCoreNu, rep.Cores.TopCoreNuTilde,
+			rep.Cores.TopCoreComponents, rep.Cores.MeanCoreness)
+	}
+	if all || show["expansion"] {
+		fmt.Printf("expansion: min alpha = %.4f, mean alpha over small sets = %.3f (from %d cores)\n",
+			rep.Expansion.MinAlpha, rep.Expansion.MeanAlphaSmallSets, rep.Expansion.Result.Sources)
+	}
+	if show["centrality"] {
+		if err := printCentrality(g); err != nil {
+			return err
+		}
+	}
+	if show["community"] {
+		if err := printCommunity(g, *seed); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// printCentrality reports the top nodes by betweenness, closeness, and
+// PageRank (sampled betweenness above 2000 nodes to stay interactive).
+func printCentrality(g *graph.Graph) error {
+	ctx := context.Background()
+	cfg := centrality.Config{}
+	if g.NumNodes() > 2000 {
+		cfg.Pivots = 500
+	}
+	bc, err := centrality.Betweenness(ctx, g, cfg)
+	if err != nil {
+		return err
+	}
+	cc, err := centrality.Closeness(ctx, g, centrality.Config{})
+	if err != nil {
+		return err
+	}
+	pr, err := centrality.PageRank(g, centrality.PageRankConfig{})
+	if err != nil {
+		return err
+	}
+	t := report.NewTable("top-5 nodes per centrality", "Rank", "Betweenness", "Closeness", "PageRank")
+	topB := centrality.TopK(bc, 5)
+	topC := centrality.TopK(cc, 5)
+	topP := centrality.TopK(pr, 5)
+	for i := 0; i < 5 && i < len(topB); i++ {
+		if err := t.AddRow(report.Int(i+1),
+			fmt.Sprintf("%d (%.1f)", topB[i], bc[topB[i]]),
+			fmt.Sprintf("%d (%.3f)", topC[i], cc[topC[i]]),
+			fmt.Sprintf("%d (%.4f)", topP[i], pr[topP[i]])); err != nil {
+			return err
+		}
+	}
+	return t.Render(os.Stdout)
+}
+
+// printCommunity reports the label-propagation partition summary.
+func printCommunity(g *graph.Graph, seed int64) error {
+	labels, err := community.LabelPropagation(g, 100, seed)
+	if err != nil {
+		return err
+	}
+	sizes := community.Sizes(labels)
+	q, err := community.Modularity(g, labels)
+	if err != nil {
+		return err
+	}
+	largest := 0
+	for _, s := range sizes {
+		if s > largest {
+			largest = s
+		}
+	}
+	fmt.Printf("communities: %d (largest %d of %d nodes), modularity Q = %.3f\n",
+		len(sizes), largest, g.NumNodes(), q)
+	return nil
+}
+
+func loadGraph(in, dataset string) (*graph.Graph, string, error) {
+	switch {
+	case in != "" && dataset != "":
+		return nil, "", fmt.Errorf("use either -in or -dataset, not both")
+	case in != "":
+		if strings.HasSuffix(in, ".bin") {
+			g, err := graph.LoadBinary(in)
+			return g, in, err
+		}
+		g, err := graph.LoadEdgeList(in)
+		return g, in, err
+	case dataset != "":
+		spec, err := datasets.ByName(dataset)
+		if err != nil {
+			return nil, "", err
+		}
+		g, err := spec.Generate()
+		return g, dataset, err
+	default:
+		return nil, "", fmt.Errorf("one of -in or -dataset is required")
+	}
+}

@@ -1,0 +1,80 @@
+package main
+
+import (
+	"path/filepath"
+	"testing"
+
+	"github.com/trustnet/trustnet/internal/gen"
+	"github.com/trustnet/trustnet/internal/graph"
+)
+
+func tempGraphFile(t *testing.T) string {
+	t.Helper()
+	g, err := gen.BarabasiAlbert(200, 3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "g.txt")
+	if err := graph.SaveEdgeList(path, g); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunAllFromFile(t *testing.T) {
+	path := tempGraphFile(t)
+	if err := run([]string{"-in", path, "-sources", "5", "-steps", "30", "all"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunIndividualMeasurements(t *testing.T) {
+	path := tempGraphFile(t)
+	for _, what := range []string{"slem", "mixing", "cores", "expansion"} {
+		if err := run([]string{"-in", path, "-sources", "5", "-steps", "20", what}); err != nil {
+			t.Fatalf("%s: %v", what, err)
+		}
+	}
+}
+
+func TestRunCentralityAndCommunity(t *testing.T) {
+	path := tempGraphFile(t)
+	if err := run([]string{"-in", path, "-sources", "5", "-steps", "20", "centrality", "community"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunDataset(t *testing.T) {
+	if err := run([]string{"-dataset", "rice-grad", "-sources", "5", "-steps", "20", "-expansion-sources", "30", "cores"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	path := tempGraphFile(t)
+	tests := [][]string{
+		{},
+		{"-in", path, "-dataset", "rice-grad"},
+		{"-dataset", "nope"},
+		{"-in", filepath.Join(t.TempDir(), "missing.txt")},
+	}
+	for _, args := range tests {
+		if err := run(args); err == nil {
+			t.Errorf("run(%v): want error", args)
+		}
+	}
+}
+
+func TestRunBinaryInput(t *testing.T) {
+	g, err := gen.BarabasiAlbert(150, 3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "g.bin")
+	if err := graph.SaveBinary(path, g); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-in", path, "-sources", "5", "-steps", "20", "cores"}); err != nil {
+		t.Fatal(err)
+	}
+}

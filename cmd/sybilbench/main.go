@@ -1,0 +1,176 @@
+// Command sybilbench runs any of the seven implemented social-network
+// Sybil defenses (GateKeeper, SybilGuard, SybilLimit, SybilInfer, SumUp,
+// community-rank, bridge-cut) under a parameterized attack and reports
+// the standard metrics (honest acceptance rate, sybils accepted per
+// attack edge).
+//
+// Usage:
+//
+//	sybilbench -dataset facebook-b -defense gatekeeper -sybils 500 -attack-edges 10
+//	sybilbench -dataset wiki-vote -defense all
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/trustnet/trustnet/internal/datasets"
+	"github.com/trustnet/trustnet/internal/graph"
+	"github.com/trustnet/trustnet/internal/report"
+	"github.com/trustnet/trustnet/internal/sybil"
+	"github.com/trustnet/trustnet/internal/sybil/bridgecut"
+	"github.com/trustnet/trustnet/internal/sybil/communityrank"
+	"github.com/trustnet/trustnet/internal/sybil/gatekeeper"
+	"github.com/trustnet/trustnet/internal/sybil/sumup"
+	"github.com/trustnet/trustnet/internal/sybil/sybilguard"
+	"github.com/trustnet/trustnet/internal/sybil/sybilinfer"
+	"github.com/trustnet/trustnet/internal/sybil/sybillimit"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "sybilbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("sybilbench", flag.ContinueOnError)
+	var (
+		dataset     = fs.String("dataset", "wiki-vote", "registry dataset for the honest region")
+		in          = fs.String("in", "", "edge-list file for the honest region (overrides -dataset)")
+		defense     = fs.String("defense", "all", "gatekeeper | sybilguard | sybillimit | sybilinfer | sumup | communityrank | bridgecut | all")
+		sybils      = fs.Int("sybils", 0, "sybil identities (default n/5)")
+		attackEdges = fs.Int("attack-edges", 0, "attack edges (default n/50)")
+		verifier    = fs.Int("verifier", 0, "verifier/controller/collector node")
+		f           = fs.Float64("f", 0.2, "gatekeeper admission threshold")
+		seed        = fs.Int64("seed", 1, "seed for attack and defense randomness")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var honest *graph.Graph
+	var err error
+	if *in != "" {
+		honest, err = graph.LoadEdgeList(*in)
+	} else {
+		var spec datasets.Spec
+		spec, err = datasets.ByName(*dataset)
+		if err == nil {
+			honest, err = spec.Generate()
+		}
+	}
+	if err != nil {
+		return err
+	}
+	if !graph.IsConnected(honest) {
+		honest, _ = graph.LargestComponent(honest)
+	}
+
+	n := honest.NumNodes()
+	ns := *sybils
+	if ns == 0 {
+		ns = n / 5
+	}
+	ae := *attackEdges
+	if ae == 0 {
+		ae = n / 50
+		if ae < 2 {
+			ae = 2
+		}
+	}
+	a, err := sybil.Inject(honest, sybil.AttackConfig{SybilNodes: ns, AttackEdges: ae, Seed: *seed})
+	if err != nil {
+		return err
+	}
+	v := graph.NodeID(*verifier)
+	fmt.Printf("honest n=%d m=%d; sybils=%d attack edges=%d; verifier=%d\n\n",
+		n, honest.NumEdges(), ns, ae, v)
+
+	t := report.NewTable("Defense comparison", "Defense", "Honest %", "Sybils/edge", "Sybil count")
+	runOne := func(name string, acceptedFn func() ([]bool, error)) error {
+		if *defense != "all" && *defense != name {
+			return nil
+		}
+		accepted, err := acceptedFn()
+		if err != nil {
+			return fmt.Errorf("%s: %w", name, err)
+		}
+		m, err := sybil.Evaluate(a, accepted, v)
+		if err != nil {
+			return fmt.Errorf("%s: %w", name, err)
+		}
+		return t.AddRow(name,
+			report.Float(100*m.HonestAcceptRate(), 1),
+			report.Float(m.SybilsPerAttackEdge(), 2),
+			report.Int(m.SybilAccepted))
+	}
+
+	if err := runOne("gatekeeper", func() ([]bool, error) {
+		out, err := gatekeeper.Run(a, v, gatekeeper.Config{Distributers: 99, Seed: *seed})
+		if err != nil {
+			return nil, err
+		}
+		return out.Accepted(*f)
+	}); err != nil {
+		return err
+	}
+	if err := runOne("sybilguard", func() ([]bool, error) {
+		return sybilguard.Run(a, v, sybilguard.Config{Seed: *seed})
+	}); err != nil {
+		return err
+	}
+	if err := runOne("sybillimit", func() ([]bool, error) {
+		res, err := sybillimit.Run(a, v, sybillimit.Config{Seed: *seed})
+		if err != nil {
+			return nil, err
+		}
+		return res.Accepted, nil
+	}); err != nil {
+		return err
+	}
+	if err := runOne("sybilinfer", func() ([]bool, error) {
+		res, err := sybilinfer.Run(a, v, sybilinfer.Config{Seed: *seed})
+		if err != nil {
+			return nil, err
+		}
+		return res.Accepted, nil
+	}); err != nil {
+		return err
+	}
+	if err := runOne("sumup", func() ([]bool, error) {
+		res, err := sumup.Run(a, v, sumup.Config{Tickets: n})
+		if err != nil {
+			return nil, err
+		}
+		return res.Collected, nil
+	}); err != nil {
+		return err
+	}
+	if err := runOne("communityrank", func() ([]bool, error) {
+		res, err := communityrank.Run(a, v, communityrank.Config{})
+		if err != nil {
+			return nil, err
+		}
+		return res.Accepted, nil
+	}); err != nil {
+		return err
+	}
+	if err := runOne("bridgecut", func() ([]bool, error) {
+		res, err := bridgecut.Run(context.Background(), a, v, bridgecut.Config{})
+		if err != nil {
+			return nil, err
+		}
+		return res.Accepted, nil
+	}); err != nil {
+		return err
+	}
+
+	if t.NumRows() == 0 {
+		return fmt.Errorf("unknown defense %q", *defense)
+	}
+	return t.Render(os.Stdout)
+}

@@ -1,0 +1,71 @@
+package main
+
+import (
+	"path/filepath"
+	"testing"
+
+	"github.com/trustnet/trustnet/internal/gen"
+	"github.com/trustnet/trustnet/internal/graph"
+)
+
+func TestRunSingleDefense(t *testing.T) {
+	for _, defense := range []string{"gatekeeper", "sybillimit", "sumup"} {
+		args := []string{
+			"-dataset", "rice-grad", "-defense", defense,
+			"-sybils", "50", "-attack-edges", "3",
+		}
+		if err := run(args); err != nil {
+			t.Fatalf("%s: %v", defense, err)
+		}
+	}
+}
+
+func TestRunAllDefenses(t *testing.T) {
+	if testing.Short() {
+		t.Skip("all-defense comparison is slow")
+	}
+	args := []string{
+		"-dataset", "rice-grad", "-defense", "all",
+		"-sybils", "40", "-attack-edges", "2",
+	}
+	if err := run(args); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunFromFile(t *testing.T) {
+	g, err := gen.BarabasiAlbert(150, 3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "g.txt")
+	if err := graph.SaveEdgeList(path, g); err != nil {
+		t.Fatal(err)
+	}
+	args := []string{"-in", path, "-defense", "gatekeeper", "-sybils", "20", "-attack-edges", "2"}
+	if err := run(args); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	tests := [][]string{
+		{"-dataset", "nope"},
+		{"-dataset", "rice-grad", "-defense", "nope", "-sybils", "10", "-attack-edges", "2"},
+		{"-in", filepath.Join(t.TempDir(), "missing.txt")},
+		{"-dataset", "rice-grad", "-defense", "gatekeeper", "-sybils", "10", "-attack-edges", "2", "-verifier", "9999"},
+	}
+	for _, args := range tests {
+		if err := run(args); err == nil {
+			t.Errorf("run(%v): want error", args)
+		}
+	}
+}
+
+func TestRunDefaultSizes(t *testing.T) {
+	// Zero sybils/attack-edges pick the n/5 and n/50 defaults.
+	args := []string{"-dataset", "rice-grad", "-defense", "gatekeeper"}
+	if err := run(args); err != nil {
+		t.Fatal(err)
+	}
+}

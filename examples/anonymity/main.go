@@ -1,0 +1,82 @@
+// Anonymity: pick relay nodes for an anonymous-communication overlay by
+// random-walking a social graph — the §I application of social graphs as
+// "good mixers" (Nagaraja, PETS'07).
+//
+// A relay picked by a w-step random walk is (near-)stationary-distributed
+// once w exceeds the mixing time, so an observer learns almost nothing
+// about the walk's origin from the relay's identity. This example uses
+// the anonymity package to quantify sender anonymity (normalized entropy
+// and the Eq. 2 TVD gap) as a function of walk length, contrasts a fast
+// and a slow mixer, and derives the deployment walk length from the
+// mixing measurement.
+//
+// Run with: go run ./examples/anonymity
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"github.com/trustnet/trustnet/internal/anonymity"
+	"github.com/trustnet/trustnet/internal/gen"
+	"github.com/trustnet/trustnet/internal/graph"
+	"github.com/trustnet/trustnet/internal/report"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	fast, err := gen.BarabasiAlbert(1200, 5, 9)
+	if err != nil {
+		return err
+	}
+	slow, _, err := gen.ClusteredPA(gen.ClusteredPAConfig{
+		Communities: 8, CommunitySize: 150, Attach: 5, Bridges: 2, Seed: 9,
+	})
+	if err != nil {
+		return err
+	}
+
+	t := report.NewTable(
+		"Relay-selection anonymity vs walk length (worst of 20 sampled senders)",
+		"walk length", "fast entropy", "fast TVD gap", "slow entropy", "slow TVD gap",
+	)
+	for _, w := range []int{2, 4, 8, 16, 32, 64} {
+		cfg := anonymity.Config{WalkLength: w, Lazy: true}
+		fs, err := anonymity.MeasureAll(fast, 20, cfg, 4)
+		if err != nil {
+			return err
+		}
+		ss, err := anonymity.MeasureAll(slow, 20, cfg, 4)
+		if err != nil {
+			return err
+		}
+		if err := t.AddRow(report.Int(w),
+			report.Float(fs.WorstNormalizedEntropy, 3),
+			report.Float(fs.WorstTVDGap, 4),
+			report.Float(ss.WorstNormalizedEntropy, 3),
+			report.Float(ss.WorstTVDGap, 4)); err != nil {
+			return err
+		}
+	}
+	fmt.Print(t.String())
+
+	// Operational decision: the walk length at which the observer's TVD
+	// advantage drops below 1%.
+	pick := func(g *graph.Graph) string {
+		w, ok, err := anonymity.RequiredWalkLength(g, 20, 0.01, 200, true, 4)
+		if err != nil || !ok {
+			return "not within budget"
+		}
+		return fmt.Sprintf("%d hops", w)
+	}
+	fmt.Printf("\nrelay walk length for TVD gap < 0.01: fast mixer %s, slow mixer %s\n",
+		pick(fast), pick(slow))
+	fmt.Println("On the slow mixer the relay leaks the sender's community for any practical")
+	fmt.Println("walk length — the anonymity analogue of the paper's Sybil-defense finding.")
+	return nil
+}

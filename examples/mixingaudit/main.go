@@ -1,0 +1,82 @@
+// Mixingaudit: decide whether a social graph meets a Sybil defense's
+// mixing assumption before deploying the defense on it.
+//
+// SybilLimit-style systems fix a route length w and implicitly assume
+// w >= T(eps), the graph's mixing time. The paper's point is that this
+// must be *measured*: the audit below measures T(eps) with the sampling
+// method, cross-checks the spectral bounds, and reports which walk-length
+// budgets are actually safe.
+//
+// Run with: go run ./examples/mixingaudit
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"github.com/trustnet/trustnet/internal/datasets"
+	"github.com/trustnet/trustnet/internal/report"
+	"github.com/trustnet/trustnet/internal/spectral"
+	"github.com/trustnet/trustnet/internal/walk"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	// Audit one fast and one slow graph from the Table I registry.
+	t := report.NewTable(
+		"Mixing audit: is w = c*log2(n) long enough to run SybilLimit?",
+		"Dataset", "n", "mu", "T(0.05)", "w=log2 n", "w=2log2 n", "w=4log2 n",
+	)
+	for _, name := range []string{"rice-grad", "epinion", "physics-1", "physics-2"} {
+		spec, err := datasets.ByName(name)
+		if err != nil {
+			return err
+		}
+		g, err := spec.Generate()
+		if err != nil {
+			return err
+		}
+		n := g.NumNodes()
+
+		mr, err := walk.MeasureMixing(g, walk.MixingConfig{
+			MaxSteps: 300, Sources: 30, Seed: 1,
+		})
+		if err != nil {
+			return err
+		}
+		const eps = 0.05
+		tm, mixed := mr.MixingTime(eps)
+
+		sr, err := spectral.SLEM(g, spectral.Config{Tolerance: 1e-6, Seed: 1})
+		if err != nil {
+			return err
+		}
+
+		verdict := func(c float64) string {
+			w := int(math.Ceil(c * math.Log2(float64(n))))
+			if mixed && w >= tm {
+				return fmt.Sprintf("ok (w=%d)", w)
+			}
+			return fmt.Sprintf("UNSAFE (w=%d)", w)
+		}
+		tmStr := "> 300"
+		if mixed {
+			tmStr = report.Int(tm)
+		}
+		if err := t.AddRow(name, report.Int(n), report.Float(sr.SLEM, 4),
+			tmStr, verdict(1), verdict(2), verdict(4)); err != nil {
+			return err
+		}
+	}
+	fmt.Print(t.String())
+	fmt.Println("\nReading: the O(log n) walk lengths the defense literature assumes are fine")
+	fmt.Println("on the OSN-like graphs and far too short on the co-authorship graphs —")
+	fmt.Println("the paper's core measurement result (Figure 1).")
+	return nil
+}

@@ -1,0 +1,93 @@
+// Sybilregion: inject a sybil attack into two social graphs with opposite
+// mixing characteristics and run GateKeeper and SybilLimit on both — the
+// end-to-end scenario behind Table II of the paper.
+//
+// The fast-mixing OSN-like graph supports both defenses; the slow-mixing
+// community graph degrades them, which is exactly why the paper insists
+// the properties be measured rather than assumed.
+//
+// Run with: go run ./examples/sybilregion
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"github.com/trustnet/trustnet/internal/gen"
+	"github.com/trustnet/trustnet/internal/graph"
+	"github.com/trustnet/trustnet/internal/report"
+	"github.com/trustnet/trustnet/internal/sybil"
+	"github.com/trustnet/trustnet/internal/sybil/gatekeeper"
+	"github.com/trustnet/trustnet/internal/sybil/sybillimit"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	fast, err := gen.BarabasiAlbert(1500, 6, 7)
+	if err != nil {
+		return err
+	}
+	slow, _, err := gen.ClusteredPA(gen.ClusteredPAConfig{
+		Communities: 10, CommunitySize: 150, Attach: 5, Bridges: 2, Seed: 7,
+	})
+	if err != nil {
+		return err
+	}
+
+	t := report.NewTable(
+		"GateKeeper (f=0.2) and SybilLimit under a 300-sybil / 6-attack-edge attack",
+		"Graph", "Defense", "Honest %", "Sybils/edge",
+	)
+	for _, tc := range []struct {
+		name string
+		g    *graph.Graph
+	}{{"fast (BA)", fast}, {"slow (clustered)", slow}} {
+		a, err := sybil.Inject(tc.g, sybil.AttackConfig{
+			SybilNodes: 300, AttackEdges: 6, Seed: 11,
+		})
+		if err != nil {
+			return err
+		}
+
+		gk, err := gatekeeper.Run(a, 0, gatekeeper.Config{Distributers: 99, Seed: 3})
+		if err != nil {
+			return err
+		}
+		accepted, err := gk.Accepted(0.2)
+		if err != nil {
+			return err
+		}
+		m, err := sybil.Evaluate(a, accepted, 0)
+		if err != nil {
+			return err
+		}
+		if err := t.AddRow(tc.name, "gatekeeper",
+			report.Float(100*m.HonestAcceptRate(), 1),
+			report.Float(m.SybilsPerAttackEdge(), 2)); err != nil {
+			return err
+		}
+
+		sl, err := sybillimit.Run(a, 0, sybillimit.Config{Seed: 3})
+		if err != nil {
+			return err
+		}
+		m, err = sybil.Evaluate(a, sl.Accepted, 0)
+		if err != nil {
+			return err
+		}
+		if err := t.AddRow("", "sybillimit",
+			report.Float(100*m.HonestAcceptRate(), 1),
+			report.Float(m.SybilsPerAttackEdge(), 2)); err != nil {
+			return err
+		}
+	}
+	fmt.Print(t.String())
+	fmt.Println("\nReading: honest acceptance collapses on the slow mixer — the defenses'")
+	fmt.Println("fast-mixing/expander assumptions do not hold there (paper §IV-C, Table II).")
+	return nil
+}

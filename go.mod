@@ -1,0 +1,3 @@
+module github.com/trustnet/trustnet
+
+go 1.22

@@ -1,0 +1,156 @@
+// Package anonymity quantifies the anonymity of random-walk relay
+// selection on a social graph — the "social graphs as good mixers for
+// anonymous communication" application of §I (Nagaraja, PETS 2007,
+// reference [18] of the paper).
+//
+// A sender picks a relay by walking w steps from itself. An observer who
+// sees the relay learns something about the sender unless the walk
+// distribution is close to stationary. Two standard measures are
+// provided for each (source, w):
+//
+//   - normalized Shannon entropy of the relay distribution (1 = perfect
+//     mixing against a uniform-prior observer), and
+//   - the TVD anonymity gap to the stationary distribution, which is
+//     exactly the paper's Eq. 2 quantity and bounds the observer's
+//     advantage in distinguishing the sender from a stationary one.
+//
+// The package ties the application directly to the measurement suite:
+// the walk length needed for relay anonymity *is* the mixing time.
+package anonymity
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/trustnet/trustnet/internal/graph"
+	"github.com/trustnet/trustnet/internal/walk"
+)
+
+// Config parameterizes an anonymity measurement.
+type Config struct {
+	// WalkLength is the relay-selection walk length.
+	WalkLength int
+	// Lazy selects the lazy walk (needed on bipartite-ish graphs).
+	Lazy bool
+}
+
+func (c *Config) validate() error {
+	if c.WalkLength < 1 {
+		return fmt.Errorf("anonymity: walk length %d must be >= 1", c.WalkLength)
+	}
+	return nil
+}
+
+// Report measures one sender's relay-selection anonymity.
+type Report struct {
+	Source graph.NodeID
+	// Entropy is the Shannon entropy (bits) of the relay distribution.
+	Entropy float64
+	// NormalizedEntropy divides by log2(n): 1 means uniform relays.
+	NormalizedEntropy float64
+	// EffectiveAnonymitySet is 2^Entropy — the size of the uniform crowd
+	// the sender is hidden in.
+	EffectiveAnonymitySet float64
+	// TVDGap is the total variation distance between the relay
+	// distribution and the stationary distribution.
+	TVDGap float64
+}
+
+// Measure computes the relay-selection anonymity of one sender.
+func Measure(g *graph.Graph, source graph.NodeID, cfg Config) (*Report, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	d, err := walk.NewDistribution(g, source, cfg.Lazy)
+	if err != nil {
+		return nil, fmt.Errorf("anonymity: %w", err)
+	}
+	for i := 0; i < cfg.WalkLength; i++ {
+		d.Step()
+	}
+	pi, err := g.StationaryDistribution()
+	if err != nil {
+		return nil, fmt.Errorf("anonymity: %w", err)
+	}
+	probs := d.Probabilities()
+	rep := &Report{Source: source}
+	for _, p := range probs {
+		if p > 0 {
+			rep.Entropy -= p * math.Log2(p)
+		}
+	}
+	n := float64(g.NumNodes())
+	if n > 1 {
+		rep.NormalizedEntropy = rep.Entropy / math.Log2(n)
+	}
+	rep.EffectiveAnonymitySet = math.Exp2(rep.Entropy)
+	gap, err := walk.TotalVariation(probs, pi)
+	if err != nil {
+		return nil, fmt.Errorf("anonymity: %w", err)
+	}
+	rep.TVDGap = gap
+	return rep, nil
+}
+
+// Summary aggregates anonymity over sampled senders.
+type Summary struct {
+	// WorstNormalizedEntropy is the least-anonymous sampled sender.
+	WorstNormalizedEntropy float64
+	// MeanNormalizedEntropy averages over sampled senders.
+	MeanNormalizedEntropy float64
+	// WorstTVDGap is the largest observer advantage.
+	WorstTVDGap float64
+	// Senders is the number of sampled senders.
+	Senders int
+}
+
+// MeasureAll aggregates per-sender reports over k sampled senders.
+func MeasureAll(g *graph.Graph, k int, cfg Config, seed int64) (*Summary, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	sources, err := walk.SampleSources(g, k, seed)
+	if err != nil {
+		return nil, fmt.Errorf("anonymity: %w", err)
+	}
+	sum := &Summary{WorstNormalizedEntropy: math.Inf(1)}
+	for _, s := range sources {
+		rep, err := Measure(g, s, cfg)
+		if err != nil {
+			return nil, err
+		}
+		sum.MeanNormalizedEntropy += rep.NormalizedEntropy
+		if rep.NormalizedEntropy < sum.WorstNormalizedEntropy {
+			sum.WorstNormalizedEntropy = rep.NormalizedEntropy
+		}
+		if rep.TVDGap > sum.WorstTVDGap {
+			sum.WorstTVDGap = rep.TVDGap
+		}
+		sum.Senders++
+	}
+	sum.MeanNormalizedEntropy /= float64(sum.Senders)
+	return sum, nil
+}
+
+// RequiredWalkLength returns the smallest walk length in [1, maxLen]
+// whose worst sampled TVD gap is below eps — the deployment knob for a
+// relay overlay, directly derived from the mixing measurement.
+func RequiredWalkLength(g *graph.Graph, k int, eps float64, maxLen int, lazy bool, seed int64) (int, bool, error) {
+	if eps <= 0 || eps >= 1 {
+		return 0, false, fmt.Errorf("anonymity: eps %v out of (0,1)", eps)
+	}
+	if maxLen < 1 {
+		return 0, false, fmt.Errorf("anonymity: max length %d must be >= 1", maxLen)
+	}
+	mr, err := walk.MeasureMixing(g, walk.MixingConfig{
+		MaxSteps: maxLen,
+		Sources:  k,
+		Lazy:     lazy,
+		Seed:     seed,
+	})
+	if err != nil {
+		return 0, false, fmt.Errorf("anonymity: %w", err)
+	}
+	w, ok := mr.MixingTime(eps)
+	return w, ok, nil
+}

@@ -1,0 +1,156 @@
+package anonymity
+
+import (
+	"math"
+	"testing"
+
+	"github.com/trustnet/trustnet/internal/gen"
+	"github.com/trustnet/trustnet/internal/graph"
+)
+
+func TestMeasureCompleteGraphNearPerfect(t *testing.T) {
+	g, err := gen.Complete(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Measure(g, 0, Config{WalkLength: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.NormalizedEntropy < 0.99 {
+		t.Errorf("normalized entropy = %v, want ~1 on K64", rep.NormalizedEntropy)
+	}
+	if rep.TVDGap > 0.01 {
+		t.Errorf("TVD gap = %v, want ~0", rep.TVDGap)
+	}
+	if rep.EffectiveAnonymitySet < 60 {
+		t.Errorf("effective anonymity set = %v, want near 64", rep.EffectiveAnonymitySet)
+	}
+}
+
+func TestMeasureShortWalkLeaks(t *testing.T) {
+	g, err := gen.BarabasiAlbert(500, 4, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	short, err := Measure(g, 7, Config{WalkLength: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	long, err := Measure(g, 7, Config{WalkLength: 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if short.NormalizedEntropy >= long.NormalizedEntropy {
+		t.Errorf("1-hop entropy %v >= 40-hop %v", short.NormalizedEntropy, long.NormalizedEntropy)
+	}
+	if short.TVDGap <= long.TVDGap {
+		t.Errorf("1-hop gap %v <= 40-hop %v", short.TVDGap, long.TVDGap)
+	}
+	// A 1-hop walk exposes the sender's neighborhood: the anonymity set
+	// is about its degree.
+	deg := float64(g.Degree(7))
+	if short.EffectiveAnonymitySet > 2*deg {
+		t.Errorf("1-hop anonymity set %v, want about degree %v", short.EffectiveAnonymitySet, deg)
+	}
+}
+
+func TestMeasureSlowMixerLeaksCommunity(t *testing.T) {
+	slow, _, err := gen.ClusteredPA(gen.ClusteredPAConfig{
+		Communities: 8, CommunitySize: 80, Attach: 4, Bridges: 1, Seed: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fast, err := gen.BarabasiAlbert(640, 4, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{WalkLength: 15, Lazy: true}
+	slowSum, err := MeasureAll(slow, 15, cfg, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fastSum, err := MeasureAll(fast, 15, cfg, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if slowSum.WorstTVDGap <= fastSum.WorstTVDGap {
+		t.Errorf("slow mixer worst gap %v <= fast %v", slowSum.WorstTVDGap, fastSum.WorstTVDGap)
+	}
+	if slowSum.MeanNormalizedEntropy >= fastSum.MeanNormalizedEntropy {
+		t.Errorf("slow mixer entropy %v >= fast %v",
+			slowSum.MeanNormalizedEntropy, fastSum.MeanNormalizedEntropy)
+	}
+	if slowSum.Senders != 15 || fastSum.Senders != 15 {
+		t.Errorf("senders = %d/%d, want 15", slowSum.Senders, fastSum.Senders)
+	}
+}
+
+func TestRequiredWalkLength(t *testing.T) {
+	g, err := gen.BarabasiAlbert(400, 4, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, ok, err := RequiredWalkLength(g, 10, 0.05, 100, false, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok || w < 2 {
+		t.Fatalf("required walk length = %d,%v", w, ok)
+	}
+	// Deploying at that length must meet the gap target for the same
+	// sampled senders.
+	sum, err := MeasureAll(g, 10, Config{WalkLength: w}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.WorstTVDGap >= 0.05 {
+		t.Errorf("worst gap %v at required length %d, want < 0.05", sum.WorstTVDGap, w)
+	}
+}
+
+func TestValidation(t *testing.T) {
+	g, err := gen.Complete(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Measure(g, 0, Config{WalkLength: 0}); err == nil {
+		t.Error("Measure(walk length 0): want error")
+	}
+	var empty graph.Graph
+	if _, err := Measure(&empty, 0, Config{WalkLength: 3}); err == nil {
+		t.Error("Measure(empty): want error")
+	}
+	if _, err := MeasureAll(g, 0, Config{WalkLength: 3}, 1); err == nil {
+		t.Error("MeasureAll(k=0): want error")
+	}
+	if _, _, err := RequiredWalkLength(g, 3, 0, 10, false, 1); err == nil {
+		t.Error("RequiredWalkLength(eps=0): want error")
+	}
+	if _, _, err := RequiredWalkLength(g, 3, 0.1, 0, false, 1); err == nil {
+		t.Error("RequiredWalkLength(maxLen=0): want error")
+	}
+}
+
+func TestEntropyBounds(t *testing.T) {
+	g, err := gen.Cycle(9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range []int{1, 3, 9, 27} {
+		rep, err := Measure(g, 0, Config{WalkLength: w, Lazy: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.Entropy < 0 || rep.NormalizedEntropy > 1+1e-12 {
+			t.Errorf("w=%d: entropy %v normalized %v out of bounds", w, rep.Entropy, rep.NormalizedEntropy)
+		}
+		if rep.TVDGap < 0 || rep.TVDGap > 1 {
+			t.Errorf("w=%d: gap %v out of [0,1]", w, rep.TVDGap)
+		}
+		if math.IsNaN(rep.EffectiveAnonymitySet) {
+			t.Errorf("w=%d: NaN anonymity set", w)
+		}
+	}
+}

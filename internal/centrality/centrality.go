@@ -1,0 +1,272 @@
+// Package centrality implements the node-centrality measures §I of the
+// paper lists among the algorithmic properties trustworthy-computing
+// systems are built on: shortest-path betweenness (used for Sybil defense
+// by Quercia–Hailes and measured by the authors' companion betweenness
+// study) and closeness (used for content sharing and anonymity in
+// OneSwarm-style systems).
+//
+// Betweenness uses Brandes' exact algorithm — O(nm) on unweighted graphs
+// via one BFS plus a dependency back-propagation per source — with an
+// optional sampled-pivots estimator for larger graphs. All functions
+// treat the graph as unweighted and undirected, matching the paper's
+// model.
+package centrality
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+
+	"github.com/trustnet/trustnet/internal/graph"
+)
+
+// Config controls a centrality computation.
+type Config struct {
+	// Pivots samples this many source nodes instead of running from all
+	// n (0 = exact). Sampled betweenness values are scaled by n/pivots
+	// so they estimate the exact ones.
+	Pivots int
+	// Workers bounds parallelism; <= 0 uses GOMAXPROCS.
+	Workers int
+}
+
+// Betweenness computes (exact or pivot-sampled) shortest-path betweenness
+// for every node. Endpoint pairs are excluded, and each unordered pair is
+// counted once, following the standard convention for undirected graphs.
+func Betweenness(ctx context.Context, g *graph.Graph, cfg Config) ([]float64, error) {
+	n := g.NumNodes()
+	if n == 0 {
+		return nil, errors.New("centrality: empty graph")
+	}
+	sources, scale, err := pivotSources(g, cfg.Pivots)
+	if err != nil {
+		return nil, err
+	}
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(sources) {
+		workers = len(sources)
+	}
+
+	partials := make([][]float64, workers)
+	errs := make([]error, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(slot int) {
+			defer wg.Done()
+			acc := make([]float64, n)
+			st := newBrandesState(n)
+			for i := slot; i < len(sources); i += workers {
+				if ctx.Err() != nil {
+					errs[slot] = ctx.Err()
+					return
+				}
+				st.run(g, sources[i], acc)
+			}
+			partials[slot] = acc
+		}(w)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("centrality: betweenness: %w", err)
+		}
+	}
+	out := make([]float64, n)
+	for _, p := range partials {
+		if p == nil {
+			continue
+		}
+		for v := range out {
+			out[v] += p[v]
+		}
+	}
+	// Each unordered pair was visited from both endpoints in the exact
+	// case; halve, then apply the sampling scale.
+	for v := range out {
+		out[v] *= scale / 2
+	}
+	return out, nil
+}
+
+// brandesState holds per-worker scratch for Brandes' algorithm.
+type brandesState struct {
+	dist  []int32
+	sigma []float64
+	delta []float64
+	queue []graph.NodeID
+	order []graph.NodeID
+}
+
+func newBrandesState(n int) *brandesState {
+	return &brandesState{
+		dist:  make([]int32, n),
+		sigma: make([]float64, n),
+		delta: make([]float64, n),
+		queue: make([]graph.NodeID, 0, n),
+		order: make([]graph.NodeID, 0, n),
+	}
+}
+
+// run accumulates source-dependencies from s into acc.
+func (st *brandesState) run(g *graph.Graph, s graph.NodeID, acc []float64) {
+	for i := range st.dist {
+		st.dist[i] = -1
+		st.sigma[i] = 0
+		st.delta[i] = 0
+	}
+	st.queue = st.queue[:0]
+	st.order = st.order[:0]
+
+	st.dist[s] = 0
+	st.sigma[s] = 1
+	st.queue = append(st.queue, s)
+	for head := 0; head < len(st.queue); head++ {
+		v := st.queue[head]
+		st.order = append(st.order, v)
+		for _, u := range g.Neighbors(v) {
+			if st.dist[u] < 0 {
+				st.dist[u] = st.dist[v] + 1
+				st.queue = append(st.queue, u)
+			}
+			if st.dist[u] == st.dist[v]+1 {
+				st.sigma[u] += st.sigma[v]
+			}
+		}
+	}
+	// Back-propagate dependencies in reverse BFS order.
+	for i := len(st.order) - 1; i >= 0; i-- {
+		w := st.order[i]
+		for _, v := range g.Neighbors(w) {
+			if st.dist[v] == st.dist[w]-1 {
+				st.delta[v] += st.sigma[v] / st.sigma[w] * (1 + st.delta[w])
+			}
+		}
+		if w != s {
+			acc[w] += st.delta[w]
+		}
+	}
+}
+
+// Closeness computes closeness centrality: (reachable-1) / sum of
+// distances to reachable nodes, scaled by the reachable fraction
+// (the Wasserman–Faust correction) so values are comparable across
+// components. Isolated nodes get 0.
+func Closeness(ctx context.Context, g *graph.Graph, cfg Config) ([]float64, error) {
+	n := g.NumNodes()
+	if n == 0 {
+		return nil, errors.New("centrality: empty graph")
+	}
+	sources, _, err := pivotSources(g, 0) // closeness is per-node; always all nodes
+	if err != nil {
+		return nil, err
+	}
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(sources) {
+		workers = len(sources)
+	}
+	out := make([]float64, n)
+	errs := make([]error, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(slot int) {
+			defer wg.Done()
+			bfs := graph.NewBFSWorker(g)
+			for i := slot; i < len(sources); i += workers {
+				if ctx.Err() != nil {
+					errs[slot] = ctx.Err()
+					return
+				}
+				v := sources[i]
+				r, err := bfs.Run(v)
+				if err != nil {
+					errs[slot] = err
+					return
+				}
+				var sum int64
+				for d, c := range r.LevelSizes {
+					sum += int64(d) * c
+				}
+				if sum == 0 {
+					continue
+				}
+				reach := float64(r.Reached - 1)
+				out[v] = reach / float64(sum) * (reach / float64(n-1))
+			}
+		}(w)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("centrality: closeness: %w", err)
+		}
+	}
+	return out, nil
+}
+
+// pivotSources returns the source set and the betweenness scale factor.
+func pivotSources(g *graph.Graph, pivots int) ([]graph.NodeID, float64, error) {
+	n := g.NumNodes()
+	if pivots < 0 {
+		return nil, 0, fmt.Errorf("centrality: negative pivot count %d", pivots)
+	}
+	if pivots == 0 || pivots >= n {
+		all := make([]graph.NodeID, n)
+		for v := range all {
+			all[v] = graph.NodeID(v)
+		}
+		return all, 1, nil
+	}
+	// Deterministic stride probe, as in expansion.SampledSources.
+	stride := n/2 + 1
+	for gcd(stride, n) != 1 {
+		stride++
+	}
+	out := make([]graph.NodeID, pivots)
+	cur := 0
+	for i := range out {
+		out[i] = graph.NodeID(cur)
+		cur = (cur + stride) % n
+	}
+	return out, float64(n) / float64(pivots), nil
+}
+
+func gcd(a, b int) int {
+	for b != 0 {
+		a, b = b, a%b
+	}
+	return a
+}
+
+// TopK returns the indices of the k largest values, descending. Ties
+// break toward smaller node IDs.
+func TopK(values []float64, k int) []graph.NodeID {
+	if k > len(values) {
+		k = len(values)
+	}
+	idx := make([]graph.NodeID, len(values))
+	for i := range idx {
+		idx[i] = graph.NodeID(i)
+	}
+	// Partial selection sort: k is small in every use here.
+	for i := 0; i < k; i++ {
+		best := i
+		for j := i + 1; j < len(idx); j++ {
+			vi, vj := values[idx[best]], values[idx[j]]
+			if vj > vi || (vj == vi && idx[j] < idx[best]) {
+				best = j
+			}
+		}
+		idx[i], idx[best] = idx[best], idx[i]
+	}
+	return idx[:k]
+}

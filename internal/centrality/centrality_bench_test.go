@@ -1,0 +1,67 @@
+package centrality
+
+import (
+	"context"
+	"testing"
+
+	"github.com/trustnet/trustnet/internal/gen"
+)
+
+func BenchmarkBetweennessExact(b *testing.B) {
+	g, err := gen.BarabasiAlbert(1000, 4, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Betweenness(ctx, g, Config{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkBetweennessSampled(b *testing.B) {
+	g, err := gen.BarabasiAlbert(5000, 4, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Betweenness(ctx, g, Config{Pivots: 100}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPageRank(b *testing.B) {
+	g, err := gen.BarabasiAlbert(10000, 5, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := PageRank(g, PageRankConfig{Tolerance: 1e-8}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCloseness(b *testing.B) {
+	g, err := gen.BarabasiAlbert(1000, 4, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Closeness(ctx, g, Config{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,140 @@
+package centrality
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+
+	"github.com/trustnet/trustnet/internal/graph"
+)
+
+// EdgeScore is an undirected edge with its betweenness value.
+type EdgeScore struct {
+	Edge  graph.Edge
+	Score float64
+}
+
+// EdgeBetweenness computes shortest-path betweenness for every edge with
+// the Brandes edge variant (each unordered source pair counted once).
+// Attack edges in a Sybil attack are bridges between two well-connected
+// regions, so they acquire anomalously high edge betweenness — the signal
+// the bridge-removal defense (internal/sybil/bridgecut) exploits.
+func EdgeBetweenness(ctx context.Context, g *graph.Graph, cfg Config) (map[graph.Edge]float64, error) {
+	n := g.NumNodes()
+	if n == 0 {
+		return nil, errors.New("centrality: empty graph")
+	}
+	sources, scale, err := pivotSources(g, cfg.Pivots)
+	if err != nil {
+		return nil, err
+	}
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(sources) {
+		workers = len(sources)
+	}
+
+	partials := make([]map[graph.Edge]float64, workers)
+	errs := make([]error, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(slot int) {
+			defer wg.Done()
+			acc := make(map[graph.Edge]float64, int(g.NumEdges()))
+			st := newBrandesState(n)
+			for i := slot; i < len(sources); i += workers {
+				if ctx.Err() != nil {
+					errs[slot] = ctx.Err()
+					return
+				}
+				st.runEdges(g, sources[i], acc)
+			}
+			partials[slot] = acc
+		}(w)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("centrality: edge betweenness: %w", err)
+		}
+	}
+	out := make(map[graph.Edge]float64, int(g.NumEdges()))
+	for _, p := range partials {
+		for e, v := range p {
+			out[e] += v
+		}
+	}
+	for e := range out {
+		out[e] *= scale / 2
+	}
+	return out, nil
+}
+
+// runEdges accumulates per-edge dependencies from source s into acc.
+func (st *brandesState) runEdges(g *graph.Graph, s graph.NodeID, acc map[graph.Edge]float64) {
+	for i := range st.dist {
+		st.dist[i] = -1
+		st.sigma[i] = 0
+		st.delta[i] = 0
+	}
+	st.queue = st.queue[:0]
+	st.order = st.order[:0]
+
+	st.dist[s] = 0
+	st.sigma[s] = 1
+	st.queue = append(st.queue, s)
+	for head := 0; head < len(st.queue); head++ {
+		v := st.queue[head]
+		st.order = append(st.order, v)
+		for _, u := range g.Neighbors(v) {
+			if st.dist[u] < 0 {
+				st.dist[u] = st.dist[v] + 1
+				st.queue = append(st.queue, u)
+			}
+			if st.dist[u] == st.dist[v]+1 {
+				st.sigma[u] += st.sigma[v]
+			}
+		}
+	}
+	for i := len(st.order) - 1; i >= 0; i-- {
+		w := st.order[i]
+		for _, v := range g.Neighbors(w) {
+			if st.dist[v] == st.dist[w]-1 {
+				c := st.sigma[v] / st.sigma[w] * (1 + st.delta[w])
+				st.delta[v] += c
+				acc[graph.Edge{U: v, V: w}.Canonical()] += c
+			}
+		}
+	}
+}
+
+// TopEdges returns the k highest-betweenness edges, descending. Ties
+// break toward the lexicographically smaller edge.
+func TopEdges(scores map[graph.Edge]float64, k int) []EdgeScore {
+	out := make([]EdgeScore, 0, len(scores))
+	for e, s := range scores {
+		out = append(out, EdgeScore{Edge: e, Score: s})
+	}
+	// Partial selection: k is small in every use here.
+	if k > len(out) {
+		k = len(out)
+	}
+	for i := 0; i < k; i++ {
+		best := i
+		for j := i + 1; j < len(out); j++ {
+			a, b := out[best], out[j]
+			if b.Score > a.Score ||
+				(b.Score == a.Score && (b.Edge.U < a.Edge.U ||
+					(b.Edge.U == a.Edge.U && b.Edge.V < a.Edge.V))) {
+				best = j
+			}
+		}
+		out[i], out[best] = out[best], out[i]
+	}
+	return out[:k]
+}

@@ -1,0 +1,130 @@
+package centrality
+
+import (
+	"context"
+	"math"
+	"testing"
+
+	"github.com/trustnet/trustnet/internal/gen"
+	"github.com/trustnet/trustnet/internal/graph"
+)
+
+func TestEdgeBetweennessPath(t *testing.T) {
+	g, err := gen.Path(4) // edges: 0-1, 1-2, 2-3
+	if err != nil {
+		t.Fatal(err)
+	}
+	scores, err := EdgeBetweenness(context.Background(), g, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Pairs crossing 0-1: (0,1),(0,2),(0,3) = 3. Crossing 1-2: 4.
+	want := map[graph.Edge]float64{
+		{U: 0, V: 1}: 3,
+		{U: 1, V: 2}: 4,
+		{U: 2, V: 3}: 3,
+	}
+	for e, w := range want {
+		if got := scores[e]; math.Abs(got-w) > 1e-9 {
+			t.Errorf("eb[%v] = %v, want %v", e, got, w)
+		}
+	}
+}
+
+func TestEdgeBetweennessSumInvariant(t *testing.T) {
+	// Sum of edge betweenness over all edges equals the sum of pairwise
+	// distances (each pair contributes its path length, split across its
+	// paths' edges).
+	g, err := gen.BarabasiAlbert(120, 3, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scores, err := EdgeBetweenness(context.Background(), g, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum float64
+	for _, v := range scores {
+		sum += v
+	}
+	var distSum float64
+	w := graph.NewBFSWorker(g)
+	for v := graph.NodeID(0); int(v) < g.NumNodes(); v++ {
+		r, err := w.Run(v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for d, c := range r.LevelSizes {
+			distSum += float64(d) * float64(c)
+		}
+	}
+	distSum /= 2 // each unordered pair counted twice
+	if math.Abs(sum-distSum) > 1e-6*distSum {
+		t.Errorf("edge betweenness sum %v != pairwise distance sum %v", sum, distSum)
+	}
+}
+
+func TestEdgeBetweennessFindsBridge(t *testing.T) {
+	// Two K10s joined by one bridge: the bridge dominates.
+	b := graph.NewBuilder(20)
+	for base := 0; base < 20; base += 10 {
+		for i := base; i < base+10; i++ {
+			for j := i + 1; j < base+10; j++ {
+				if err := b.AddEdge(graph.NodeID(i), graph.NodeID(j)); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+	}
+	if err := b.AddEdge(9, 10); err != nil {
+		t.Fatal(err)
+	}
+	g := b.Build()
+	scores, err := EdgeBetweenness(context.Background(), g, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	top := TopEdges(scores, 1)
+	if len(top) != 1 || top[0].Edge != (graph.Edge{U: 9, V: 10}) {
+		t.Fatalf("top edge = %+v, want the bridge 9-10", top)
+	}
+	// The bridge carries all 100 cross-pairs.
+	if math.Abs(top[0].Score-100) > 1e-9 {
+		t.Errorf("bridge score = %v, want 100", top[0].Score)
+	}
+}
+
+func TestEdgeBetweennessErrors(t *testing.T) {
+	var empty graph.Graph
+	if _, err := EdgeBetweenness(context.Background(), &empty, Config{}); err == nil {
+		t.Error("EdgeBetweenness(empty): want error")
+	}
+	g, err := gen.BarabasiAlbert(400, 3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := EdgeBetweenness(ctx, g, Config{Workers: 1}); err == nil {
+		t.Error("EdgeBetweenness(cancelled): want error")
+	}
+}
+
+func TestTopEdges(t *testing.T) {
+	scores := map[graph.Edge]float64{
+		{U: 0, V: 1}: 5,
+		{U: 1, V: 2}: 9,
+		{U: 2, V: 3}: 9,
+		{U: 3, V: 4}: 1,
+	}
+	top := TopEdges(scores, 2)
+	if top[0].Edge != (graph.Edge{U: 1, V: 2}) || top[1].Edge != (graph.Edge{U: 2, V: 3}) {
+		t.Errorf("TopEdges = %+v", top)
+	}
+	if got := TopEdges(scores, 99); len(got) != 4 {
+		t.Errorf("TopEdges(k>m) len = %d", len(got))
+	}
+	if got := TopEdges(nil, 3); len(got) != 0 {
+		t.Errorf("TopEdges(nil) = %v", got)
+	}
+}

@@ -1,0 +1,153 @@
+package centrality
+
+import (
+	"math"
+	"testing"
+
+	"github.com/trustnet/trustnet/internal/gen"
+	"github.com/trustnet/trustnet/internal/graph"
+)
+
+func TestPageRankUniformOnRegular(t *testing.T) {
+	// On a vertex-transitive graph PageRank is uniform.
+	g, err := gen.Cycle(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pr, err := PageRank(g, PageRankConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v, p := range pr {
+		if math.Abs(p-0.1) > 1e-8 {
+			t.Errorf("pr[%d] = %v, want 0.1", v, p)
+		}
+	}
+}
+
+func TestPageRankSumsToOne(t *testing.T) {
+	g, err := gen.BarabasiAlbert(300, 3, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pr, err := PageRank(g, PageRankConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := 0.0
+	for _, p := range pr {
+		sum += p
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Errorf("sum = %v, want 1", sum)
+	}
+	// Hubs rank above the median.
+	top := TopK(pr, 3)
+	for _, v := range top {
+		if g.Degree(v) < 3*3 {
+			t.Errorf("top PageRank node %d has degree %d, expected a hub", v, g.Degree(v))
+		}
+	}
+}
+
+func TestPageRankStarHub(t *testing.T) {
+	g, err := gen.Star(11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pr, err := PageRank(g, PageRankConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := 1; v < 11; v++ {
+		if pr[0] <= pr[v] {
+			t.Errorf("hub pr %v <= leaf pr %v", pr[0], pr[v])
+		}
+	}
+}
+
+func TestPageRankDanglingMass(t *testing.T) {
+	// Isolated node: mass redistributes, total stays 1.
+	b := graph.NewBuilder(4)
+	if err := b.AddEdge(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.AddEdge(1, 2); err != nil {
+		t.Fatal(err)
+	}
+	g := b.Build() // node 3 isolated
+	pr, err := PageRank(g, PageRankConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := 0.0
+	for _, p := range pr {
+		sum += p
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Errorf("sum = %v, want 1", sum)
+	}
+	if pr[3] <= 0 {
+		t.Errorf("isolated node pr = %v, want > 0 (teleport mass)", pr[3])
+	}
+}
+
+func TestPersonalizedPageRankLocalizes(t *testing.T) {
+	// Two cliques with one bridge: personalizing on clique A keeps most
+	// mass there.
+	b := graph.NewBuilder(12)
+	for base := 0; base < 12; base += 6 {
+		for i := base; i < base+6; i++ {
+			for j := i + 1; j < base+6; j++ {
+				if err := b.AddEdge(graph.NodeID(i), graph.NodeID(j)); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+	}
+	if err := b.AddEdge(5, 6); err != nil {
+		t.Fatal(err)
+	}
+	g := b.Build()
+	personalize := make([]float64, 12)
+	personalize[0] = 1
+	pr, err := PageRank(g, PageRankConfig{Personalize: personalize})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var massA, massB float64
+	for v := 0; v < 6; v++ {
+		massA += pr[v]
+	}
+	for v := 6; v < 12; v++ {
+		massB += pr[v]
+	}
+	if massA < 3*massB {
+		t.Errorf("personalized mass A %v vs B %v, want strong localization", massA, massB)
+	}
+}
+
+func TestPageRankValidation(t *testing.T) {
+	var empty graph.Graph
+	if _, err := PageRank(&empty, PageRankConfig{}); err == nil {
+		t.Error("PageRank(empty): want error")
+	}
+	g, err := gen.Complete(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := []PageRankConfig{
+		{Damping: 1.5},
+		{Damping: -0.1},
+		{Tolerance: -1},
+		{MaxIterations: -1},
+		{Personalize: []float64{1}},                // wrong length
+		{Personalize: []float64{2, 0, 0, -1}},      // negative
+		{Personalize: []float64{0.5, 0.5, 0.5, 0}}, // not normalized
+	}
+	for _, cfg := range bad {
+		if _, err := PageRank(g, cfg); err == nil {
+			t.Errorf("PageRank(%+v): want error", cfg)
+		}
+	}
+}

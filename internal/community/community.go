@@ -1,0 +1,273 @@
+// Package community provides the community-structure primitives behind
+// §II's discussion of Viswanath et al. (SIGCOMM 2010): social-network
+// Sybil defenses implicitly rank nodes by how well connected they are to
+// a trusted node, so community detection can stand in for them — and,
+// conversely, community structure (the cause of slow mixing) is what
+// breaks them. The package offers label propagation for whole-graph
+// partitioning, plus the conductance and modularity measures used to
+// score cuts and partitions.
+package community
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"github.com/trustnet/trustnet/internal/graph"
+)
+
+// LabelPropagation partitions the graph with asynchronous label
+// propagation: every node repeatedly adopts the most frequent label among
+// its neighbors (ties broken by smallest label) until no label changes or
+// maxIter sweeps pass. Labels are compacted to 0..k-1. Deterministic
+// given the seed.
+func LabelPropagation(g *graph.Graph, maxIter int, seed int64) ([]int, error) {
+	n := g.NumNodes()
+	if n == 0 {
+		return nil, errors.New("community: empty graph")
+	}
+	if maxIter < 1 {
+		return nil, fmt.Errorf("community: maxIter %d must be >= 1", maxIter)
+	}
+	labels := make([]int, n)
+	for v := range labels {
+		labels[v] = v
+	}
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	rng := rand.New(rand.NewSource(seed))
+	counts := make(map[int]int)
+	for iter := 0; iter < maxIter; iter++ {
+		rng.Shuffle(n, func(i, j int) { order[i], order[j] = order[j], order[i] })
+		changed := false
+		for _, vi := range order {
+			v := graph.NodeID(vi)
+			ns := g.Neighbors(v)
+			if len(ns) == 0 {
+				continue
+			}
+			clear(counts)
+			for _, u := range ns {
+				counts[labels[u]]++
+			}
+			best, bestCnt := labels[v], 0
+			for lbl, cnt := range counts {
+				if cnt > bestCnt || (cnt == bestCnt && lbl < best) {
+					best, bestCnt = lbl, cnt
+				}
+			}
+			if best != labels[v] {
+				labels[v] = best
+				changed = true
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+	compact(labels)
+	return labels, nil
+}
+
+// compact renumbers labels to 0..k-1 in order of first appearance.
+func compact(labels []int) {
+	remap := make(map[int]int)
+	for i, l := range labels {
+		nl, ok := remap[l]
+		if !ok {
+			nl = len(remap)
+			remap[l] = nl
+		}
+		labels[i] = nl
+	}
+}
+
+// Sizes returns the size of each community in a compacted labeling.
+func Sizes(labels []int) []int {
+	maxL := -1
+	for _, l := range labels {
+		if l > maxL {
+			maxL = l
+		}
+	}
+	sizes := make([]int, maxL+1)
+	for _, l := range labels {
+		sizes[l]++
+	}
+	return sizes
+}
+
+// Modularity returns the Newman modularity Q of the partition: the
+// fraction of edges inside communities minus the expectation under the
+// degree-preserving null model. Q is in [-1/2, 1).
+func Modularity(g *graph.Graph, labels []int) (float64, error) {
+	n := g.NumNodes()
+	if len(labels) != n {
+		return 0, fmt.Errorf("community: labels length %d, graph has %d nodes", len(labels), n)
+	}
+	m2 := float64(2 * g.NumEdges())
+	if m2 == 0 {
+		return 0, errors.New("community: modularity undefined for edgeless graph")
+	}
+	// Per-community internal edge count and degree volume.
+	internal := make(map[int]float64)
+	volume := make(map[int]float64)
+	for v := graph.NodeID(0); int(v) < n; v++ {
+		lv := labels[v]
+		volume[lv] += float64(g.Degree(v))
+		for _, u := range g.Neighbors(v) {
+			if u > v && labels[u] == lv {
+				internal[lv]++
+			}
+		}
+	}
+	q := 0.0
+	for lbl, vol := range volume {
+		q += 2*internal[lbl]/m2 - (vol/m2)*(vol/m2)
+	}
+	return q, nil
+}
+
+// Conductance returns φ(S) = cut(S, S̄) / min(vol(S), vol(S̄)) for the
+// node set marked true in member. Returns an error when either side has
+// zero volume (the quantity is undefined there).
+func Conductance(g *graph.Graph, member []bool) (float64, error) {
+	n := g.NumNodes()
+	if len(member) != n {
+		return 0, fmt.Errorf("community: member length %d, graph has %d nodes", len(member), n)
+	}
+	var cut, volIn, volOut float64
+	for v := graph.NodeID(0); int(v) < n; v++ {
+		d := float64(g.Degree(v))
+		if member[v] {
+			volIn += d
+		} else {
+			volOut += d
+		}
+		if !member[v] {
+			continue
+		}
+		for _, u := range g.Neighbors(v) {
+			if !member[u] {
+				cut++
+			}
+		}
+	}
+	minVol := volIn
+	if volOut < minVol {
+		minVol = volOut
+	}
+	if minVol == 0 {
+		return 0, errors.New("community: conductance undefined (one side has zero volume)")
+	}
+	return cut / minVol, nil
+}
+
+// SweepCut orders nodes by a score (descending) and returns, over all
+// prefixes of the ordering between minSize and maxSize that have
+// nonzero complement volume, the prefix with minimum conductance. It
+// returns the membership vector of the best prefix and its conductance.
+// This is the ranking-plus-cutoff procedure Viswanath et al. show every
+// random-walk Sybil defense reduces to.
+func SweepCut(g *graph.Graph, score []float64, minSize, maxSize int) ([]bool, float64, error) {
+	n := g.NumNodes()
+	if len(score) != n {
+		return nil, 0, fmt.Errorf("community: score length %d, graph has %d nodes", len(score), n)
+	}
+	if minSize < 1 || maxSize < minSize || maxSize > n {
+		return nil, 0, fmt.Errorf("community: sweep bounds [%d,%d] invalid for n=%d", minSize, maxSize, n)
+	}
+	order := make([]graph.NodeID, n)
+	for i := range order {
+		order[i] = graph.NodeID(i)
+	}
+	// Stable sort by descending score, then ascending ID.
+	sortByScore(order, score)
+
+	totalVol := float64(2 * g.NumEdges())
+	member := make([]bool, n)
+	var cut, volIn float64
+	bestPhi := -1.0
+	bestSize := 0
+	for i, v := range order {
+		// Adding v: edges to current members stop being cut; edges to
+		// non-members start being cut.
+		d := float64(g.Degree(v))
+		for _, u := range g.Neighbors(v) {
+			if member[u] {
+				cut--
+			} else {
+				cut++
+			}
+		}
+		member[v] = true
+		volIn += d
+		size := i + 1
+		if size < minSize || size > maxSize {
+			continue
+		}
+		volOut := totalVol - volIn
+		minVol := volIn
+		if volOut < minVol {
+			minVol = volOut
+		}
+		if minVol <= 0 {
+			continue
+		}
+		phi := cut / minVol
+		if bestPhi < 0 || phi < bestPhi {
+			bestPhi = phi
+			bestSize = size
+		}
+	}
+	if bestPhi < 0 {
+		return nil, 0, errors.New("community: no feasible sweep prefix")
+	}
+	out := make([]bool, n)
+	for _, v := range order[:bestSize] {
+		out[v] = true
+	}
+	return out, bestPhi, nil
+}
+
+// sortByScore sorts node IDs by descending score with ascending-ID ties,
+// using a simple merge sort to stay stable without pulling in sort.Slice
+// closures per comparison (hot path for large sweeps).
+func sortByScore(order []graph.NodeID, score []float64) {
+	buf := make([]graph.NodeID, len(order))
+	var rec func(lo, hi int)
+	rec = func(lo, hi int) {
+		if hi-lo < 2 {
+			return
+		}
+		mid := (lo + hi) / 2
+		rec(lo, mid)
+		rec(mid, hi)
+		i, j, k := lo, mid, lo
+		for i < mid && j < hi {
+			a, b := order[i], order[j]
+			if score[a] > score[b] || (score[a] == score[b] && a <= b) {
+				buf[k] = a
+				i++
+			} else {
+				buf[k] = b
+				j++
+			}
+			k++
+		}
+		for i < mid {
+			buf[k] = order[i]
+			i++
+			k++
+		}
+		for j < hi {
+			buf[k] = order[j]
+			j++
+			k++
+		}
+		copy(order[lo:hi], buf[lo:hi])
+	}
+	rec(0, len(order))
+}

@@ -1,0 +1,62 @@
+package community
+
+import (
+	"testing"
+
+	"github.com/trustnet/trustnet/internal/gen"
+	"github.com/trustnet/trustnet/internal/graph"
+)
+
+func BenchmarkLabelPropagation(b *testing.B) {
+	g, _, err := gen.SBM(gen.SBMConfig{
+		BlockSizes: []int{500, 500, 500, 500}, PIn: 0.05, POut: 0.001, Seed: 1,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := LabelPropagation(g, 50, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSweepCut(b *testing.B) {
+	g, err := gen.BarabasiAlbert(5000, 4, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	score := make([]float64, g.NumNodes())
+	for v := range score {
+		score[v] = float64(g.Degree(graph.NodeID(v)))
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := SweepCut(g, score, 1, g.NumNodes()-1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkModularity(b *testing.B) {
+	g, _, err := gen.SBM(gen.SBMConfig{
+		BlockSizes: []int{500, 500, 500, 500}, PIn: 0.05, POut: 0.001, Seed: 1,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	labels, err := LabelPropagation(g, 50, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Modularity(g, labels); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

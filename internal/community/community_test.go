@@ -1,0 +1,247 @@
+package community
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"github.com/trustnet/trustnet/internal/gen"
+	"github.com/trustnet/trustnet/internal/graph"
+)
+
+func twoCliquesBridged(t *testing.T) *graph.Graph {
+	t.Helper()
+	// Two K6s joined by a single edge.
+	b := graph.NewBuilder(12)
+	for base := 0; base < 12; base += 6 {
+		for i := base; i < base+6; i++ {
+			for j := i + 1; j < base+6; j++ {
+				if err := b.AddEdge(graph.NodeID(i), graph.NodeID(j)); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+	}
+	if err := b.AddEdge(5, 6); err != nil {
+		t.Fatal(err)
+	}
+	return b.Build()
+}
+
+func TestLabelPropagationTwoCliques(t *testing.T) {
+	g := twoCliquesBridged(t)
+	labels, err := LabelPropagation(g, 50, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Each clique must be internally uniform.
+	for i := 1; i < 6; i++ {
+		if labels[i] != labels[0] {
+			t.Errorf("clique A not uniform: labels[%d]=%d labels[0]=%d", i, labels[i], labels[0])
+		}
+		if labels[6+i] != labels[6] {
+			t.Errorf("clique B not uniform: labels[%d]=%d labels[6]=%d", 6+i, labels[6+i], labels[6])
+		}
+	}
+	if labels[0] == labels[6] {
+		t.Error("two cliques merged into one community")
+	}
+	sizes := Sizes(labels)
+	if len(sizes) != 2 || sizes[0] != 6 || sizes[1] != 6 {
+		t.Errorf("sizes = %v, want [6 6]", sizes)
+	}
+}
+
+func TestLabelPropagationSBM(t *testing.T) {
+	g, truth, err := gen.SBM(gen.SBMConfig{
+		BlockSizes: []int{60, 60, 60}, PIn: 0.4, POut: 0.004, Seed: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	labels, err := LabelPropagation(g, 100, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Agreement up to relabeling: most pairs in the same true block share
+	// a label, most pairs across blocks do not.
+	agree, total := 0, 0
+	for i := 0; i < len(truth); i += 7 {
+		for j := i + 1; j < len(truth); j += 7 {
+			same := truth[i] == truth[j]
+			pred := labels[i] == labels[j]
+			if same == pred {
+				agree++
+			}
+			total++
+		}
+	}
+	if frac := float64(agree) / float64(total); frac < 0.9 {
+		t.Errorf("pairwise agreement = %v, want >= 0.9", frac)
+	}
+}
+
+func TestLabelPropagationValidation(t *testing.T) {
+	var empty graph.Graph
+	if _, err := LabelPropagation(&empty, 10, 1); err == nil {
+		t.Error("LabelPropagation(empty): want error")
+	}
+	g, err := gen.Complete(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LabelPropagation(g, 0, 1); err == nil {
+		t.Error("LabelPropagation(maxIter=0): want error")
+	}
+}
+
+func TestModularity(t *testing.T) {
+	g := twoCliquesBridged(t)
+	good := make([]int, 12)
+	for i := 6; i < 12; i++ {
+		good[i] = 1
+	}
+	qGood, err := Modularity(g, good)
+	if err != nil {
+		t.Fatal(err)
+	}
+	all := make([]int, 12) // everything in one community
+	qAll, err := Modularity(g, all)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if qGood <= qAll {
+		t.Errorf("modularity of true split %v <= trivial %v", qGood, qAll)
+	}
+	if math.Abs(qAll) > 1e-12 {
+		t.Errorf("single-community modularity = %v, want 0", qAll)
+	}
+	if qGood < 0.3 {
+		t.Errorf("true split modularity = %v, want >= 0.3", qGood)
+	}
+	if _, err := Modularity(g, []int{0}); err == nil {
+		t.Error("Modularity(bad labels): want error")
+	}
+	var empty graph.Graph
+	if _, err := Modularity(&empty, nil); err == nil {
+		t.Error("Modularity(empty): want error")
+	}
+}
+
+func TestConductance(t *testing.T) {
+	g := twoCliquesBridged(t)
+	member := make([]bool, 12)
+	for i := 0; i < 6; i++ {
+		member[i] = true
+	}
+	phi, err := Conductance(g, member)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// cut = 1 (the bridge); vol of one side = 6*5 + 1 = 31.
+	if want := 1.0 / 31; math.Abs(phi-want) > 1e-12 {
+		t.Errorf("conductance = %v, want %v", phi, want)
+	}
+	if _, err := Conductance(g, make([]bool, 12)); err == nil {
+		t.Error("Conductance(empty set): want error")
+	}
+	allIn := make([]bool, 12)
+	for i := range allIn {
+		allIn[i] = true
+	}
+	if _, err := Conductance(g, allIn); err == nil {
+		t.Error("Conductance(full set): want error")
+	}
+	if _, err := Conductance(g, []bool{true}); err == nil {
+		t.Error("Conductance(bad length): want error")
+	}
+}
+
+func TestSweepCutFindsBottleneck(t *testing.T) {
+	g := twoCliquesBridged(t)
+	// Score the first clique higher; the sweep must cut at the bridge.
+	score := make([]float64, 12)
+	for i := 0; i < 6; i++ {
+		score[i] = 1
+	}
+	member, phi, err := SweepCut(g, score, 1, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 6; i++ {
+		if !member[i] {
+			t.Errorf("member[%d] = false, want in cut", i)
+		}
+	}
+	for i := 6; i < 12; i++ {
+		if member[i] {
+			t.Errorf("member[%d] = true, want out of cut", i)
+		}
+	}
+	if want := 1.0 / 31; math.Abs(phi-want) > 1e-12 {
+		t.Errorf("phi = %v, want %v", phi, want)
+	}
+}
+
+func TestSweepCutValidation(t *testing.T) {
+	g := twoCliquesBridged(t)
+	score := make([]float64, 12)
+	if _, _, err := SweepCut(g, score[:3], 1, 11); err == nil {
+		t.Error("SweepCut(bad score length): want error")
+	}
+	if _, _, err := SweepCut(g, score, 0, 11); err == nil {
+		t.Error("SweepCut(minSize=0): want error")
+	}
+	if _, _, err := SweepCut(g, score, 5, 3); err == nil {
+		t.Error("SweepCut(max<min): want error")
+	}
+	if _, _, err := SweepCut(g, score, 1, 99); err == nil {
+		t.Error("SweepCut(max>n): want error")
+	}
+}
+
+// Property: SweepCut's reported conductance matches Conductance() on the
+// returned membership, and the sweep cut at full range is never worse
+// than the best single community of label propagation.
+func TestSweepConductanceConsistentQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 8 + rng.Intn(40)
+		b := graph.NewBuilder(n)
+		for v := 1; v < n; v++ {
+			b.AddEdgeSafe(graph.NodeID(v), graph.NodeID(rng.Intn(v)))
+		}
+		for i := 0; i < n; i++ {
+			b.AddEdgeSafe(graph.NodeID(rng.Intn(n)), graph.NodeID(rng.Intn(n)))
+		}
+		g := b.Build()
+		score := make([]float64, n)
+		for i := range score {
+			score[i] = rng.Float64()
+		}
+		member, phi, err := SweepCut(g, score, 1, n-1)
+		if err != nil {
+			return false
+		}
+		direct, err := Conductance(g, member)
+		if err != nil {
+			return false
+		}
+		return math.Abs(direct-phi) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSizesCompact(t *testing.T) {
+	labels := []int{0, 0, 1, 2, 1}
+	sizes := Sizes(labels)
+	want := []int{2, 2, 1}
+	for i := range want {
+		if sizes[i] != want[i] {
+			t.Errorf("sizes[%d] = %d, want %d", i, sizes[i], want[i])
+		}
+	}
+}

@@ -1,0 +1,56 @@
+package datasets
+
+import (
+	"testing"
+
+	"github.com/trustnet/trustnet/internal/stats"
+)
+
+// The stand-ins must reproduce the heavy-tailed degree distributions of
+// the crawls they replace: the preferential-attachment datasets should
+// fit a power-law tail with exponent near the BA value of 3.
+func TestFastStandInsHaveHeavyTails(t *testing.T) {
+	var c Cache
+	for _, name := range []string{"wiki-vote", "epinion", "livejournal-a"} {
+		g, err := c.Get(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		samples := make([]float64, g.NumNodes())
+		for v, d := range g.Degrees() {
+			samples[v] = float64(d)
+		}
+		xmin := float64(2 * g.MinDegree())
+		alpha, tail, err := stats.PowerLawAlpha(samples, xmin)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if tail < 50 {
+			t.Errorf("%s: only %d tail samples above xmin=%v", name, tail, xmin)
+		}
+		if alpha < 2 || alpha > 4 {
+			t.Errorf("%s: degree tail exponent %v outside the BA range [2,4]", name, alpha)
+		}
+	}
+}
+
+// The slow mixers' degree caps come from the community nuclei: their max
+// degree must stay an order of magnitude below the fast OSN hubs at
+// similar size.
+func TestSlowStandInsLackGlobalHubs(t *testing.T) {
+	var c Cache
+	fast, err := c.Get("wiki-vote")
+	if err != nil {
+		t.Fatal(err)
+	}
+	slow, err := c.Get("physics-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fastHubRatio := float64(fast.MaxDegree()) / fast.AverageDegree()
+	slowHubRatio := float64(slow.MaxDegree()) / slow.AverageDegree()
+	if slowHubRatio >= fastHubRatio {
+		t.Errorf("slow mixer hub ratio %v >= fast %v; community nuclei should cap hubs",
+			slowHubRatio, fastHubRatio)
+	}
+}

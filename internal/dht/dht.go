@@ -1,0 +1,303 @@
+// Package dht implements a simplified Whānau-style Sybil-proof
+// distributed hash table (Lesniewski-Laas & Kaashoek, NSDI 2010) — the
+// "Sybil-proof DHT" application of §I–II of the paper whose correctness
+// rests on the fast-mixing property the measurement suite quantifies.
+//
+// Every node samples fingers and successor records by taking random
+// walks of length w on the social graph: if w exceeds the mixing time,
+// finger samples are ~stationary, and because only a bounded number of
+// walks escape through the g attack edges, most fingers of honest nodes
+// are honest. A lookup for a key asks the finger nearest the key (on the
+// key ring) for a matching record among its successors, retrying across
+// independent fingers. Slow mixing breaks the uniformity of the samples,
+// which is exactly the failure mode the paper warns these systems about.
+package dht
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"github.com/trustnet/trustnet/internal/graph"
+	"github.com/trustnet/trustnet/internal/sybil"
+	"github.com/trustnet/trustnet/internal/walk"
+)
+
+// Key is a position on the DHT ring.
+type Key uint64
+
+// KeyOf derives the (honest) record key a node publishes: a fixed hash
+// of its identifier, so tests and lookups are deterministic.
+func KeyOf(v graph.NodeID) Key {
+	x := uint64(v) + 0x9e3779b97f4a7c15
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return Key(x)
+}
+
+// ringDistance is the clockwise distance from a to b.
+func ringDistance(a, b Key) uint64 {
+	return uint64(b - a) // wraparound is exactly what uint64 subtraction does
+}
+
+// Config parameterizes table construction.
+type Config struct {
+	// Fingers is the number of random-walk finger samples per node.
+	// Defaults to 2·ceil(sqrt(n)).
+	Fingers int
+	// Successors is the number of successor records each node collects.
+	// Defaults to ceil(sqrt(n)).
+	Successors int
+	// WalkLength is the sampling walk length; it should be at least the
+	// graph's mixing time. Defaults to 10.
+	WalkLength int
+	// Retries is the number of independent fingers a lookup tries.
+	// Defaults to 6.
+	Retries int
+	// Seed makes construction deterministic.
+	Seed int64
+}
+
+func (c *Config) fill(n int) error {
+	root := 1
+	for root*root < n {
+		root++
+	}
+	if c.Fingers == 0 {
+		c.Fingers = 2 * root
+	}
+	if c.Fingers < 1 {
+		return fmt.Errorf("dht: fingers %d must be >= 1", c.Fingers)
+	}
+	if c.Successors == 0 {
+		c.Successors = root
+	}
+	if c.Successors < 1 {
+		return fmt.Errorf("dht: successors %d must be >= 1", c.Successors)
+	}
+	if c.WalkLength == 0 {
+		c.WalkLength = 10
+	}
+	if c.WalkLength < 1 {
+		return fmt.Errorf("dht: walk length %d must be >= 1", c.WalkLength)
+	}
+	if c.Retries == 0 {
+		c.Retries = 6
+	}
+	if c.Retries < 1 {
+		return fmt.Errorf("dht: retries %d must be >= 1", c.Retries)
+	}
+	return nil
+}
+
+// record is a (key, owner) pair stored in successor tables.
+type record struct {
+	key   Key
+	owner graph.NodeID
+}
+
+// finger is a sampled routing entry.
+type finger struct {
+	node graph.NodeID
+	id   Key
+}
+
+// Table is the constructed DHT state over an attack instance.
+type Table struct {
+	attack *sybil.Attack
+	cfg    Config
+	// fingers[v] is v's finger list sorted by id.
+	fingers [][]finger
+	// successors[v] holds the records v serves, sorted by key.
+	successors [][]record
+}
+
+// Build constructs routing state for every node of the combined graph
+// with Whānau's two-phase setup:
+//
+//  1. Every node samples a database of records by random walks (each
+//     endpoint contributes its own record).
+//  2. Every node assembles its successor table by sampling nodes again
+//     and collecting, from each sampled node's database, the few records
+//     that most closely follow its own ID — so the successor table
+//     aggregates coverage across ~√n independent databases, which is
+//     what makes the interval after the node's ID densely covered.
+//
+// Sybil nodes participate in the walks but behave adversarially: their
+// databases contribute nothing (phase 2 skips them) and, at lookup time,
+// sybil fingers withhold every honest record.
+func Build(a *sybil.Attack, cfg Config) (*Table, error) {
+	g := a.Combined
+	n := g.NumNodes()
+	if n < 2 {
+		return nil, fmt.Errorf("dht: graph too small (%d nodes)", n)
+	}
+	if err := cfg.fill(n); err != nil {
+		return nil, err
+	}
+	t := &Table{
+		attack:     a,
+		cfg:        cfg,
+		fingers:    make([][]finger, n),
+		successors: make([][]record, n),
+	}
+	w := walk.NewWalker(g, cfg.Seed)
+
+	// Phase 1: databases. db[v] is sorted by key.
+	db := make([][]record, n)
+	for v := graph.NodeID(0); int(v) < n; v++ {
+		if g.Degree(v) == 0 {
+			continue
+		}
+		recs := make([]record, 0, cfg.Successors+1)
+		for i := 0; i < cfg.Successors; i++ {
+			end, err := w.Endpoint(v, cfg.WalkLength)
+			if err != nil {
+				return nil, fmt.Errorf("dht: db walk from %d: %w", v, err)
+			}
+			recs = append(recs, record{key: KeyOf(end), owner: end})
+		}
+		recs = append(recs, record{key: KeyOf(v), owner: v})
+		sort.Slice(recs, func(i, j int) bool { return recs[i].key < recs[j].key })
+		db[v] = recs
+	}
+
+	// Phase 2: fingers and aggregated successor tables.
+	for v := graph.NodeID(0); int(v) < n; v++ {
+		if g.Degree(v) == 0 {
+			continue
+		}
+		fs := make([]finger, 0, cfg.Fingers)
+		for i := 0; i < cfg.Fingers; i++ {
+			end, err := w.Endpoint(v, cfg.WalkLength)
+			if err != nil {
+				return nil, fmt.Errorf("dht: finger walk from %d: %w", v, err)
+			}
+			fs = append(fs, finger{node: end, id: KeyOf(end)})
+		}
+		sort.Slice(fs, func(i, j int) bool { return fs[i].id < fs[j].id })
+		t.fingers[v] = fs
+
+		own := KeyOf(v)
+		var succ []record
+		for i := 0; i < cfg.Successors; i++ {
+			end, err := w.Endpoint(v, cfg.WalkLength)
+			if err != nil {
+				return nil, fmt.Errorf("dht: successor walk from %d: %w", v, err)
+			}
+			if !a.IsHonest(end) {
+				continue // adversarial db: contributes nothing
+			}
+			succ = append(succ, sliceAfter(db[end], own, 3)...)
+		}
+		succ = append(succ, record{key: own, owner: v})
+		sort.Slice(succ, func(i, j int) bool { return succ[i].key < succ[j].key })
+		// Deduplicate identical records.
+		uniq := succ[:0]
+		for i, r := range succ {
+			if i == 0 || r != succ[i-1] {
+				uniq = append(uniq, r)
+			}
+		}
+		t.successors[v] = uniq
+	}
+	return t, nil
+}
+
+// sliceAfter returns up to k records of a key-sorted database whose keys
+// most closely follow `from` on the ring (wrapping around).
+func sliceAfter(recs []record, from Key, k int) []record {
+	if len(recs) == 0 {
+		return nil
+	}
+	i := sort.Search(len(recs), func(i int) bool { return recs[i].key >= from })
+	out := make([]record, 0, k)
+	for j := 0; j < len(recs) && len(out) < k; j++ {
+		out = append(out, recs[(i+j)%len(recs)])
+	}
+	return out
+}
+
+// LookupResult describes one lookup.
+type LookupResult struct {
+	// Found reports whether the correct record was returned.
+	Found bool
+	// Queries is the number of fingers asked.
+	Queries int
+}
+
+// Lookup performs a lookup for target's record starting from origin. It
+// tries up to cfg.Retries fingers whose IDs precede the key on the ring,
+// nearest first; sybil fingers never return honest records (worst-case
+// adversary), and honest fingers answer from their successor tables.
+func (t *Table) Lookup(origin graph.NodeID, key Key, rng *rand.Rand) (LookupResult, error) {
+	g := t.attack.Combined
+	if !g.Valid(origin) {
+		return LookupResult{}, fmt.Errorf("dht: origin %d out of range", origin)
+	}
+	fs := t.fingers[origin]
+	if len(fs) == 0 {
+		return LookupResult{}, fmt.Errorf("dht: origin %d has no fingers", origin)
+	}
+	res := LookupResult{}
+	// Candidate fingers ordered by ring proximity of their ID *before*
+	// the key (Whānau queries the finger best positioned to hold the
+	// key among its successors).
+	order := make([]int, len(fs))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(i, j int) bool {
+		return ringDistance(fs[order[i]].id, key) < ringDistance(fs[order[j]].id, key)
+	})
+	tries := t.cfg.Retries
+	if tries > len(order) {
+		tries = len(order)
+	}
+	for i := 0; i < tries; i++ {
+		f := fs[order[i]]
+		res.Queries++
+		if !t.attack.IsHonest(f.node) {
+			continue // adversarial finger: withholds the record
+		}
+		for _, r := range t.successors[f.node] {
+			if r.key == key && t.attack.IsHonest(r.owner) {
+				res.Found = true
+				return res, nil
+			}
+		}
+	}
+	_ = rng
+	return res, nil
+}
+
+// Evaluate runs lookups from sampled honest origins to sampled honest
+// targets and returns the success rate.
+func (t *Table) Evaluate(trials int, seed int64) (float64, error) {
+	if trials < 1 {
+		return 0, fmt.Errorf("dht: trials %d must be >= 1", trials)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	hn := t.attack.HonestNodes
+	success := 0
+	done := 0
+	for done < trials {
+		origin := graph.NodeID(rng.Intn(hn))
+		target := graph.NodeID(rng.Intn(hn))
+		if t.attack.Combined.Degree(origin) == 0 || t.attack.Combined.Degree(target) == 0 {
+			continue
+		}
+		res, err := t.Lookup(origin, KeyOf(target), rng)
+		if err != nil {
+			return 0, err
+		}
+		if res.Found {
+			success++
+		}
+		done++
+	}
+	return float64(success) / float64(trials), nil
+}

@@ -1,0 +1,193 @@
+package dht
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"github.com/trustnet/trustnet/internal/gen"
+	"github.com/trustnet/trustnet/internal/graph"
+	"github.com/trustnet/trustnet/internal/sybil"
+)
+
+func buildOn(t *testing.T, honest *graph.Graph, sybils, attackEdges int, cfg Config) *Table {
+	t.Helper()
+	a, err := sybil.Inject(honest, sybil.AttackConfig{
+		SybilNodes: sybils, AttackEdges: attackEdges, Seed: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab, err := Build(a, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tab
+}
+
+func TestKeyOfDeterministicDistinct(t *testing.T) {
+	seen := map[Key]graph.NodeID{}
+	for v := graph.NodeID(0); v < 10000; v++ {
+		k := KeyOf(v)
+		if k != KeyOf(v) {
+			t.Fatalf("KeyOf(%d) not deterministic", v)
+		}
+		if prev, dup := seen[k]; dup {
+			t.Fatalf("KeyOf collision: %d and %d", prev, v)
+		}
+		seen[k] = v
+	}
+}
+
+func TestRingDistanceWraps(t *testing.T) {
+	if d := ringDistance(10, 15); d != 5 {
+		t.Errorf("ringDistance(10,15) = %d, want 5", d)
+	}
+	if d := ringDistance(15, 10); d != 1<<64-5 {
+		t.Errorf("ringDistance(15,10) = %d, want 2^64-5", d)
+	}
+	if d := ringDistance(7, 7); d != 0 {
+		t.Errorf("ringDistance(x,x) = %d, want 0", d)
+	}
+}
+
+func TestSliceAfter(t *testing.T) {
+	recs := []record{{key: 10}, {key: 20}, {key: 30}, {key: 40}}
+	sort.Slice(recs, func(i, j int) bool { return recs[i].key < recs[j].key })
+	got := sliceAfter(recs, 15, 2)
+	if len(got) != 2 || got[0].key != 20 || got[1].key != 30 {
+		t.Errorf("sliceAfter(15,2) = %v", got)
+	}
+	// Wraparound: from beyond the largest key.
+	got = sliceAfter(recs, 45, 2)
+	if len(got) != 2 || got[0].key != 10 || got[1].key != 20 {
+		t.Errorf("sliceAfter(45,2) = %v", got)
+	}
+	if got := sliceAfter(nil, 0, 3); got != nil {
+		t.Errorf("sliceAfter(nil) = %v", got)
+	}
+}
+
+func TestLookupSucceedsOnFastMixer(t *testing.T) {
+	honest, err := gen.BarabasiAlbert(600, 5, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab := buildOn(t, honest, 60, 3, Config{Seed: 1})
+	rate, err := tab.Evaluate(300, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rate < 0.7 {
+		t.Errorf("lookup success = %v on a fast mixer, want >= 0.7", rate)
+	}
+}
+
+func TestLookupDegradesWithAttackEdges(t *testing.T) {
+	honest, err := gen.BarabasiAlbert(500, 5, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	light := buildOn(t, honest, 400, 4, Config{Seed: 1})
+	heavy := buildOn(t, honest, 400, 400, Config{Seed: 1})
+	lightRate, err := light.Evaluate(300, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	heavyRate, err := heavy.Evaluate(300, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if heavyRate >= lightRate {
+		t.Errorf("success under heavy attack %v >= light attack %v", heavyRate, lightRate)
+	}
+}
+
+func TestLookupWorseOnSlowMixer(t *testing.T) {
+	// The paper's warning applied to the DHT: with w below the real
+	// mixing time, samples are not stationary and lookups suffer.
+	fast, err := gen.BarabasiAlbert(600, 5, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	slow, _, err := gen.ClusteredPA(gen.ClusteredPAConfig{
+		Communities: 10, CommunitySize: 60, Attach: 4, Bridges: 1, Seed: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{Seed: 1, WalkLength: 10}
+	fastTab := buildOn(t, fast, 60, 3, cfg)
+	slowTab := buildOn(t, slow, 60, 3, cfg)
+	fastRate, err := fastTab.Evaluate(300, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	slowRate, err := slowTab.Evaluate(300, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if slowRate >= fastRate {
+		t.Errorf("slow-mixer success %v >= fast-mixer %v", slowRate, fastRate)
+	}
+}
+
+func TestBuildValidation(t *testing.T) {
+	honest, err := gen.BarabasiAlbert(100, 3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := sybil.Inject(honest, sybil.AttackConfig{SybilNodes: 10, AttackEdges: 2, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, cfg := range []Config{
+		{Fingers: -1}, {Successors: -1}, {WalkLength: -1}, {Retries: -1},
+	} {
+		if _, err := Build(a, cfg); err == nil {
+			t.Errorf("Build(%+v): want error", cfg)
+		}
+	}
+}
+
+func TestLookupValidation(t *testing.T) {
+	honest, err := gen.BarabasiAlbert(100, 3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab := buildOn(t, honest, 10, 2, Config{Seed: 1})
+	rng := rand.New(rand.NewSource(1))
+	if _, err := tab.Lookup(9999, 0, rng); err == nil {
+		t.Error("Lookup(bad origin): want error")
+	}
+	if _, err := tab.Evaluate(0, 1); err == nil {
+		t.Error("Evaluate(0 trials): want error")
+	}
+}
+
+func TestLookupSelfRecordAlwaysServed(t *testing.T) {
+	// A node's own record is in its own successor table, so a lookup
+	// whose best finger is the target itself must succeed.
+	honest, err := gen.BarabasiAlbert(200, 4, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab := buildOn(t, honest, 20, 2, Config{Seed: 2})
+	rng := rand.New(rand.NewSource(3))
+	found := 0
+	for v := graph.NodeID(0); v < 50; v++ {
+		res, err := tab.Lookup(v, KeyOf(v), rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Found {
+			found++
+		}
+		if res.Queries < 1 {
+			t.Errorf("lookup made %d queries", res.Queries)
+		}
+	}
+	if found < 35 {
+		t.Errorf("self-adjacent lookups found %d/50, want >= 35", found)
+	}
+}

@@ -1,0 +1,235 @@
+package digraph
+
+import (
+	"bytes"
+	"errors"
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"github.com/trustnet/trustnet/internal/graph"
+)
+
+// triangleCycle returns the directed 3-cycle 0->1->2->0.
+func triangleCycle(t *testing.T) *Digraph {
+	t.Helper()
+	b := NewBuilder(3)
+	for _, a := range []Arc{{0, 1}, {1, 2}, {2, 0}} {
+		if err := b.AddArc(a.From, a.To); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return b.Build()
+}
+
+func TestBuilderBasics(t *testing.T) {
+	g := triangleCycle(t)
+	if g.NumNodes() != 3 || g.NumArcs() != 3 {
+		t.Fatalf("size = %d/%d", g.NumNodes(), g.NumArcs())
+	}
+	for v := graph.NodeID(0); v < 3; v++ {
+		if g.OutDegree(v) != 1 || g.InDegree(v) != 1 {
+			t.Errorf("degrees of %d = %d/%d, want 1/1", v, g.OutDegree(v), g.InDegree(v))
+		}
+	}
+	if !g.HasArc(0, 1) || g.HasArc(1, 0) {
+		t.Error("arc direction wrong")
+	}
+	if !g.Valid(2) || g.Valid(3) || g.Valid(-1) {
+		t.Error("Valid wrong")
+	}
+	if g.HasArc(-1, 0) || g.HasArc(0, 99) {
+		t.Error("HasArc out of range should be false")
+	}
+}
+
+func TestBuilderRejects(t *testing.T) {
+	b := NewBuilder(3)
+	if err := b.AddArc(1, 1); !errors.Is(err, graph.ErrSelfLoop) {
+		t.Errorf("self loop: %v", err)
+	}
+	if err := b.AddArc(0, 5); !errors.Is(err, graph.ErrNodeRange) {
+		t.Errorf("range: %v", err)
+	}
+}
+
+func TestBuilderDeduplicates(t *testing.T) {
+	b := NewBuilder(2)
+	for i := 0; i < 4; i++ {
+		if err := b.AddArc(0, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	g := b.Build()
+	if g.NumArcs() != 1 {
+		t.Errorf("arcs = %d, want 1", g.NumArcs())
+	}
+}
+
+func TestReciprocity(t *testing.T) {
+	// Cycle: no mutual arcs.
+	if r := triangleCycle(t).Reciprocity(); r != 0 {
+		t.Errorf("cycle reciprocity = %v, want 0", r)
+	}
+	// Fully mutual pair.
+	b := NewBuilder(2)
+	if err := b.AddArc(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.AddArc(1, 0); err != nil {
+		t.Fatal(err)
+	}
+	if r := b.Build().Reciprocity(); r != 1 {
+		t.Errorf("mutual reciprocity = %v, want 1", r)
+	}
+	// Mixed: 0<->1 mutual plus 0->2: 2 of 3 arcs reciprocated.
+	b = NewBuilder(3)
+	for _, a := range []Arc{{0, 1}, {1, 0}, {0, 2}} {
+		if err := b.AddArc(a.From, a.To); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if r := b.Build().Reciprocity(); math.Abs(r-2.0/3) > 1e-12 {
+		t.Errorf("mixed reciprocity = %v, want 2/3", r)
+	}
+	var empty Digraph
+	if empty.Reciprocity() != 0 {
+		t.Error("empty reciprocity should be 0")
+	}
+}
+
+func TestSymmetrizeUnionVsMutual(t *testing.T) {
+	b := NewBuilder(4)
+	// 0<->1 mutual; 1->2 and 2->3 one-way.
+	for _, a := range []Arc{{0, 1}, {1, 0}, {1, 2}, {2, 3}} {
+		if err := b.AddArc(a.From, a.To); err != nil {
+			t.Fatal(err)
+		}
+	}
+	g := b.Build()
+	union, err := g.Symmetrize(SymmetrizeUnion)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if union.NumEdges() != 3 {
+		t.Errorf("union edges = %d, want 3", union.NumEdges())
+	}
+	mutual, err := g.Symmetrize(SymmetrizeMutual)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mutual.NumEdges() != 1 {
+		t.Errorf("mutual edges = %d, want 1", mutual.NumEdges())
+	}
+	if !mutual.HasEdge(0, 1) {
+		t.Error("mutual symmetrization lost the reciprocated edge")
+	}
+	if _, err := g.Symmetrize(99); err == nil {
+		t.Error("Symmetrize(99): want error")
+	}
+}
+
+func TestArcListRoundTrip(t *testing.T) {
+	g := triangleCycle(t)
+	var buf bytes.Buffer
+	if err := WriteArcList(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := ReadArcList(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.NumNodes() != 3 || g2.NumArcs() != 3 {
+		t.Fatalf("round trip size = %d/%d", g2.NumNodes(), g2.NumArcs())
+	}
+	for _, a := range []Arc{{0, 1}, {1, 2}, {2, 0}} {
+		if !g2.HasArc(a.From, a.To) {
+			t.Errorf("arc %v lost", a)
+		}
+	}
+}
+
+func TestReadArcListFormats(t *testing.T) {
+	in := "# nodes: 5\n% comment\n0 1\n1 1\n2 0\n"
+	g, err := ReadArcList(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumNodes() != 5 {
+		t.Errorf("nodes = %d, want 5 from header", g.NumNodes())
+	}
+	if g.NumArcs() != 2 { // self loop dropped
+		t.Errorf("arcs = %d, want 2", g.NumArcs())
+	}
+	for _, bad := range []string{"0\n", "a b\n", "-1 2\n", "0 x\n", ""} {
+		if _, err := ReadArcList(strings.NewReader(bad)); err == nil {
+			t.Errorf("ReadArcList(%q): want error", bad)
+		}
+	}
+}
+
+// Property: union symmetrization has between max(arcs/2-ish) edges and
+// arcs edges, and mutual+nonmutual accounting is consistent with
+// reciprocity.
+func TestSymmetrizeQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 3 + rng.Intn(30)
+		b := NewBuilder(n)
+		for i := 0; i < 4*n; i++ {
+			u := graph.NodeID(rng.Intn(n))
+			v := graph.NodeID(rng.Intn(n))
+			if u != v {
+				if err := b.AddArc(u, v); err != nil {
+					return false
+				}
+			}
+		}
+		g := b.Build()
+		union, err := g.Symmetrize(SymmetrizeUnion)
+		if err != nil {
+			return false
+		}
+		mutual, err := g.Symmetrize(SymmetrizeMutual)
+		if err != nil {
+			return false
+		}
+		// mutual edges = reciprocity*arcs/2; union = arcs - mutual.
+		mutualEdges := int64(g.Reciprocity()*float64(g.NumArcs()) + 0.5)
+		if 2*mutual.NumEdges() != mutualEdges {
+			return false
+		}
+		if union.NumEdges() != g.NumArcs()-mutual.NumEdges() {
+			return false
+		}
+		return mutual.NumEdges() <= union.NumEdges()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPredecessorsSorted(t *testing.T) {
+	b := NewBuilder(5)
+	for _, a := range []Arc{{4, 0}, {2, 0}, {3, 0}, {1, 0}} {
+		if err := b.AddArc(a.From, a.To); err != nil {
+			t.Fatal(err)
+		}
+	}
+	g := b.Build()
+	preds := g.Predecessors(0)
+	want := []graph.NodeID{1, 2, 3, 4}
+	if len(preds) != 4 {
+		t.Fatalf("preds = %v", preds)
+	}
+	for i := range want {
+		if preds[i] != want[i] {
+			t.Errorf("preds[%d] = %d, want %d", i, preds[i], want[i])
+		}
+	}
+	if len(g.Successors(0)) != 0 {
+		t.Errorf("Successors(0) = %v, want empty", g.Successors(0))
+	}
+}

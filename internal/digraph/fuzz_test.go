@@ -1,0 +1,46 @@
+package digraph
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzReadArcList checks that arbitrary input never panics, and that any
+// successfully parsed digraph round-trips and symmetrizes consistently.
+func FuzzReadArcList(f *testing.F) {
+	f.Add("0 1\n1 0\n")
+	f.Add("# nodes: 3\n0 1\n")
+	f.Add("")
+	f.Add("2 2\n")
+	f.Add("x y\n")
+	f.Fuzz(func(t *testing.T, input string) {
+		g, err := ReadArcList(strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := WriteArcList(&buf, g); err != nil {
+			t.Fatalf("write after successful read: %v", err)
+		}
+		g2, err := ReadArcList(&buf)
+		if err != nil {
+			t.Fatalf("re-read of own output: %v", err)
+		}
+		if g2.NumNodes() != g.NumNodes() || g2.NumArcs() != g.NumArcs() {
+			t.Fatalf("round trip changed size: %d/%d vs %d/%d",
+				g2.NumNodes(), g2.NumArcs(), g.NumNodes(), g.NumArcs())
+		}
+		union, err := g.Symmetrize(SymmetrizeUnion)
+		if err != nil {
+			t.Fatalf("union symmetrize: %v", err)
+		}
+		mutual, err := g.Symmetrize(SymmetrizeMutual)
+		if err != nil {
+			t.Fatalf("mutual symmetrize: %v", err)
+		}
+		if mutual.NumEdges() > union.NumEdges() {
+			t.Fatalf("mutual edges %d exceed union %d", mutual.NumEdges(), union.NumEdges())
+		}
+	})
+}

@@ -1,0 +1,143 @@
+package expansion
+
+import (
+	"context"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"github.com/trustnet/trustnet/internal/graph"
+)
+
+// exactConnectedVertexExpansion enumerates every connected set S with
+// |S| <= n/2 and returns min |N(S)|/|S| — the true α of Eq. 3 under
+// GateKeeper's connectivity restriction. Exponential; tiny graphs only.
+func exactConnectedVertexExpansion(g *graph.Graph) (float64, bool) {
+	n := g.NumNodes()
+	best := math.Inf(1)
+	found := false
+	for mask := 1; mask < 1<<n; mask++ {
+		size := 0
+		for b := 0; b < n; b++ {
+			if mask&(1<<b) != 0 {
+				size++
+			}
+		}
+		if size > n/2 {
+			continue
+		}
+		if !maskConnected(g, mask, n) {
+			continue
+		}
+		// |N(S)|: nodes outside S adjacent to S.
+		neighbors := 0
+		for v := 0; v < n; v++ {
+			if mask&(1<<v) != 0 {
+				continue
+			}
+			for _, u := range g.Neighbors(graph.NodeID(v)) {
+				if mask&(1<<u) != 0 {
+					neighbors++
+					break
+				}
+			}
+		}
+		alpha := float64(neighbors) / float64(size)
+		if alpha < best {
+			best = alpha
+			found = true
+		}
+	}
+	return best, found
+}
+
+func maskConnected(g *graph.Graph, mask, n int) bool {
+	start := -1
+	for b := 0; b < n; b++ {
+		if mask&(1<<b) != 0 {
+			start = b
+			break
+		}
+	}
+	if start < 0 {
+		return false
+	}
+	seen := 1 << start
+	stack := []int{start}
+	for len(stack) > 0 {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, u := range g.Neighbors(graph.NodeID(v)) {
+			ub := 1 << int(u)
+			if mask&ub != 0 && seen&ub == 0 {
+				seen |= ub
+				stack = append(stack, int(u))
+			}
+		}
+	}
+	return seen == mask
+}
+
+// Property: the envelope-based measurement explores a subset of the
+// connected sets, so its minimum α can never fall below the exact
+// minimum over all connected sets.
+func TestEnvelopeAlphaUpperBoundsExactQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 4 + rng.Intn(8) // <= 11 nodes: 2^11 subsets
+		b := graph.NewBuilder(n)
+		for v := 1; v < n; v++ {
+			b.AddEdgeSafe(graph.NodeID(v), graph.NodeID(rng.Intn(v)))
+		}
+		for i := 0; i < n; i++ {
+			b.AddEdgeSafe(graph.NodeID(rng.Intn(n)), graph.NodeID(rng.Intn(n)))
+		}
+		g := b.Build()
+		exact, okExact := exactConnectedVertexExpansion(g)
+		res, err := Measure(context.Background(), g, Config{Workers: 1})
+		if err != nil {
+			return false
+		}
+		measured, okMeasured := res.VertexExpansion(n)
+		if !okExact || !okMeasured {
+			return okExact == okMeasured || !okMeasured
+		}
+		return measured >= exact-1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// On highly symmetric graphs the envelope measurement is exact: every
+// connected set that minimizes α appears as some BFS envelope.
+func TestEnvelopeAlphaExactOnPath(t *testing.T) {
+	b := graph.NewBuilder(6)
+	for i := 0; i < 5; i++ {
+		if err := b.AddEdge(graph.NodeID(i), graph.NodeID(i+1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	g := b.Build()
+	exact, ok := exactConnectedVertexExpansion(g)
+	if !ok {
+		t.Fatal("no exact value")
+	}
+	res, err := Measure(context.Background(), g, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	measured, ok := res.VertexExpansion(6)
+	if !ok {
+		t.Fatal("no measured value")
+	}
+	// A path's minimizing set is a prefix of 3 nodes with 1 neighbor
+	// (alpha = 1/3), which is exactly the envelope of an endpoint.
+	if math.Abs(exact-1.0/3) > 1e-12 {
+		t.Errorf("exact = %v, want 1/3", exact)
+	}
+	if math.Abs(measured-exact) > 1e-12 {
+		t.Errorf("measured = %v, want exact %v", measured, exact)
+	}
+}

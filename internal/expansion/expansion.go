@@ -1,0 +1,218 @@
+// Package expansion implements the graph-expansion measurement of §III-D
+// of the paper, in the restricted connected-set form GateKeeper assumes:
+// for every node as "core", a breadth-first-search tree is grown; the
+// envelope Env_i is all nodes within distance i of the core, its expansion
+// Exp_i is the next BFS level, and the expansion factor is
+//
+//	α_i = L_{i+1} / Σ_{j<=i} L_j        (Eq. 4)
+//
+// Aggregating (|Env_i|, |Exp_i|) pairs over all cores by unique envelope
+// size gives the min/mean/max scatter of Figure 3; aggregating α over all
+// sets of equal size gives the expected-expansion curves of Figure 4.
+package expansion
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+
+	"github.com/trustnet/trustnet/internal/graph"
+	"github.com/trustnet/trustnet/internal/stats"
+)
+
+// Config controls a measurement run.
+type Config struct {
+	// Sources limits the number of BFS cores. Zero means every node (the
+	// paper's exact O(nm) measurement); a positive value samples the first
+	// Sources nodes of a deterministic shuffle — see SampledSources.
+	Sources []graph.NodeID
+	// Workers is the parallelism; defaults to GOMAXPROCS when <= 0. The
+	// naive algorithm is O(nm) total, embarrassingly parallel per source.
+	Workers int
+}
+
+// Result aggregates an expansion measurement across sources.
+type Result struct {
+	// NeighborsBySetSize maps each observed envelope size |Env| to the
+	// min/mean/max of |Exp| over all (core, i) pairs with that envelope
+	// size — the Figure 3 scatter.
+	NeighborsBySetSize *stats.KeyedSummary
+	// FactorBySetSize maps envelope size to the summary of expansion
+	// factors α — the Figure 4 curve uses its means.
+	FactorBySetSize *stats.KeyedSummary
+	// Sources is the number of BFS cores measured.
+	Sources int
+	// MaxEccentricity is the largest BFS depth observed (a diameter lower
+	// bound when all nodes are used as sources).
+	MaxEccentricity int
+}
+
+// VertexExpansion returns the minimum observed expansion factor over every
+// measured envelope with size at most half the graph — the sampled,
+// connected-set analogue of the vertex expansion α in Eq. 3.
+func (r *Result) VertexExpansion(n int) (float64, bool) {
+	found := false
+	best := 0.0
+	for _, size := range r.FactorBySetSize.Keys() {
+		if size > int64(n)/2 {
+			continue
+		}
+		s, ok := r.FactorBySetSize.Get(size)
+		if !ok || s.Count() == 0 {
+			continue
+		}
+		if !found || s.Min() < best {
+			best = s.Min()
+			found = true
+		}
+	}
+	return best, found
+}
+
+// Measure runs the envelope measurement from every configured source
+// (every node when cfg.Sources is nil). The context cancels the run early;
+// a cancelled run returns ctx.Err().
+func Measure(ctx context.Context, g *graph.Graph, cfg Config) (*Result, error) {
+	n := g.NumNodes()
+	if n == 0 {
+		return nil, fmt.Errorf("expansion: empty graph")
+	}
+	sources := cfg.Sources
+	if sources == nil {
+		sources = make([]graph.NodeID, n)
+		for v := range sources {
+			sources[v] = graph.NodeID(v)
+		}
+	}
+	for _, s := range sources {
+		if !g.Valid(s) {
+			return nil, fmt.Errorf("expansion: source %d out of range", s)
+		}
+	}
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(sources) {
+		workers = len(sources)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+
+	type partial struct {
+		neighbors *stats.KeyedSummary
+		factors   *stats.KeyedSummary
+		maxEcc    int
+		err       error
+	}
+	work := make(chan graph.NodeID)
+	parts := make([]partial, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(slot int) {
+			defer wg.Done()
+			p := partial{
+				neighbors: stats.NewKeyedSummary(),
+				factors:   stats.NewKeyedSummary(),
+			}
+			bfs := graph.NewBFSWorker(g)
+			for src := range work {
+				r, err := bfs.Run(src)
+				if err != nil {
+					p.err = err
+					break
+				}
+				accumulate(r, &p.maxEcc, p.neighbors, p.factors)
+			}
+			parts[slot] = p
+		}(w)
+	}
+
+	var sendErr error
+feed:
+	for _, src := range sources {
+		select {
+		case work <- src:
+		case <-ctx.Done():
+			sendErr = ctx.Err()
+			break feed
+		}
+	}
+	close(work)
+	wg.Wait()
+	if sendErr != nil {
+		return nil, fmt.Errorf("expansion: %w", sendErr)
+	}
+
+	res := &Result{
+		NeighborsBySetSize: stats.NewKeyedSummary(),
+		FactorBySetSize:    stats.NewKeyedSummary(),
+		Sources:            len(sources),
+	}
+	for _, p := range parts {
+		if p.err != nil {
+			return nil, fmt.Errorf("expansion: %w", p.err)
+		}
+		res.NeighborsBySetSize.Merge(p.neighbors)
+		res.FactorBySetSize.Merge(p.factors)
+		if p.maxEcc > res.MaxEccentricity {
+			res.MaxEccentricity = p.maxEcc
+		}
+	}
+	return res, nil
+}
+
+// accumulate folds one BFS tree into the keyed summaries: for each depth i
+// with a non-empty next level, the envelope is the first i+1 levels and
+// the expansion is level i+1.
+func accumulate(r *graph.BFSResult, maxEcc *int, neighbors, factors *stats.KeyedSummary) {
+	if e := r.Eccentricity(); e > *maxEcc {
+		*maxEcc = e
+	}
+	var envelope int64
+	for i := 0; i+1 < len(r.LevelSizes); i++ {
+		envelope += r.LevelSizes[i]
+		next := r.LevelSizes[i+1]
+		neighbors.Add(envelope, float64(next))
+		factors.Add(envelope, float64(next)/float64(envelope))
+	}
+}
+
+// SampledSources returns k deterministic pseudo-random distinct sources
+// for large graphs where the exact O(nm) measurement is too slow. The
+// sequence is a fixed-stride probe of the node space, which is unbiased
+// for the aggregate statistics because node IDs carry no meaning.
+func SampledSources(g *graph.Graph, k int) ([]graph.NodeID, error) {
+	n := g.NumNodes()
+	if n == 0 {
+		return nil, fmt.Errorf("expansion: empty graph")
+	}
+	if k < 1 {
+		return nil, fmt.Errorf("expansion: sample size %d must be >= 1", k)
+	}
+	if k > n {
+		k = n
+	}
+	// A co-prime stride visits all nodes before repeating.
+	stride := n/2 + 1
+	for gcd(stride, n) != 1 {
+		stride++
+	}
+	out := make([]graph.NodeID, k)
+	cur := 0
+	for i := 0; i < k; i++ {
+		out[i] = graph.NodeID(cur)
+		cur = (cur + stride) % n
+	}
+	return out, nil
+}
+
+func gcd(a, b int) int {
+	for b != 0 {
+		a, b = b, a%b
+	}
+	return a
+}

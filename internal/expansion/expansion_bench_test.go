@@ -1,0 +1,42 @@
+package expansion
+
+import (
+	"context"
+	"testing"
+
+	"github.com/trustnet/trustnet/internal/gen"
+)
+
+func BenchmarkMeasureAllSources(b *testing.B) {
+	g, err := gen.BarabasiAlbert(1500, 4, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Measure(ctx, g, Config{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMeasureSampled(b *testing.B) {
+	g, err := gen.BarabasiAlbert(5000, 4, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	srcs, err := SampledSources(g, 100)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Measure(ctx, g, Config{Sources: srcs}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,55 @@
+package experiments
+
+import (
+	"testing"
+
+	"github.com/trustnet/trustnet/internal/sybil"
+)
+
+func TestAttackerModelsQuick(t *testing.T) {
+	res, err := AttackerModels(sharedOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 3 {
+		t.Fatalf("rows = %d, want 3", len(res.Rows))
+	}
+	byPlacement := map[sybil.Placement]AttackerRow{}
+	for _, row := range res.Rows {
+		byPlacement[row.Placement] = row
+		if row.GKHonestPct < 90 || row.SLHonestPct < 90 {
+			t.Errorf("%v: honest %% GK=%v SL=%v, want >= 90 on a fast mixer",
+				row.Placement, row.GKHonestPct, row.SLHonestPct)
+		}
+	}
+	// GateKeeper's ticket flow dilutes at hubs: a hub attack is weaker
+	// than a random one against it.
+	hubs := byPlacement[sybil.PlaceHubs]
+	random := byPlacement[sybil.PlaceRandom]
+	if hubs.GKSybilsPerEdge >= random.GKSybilsPerEdge {
+		t.Errorf("GK sybils/edge hubs %v >= random %v; hub dilution missing",
+			hubs.GKSybilsPerEdge, random.GKSybilsPerEdge)
+	}
+	// SybilLimit's random routes use edges uniformly: placement changes
+	// its exposure far less (within 2x across placements).
+	minSL, maxSL := byPlacement[sybil.PlaceRandom].SLSybilsPerEdge, byPlacement[sybil.PlaceRandom].SLSybilsPerEdge
+	for _, row := range res.Rows {
+		if row.SLSybilsPerEdge < minSL {
+			minSL = row.SLSybilsPerEdge
+		}
+		if row.SLSybilsPerEdge > maxSL {
+			maxSL = row.SLSybilsPerEdge
+		}
+	}
+	if minSL > 0 && maxSL > 2*minSL {
+		t.Errorf("SL sybils/edge spread %v..%v exceeds 2x; expected placement insensitivity",
+			minSL, maxSL)
+	}
+	tab, err := res.Table()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tab.NumRows() != 3 {
+		t.Errorf("table rows = %d", tab.NumRows())
+	}
+}

@@ -1,0 +1,57 @@
+package experiments
+
+import (
+	"context"
+	"testing"
+)
+
+func TestBetweennessDistributionQuick(t *testing.T) {
+	res, err := BetweennessDistribution(context.Background(), sharedOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2 || len(res.ECDFs) != 2 {
+		t.Fatalf("rows/ecdfs = %d/%d, want 2/2", len(res.Rows), len(res.ECDFs))
+	}
+	for _, row := range res.Rows {
+		if row.Top1PctShare <= 0 || row.Top1PctShare > 1 {
+			t.Errorf("%s: top-1%% share = %v out of (0,1]", row.Name, row.Top1PctShare)
+		}
+		if row.MaxNormalized <= 0 || row.MaxNormalized > 1 {
+			t.Errorf("%s: max normalized = %v out of (0,1]", row.Name, row.MaxNormalized)
+		}
+	}
+	for _, s := range res.ECDFs {
+		if err := s.Validate(); err != nil {
+			t.Errorf("%s: %v", s.Name, err)
+		}
+	}
+	tab, err := res.Table()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tab.NumRows() != 2 {
+		t.Errorf("table rows = %d", tab.NumRows())
+	}
+}
+
+func TestBetweennessConcentrationFullContrast(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full betweenness contrast is slow")
+	}
+	opts := Options{Quick: false, Seed: 7}
+	res, err := BetweennessDistribution(context.Background(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]BetweennessRow{}
+	for _, row := range res.Rows {
+		byName[row.Name] = row
+	}
+	// The community graphs concentrate betweenness on their bridges far
+	// more than the OSN-like graphs (max normalized betweenness).
+	if byName["physics-1"].MaxNormalized <= byName["wiki-vote"].MaxNormalized {
+		t.Errorf("physics-1 max betweenness %v <= wiki-vote %v; bridges should dominate",
+			byName["physics-1"].MaxNormalized, byName["wiki-vote"].MaxNormalized)
+	}
+}

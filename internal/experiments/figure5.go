@@ -1,0 +1,76 @@
+package experiments
+
+import (
+	"fmt"
+
+	"github.com/trustnet/trustnet/internal/kcore"
+	"github.com/trustnet/trustnet/internal/report"
+)
+
+// figure5Datasets are the five representative graphs of Figure 5
+// (Physics 2, Physics 3, Epinion, Wiki-vote, Facebook) — two slow mixers
+// with multiple cores and three fast mixers with a single large core.
+var figure5Datasets = []string{"physics-1", "physics-2", "epinion", "wiki-vote", "facebook-b"}
+
+// Figure5Panel is one dataset's core-structure series.
+type Figure5Panel struct {
+	Name string
+	// RelativeSize is ν̃_k versus k (subfigures (a)–(e)).
+	RelativeSize report.Series
+	// LargestRelativeSize is ν_k versus k (largest connected core).
+	LargestRelativeSize report.Series
+	// NumCores is the number of connected cores versus k (subfigures
+	// (f)–(j)).
+	NumCores report.Series
+	// Degeneracy is the largest k with a non-empty core.
+	Degeneracy int
+	// TopComponents is the number of connected cores at the degeneracy.
+	TopComponents int
+}
+
+// Figure5Result reproduces Figure 5: relative core sizes and core counts
+// per k for representative datasets.
+type Figure5Result struct {
+	Panels []Figure5Panel
+}
+
+// Figure5 computes the per-k core statistics.
+func Figure5(opts Options) (*Figure5Result, error) {
+	opts.fill()
+	names := figure5Datasets
+	if opts.Quick {
+		names = names[:3]
+	}
+	res := &Figure5Result{}
+	for _, name := range names {
+		g, err := opts.graphFor(name)
+		if err != nil {
+			return nil, err
+		}
+		dec, err := kcore.Decompose(g)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: figure 5 decompose %s: %w", name, err)
+		}
+		panel := Figure5Panel{
+			Name:                name,
+			RelativeSize:        report.Series{Name: name + "/nu-tilde"},
+			LargestRelativeSize: report.Series{Name: name + "/nu"},
+			NumCores:            report.Series{Name: name + "/cores"},
+			Degeneracy:          dec.Degeneracy(),
+		}
+		for _, lvl := range dec.Levels() {
+			x := float64(lvl.K)
+			panel.RelativeSize.X = append(panel.RelativeSize.X, x)
+			panel.RelativeSize.Y = append(panel.RelativeSize.Y, lvl.NuTilde)
+			panel.LargestRelativeSize.X = append(panel.LargestRelativeSize.X, x)
+			panel.LargestRelativeSize.Y = append(panel.LargestRelativeSize.Y, lvl.Nu)
+			panel.NumCores.X = append(panel.NumCores.X, x)
+			panel.NumCores.Y = append(panel.NumCores.Y, float64(lvl.Components))
+		}
+		if len(panel.NumCores.Y) > 0 {
+			panel.TopComponents = int(panel.NumCores.Y[len(panel.NumCores.Y)-1])
+		}
+		res.Panels = append(res.Panels, panel)
+	}
+	return res, nil
+}

@@ -1,0 +1,173 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+
+	"github.com/trustnet/trustnet/internal/dynamic"
+	"github.com/trustnet/trustnet/internal/report"
+	"github.com/trustnet/trustnet/internal/walk"
+)
+
+// DynamicResult addresses the paper's §VI open problem: how the measured
+// properties evolve as a social graph grows. One point per snapshot of a
+// preferential-attachment evolution with densification.
+type DynamicResult struct {
+	Points []dynamic.TrackPoint
+	// Series: x = snapshot size; y = SLEM / mixing time / min alpha /
+	// average degree, for CSV output.
+	SLEM      report.Series
+	Mixing    report.Series
+	MinAlpha  report.Series
+	AvgDegree report.Series
+}
+
+// Table renders the per-snapshot measurements.
+func (r *DynamicResult) Table() (*report.Table, error) {
+	t := report.NewTable(
+		"Dynamic graphs (§VI open problem): properties across growth snapshots",
+		"Nodes", "Edges", "AvgDeg", "mu", "T(0.1)", "MinAlpha", "Degeneracy",
+	)
+	for _, p := range r.Points {
+		mix := "> budget"
+		if p.Mixed {
+			mix = report.Int(p.MixingTime)
+		}
+		if err := t.AddRow(
+			report.Int(p.Nodes), report.Int64(p.Edges),
+			report.Float(p.AverageDegree, 2), report.Float(p.SLEM, 4),
+			mix, report.Float(p.MinAlpha, 4), report.Int(p.Degeneracy),
+		); err != nil {
+			return nil, err
+		}
+	}
+	return t, nil
+}
+
+// FutureWorkDynamic grows an evolving social graph and measures every
+// snapshot.
+func FutureWorkDynamic(ctx context.Context, opts Options) (*DynamicResult, error) {
+	opts.fill()
+	final := opts.pick(600, 3000)
+	snapSizes := []int{final / 8, final / 4, final / 2, final}
+	snaps, err := dynamic.Grow(dynamic.GrowthConfig{
+		FinalNodes:   final,
+		Attach:       4,
+		DensifyEvery: 4,
+		Snapshots:    snapSizes,
+		Seed:         opts.Seed,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("experiments: dynamic grow: %w", err)
+	}
+	points, err := dynamic.Track(ctx, snaps, dynamic.TrackConfig{
+		MixingSources:    opts.pick(10, 30),
+		MixingMaxSteps:   opts.pick(60, 150),
+		ExpansionSources: opts.pick(60, 200),
+		Seed:             opts.Seed,
+		Workers:          opts.Workers,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("experiments: dynamic track: %w", err)
+	}
+	res := &DynamicResult{
+		Points:    points,
+		SLEM:      report.Series{Name: "slem"},
+		Mixing:    report.Series{Name: "mixing-time"},
+		MinAlpha:  report.Series{Name: "min-alpha"},
+		AvgDegree: report.Series{Name: "avg-degree"},
+	}
+	for _, p := range points {
+		x := float64(p.Nodes)
+		res.SLEM.X = append(res.SLEM.X, x)
+		res.SLEM.Y = append(res.SLEM.Y, p.SLEM)
+		res.Mixing.X = append(res.Mixing.X, x)
+		res.Mixing.Y = append(res.Mixing.Y, float64(p.MixingTime))
+		res.MinAlpha.X = append(res.MinAlpha.X, x)
+		res.MinAlpha.Y = append(res.MinAlpha.Y, p.MinAlpha)
+		res.AvgDegree.X = append(res.AvgDegree.X, x)
+		res.AvgDegree.Y = append(res.AvgDegree.Y, p.AverageDegree)
+	}
+	return res, nil
+}
+
+// ModulatedResult quantifies the trust/mixing trade-off of the modulated
+// random walks the paper cites ([16]): the mixing curve of each strategy
+// on the same graph.
+type ModulatedResult struct {
+	// Curves holds one TVD-vs-steps series per strategy variant.
+	Curves []report.Series
+	// FinalTVD maps each series name to its TVD at the step budget.
+	FinalTVD map[string]float64
+	// StepsTo01 maps each series name to the first step with TVD < 0.01
+	// (0 when not reached within the budget) — the informative metric at
+	// budgets long enough for every lazy variant to converge.
+	StepsTo01 map[string]int
+}
+
+// Table renders the per-strategy mixing cost.
+func (r *ModulatedResult) Table() (*report.Table, error) {
+	t := report.NewTable(
+		"Modulated random walks ([16]): mixing cost per trust strategy",
+		"Strategy", "steps to TVD<0.01", "TVD at budget",
+	)
+	for _, s := range r.Curves {
+		steps := "> budget"
+		if v := r.StepsTo01[s.Name]; v > 0 {
+			steps = report.Int(v)
+		}
+		if err := t.AddRow(s.Name, steps, report.Float(r.FinalTVD[s.Name], 4)); err != nil {
+			return nil, err
+		}
+	}
+	return t, nil
+}
+
+// FutureWorkModulated measures the mixing cost of each trust modulation
+// on the wiki-vote stand-in.
+func FutureWorkModulated(opts Options) (*ModulatedResult, error) {
+	opts.fill()
+	g, err := opts.graphFor("wiki-vote")
+	if err != nil {
+		return nil, err
+	}
+	pi, err := g.StationaryDistribution()
+	if err != nil {
+		return nil, fmt.Errorf("experiments: modulated: %w", err)
+	}
+	steps := opts.pick(30, 80)
+	source, err := walk.SampleSources(g, 1, opts.Seed)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: modulated: %w", err)
+	}
+	variants := []struct {
+		name string
+		cfg  walk.ModulatedConfig
+	}{
+		{"uniform", walk.ModulatedConfig{Strategy: walk.StrategyUniform}},
+		{"lazy-0.5", walk.ModulatedConfig{Strategy: walk.StrategyLazy, Alpha: 0.5}},
+		{"lazy-0.8", walk.ModulatedConfig{Strategy: walk.StrategyLazy, Alpha: 0.8}},
+		{"originator-0.2", walk.ModulatedConfig{Strategy: walk.StrategyOriginatorBiased, Alpha: 0.2}},
+	}
+	res := &ModulatedResult{
+		FinalTVD:  make(map[string]float64, len(variants)),
+		StepsTo01: make(map[string]int, len(variants)),
+	}
+	for _, v := range variants {
+		curve, err := walk.ModulatedMixingCurve(g, source[0], v.cfg, pi, steps)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: modulated %s: %w", v.name, err)
+		}
+		s := report.Series{Name: v.name}
+		for t, tvd := range curve {
+			s.X = append(s.X, float64(t+1))
+			s.Y = append(s.Y, tvd)
+			if res.StepsTo01[v.name] == 0 && tvd < 0.01 {
+				res.StepsTo01[v.name] = t + 1
+			}
+		}
+		res.Curves = append(res.Curves, s)
+		res.FinalTVD[v.name] = curve[len(curve)-1]
+	}
+	return res, nil
+}

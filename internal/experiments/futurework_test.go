@@ -1,0 +1,93 @@
+package experiments
+
+import (
+	"context"
+	"testing"
+)
+
+func TestFutureWorkDynamicQuick(t *testing.T) {
+	res, err := FutureWorkDynamic(context.Background(), sharedOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) != 4 {
+		t.Fatalf("points = %d, want 4", len(res.Points))
+	}
+	for i := 1; i < len(res.Points); i++ {
+		if res.Points[i].Nodes <= res.Points[i-1].Nodes {
+			t.Errorf("snapshot sizes not increasing at %d", i)
+		}
+	}
+	// Densified PA growth stays a fast mixer at every age.
+	for i, p := range res.Points {
+		if !p.Mixed {
+			t.Errorf("snapshot %d (n=%d) did not mix within budget", i, p.Nodes)
+		}
+		if p.SLEM > 0.9 {
+			t.Errorf("snapshot %d: SLEM %v, want fast mixer", i, p.SLEM)
+		}
+	}
+	// Densification: average degree grows over time.
+	first, last := res.Points[0], res.Points[len(res.Points)-1]
+	if last.AverageDegree <= first.AverageDegree {
+		t.Errorf("avg degree did not grow: %v -> %v", first.AverageDegree, last.AverageDegree)
+	}
+	tab, err := res.Table()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tab.NumRows() != 4 {
+		t.Errorf("table rows = %d", tab.NumRows())
+	}
+	for _, s := range []struct {
+		name   string
+		series interface{ Validate() error }
+	}{{"slem", &res.SLEM}, {"mixing", &res.Mixing}, {"alpha", &res.MinAlpha}, {"deg", &res.AvgDegree}} {
+		if err := s.series.Validate(); err != nil {
+			t.Errorf("%s: %v", s.name, err)
+		}
+	}
+}
+
+func TestFutureWorkModulatedQuick(t *testing.T) {
+	res, err := FutureWorkModulated(sharedOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Curves) != 4 {
+		t.Fatalf("curves = %d, want 4", len(res.Curves))
+	}
+	// The trade-off: more modulation, worse final TVD and later
+	// convergence (0 steps means never reached: treat as worst).
+	uni := res.FinalTVD["uniform"]
+	lazy5 := res.FinalTVD["lazy-0.5"]
+	lazy8 := res.FinalTVD["lazy-0.8"]
+	orig := res.FinalTVD["originator-0.2"]
+	if !(uni <= lazy5 && lazy5 <= lazy8) {
+		t.Errorf("laziness ordering violated: uniform %v, lazy-0.5 %v, lazy-0.8 %v", uni, lazy5, lazy8)
+	}
+	if orig <= uni {
+		t.Errorf("originator bias %v <= uniform %v; teleporting home must cost mixing", orig, uni)
+	}
+	effSteps := func(name string) int {
+		if s := res.StepsTo01[name]; s > 0 {
+			return s
+		}
+		return 1 << 30
+	}
+	if effSteps("uniform") > effSteps("lazy-0.5") {
+		t.Errorf("uniform took %d steps, lazy-0.5 %d; laziness should not speed convergence",
+			res.StepsTo01["uniform"], res.StepsTo01["lazy-0.5"])
+	}
+	if effSteps("originator-0.2") < 1<<30 {
+		t.Errorf("originator-biased walk converged to stationarity (%d steps); it should not",
+			res.StepsTo01["originator-0.2"])
+	}
+	tab, err := res.Table()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tab.NumRows() != 4 {
+		t.Errorf("table rows = %d", tab.NumRows())
+	}
+}

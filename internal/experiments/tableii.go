@@ -1,0 +1,134 @@
+package experiments
+
+import (
+	"fmt"
+
+	"github.com/trustnet/trustnet/internal/report"
+	"github.com/trustnet/trustnet/internal/sybil"
+	"github.com/trustnet/trustnet/internal/sybil/gatekeeper"
+)
+
+// tableIIDatasets are the four graphs of Table II (a Physics
+// co-authorship graph, Facebook, LiveJournal, and Slashdot), in the
+// paper's row order.
+var tableIIDatasets = []string{"physics-3", "facebook-b", "livejournal-a", "slashdot-a"}
+
+// tableIIThresholds is the f sweep. The paper's exact values are
+// illegible in the archived copy; {0.1, 0.2, 0.4} matches GateKeeper's
+// own evaluation range and reproduces the reported trend (honest
+// acceptance falling from ~90% to ~30–45% as f grows).
+var tableIIThresholds = []float64{0.1, 0.2, 0.4}
+
+// TableIICell is one (dataset, f) measurement.
+type TableIICell struct {
+	HonestAcceptPct     float64
+	SybilsPerAttackEdge float64
+}
+
+// TableIIRow is one dataset's sweep.
+type TableIIRow struct {
+	Name        string
+	AttackEdges int
+	SybilNodes  int
+	Cells       map[float64]TableIICell
+}
+
+// TableIIResult reproduces Table II: GateKeeper on four social graphs,
+// honest acceptance percentage and sybils admitted per attack edge for
+// each admission threshold f.
+type TableIIResult struct {
+	Thresholds []float64
+	Rows       []TableIIRow
+}
+
+// Table renders the paper's layout (one honest and one sybil line per
+// dataset).
+func (r *TableIIResult) Table() (*report.Table, error) {
+	headers := []string{"Dataset", "Metric"}
+	for _, f := range r.Thresholds {
+		headers = append(headers, fmt.Sprintf("f=%.1f", f))
+	}
+	t := report.NewTable(
+		"Table II: GateKeeper honest acceptance (% of honest region) and sybils per attack edge",
+		headers...,
+	)
+	for _, row := range r.Rows {
+		honest := []string{row.Name, "Honest %"}
+		sybils := []string{"", "Sybil/edge"}
+		for _, f := range r.Thresholds {
+			c := row.Cells[f]
+			honest = append(honest, report.Float(c.HonestAcceptPct, 1))
+			sybils = append(sybils, report.Float(c.SybilsPerAttackEdge, 2))
+		}
+		if err := t.AddRow(honest...); err != nil {
+			return nil, err
+		}
+		if err := t.AddRow(sybils...); err != nil {
+			return nil, err
+		}
+	}
+	return t, nil
+}
+
+// TableII runs GateKeeper over the four Table II graphs. Attackers are
+// random (sybil.Inject places attack edges at random honest endpoints)
+// and the distributer count follows the paper's 99 sampled distributers.
+func TableII(opts Options) (*TableIIResult, error) {
+	opts.fill()
+	res := &TableIIResult{Thresholds: tableIIThresholds}
+	names := tableIIDatasets
+	if opts.Quick {
+		// One slow and one fast graph, so the quick run still exhibits
+		// the Table II contrast.
+		names = []string{tableIIDatasets[0], tableIIDatasets[2]}
+	}
+	for i, name := range names {
+		g, err := opts.graphFor(name)
+		if err != nil {
+			return nil, err
+		}
+		n := g.NumNodes()
+		attackEdges := n / 50
+		if attackEdges < 2 {
+			attackEdges = 2
+		}
+		sybilNodes := n / 5
+		a, err := sybil.Inject(g, sybil.AttackConfig{
+			SybilNodes:  sybilNodes,
+			AttackEdges: attackEdges,
+			Seed:        opts.Seed + int64(i),
+		})
+		if err != nil {
+			return nil, fmt.Errorf("experiments: table II inject on %s: %w", name, err)
+		}
+		out, err := gatekeeper.Run(a, 0, gatekeeper.Config{
+			Distributers: opts.pick(30, 99),
+			Seed:         opts.Seed + int64(i),
+		})
+		if err != nil {
+			return nil, fmt.Errorf("experiments: table II gatekeeper on %s: %w", name, err)
+		}
+		row := TableIIRow{
+			Name:        name,
+			AttackEdges: attackEdges,
+			SybilNodes:  sybilNodes,
+			Cells:       make(map[float64]TableIICell, len(res.Thresholds)),
+		}
+		for _, f := range res.Thresholds {
+			acc, err := out.Accepted(f)
+			if err != nil {
+				return nil, fmt.Errorf("experiments: table II threshold %v: %w", f, err)
+			}
+			m, err := sybil.Evaluate(a, acc, 0)
+			if err != nil {
+				return nil, fmt.Errorf("experiments: table II evaluate %s: %w", name, err)
+			}
+			row.Cells[f] = TableIICell{
+				HonestAcceptPct:     100 * m.HonestAcceptRate(),
+				SybilsPerAttackEdge: m.SybilsPerAttackEdge(),
+			}
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}

@@ -1,0 +1,584 @@
+// Package gen provides seeded random and deterministic graph generators.
+//
+// The generators stand in for the real social graphs of Table I of the
+// paper, which are not redistributable: each dataset in internal/datasets
+// is produced by the generator whose social model matches the original
+// (preferential attachment and dense-community models for the fast-mixing
+// online social networks, community-structured models for the slow-mixing
+// interaction and co-authorship graphs). All generators are deterministic
+// given their seed and always return simple graphs.
+package gen
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"github.com/trustnet/trustnet/internal/graph"
+)
+
+// Cycle returns the cycle graph C_n (n >= 3).
+func Cycle(n int) (*graph.Graph, error) {
+	if n < 3 {
+		return nil, fmt.Errorf("gen: cycle needs n >= 3, got %d", n)
+	}
+	b := graph.NewBuilder(n)
+	for i := 0; i < n; i++ {
+		b.AddEdgeSafe(graph.NodeID(i), graph.NodeID((i+1)%n))
+	}
+	return b.Build(), nil
+}
+
+// Path returns the path graph P_n (n >= 1).
+func Path(n int) (*graph.Graph, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("gen: path needs n >= 1, got %d", n)
+	}
+	b := graph.NewBuilder(n)
+	for i := 0; i+1 < n; i++ {
+		b.AddEdgeSafe(graph.NodeID(i), graph.NodeID(i+1))
+	}
+	return b.Build(), nil
+}
+
+// Complete returns the complete graph K_n (n >= 1).
+func Complete(n int) (*graph.Graph, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("gen: complete graph needs n >= 1, got %d", n)
+	}
+	b := graph.NewBuilder(n)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			b.AddEdgeSafe(graph.NodeID(i), graph.NodeID(j))
+		}
+	}
+	return b.Build(), nil
+}
+
+// Star returns the star graph with one hub (node 0) and n-1 leaves.
+func Star(n int) (*graph.Graph, error) {
+	if n < 2 {
+		return nil, fmt.Errorf("gen: star needs n >= 2, got %d", n)
+	}
+	b := graph.NewBuilder(n)
+	for i := 1; i < n; i++ {
+		b.AddEdgeSafe(0, graph.NodeID(i))
+	}
+	return b.Build(), nil
+}
+
+// Grid returns the rows×cols 2-D lattice.
+func Grid(rows, cols int) (*graph.Graph, error) {
+	if rows < 1 || cols < 1 {
+		return nil, fmt.Errorf("gen: grid needs positive dimensions, got %dx%d", rows, cols)
+	}
+	b := graph.NewBuilder(rows * cols)
+	id := func(r, c int) graph.NodeID { return graph.NodeID(r*cols + c) }
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			if c+1 < cols {
+				b.AddEdgeSafe(id(r, c), id(r, c+1))
+			}
+			if r+1 < rows {
+				b.AddEdgeSafe(id(r, c), id(r+1, c))
+			}
+		}
+	}
+	return b.Build(), nil
+}
+
+// Hypercube returns the d-dimensional hypercube Q_d on 2^d nodes, a
+// canonical good expander used to sanity-check the expansion code.
+func Hypercube(d int) (*graph.Graph, error) {
+	if d < 1 || d > 24 {
+		return nil, fmt.Errorf("gen: hypercube dimension must be in [1,24], got %d", d)
+	}
+	n := 1 << d
+	b := graph.NewBuilder(n)
+	for v := 0; v < n; v++ {
+		for bit := 0; bit < d; bit++ {
+			u := v ^ (1 << bit)
+			if v < u {
+				b.AddEdgeSafe(graph.NodeID(v), graph.NodeID(u))
+			}
+		}
+	}
+	return b.Build(), nil
+}
+
+// GNM returns a uniform random graph with exactly m distinct edges over n
+// nodes (Erdős–Rényi G(n,m)).
+func GNM(n int, m int64, seed int64) (*graph.Graph, error) {
+	if n < 2 {
+		return nil, fmt.Errorf("gen: gnm needs n >= 2, got %d", n)
+	}
+	maxM := int64(n) * int64(n-1) / 2
+	if m < 0 || m > maxM {
+		return nil, fmt.Errorf("gen: gnm m=%d out of range [0,%d]", m, maxM)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	b := graph.NewBuilder(n)
+	seen := make(map[graph.Edge]struct{}, m)
+	for int64(len(seen)) < m {
+		u := graph.NodeID(rng.Intn(n))
+		v := graph.NodeID(rng.Intn(n))
+		if u == v {
+			continue
+		}
+		e := graph.Edge{U: u, V: v}.Canonical()
+		if _, dup := seen[e]; dup {
+			continue
+		}
+		seen[e] = struct{}{}
+		b.AddEdgeSafe(e.U, e.V)
+	}
+	return b.Build(), nil
+}
+
+// GNP returns an Erdős–Rényi G(n,p) graph, sampling edges with the
+// geometric skipping method so generation is O(n + m) rather than O(n²).
+func GNP(n int, p float64, seed int64) (*graph.Graph, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("gen: gnp needs n >= 1, got %d", n)
+	}
+	if p < 0 || p > 1 {
+		return nil, fmt.Errorf("gen: gnp p=%v out of [0,1]", p)
+	}
+	b := graph.NewBuilder(n)
+	if p == 0 {
+		return b.Build(), nil
+	}
+	rng := rand.New(rand.NewSource(seed))
+	if p == 1 {
+		return Complete(n)
+	}
+	logQ := math.Log(1 - p)
+	// Enumerate pairs (v, w) with w < v in row-major order, skipping
+	// geometrically many pairs between successive edges.
+	v, w := 1, -1
+	for v < n {
+		skip := int(math.Log(1-rng.Float64())/logQ) + 1
+		w += skip
+		for w >= v && v < n {
+			w -= v
+			v++
+		}
+		if v < n {
+			b.AddEdgeSafe(graph.NodeID(v), graph.NodeID(w))
+		}
+	}
+	return b.Build(), nil
+}
+
+// BarabasiAlbert grows a preferential-attachment graph: starting from a
+// small clique, each new node attaches to `attach` existing nodes chosen
+// proportionally to degree. This is the stand-in model for the fast-mixing
+// online social networks of Table I (Wiki-vote-, Epinion-, Slashdot-like):
+// heavy-tailed degrees, a dense well-connected core, small diameter.
+func BarabasiAlbert(n, attach int, seed int64) (*graph.Graph, error) {
+	if attach < 1 {
+		return nil, fmt.Errorf("gen: barabasi-albert needs attach >= 1, got %d", attach)
+	}
+	if n <= attach {
+		return nil, fmt.Errorf("gen: barabasi-albert needs n > attach, got n=%d attach=%d", n, attach)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	b := graph.NewBuilder(n)
+	// repeated holds one entry per half-edge endpoint, so uniform sampling
+	// from it is degree-proportional sampling.
+	repeated := make([]graph.NodeID, 0, 2*int(attach)*n)
+	seedSize := attach + 1
+	for i := 0; i < seedSize; i++ {
+		for j := i + 1; j < seedSize; j++ {
+			b.AddEdgeSafe(graph.NodeID(i), graph.NodeID(j))
+			repeated = append(repeated, graph.NodeID(i), graph.NodeID(j))
+		}
+	}
+	targets := make(map[graph.NodeID]struct{}, attach)
+	ordered := make([]graph.NodeID, 0, attach)
+	for v := seedSize; v < n; v++ {
+		clear(targets)
+		for len(targets) < attach {
+			targets[repeated[rng.Intn(len(repeated))]] = struct{}{}
+		}
+		// Drain the set in sorted order: map iteration order is random,
+		// and the order of appends to `repeated` feeds back into later
+		// degree-proportional draws, so it must be deterministic.
+		ordered = ordered[:0]
+		for u := range targets {
+			ordered = append(ordered, u)
+		}
+		sort.Slice(ordered, func(i, j int) bool { return ordered[i] < ordered[j] })
+		for _, u := range ordered {
+			b.AddEdgeSafe(graph.NodeID(v), u)
+			repeated = append(repeated, graph.NodeID(v), u)
+		}
+	}
+	return b.Build(), nil
+}
+
+// WattsStrogatz builds a small-world ring lattice over n nodes where each
+// node connects to its k nearest neighbors (k even), then rewires each
+// edge's far endpoint with probability beta. Low beta yields slow-mixing,
+// highly clustered graphs; high beta approaches a random graph.
+func WattsStrogatz(n, k int, beta float64, seed int64) (*graph.Graph, error) {
+	if k < 2 || k%2 != 0 {
+		return nil, fmt.Errorf("gen: watts-strogatz needs even k >= 2, got %d", k)
+	}
+	if n <= k {
+		return nil, fmt.Errorf("gen: watts-strogatz needs n > k, got n=%d k=%d", n, k)
+	}
+	if beta < 0 || beta > 1 {
+		return nil, fmt.Errorf("gen: watts-strogatz beta=%v out of [0,1]", beta)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	b := graph.NewBuilder(n)
+	for v := 0; v < n; v++ {
+		for off := 1; off <= k/2; off++ {
+			u := (v + off) % n
+			if rng.Float64() < beta {
+				// Rewire to a uniform random non-self target. Duplicates
+				// are merged by the builder, slightly lowering the edge
+				// count, exactly as in the standard WS construction.
+				u = rng.Intn(n)
+				for u == v {
+					u = rng.Intn(n)
+				}
+			}
+			b.AddEdgeSafe(graph.NodeID(v), graph.NodeID(u))
+		}
+	}
+	return b.Build(), nil
+}
+
+// PowerLawConfiguration samples a degree sequence d_i ∝ i^(-1/(gamma-1))
+// via the inverse-CDF transform truncated at maxDeg, then wires a simple
+// graph with the erased configuration model (self loops and multi-edges
+// dropped). Useful for matching a target degree exponent without the
+// correlations preferential attachment introduces.
+func PowerLawConfiguration(n int, gamma float64, minDeg, maxDeg int, seed int64) (*graph.Graph, error) {
+	if n < 2 {
+		return nil, fmt.Errorf("gen: configuration model needs n >= 2, got %d", n)
+	}
+	if gamma <= 1 {
+		return nil, fmt.Errorf("gen: power-law exponent must exceed 1, got %v", gamma)
+	}
+	if minDeg < 1 || maxDeg < minDeg || maxDeg >= n {
+		return nil, fmt.Errorf("gen: degree bounds [%d,%d] invalid for n=%d", minDeg, maxDeg, n)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	degrees := make([]int, n)
+	stubCount := 0
+	for i := range degrees {
+		// Inverse CDF of P(D >= d) ∝ d^{1-gamma} on [minDeg, maxDeg].
+		u := rng.Float64()
+		lo := math.Pow(float64(minDeg), 1-gamma)
+		hi := math.Pow(float64(maxDeg), 1-gamma)
+		d := int(math.Pow(lo+u*(hi-lo), 1/(1-gamma)))
+		if d < minDeg {
+			d = minDeg
+		}
+		if d > maxDeg {
+			d = maxDeg
+		}
+		degrees[i] = d
+		stubCount += d
+	}
+	if stubCount%2 == 1 {
+		degrees[0]++
+		stubCount++
+	}
+	stubs := make([]graph.NodeID, 0, stubCount)
+	for v, d := range degrees {
+		for i := 0; i < d; i++ {
+			stubs = append(stubs, graph.NodeID(v))
+		}
+	}
+	rng.Shuffle(len(stubs), func(i, j int) { stubs[i], stubs[j] = stubs[j], stubs[i] })
+	b := graph.NewBuilder(n)
+	for i := 0; i+1 < len(stubs); i += 2 {
+		b.AddEdgeSafe(stubs[i], stubs[i+1]) // erased model: loops dropped, dups merged
+	}
+	return b.Build(), nil
+}
+
+// RMATConfig parameterizes the recursive-matrix (R-MAT / stochastic
+// Kronecker) generator of Chakrabarti et al., the model behind the
+// "graphs over time" observations the paper cites ([8]): each edge drops
+// into one of four adjacency-matrix quadrants with probabilities
+// (A, B, C, D), recursively, producing skewed degrees and a hierarchical
+// self-similar community structure.
+type RMATConfig struct {
+	// Scale is log2 of the node count (n = 2^Scale).
+	Scale int
+	// Edges is the number of edge-drop attempts (self loops and
+	// duplicates merge, so the result has at most this many edges).
+	Edges int64
+	// A, B, C are the quadrant probabilities (D = 1-A-B-C). The classic
+	// skewed setting is A=0.57, B=0.19, C=0.19.
+	A, B, C float64
+	// Noise perturbs the quadrant probabilities by ±Noise per level to
+	// avoid lattice artifacts; 0.1 is typical.
+	Noise float64
+	// Seed makes generation deterministic.
+	Seed int64
+}
+
+// RMAT samples a recursive-matrix graph.
+func RMAT(cfg RMATConfig) (*graph.Graph, error) {
+	if cfg.Scale < 1 || cfg.Scale > 24 {
+		return nil, fmt.Errorf("gen: rmat scale %d out of [1,24]", cfg.Scale)
+	}
+	if cfg.Edges < 1 {
+		return nil, fmt.Errorf("gen: rmat needs >= 1 edge, got %d", cfg.Edges)
+	}
+	d := 1 - cfg.A - cfg.B - cfg.C
+	if cfg.A < 0 || cfg.B < 0 || cfg.C < 0 || d < 0 {
+		return nil, fmt.Errorf("gen: rmat probabilities (%v,%v,%v,%v) invalid", cfg.A, cfg.B, cfg.C, d)
+	}
+	if cfg.Noise < 0 || cfg.Noise >= 0.5 {
+		return nil, fmt.Errorf("gen: rmat noise %v out of [0,0.5)", cfg.Noise)
+	}
+	n := 1 << cfg.Scale
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	b := graph.NewBuilder(n)
+	for e := int64(0); e < cfg.Edges; e++ {
+		u, v := 0, 0
+		for bit := cfg.Scale - 1; bit >= 0; bit-- {
+			a1, b1, c1 := cfg.A, cfg.B, cfg.C
+			if cfg.Noise > 0 {
+				// Multiplicative noise, renormalized.
+				a1 *= 1 + cfg.Noise*(2*rng.Float64()-1)
+				b1 *= 1 + cfg.Noise*(2*rng.Float64()-1)
+				c1 *= 1 + cfg.Noise*(2*rng.Float64()-1)
+				d1 := d * (1 + cfg.Noise*(2*rng.Float64()-1))
+				total := a1 + b1 + c1 + d1
+				a1, b1, c1 = a1/total, b1/total, c1/total
+			}
+			r := rng.Float64()
+			switch {
+			case r < a1:
+				// top-left: nothing to add
+			case r < a1+b1:
+				v |= 1 << bit
+			case r < a1+b1+c1:
+				u |= 1 << bit
+			default:
+				u |= 1 << bit
+				v |= 1 << bit
+			}
+		}
+		b.AddEdgeSafe(graph.NodeID(u), graph.NodeID(v))
+	}
+	return b.Build(), nil
+}
+
+// SBMConfig parameterizes a stochastic block model.
+type SBMConfig struct {
+	// BlockSizes gives the number of nodes in each community.
+	BlockSizes []int
+	// PIn is the within-community edge probability.
+	PIn float64
+	// POut is the cross-community edge probability.
+	POut float64
+	// Seed makes generation deterministic.
+	Seed int64
+}
+
+// SBM samples a stochastic block model. With PIn >> POut the result is a
+// tight-knit multi-community graph — the slow-mixing regime the paper
+// associates with strict-trust social networks (§II, discussion of [17]).
+// The returned labels give each node's community.
+func SBM(cfg SBMConfig) (*graph.Graph, []int, error) {
+	if len(cfg.BlockSizes) == 0 {
+		return nil, nil, fmt.Errorf("gen: sbm needs at least one block")
+	}
+	for i, s := range cfg.BlockSizes {
+		if s < 1 {
+			return nil, nil, fmt.Errorf("gen: sbm block %d has size %d", i, s)
+		}
+	}
+	if cfg.PIn < 0 || cfg.PIn > 1 || cfg.POut < 0 || cfg.POut > 1 {
+		return nil, nil, fmt.Errorf("gen: sbm probabilities out of [0,1]: pin=%v pout=%v", cfg.PIn, cfg.POut)
+	}
+	n := 0
+	for _, s := range cfg.BlockSizes {
+		n += s
+	}
+	labels := make([]int, n)
+	starts := make([]int, len(cfg.BlockSizes)+1)
+	for i, s := range cfg.BlockSizes {
+		starts[i+1] = starts[i] + s
+		for v := starts[i]; v < starts[i+1]; v++ {
+			labels[v] = i
+		}
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	b := graph.NewBuilder(n)
+	sampleBlockPair := func(rowStart, rowEnd, colStart, colEnd int, p float64, diag bool) {
+		if p <= 0 {
+			return
+		}
+		// Bernoulli sampling with geometric skipping over the (implicit)
+		// pair enumeration, mirroring GNP.
+		logQ := math.Log(1 - p)
+		if p >= 1 {
+			for u := rowStart; u < rowEnd; u++ {
+				cs := colStart
+				if diag {
+					cs = u + 1
+				}
+				for v := cs; v < colEnd; v++ {
+					b.AddEdgeSafe(graph.NodeID(u), graph.NodeID(v))
+				}
+			}
+			return
+		}
+		var total int64
+		rows := int64(rowEnd - rowStart)
+		cols := int64(colEnd - colStart)
+		if diag {
+			total = rows * (rows - 1) / 2
+		} else {
+			total = rows * cols
+		}
+		idx := int64(-1)
+		for {
+			skip := int64(math.Log(1-rng.Float64())/logQ) + 1
+			idx += skip
+			if idx >= total {
+				return
+			}
+			var u, v int
+			if diag {
+				u, v = pairFromIndex(idx, rowEnd-rowStart)
+				u += rowStart
+				v += rowStart
+			} else {
+				u = rowStart + int(idx/cols)
+				v = colStart + int(idx%cols)
+			}
+			b.AddEdgeSafe(graph.NodeID(u), graph.NodeID(v))
+		}
+	}
+	for i := range cfg.BlockSizes {
+		sampleBlockPair(starts[i], starts[i+1], starts[i], starts[i+1], cfg.PIn, true)
+		for j := i + 1; j < len(cfg.BlockSizes); j++ {
+			sampleBlockPair(starts[i], starts[i+1], starts[j], starts[j+1], cfg.POut, false)
+		}
+	}
+	return b.Build(), labels, nil
+}
+
+// pairFromIndex maps a linear index in [0, n(n-1)/2) to the idx-th pair
+// (u, v) with u < v in lexicographic order over an n-node block.
+func pairFromIndex(idx int64, n int) (int, int) {
+	u := 0
+	remaining := idx
+	for {
+		rowLen := int64(n - 1 - u)
+		if remaining < rowLen {
+			return u, u + 1 + int(remaining)
+		}
+		remaining -= rowLen
+		u++
+	}
+}
+
+// ClusteredPAConfig parameterizes ClusteredPA.
+type ClusteredPAConfig struct {
+	// Communities is the number of communities.
+	Communities int
+	// CommunitySize is the total number of nodes per community, including
+	// its peripheral nodes.
+	CommunitySize int
+	// Attach is the preferential-attachment parameter inside a community.
+	Attach int
+	// Bridges is the number of inter-community edges added per adjacent
+	// community pair on a ring of communities (pair (i, i+1 mod C)).
+	Bridges int
+	// Periphery is the number of low-degree peripheral nodes per
+	// community. Each peripheral node attaches to exactly one random
+	// nucleus member and carries at most one bridge edge, so its degree
+	// never reaches the nucleus attach parameter — this is what makes the
+	// high-k cores split per community, mirroring the weak-tie structure
+	// of real co-authorship graphs. Must be at least 2·Bridges; defaults
+	// to max(2·Bridges, CommunitySize/5) when 0.
+	Periphery int
+	// Seed makes generation deterministic.
+	Seed int64
+}
+
+// ClusteredPA builds the slow-mixing co-authorship stand-in: each community
+// is a Barabási–Albert nucleus (dense local core) ringed by low-degree
+// peripheral nodes, and adjacent communities on a ring are joined by bridge
+// edges between peripheral nodes. Mixing is bottlenecked by the bridges,
+// reproducing the tight-knit community structure the paper observes in the
+// Physics co-authorship graphs; because the bridges run through weak ties,
+// the high-k cores split into one component per community, reproducing the
+// multi-core structure of Figure 5 (f)–(j).
+func ClusteredPA(cfg ClusteredPAConfig) (*graph.Graph, []int, error) {
+	if cfg.Communities < 2 {
+		return nil, nil, fmt.Errorf("gen: clustered-pa needs >= 2 communities, got %d", cfg.Communities)
+	}
+	if cfg.Bridges < 1 {
+		return nil, nil, fmt.Errorf("gen: clustered-pa needs >= 1 bridge, got %d", cfg.Bridges)
+	}
+	if cfg.Periphery < 0 {
+		return nil, nil, fmt.Errorf("gen: clustered-pa periphery %d must be >= 0", cfg.Periphery)
+	}
+	periphery := cfg.Periphery
+	if periphery == 0 {
+		periphery = cfg.CommunitySize / 5
+		if periphery < 2*cfg.Bridges {
+			periphery = 2 * cfg.Bridges
+		}
+	}
+	if periphery < 2*cfg.Bridges {
+		return nil, nil, fmt.Errorf("gen: clustered-pa periphery %d must be >= 2·bridges (%d) so no peripheral node carries two bridges",
+			periphery, 2*cfg.Bridges)
+	}
+	nucleus := cfg.CommunitySize - periphery
+	if nucleus <= cfg.Attach {
+		return nil, nil, fmt.Errorf("gen: clustered-pa nucleus size %d must exceed attach %d (community size %d, periphery %d)",
+			nucleus, cfg.Attach, cfg.CommunitySize, periphery)
+	}
+	n := cfg.Communities * cfg.CommunitySize
+	labels := make([]int, n)
+	b := graph.NewBuilder(n)
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	for c := 0; c < cfg.Communities; c++ {
+		base := c * cfg.CommunitySize
+		sub, err := BarabasiAlbert(nucleus, cfg.Attach, cfg.Seed+int64(c)+1)
+		if err != nil {
+			return nil, nil, fmt.Errorf("clustered-pa community %d: %w", c, err)
+		}
+		for _, e := range sub.Edges() {
+			b.AddEdgeSafe(e.U+graph.NodeID(base), e.V+graph.NodeID(base))
+		}
+		// Peripheral nodes occupy IDs [base+nucleus, base+CommunitySize);
+		// each attaches to one random nucleus member (degree 1 before
+		// bridges, at most 2 after, so coreness stays below Attach).
+		for p := 0; p < periphery; p++ {
+			pv := graph.NodeID(base + nucleus + p)
+			b.AddEdgeSafe(pv, graph.NodeID(base+rng.Intn(nucleus)))
+		}
+		for v := 0; v < cfg.CommunitySize; v++ {
+			labels[base+v] = c
+		}
+	}
+	// Bridge i of community pair (c, c+1) leaves through peripheral slot
+	// i and arrives at peripheral slot Periphery-1-i; with Periphery >=
+	// 2·Bridges the outgoing and incoming slots never collide, so every
+	// peripheral node carries at most one bridge.
+	for c := 0; c < cfg.Communities; c++ {
+		next := (c + 1) % cfg.Communities
+		for i := 0; i < cfg.Bridges; i++ {
+			u := graph.NodeID(c*cfg.CommunitySize + nucleus + i)
+			v := graph.NodeID(next*cfg.CommunitySize + nucleus + periphery - 1 - i)
+			b.AddEdgeSafe(u, v)
+		}
+	}
+	return b.Build(), labels, nil
+}

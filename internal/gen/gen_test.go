@@ -1,0 +1,460 @@
+package gen
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"github.com/trustnet/trustnet/internal/graph"
+)
+
+func TestCycle(t *testing.T) {
+	g, err := Cycle(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumNodes() != 5 || g.NumEdges() != 5 {
+		t.Errorf("C5 = %v, want n=5 m=5", g)
+	}
+	for v := graph.NodeID(0); int(v) < 5; v++ {
+		if g.Degree(v) != 2 {
+			t.Errorf("deg(%d) = %d, want 2", v, g.Degree(v))
+		}
+	}
+	if _, err := Cycle(2); err == nil {
+		t.Error("Cycle(2): want error")
+	}
+}
+
+func TestPath(t *testing.T) {
+	g, err := Path(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumEdges() != 3 {
+		t.Errorf("P4 edges = %d, want 3", g.NumEdges())
+	}
+	if _, err := Path(0); err == nil {
+		t.Error("Path(0): want error")
+	}
+}
+
+func TestComplete(t *testing.T) {
+	g, err := Complete(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumEdges() != 15 {
+		t.Errorf("K6 edges = %d, want 15", g.NumEdges())
+	}
+	if _, err := Complete(0); err == nil {
+		t.Error("Complete(0): want error")
+	}
+}
+
+func TestStar(t *testing.T) {
+	g, err := Star(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Degree(0) != 6 {
+		t.Errorf("hub degree = %d, want 6", g.Degree(0))
+	}
+	if g.NumEdges() != 6 {
+		t.Errorf("star edges = %d, want 6", g.NumEdges())
+	}
+	if _, err := Star(1); err == nil {
+		t.Error("Star(1): want error")
+	}
+}
+
+func TestGrid(t *testing.T) {
+	g, err := Grid(3, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumNodes() != 12 {
+		t.Errorf("grid nodes = %d, want 12", g.NumNodes())
+	}
+	// Edges: 3*(4-1) horizontal + (3-1)*4 vertical = 9 + 8 = 17.
+	if g.NumEdges() != 17 {
+		t.Errorf("grid edges = %d, want 17", g.NumEdges())
+	}
+	if _, err := Grid(0, 3); err == nil {
+		t.Error("Grid(0,3): want error")
+	}
+}
+
+func TestHypercube(t *testing.T) {
+	g, err := Hypercube(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumNodes() != 16 {
+		t.Errorf("Q4 nodes = %d, want 16", g.NumNodes())
+	}
+	if g.NumEdges() != 32 { // d * 2^(d-1)
+		t.Errorf("Q4 edges = %d, want 32", g.NumEdges())
+	}
+	for v := graph.NodeID(0); int(v) < 16; v++ {
+		if g.Degree(v) != 4 {
+			t.Errorf("deg(%d) = %d, want 4", v, g.Degree(v))
+		}
+	}
+	if _, err := Hypercube(0); err == nil {
+		t.Error("Hypercube(0): want error")
+	}
+	if _, err := Hypercube(30); err == nil {
+		t.Error("Hypercube(30): want error")
+	}
+}
+
+func TestGNMExactEdgeCount(t *testing.T) {
+	g, err := GNM(50, 200, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumEdges() != 200 {
+		t.Errorf("gnm edges = %d, want exactly 200", g.NumEdges())
+	}
+	if _, err := GNM(1, 0, 1); err == nil {
+		t.Error("GNM(1,0): want error")
+	}
+	if _, err := GNM(10, 100, 1); err == nil {
+		t.Error("GNM over max edges: want error")
+	}
+}
+
+func TestGNMDeterministic(t *testing.T) {
+	a, err := GNM(40, 100, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := GNM(40, 100, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ea, eb := a.Edges(), b.Edges()
+	if len(ea) != len(eb) {
+		t.Fatalf("edge counts differ: %d vs %d", len(ea), len(eb))
+	}
+	for i := range ea {
+		if ea[i] != eb[i] {
+			t.Fatalf("edge %d differs: %v vs %v", i, ea[i], eb[i])
+		}
+	}
+}
+
+func TestGNPEdgeDensity(t *testing.T) {
+	n, p := 500, 0.05
+	g, err := GNP(n, p, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	expect := p * float64(n) * float64(n-1) / 2
+	got := float64(g.NumEdges())
+	if math.Abs(got-expect) > 4*math.Sqrt(expect) {
+		t.Errorf("gnp edges = %v, want about %v", got, expect)
+	}
+}
+
+func TestGNPDegenerateCases(t *testing.T) {
+	g, err := GNP(10, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumEdges() != 0 {
+		t.Errorf("gnp p=0 has %d edges", g.NumEdges())
+	}
+	g, err = GNP(10, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumEdges() != 45 {
+		t.Errorf("gnp p=1 has %d edges, want 45", g.NumEdges())
+	}
+	if _, err := GNP(10, 1.5, 1); err == nil {
+		t.Error("GNP(p=1.5): want error")
+	}
+	if _, err := GNP(0, 0.5, 1); err == nil {
+		t.Error("GNP(n=0): want error")
+	}
+}
+
+func TestBarabasiAlbert(t *testing.T) {
+	n, attach := 300, 3
+	g, err := BarabasiAlbert(n, attach, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumNodes() != n {
+		t.Errorf("ba nodes = %d, want %d", g.NumNodes(), n)
+	}
+	// Every non-seed node contributes exactly `attach` edges (minus dedups,
+	// which the target-set construction prevents).
+	wantEdges := int64(attach*(attach+1)/2 + (n-attach-1)*attach)
+	if g.NumEdges() != wantEdges {
+		t.Errorf("ba edges = %d, want %d", g.NumEdges(), wantEdges)
+	}
+	if g.MinDegree() < attach {
+		t.Errorf("ba min degree = %d, want >= %d", g.MinDegree(), attach)
+	}
+	if !graph.IsConnected(g) {
+		t.Error("ba graph disconnected")
+	}
+	// Heavy tail: the max degree should dwarf the attach parameter.
+	if g.MaxDegree() < 4*attach {
+		t.Errorf("ba max degree = %d, suspiciously small", g.MaxDegree())
+	}
+	if _, err := BarabasiAlbert(3, 3, 1); err == nil {
+		t.Error("BarabasiAlbert(n<=attach): want error")
+	}
+	if _, err := BarabasiAlbert(10, 0, 1); err == nil {
+		t.Error("BarabasiAlbert(attach=0): want error")
+	}
+}
+
+func TestWattsStrogatz(t *testing.T) {
+	g, err := WattsStrogatz(200, 6, 0.1, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumNodes() != 200 {
+		t.Errorf("ws nodes = %d", g.NumNodes())
+	}
+	// n*k/2 edges before rewiring; rewiring can only merge duplicates.
+	if g.NumEdges() > 600 || g.NumEdges() < 550 {
+		t.Errorf("ws edges = %d, want close to 600", g.NumEdges())
+	}
+	// Low beta keeps strong clustering relative to a random graph.
+	if cc := graph.AverageClustering(g); cc < 0.2 {
+		t.Errorf("ws clustering = %v, want >= 0.2 at beta=0.1", cc)
+	}
+	for _, bad := range []struct {
+		n, k int
+		beta float64
+	}{{10, 3, 0.1}, {10, 0, 0.1}, {4, 6, 0.1}, {10, 4, -0.5}, {10, 4, 1.5}} {
+		if _, err := WattsStrogatz(bad.n, bad.k, bad.beta, 1); err == nil {
+			t.Errorf("WattsStrogatz(%d,%d,%v): want error", bad.n, bad.k, bad.beta)
+		}
+	}
+}
+
+func TestPowerLawConfiguration(t *testing.T) {
+	g, err := PowerLawConfiguration(1000, 2.5, 2, 100, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumNodes() != 1000 {
+		t.Errorf("plc nodes = %d", g.NumNodes())
+	}
+	if g.NumEdges() == 0 {
+		t.Fatal("plc produced no edges")
+	}
+	if g.MaxDegree() > 100 {
+		t.Errorf("plc max degree = %d exceeds cap 100", g.MaxDegree())
+	}
+	for _, bad := range []struct {
+		n              int
+		gamma          float64
+		minDeg, maxDeg int
+	}{{1, 2.5, 2, 10}, {100, 0.5, 2, 10}, {100, 2.5, 0, 10}, {100, 2.5, 5, 4}, {100, 2.5, 2, 100}} {
+		if _, err := PowerLawConfiguration(bad.n, bad.gamma, bad.minDeg, bad.maxDeg, 1); err == nil {
+			t.Errorf("PowerLawConfiguration(%+v): want error", bad)
+		}
+	}
+}
+
+func TestSBM(t *testing.T) {
+	cfg := SBMConfig{BlockSizes: []int{50, 50, 50}, PIn: 0.3, POut: 0.005, Seed: 2}
+	g, labels, err := SBM(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumNodes() != 150 || len(labels) != 150 {
+		t.Fatalf("sbm size = %d/%d, want 150/150", g.NumNodes(), len(labels))
+	}
+	within, across := 0, 0
+	for _, e := range g.Edges() {
+		if labels[e.U] == labels[e.V] {
+			within++
+		} else {
+			across++
+		}
+	}
+	if within <= 10*across {
+		t.Errorf("sbm within=%d across=%d, want strong community structure", within, across)
+	}
+	if _, _, err := SBM(SBMConfig{}); err == nil {
+		t.Error("SBM(empty): want error")
+	}
+	if _, _, err := SBM(SBMConfig{BlockSizes: []int{0}}); err == nil {
+		t.Error("SBM(zero block): want error")
+	}
+	if _, _, err := SBM(SBMConfig{BlockSizes: []int{5}, PIn: 2}); err == nil {
+		t.Error("SBM(pin=2): want error")
+	}
+}
+
+func TestSBMDensePIn(t *testing.T) {
+	g, _, err := SBM(SBMConfig{BlockSizes: []int{10, 10}, PIn: 1, POut: 0, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two disjoint K10s.
+	if g.NumEdges() != 90 {
+		t.Errorf("edges = %d, want 90", g.NumEdges())
+	}
+	if graph.NumComponents(g) != 2 {
+		t.Errorf("components = %d, want 2", graph.NumComponents(g))
+	}
+}
+
+func TestClusteredPA(t *testing.T) {
+	cfg := ClusteredPAConfig{Communities: 4, CommunitySize: 100, Attach: 3, Bridges: 2, Seed: 13}
+	g, labels, err := ClusteredPA(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumNodes() != 400 {
+		t.Errorf("cpa nodes = %d, want 400", g.NumNodes())
+	}
+	if !graph.IsConnected(g) {
+		t.Error("cpa graph should be connected via ring bridges")
+	}
+	across := 0
+	for _, e := range g.Edges() {
+		if labels[e.U] != labels[e.V] {
+			across++
+		}
+	}
+	if across == 0 || across > 4*cfg.Bridges {
+		t.Errorf("cpa cross edges = %d, want in (0, %d]", across, 4*cfg.Bridges)
+	}
+	for _, bad := range []ClusteredPAConfig{
+		{Communities: 1, CommunitySize: 10, Attach: 2, Bridges: 1},
+		{Communities: 3, CommunitySize: 2, Attach: 2, Bridges: 1},
+		{Communities: 3, CommunitySize: 10, Attach: 2, Bridges: 0},
+	} {
+		if _, _, err := ClusteredPA(bad); err == nil {
+			t.Errorf("ClusteredPA(%+v): want error", bad)
+		}
+	}
+}
+
+func TestPairFromIndex(t *testing.T) {
+	n := 5
+	idx := int64(0)
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			gu, gv := pairFromIndex(idx, n)
+			if gu != u || gv != v {
+				t.Fatalf("pairFromIndex(%d) = (%d,%d), want (%d,%d)", idx, gu, gv, u, v)
+			}
+			idx++
+		}
+	}
+}
+
+// Property: all generators produce simple graphs (no self loops; symmetric;
+// degree sum = 2m) — delegated to the Builder, but verify end to end for
+// the seeded ones.
+func TestGeneratorsSimpleQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		gs := make([]*graph.Graph, 0, 4)
+		if g, err := GNM(30, 60, seed); err == nil {
+			gs = append(gs, g)
+		}
+		if g, err := GNP(30, 0.2, seed); err == nil {
+			gs = append(gs, g)
+		}
+		if g, err := BarabasiAlbert(30, 2, seed); err == nil {
+			gs = append(gs, g)
+		}
+		if g, err := WattsStrogatz(30, 4, 0.3, seed); err == nil {
+			gs = append(gs, g)
+		}
+		for _, g := range gs {
+			var degSum int64
+			for v := graph.NodeID(0); int(v) < g.NumNodes(); v++ {
+				degSum += int64(g.Degree(v))
+				for _, u := range g.Neighbors(v) {
+					if u == v {
+						return false
+					}
+				}
+			}
+			if degSum != 2*g.NumEdges() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRMAT(t *testing.T) {
+	cfg := RMATConfig{Scale: 10, Edges: 8000, A: 0.57, B: 0.19, C: 0.19, Noise: 0.1, Seed: 3}
+	g, err := RMAT(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumNodes() != 1024 {
+		t.Errorf("rmat nodes = %d, want 1024", g.NumNodes())
+	}
+	if g.NumEdges() < 4000 || g.NumEdges() > 8000 {
+		t.Errorf("rmat edges = %d, want in (4000, 8000]", g.NumEdges())
+	}
+	// Skewed quadrants produce a heavy-tailed degree distribution: the
+	// hub should dwarf the average degree.
+	if float64(g.MaxDegree()) < 5*g.AverageDegree() {
+		t.Errorf("rmat max degree %d vs avg %.1f: tail too light", g.MaxDegree(), g.AverageDegree())
+	}
+	for _, bad := range []RMATConfig{
+		{Scale: 0, Edges: 10, A: 0.25, B: 0.25, C: 0.25},
+		{Scale: 30, Edges: 10, A: 0.25, B: 0.25, C: 0.25},
+		{Scale: 4, Edges: 0, A: 0.25, B: 0.25, C: 0.25},
+		{Scale: 4, Edges: 10, A: 0.6, B: 0.3, C: 0.3},
+		{Scale: 4, Edges: 10, A: -0.1, B: 0.3, C: 0.3},
+		{Scale: 4, Edges: 10, A: 0.25, B: 0.25, C: 0.25, Noise: 0.7},
+	} {
+		if _, err := RMAT(bad); err == nil {
+			t.Errorf("RMAT(%+v): want error", bad)
+		}
+	}
+}
+
+func TestRMATDeterministic(t *testing.T) {
+	cfg := RMATConfig{Scale: 8, Edges: 1000, A: 0.5, B: 0.2, C: 0.2, Seed: 9}
+	a, err := RMAT(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RMAT(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ea, eb := a.Edges(), b.Edges()
+	if len(ea) != len(eb) {
+		t.Fatalf("edge counts differ: %d vs %d", len(ea), len(eb))
+	}
+	for i := range ea {
+		if ea[i] != eb[i] {
+			t.Fatalf("edge %d differs", i)
+		}
+	}
+}
+
+func TestRMATUniformQuadrantsIsGNPLike(t *testing.T) {
+	// With A=B=C=D=0.25 and no noise, edges land uniformly: the degree
+	// distribution is near-Poisson, with a light tail.
+	g, err := RMAT(RMATConfig{Scale: 10, Edges: 8000, A: 0.25, B: 0.25, C: 0.25, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if float64(g.MaxDegree()) > 4*g.AverageDegree() {
+		t.Errorf("uniform rmat max degree %d vs avg %.1f: tail too heavy", g.MaxDegree(), g.AverageDegree())
+	}
+}

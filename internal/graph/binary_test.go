@@ -1,0 +1,162 @@
+package graph
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"path/filepath"
+	"testing"
+	"testing/quick"
+)
+
+func TestBinaryRoundTrip(t *testing.T) {
+	g := cliqueGraph(t, 8)
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := ReadBinary(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.NumNodes() != g.NumNodes() || g2.NumEdges() != g.NumEdges() {
+		t.Fatalf("round trip: %v vs %v", g2, g)
+	}
+	for _, e := range g.Edges() {
+		if !g2.HasEdge(e.U, e.V) {
+			t.Errorf("edge %v lost", e)
+		}
+	}
+}
+
+func TestBinaryEmptyAndIsolated(t *testing.T) {
+	// Graph with isolated nodes only.
+	g := NewBuilder(7).Build()
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := ReadBinary(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.NumNodes() != 7 || g2.NumEdges() != 0 {
+		t.Errorf("round trip = %v, want n=7 m=0", g2)
+	}
+}
+
+func TestBinaryCompactness(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	b := NewBuilder(2000)
+	for i := 0; i < 12000; i++ {
+		b.AddEdgeSafe(NodeID(rng.Intn(2000)), NodeID(rng.Intn(2000)))
+	}
+	g := b.Build()
+	var bin, txt bytes.Buffer
+	if err := WriteBinary(&bin, g); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteEdgeList(&txt, g); err != nil {
+		t.Fatal(err)
+	}
+	if bin.Len() >= txt.Len()/2 {
+		t.Errorf("binary %d bytes vs text %d: expected at least 2x compaction", bin.Len(), txt.Len())
+	}
+}
+
+func TestBinaryCorruption(t *testing.T) {
+	g := pathGraph(t, 10)
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+
+	// Wrong magic.
+	bad := append([]byte("XXXX"), data[4:]...)
+	if _, err := ReadBinary(bytes.NewReader(bad)); !errors.Is(err, ErrBadFormat) {
+		t.Errorf("wrong magic: %v, want ErrBadFormat", err)
+	}
+	// Truncated.
+	if _, err := ReadBinary(bytes.NewReader(data[:len(data)-2])); !errors.Is(err, ErrBadFormat) {
+		t.Errorf("truncated: %v, want ErrBadFormat", err)
+	}
+	// Empty.
+	if _, err := ReadBinary(bytes.NewReader(nil)); !errors.Is(err, ErrBadFormat) {
+		t.Errorf("empty: %v, want ErrBadFormat", err)
+	}
+}
+
+func TestBinarySaveLoad(t *testing.T) {
+	g := cliqueGraph(t, 6)
+	path := filepath.Join(t.TempDir(), "g.bin")
+	if err := SaveBinary(path, g); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := LoadBinary(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.NumEdges() != 15 {
+		t.Errorf("loaded edges = %d, want 15", g2.NumEdges())
+	}
+	if _, err := LoadBinary(filepath.Join(t.TempDir(), "missing.bin")); err == nil {
+		t.Error("LoadBinary(missing): want error")
+	}
+}
+
+func TestBinaryRoundTripQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(60)
+		b := NewBuilder(n)
+		for i := 0; i < 3*n; i++ {
+			b.AddEdgeSafe(NodeID(rng.Intn(n)), NodeID(rng.Intn(n)))
+		}
+		g := b.Build()
+		var buf bytes.Buffer
+		if err := WriteBinary(&buf, g); err != nil {
+			return false
+		}
+		g2, err := ReadBinary(&buf)
+		if err != nil {
+			return false
+		}
+		if g2.NumNodes() != g.NumNodes() || g2.NumEdges() != g.NumEdges() {
+			return false
+		}
+		for _, e := range g.Edges() {
+			if !g2.HasEdge(e.U, e.V) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// FuzzReadBinary: arbitrary bytes must never panic; valid parses must
+// satisfy the simple-graph invariants.
+func FuzzReadBinary(f *testing.F) {
+	g, _ := FromEdges(4, []Edge{{U: 0, V: 1}, {U: 1, V: 2}})
+	var buf bytes.Buffer
+	_ = WriteBinary(&buf, g)
+	f.Add(buf.Bytes())
+	f.Add([]byte("TNG1"))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		g, err := ReadBinary(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		var degSum int64
+		for v := NodeID(0); int(v) < g.NumNodes(); v++ {
+			degSum += int64(g.Degree(v))
+		}
+		if degSum != 2*g.NumEdges() {
+			t.Fatalf("handshake lemma violated")
+		}
+	})
+}

@@ -1,0 +1,55 @@
+package graph_test
+
+import (
+	"fmt"
+	"log"
+
+	"github.com/trustnet/trustnet/internal/graph"
+)
+
+// Build a small friendship graph and query its structure.
+func Example() {
+	b := graph.NewBuilder(5)
+	for _, e := range []graph.Edge{
+		{U: 0, V: 1}, {U: 0, V: 2}, {U: 1, V: 2}, {U: 2, V: 3}, {U: 3, V: 4},
+	} {
+		if err := b.AddEdge(e.U, e.V); err != nil {
+			log.Fatal(err)
+		}
+	}
+	g := b.Build()
+	fmt.Println(g)
+	fmt.Println("deg(2) =", g.Degree(2))
+	fmt.Println("triangle:", g.HasEdge(0, 1) && g.HasEdge(1, 2) && g.HasEdge(0, 2))
+	d, err := graph.Diameter(g)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("diameter =", d)
+	// Output:
+	// graph{n=5 m=5}
+	// deg(2) = 3
+	// triangle: true
+	// diameter = 3
+}
+
+// BFS exposes the level structure the expansion measurement consumes.
+func ExampleBFS() {
+	b := graph.NewBuilder(6)
+	for _, e := range []graph.Edge{
+		{U: 0, V: 1}, {U: 0, V: 2}, {U: 1, V: 3}, {U: 2, V: 4}, {U: 3, V: 5},
+	} {
+		if err := b.AddEdge(e.U, e.V); err != nil {
+			log.Fatal(err)
+		}
+	}
+	r, err := graph.BFS(b.Build(), 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("levels:", r.LevelSizes)
+	fmt.Println("eccentricity:", r.Eccentricity())
+	// Output:
+	// levels: [1 2 2 1]
+	// eccentricity: 3
+}

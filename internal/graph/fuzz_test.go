@@ -1,0 +1,43 @@
+package graph
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzReadEdgeList checks that arbitrary input never panics and that any
+// successfully parsed graph survives a write→read round trip.
+func FuzzReadEdgeList(f *testing.F) {
+	f.Add("0 1\n1 2\n")
+	f.Add("# nodes: 5\n0 1\n")
+	f.Add("")
+	f.Add("0 0\n")
+	f.Add("a b\n")
+	f.Add("9999999 1\n")
+	f.Add("1 2 3 4\n")
+	f.Fuzz(func(t *testing.T, input string) {
+		g, err := ReadEdgeList(strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := WriteEdgeList(&buf, g); err != nil {
+			t.Fatalf("write after successful read: %v", err)
+		}
+		g2, err := ReadEdgeList(&buf)
+		if err != nil {
+			t.Fatalf("re-read of own output: %v", err)
+		}
+		if g2.NumNodes() != g.NumNodes() || g2.NumEdges() != g.NumEdges() {
+			t.Fatalf("round trip changed size: %v vs %v", g2, g)
+		}
+		var degSum int64
+		for v := NodeID(0); int(v) < g.NumNodes(); v++ {
+			degSum += int64(g.Degree(v))
+		}
+		if degSum != 2*g.NumEdges() {
+			t.Fatalf("handshake lemma violated: %d vs 2*%d", degSum, g.NumEdges())
+		}
+	})
+}

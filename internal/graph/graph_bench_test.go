@@ -1,0 +1,67 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func benchGraph(b *testing.B, n int) *Graph {
+	b.Helper()
+	rng := rand.New(rand.NewSource(1))
+	builder := NewBuilder(n)
+	for v := 1; v < n; v++ {
+		builder.AddEdgeSafe(NodeID(v), NodeID(rng.Intn(v)))
+	}
+	for i := 0; i < 5*n; i++ {
+		builder.AddEdgeSafe(NodeID(rng.Intn(n)), NodeID(rng.Intn(n)))
+	}
+	return builder.Build()
+}
+
+func BenchmarkBuild(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	const n = 10000
+	edges := make([]Edge, 6*n)
+	for i := range edges {
+		edges[i] = Edge{U: NodeID(rng.Intn(n)), V: NodeID(rng.Intn(n))}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		builder := NewBuilder(n)
+		for _, e := range edges {
+			builder.AddEdgeSafe(e.U, e.V)
+		}
+		_ = builder.Build()
+	}
+}
+
+func BenchmarkBFS(b *testing.B) {
+	g := benchGraph(b, 10000)
+	w := NewBFSWorker(g)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := w.Run(0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkConnectedComponents(b *testing.B) {
+	g := benchGraph(b, 10000)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ConnectedComponents(g)
+	}
+}
+
+func BenchmarkHasEdge(b *testing.B) {
+	g := benchGraph(b, 10000)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.HasEdge(NodeID(i%10000), NodeID((i*7)%10000))
+	}
+}

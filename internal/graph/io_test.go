@@ -1,0 +1,138 @@
+package graph
+
+import (
+	"bytes"
+	"math/rand"
+	"path/filepath"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestEdgeListRoundTrip(t *testing.T) {
+	g := cliqueGraph(t, 7)
+	var buf bytes.Buffer
+	if err := WriteEdgeList(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := ReadEdgeList(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.NumNodes() != g.NumNodes() || g2.NumEdges() != g.NumEdges() {
+		t.Fatalf("round trip: got %v, want %v", g2, g)
+	}
+	for _, e := range g.Edges() {
+		if !g2.HasEdge(e.U, e.V) {
+			t.Errorf("edge %v lost in round trip", e)
+		}
+	}
+}
+
+func TestReadEdgeListComments(t *testing.T) {
+	in := "# a comment\n% another\n\n0 1\n1 2\n"
+	g, err := ReadEdgeList(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumNodes() != 3 || g.NumEdges() != 2 {
+		t.Errorf("got %v, want n=3 m=2", g)
+	}
+}
+
+func TestReadEdgeListNodesHeader(t *testing.T) {
+	// Header declares more nodes than appear in edges: isolated tail nodes.
+	in := "# nodes: 10\n0 1\n"
+	g, err := ReadEdgeList(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumNodes() != 10 {
+		t.Errorf("NumNodes = %d, want 10 from header", g.NumNodes())
+	}
+}
+
+func TestReadEdgeListDropsSelfLoops(t *testing.T) {
+	in := "0 0\n0 1\n1 1\n"
+	g, err := ReadEdgeList(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumEdges() != 1 {
+		t.Errorf("NumEdges = %d, want 1 (self loops dropped)", g.NumEdges())
+	}
+}
+
+func TestReadEdgeListErrors(t *testing.T) {
+	tests := []struct {
+		name string
+		in   string
+	}{
+		{"one field", "0\n"},
+		{"non-numeric", "a b\n"},
+		{"negative", "-1 2\n"},
+		{"second non-numeric", "0 x\n"},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := ReadEdgeList(strings.NewReader(tt.in)); err == nil {
+				t.Errorf("ReadEdgeList(%q): want error", tt.in)
+			}
+		})
+	}
+}
+
+func TestSaveLoadEdgeList(t *testing.T) {
+	g := pathGraph(t, 20)
+	path := filepath.Join(t.TempDir(), "g.txt")
+	if err := SaveEdgeList(path, g); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := LoadEdgeList(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.NumNodes() != 20 || g2.NumEdges() != 19 {
+		t.Errorf("loaded %v, want n=20 m=19", g2)
+	}
+}
+
+func TestLoadEdgeListMissingFile(t *testing.T) {
+	if _, err := LoadEdgeList(filepath.Join(t.TempDir(), "nope.txt")); err == nil {
+		t.Error("LoadEdgeList(missing): want error")
+	}
+}
+
+// Property: write→read is the identity on random graphs (modulo isolated
+// trailing nodes, which the header preserves).
+func TestEdgeListRoundTripQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(30)
+		b := NewBuilder(n)
+		for i := 0; i < 2*n; i++ {
+			b.AddEdgeSafe(NodeID(rng.Intn(n)), NodeID(rng.Intn(n)))
+		}
+		g := b.Build()
+		var buf bytes.Buffer
+		if err := WriteEdgeList(&buf, g); err != nil {
+			return false
+		}
+		g2, err := ReadEdgeList(&buf)
+		if err != nil {
+			return false
+		}
+		if g2.NumNodes() != g.NumNodes() || g2.NumEdges() != g.NumEdges() {
+			return false
+		}
+		for _, e := range g.Edges() {
+			if !g2.HasEdge(e.U, e.V) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

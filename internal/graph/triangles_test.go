@@ -1,0 +1,103 @@
+package graph
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestTriangleCountKnown(t *testing.T) {
+	tests := []struct {
+		name string
+		g    *Graph
+		want int64
+	}{
+		{"K4", cliqueGraph(t, 4), 4},
+		{"K5", cliqueGraph(t, 5), 10},
+		{"path", pathGraph(t, 6), 0},
+		{"single", NewBuilder(1).Build(), 0},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := TriangleCount(tt.g); got != tt.want {
+				t.Errorf("TriangleCount = %d, want %d", got, tt.want)
+			}
+		})
+	}
+}
+
+func TestTriangleCountTriangleWithTail(t *testing.T) {
+	b := NewBuilder(5)
+	for _, e := range []Edge{{U: 0, V: 1}, {U: 1, V: 2}, {U: 0, V: 2}, {U: 2, V: 3}, {U: 3, V: 4}} {
+		if err := b.AddEdge(e.U, e.V); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := TriangleCount(b.Build()); got != 1 {
+		t.Errorf("TriangleCount = %d, want 1", got)
+	}
+}
+
+func TestTransitivityKnown(t *testing.T) {
+	if got := Transitivity(cliqueGraph(t, 6)); math.Abs(got-1) > 1e-12 {
+		t.Errorf("Transitivity(K6) = %v, want 1", got)
+	}
+	if got := Transitivity(pathGraph(t, 5)); got != 0 {
+		t.Errorf("Transitivity(path) = %v, want 0", got)
+	}
+	var empty Graph
+	if got := Transitivity(&empty); got != 0 {
+		t.Errorf("Transitivity(empty) = %v, want 0", got)
+	}
+	// Triangle plus a pendant (4 nodes): 1 triangle; wedges: deg 2,2,3,1
+	// -> 1+1+3+0 = 5; transitivity = 3/5.
+	b := NewBuilder(4)
+	for _, e := range []Edge{{U: 0, V: 1}, {U: 1, V: 2}, {U: 0, V: 2}, {U: 2, V: 3}} {
+		if err := b.AddEdge(e.U, e.V); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := Transitivity(b.Build()); math.Abs(got-0.6) > 1e-12 {
+		t.Errorf("Transitivity = %v, want 0.6", got)
+	}
+}
+
+// naiveTriangles counts triangles by enumerating node triples through
+// adjacency, for cross-validation.
+func naiveTriangles(g *Graph) int64 {
+	var count int64
+	n := g.NumNodes()
+	for a := NodeID(0); int(a) < n; a++ {
+		for _, b := range g.Neighbors(a) {
+			if b <= a {
+				continue
+			}
+			for _, c := range g.Neighbors(b) {
+				if c <= b {
+					continue
+				}
+				if g.HasEdge(a, c) {
+					count++
+				}
+			}
+		}
+	}
+	return count
+}
+
+func TestTriangleCountMatchesNaiveQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 4 + rng.Intn(40)
+		b := NewBuilder(n)
+		for i := 0; i < 4*n; i++ {
+			b.AddEdgeSafe(NodeID(rng.Intn(n)), NodeID(rng.Intn(n)))
+		}
+		g := b.Build()
+		return TriangleCount(g) == naiveTriangles(g)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,49 @@
+package kcore_test
+
+import (
+	"fmt"
+	"log"
+
+	"github.com/trustnet/trustnet/internal/graph"
+	"github.com/trustnet/trustnet/internal/kcore"
+)
+
+// Decompose a clique with a tail: the clique is the deep core, the tail
+// peels off at k=2.
+func ExampleDecompose() {
+	b := graph.NewBuilder(6)
+	// K4 on 0..3 plus the path 3-4-5.
+	for i := 0; i < 4; i++ {
+		for j := i + 1; j < 4; j++ {
+			if err := b.AddEdge(graph.NodeID(i), graph.NodeID(j)); err != nil {
+				log.Fatal(err)
+			}
+		}
+	}
+	if err := b.AddEdge(3, 4); err != nil {
+		log.Fatal(err)
+	}
+	if err := b.AddEdge(4, 5); err != nil {
+		log.Fatal(err)
+	}
+	dec, err := kcore.Decompose(b.Build())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("degeneracy:", dec.Degeneracy())
+	c3, err := dec.Coreness(3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	c5, err := dec.Coreness(5)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("coreness(3) =", c3, "coreness(5) =", c5)
+	top := dec.CoreNodes(dec.Degeneracy())
+	fmt.Println("top core:", top)
+	// Output:
+	// degeneracy: 3
+	// coreness(3) = 3 coreness(5) = 1
+	// top core: [0 1 2 3]
+}

@@ -1,0 +1,39 @@
+package kcore
+
+import (
+	"testing"
+
+	"github.com/trustnet/trustnet/internal/gen"
+)
+
+func BenchmarkDecompose(b *testing.B) {
+	g, err := gen.BarabasiAlbert(20000, 5, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Decompose(g); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkLevels(b *testing.B) {
+	g, _, err := gen.ClusteredPA(gen.ClusteredPAConfig{
+		Communities: 10, CommunitySize: 200, Attach: 5, Bridges: 2, Seed: 1,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	dec, err := Decompose(g)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = dec.Levels()
+	}
+}

@@ -1,0 +1,334 @@
+package kcore
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"github.com/trustnet/trustnet/internal/gen"
+	"github.com/trustnet/trustnet/internal/graph"
+)
+
+func decompose(t *testing.T, g *graph.Graph) *Decomposition {
+	t.Helper()
+	d, err := Decompose(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestDecomposeClique(t *testing.T) {
+	g, err := gen.Complete(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := decompose(t, g)
+	if d.Degeneracy() != 5 {
+		t.Errorf("Degeneracy(K6) = %d, want 5", d.Degeneracy())
+	}
+	for v := graph.NodeID(0); int(v) < 6; v++ {
+		c, err := d.Coreness(v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if c != 5 {
+			t.Errorf("coreness(%d) = %d, want 5", v, c)
+		}
+	}
+}
+
+func TestDecomposeTree(t *testing.T) {
+	// Trees are 1-degenerate.
+	g, err := gen.Path(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := decompose(t, g)
+	if d.Degeneracy() != 1 {
+		t.Errorf("Degeneracy(path) = %d, want 1", d.Degeneracy())
+	}
+	g, err = gen.Star(12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d = decompose(t, g)
+	if d.Degeneracy() != 1 {
+		t.Errorf("Degeneracy(star) = %d, want 1", d.Degeneracy())
+	}
+}
+
+func TestDecomposeCliqueWithTail(t *testing.T) {
+	// K5 (nodes 0..4) with a path 4-5-6 hanging off: the tail is in the
+	// 1-core only, the clique nodes in the 4-core.
+	b := graph.NewBuilder(7)
+	for i := 0; i < 5; i++ {
+		for j := i + 1; j < 5; j++ {
+			if err := b.AddEdge(graph.NodeID(i), graph.NodeID(j)); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if err := b.AddEdge(4, 5); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.AddEdge(5, 6); err != nil {
+		t.Fatal(err)
+	}
+	d := decompose(t, b.Build())
+	wantCore := []int{4, 4, 4, 4, 4, 1, 1}
+	for v, want := range wantCore {
+		c, err := d.Coreness(graph.NodeID(v))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if c != want {
+			t.Errorf("coreness(%d) = %d, want %d", v, c, want)
+		}
+	}
+	if d.Degeneracy() != 4 {
+		t.Errorf("Degeneracy = %d, want 4", d.Degeneracy())
+	}
+	nodes := d.CoreNodes(4)
+	if len(nodes) != 5 {
+		t.Errorf("CoreNodes(4) = %v, want 5 clique nodes", nodes)
+	}
+	sub, ids := d.CoreSubgraph(4)
+	if sub.NumNodes() != 5 || sub.NumEdges() != 10 {
+		t.Errorf("CoreSubgraph(4) = %v, want K5", sub)
+	}
+	if len(ids) != 5 {
+		t.Errorf("CoreSubgraph ids = %v", ids)
+	}
+}
+
+func TestDecomposeEmptyAndErrors(t *testing.T) {
+	var empty graph.Graph
+	if _, err := Decompose(&empty); err == nil {
+		t.Error("Decompose(empty): want error")
+	}
+	g, err := gen.Complete(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := decompose(t, g)
+	if _, err := d.Coreness(9); err == nil {
+		t.Error("Coreness(out of range): want error")
+	}
+}
+
+func TestDecomposeEdgelessNodes(t *testing.T) {
+	g := graph.NewBuilder(5).Build()
+	// All-isolated graph: decomposition works, everything has coreness 0.
+	d := decompose(t, g)
+	if d.Degeneracy() != 0 {
+		t.Errorf("Degeneracy = %d, want 0", d.Degeneracy())
+	}
+	if len(d.Levels()) != 0 {
+		t.Errorf("Levels = %v, want empty", d.Levels())
+	}
+}
+
+func TestLevelsTwoCliques(t *testing.T) {
+	// Two disjoint K4s joined through a degree-2 middle node (node 8):
+	// at k=3 the middle node is pruned and G̃_3 has two components of 4
+	// nodes each — the multi-core structure of Figure 5 (f)–(j).
+	b := graph.NewBuilder(9)
+	for base := 0; base < 8; base += 4 {
+		for i := base; i < base+4; i++ {
+			for j := i + 1; j < base+4; j++ {
+				if err := b.AddEdge(graph.NodeID(i), graph.NodeID(j)); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+	}
+	if err := b.AddEdge(3, 8); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.AddEdge(8, 4); err != nil {
+		t.Fatal(err)
+	}
+	d := decompose(t, b.Build())
+	levels := d.Levels()
+	if len(levels) != 3 {
+		t.Fatalf("levels = %d, want 3 (degeneracy 3)", len(levels))
+	}
+	l1, l3 := levels[0], levels[2]
+	if l1.K != 1 || l3.K != 3 {
+		t.Fatalf("level keys = %d,%d", l1.K, l3.K)
+	}
+	if l1.Components != 1 || l1.Nodes != 9 {
+		t.Errorf("G̃_1 = %+v, want single 9-node component", l1)
+	}
+	if l3.Components != 2 {
+		t.Errorf("G̃_3 components = %d, want 2", l3.Components)
+	}
+	if l3.Nodes != 8 || l3.LargestComponentNodes != 4 {
+		t.Errorf("G̃_3 = %+v, want 8 nodes, largest component 4", l3)
+	}
+	if math.Abs(l3.Nu-4.0/9) > 1e-12 || math.Abs(l3.NuTilde-8.0/9) > 1e-12 {
+		t.Errorf("ν_3 = %v ν̃_3 = %v, want 4/9, 8/9", l3.Nu, l3.NuTilde)
+	}
+	if l3.Edges != 12 {
+		t.Errorf("G̃_3 edges = %d, want 12", l3.Edges)
+	}
+}
+
+func TestFastMixerHasLargerCoreThanSlowMixer(t *testing.T) {
+	// The paper's central observation (§IV-B, §V): fast-mixing graphs have
+	// a large single core at high k; slow mixers split into multiple small
+	// cores. BA graphs have a single k-core for k=attach; the clustered
+	// graph splits into one core per community at high k.
+	fast, err := gen.BarabasiAlbert(400, 5, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	slow, _, err := gen.ClusteredPA(gen.ClusteredPAConfig{
+		Communities: 8, CommunitySize: 50, Attach: 5, Bridges: 1, Seed: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	df, ds := decompose(t, fast), decompose(t, slow)
+	kf, ks := df.Degeneracy(), ds.Degeneracy()
+	k := kf
+	if ks < k {
+		k = ks
+	}
+	lf := df.Levels()[k-1]
+	lsv := ds.Levels()[k-1]
+	if lf.Components != 1 {
+		t.Errorf("fast mixer G̃_%d has %d components, want 1", k, lf.Components)
+	}
+	if lsv.Components < 2 {
+		t.Errorf("slow mixer G̃_%d has %d components, want >= 2", k, lsv.Components)
+	}
+	if lf.Nu <= lsv.Nu {
+		t.Errorf("fast ν_%d = %v <= slow ν_%d = %v, want larger core in fast mixer",
+			k, lf.Nu, k, lsv.Nu)
+	}
+}
+
+func TestCorenessECDFSamples(t *testing.T) {
+	g, err := gen.Complete(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := decompose(t, g)
+	samples := d.CorenessECDFSamples()
+	if len(samples) != 4 {
+		t.Fatalf("samples = %v", samples)
+	}
+	for _, s := range samples {
+		if s != 3 {
+			t.Errorf("sample = %v, want 3", s)
+		}
+	}
+}
+
+// Property: for random graphs, (1) coreness(v) <= deg(v); (2) the k-core
+// subgraph has min degree >= k for every k <= degeneracy; (3) coreness
+// equals the max k with v in CoreNodes(k).
+func TestDecomposeInvariantsQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 5 + rng.Intn(60)
+		b := graph.NewBuilder(n)
+		for i := 0; i < 3*n; i++ {
+			b.AddEdgeSafe(graph.NodeID(rng.Intn(n)), graph.NodeID(rng.Intn(n)))
+		}
+		g := b.Build()
+		d, err := Decompose(g)
+		if err != nil {
+			return false
+		}
+		for v := graph.NodeID(0); int(v) < n; v++ {
+			c, err := d.Coreness(v)
+			if err != nil || c > g.Degree(v) {
+				return false
+			}
+		}
+		for k := 1; k <= d.Degeneracy(); k++ {
+			sub, _ := d.CoreSubgraph(k)
+			if sub.NumNodes() > 0 && sub.MinDegree() < k {
+				return false
+			}
+		}
+		// Degeneracy core must be non-empty.
+		if len(d.CoreNodes(d.Degeneracy())) == 0 && d.Degeneracy() > 0 {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the naive iterative-pruning definition agrees with the
+// bucket-based Batagelj–Zaversnik implementation.
+func TestDecomposeMatchesNaiveQuick(t *testing.T) {
+	naiveCoreness := func(g *graph.Graph) []int {
+		n := g.NumNodes()
+		deg := g.Degrees()
+		alive := make([]bool, n)
+		for i := range alive {
+			alive[i] = true
+		}
+		core := make([]int, n)
+		for k := 0; ; k++ {
+			anyAlive := false
+			for v := 0; v < n; v++ {
+				if alive[v] {
+					anyAlive = true
+					core[v] = k
+				}
+			}
+			if !anyAlive {
+				return core
+			}
+			// Repeatedly prune nodes with degree < k+1.
+			changed := true
+			for changed {
+				changed = false
+				for v := 0; v < n; v++ {
+					if alive[v] && deg[v] < k+1 {
+						alive[v] = false
+						changed = true
+						for _, u := range g.Neighbors(graph.NodeID(v)) {
+							if alive[u] {
+								deg[u]--
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 4 + rng.Intn(30)
+		b := graph.NewBuilder(n)
+		for i := 0; i < 2*n; i++ {
+			b.AddEdgeSafe(graph.NodeID(rng.Intn(n)), graph.NodeID(rng.Intn(n)))
+		}
+		g := b.Build()
+		d, err := Decompose(g)
+		if err != nil {
+			return false
+		}
+		want := naiveCoreness(g)
+		got := d.CorenessValues()
+		for v := range want {
+			if got[v] != want[v] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

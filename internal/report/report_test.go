@@ -1,0 +1,123 @@
+package report
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestTableRender(t *testing.T) {
+	tab := NewTable("Table I", "Dataset", "Nodes", "mu")
+	if err := tab.AddRow("wiki-vote", Int(7066), Float(0.899, 3)); err != nil {
+		t.Fatal(err)
+	}
+	if err := tab.AddRow("dblp", Int(614981), Float(0.997, 3)); err != nil {
+		t.Fatal(err)
+	}
+	out := tab.String()
+	if !strings.Contains(out, "Table I") {
+		t.Error("missing title")
+	}
+	if !strings.Contains(out, "wiki-vote") || !strings.Contains(out, "614981") {
+		t.Errorf("missing cells in:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 5 { // title, header, rule, 2 rows
+		t.Errorf("got %d lines:\n%s", len(lines), out)
+	}
+	// Columns align: header and rows have same prefix width for column 2.
+	if tab.NumRows() != 2 {
+		t.Errorf("NumRows = %d", tab.NumRows())
+	}
+}
+
+func TestTableShortAndLongRows(t *testing.T) {
+	tab := NewTable("", "a", "b")
+	if err := tab.AddRow("only"); err != nil {
+		t.Fatal(err)
+	}
+	if err := tab.AddRow("x", "y", "z"); err == nil {
+		t.Error("long row: want error")
+	}
+	if !strings.Contains(tab.String(), "only") {
+		t.Error("short row lost")
+	}
+}
+
+func TestFormatters(t *testing.T) {
+	if Float(1.23456, 2) != "1.23" {
+		t.Errorf("Float = %q", Float(1.23456, 2))
+	}
+	if Int(42) != "42" || Int64(1<<40) != "1099511627776" {
+		t.Error("int formatters wrong")
+	}
+}
+
+func TestSeriesValidate(t *testing.T) {
+	s := Series{Name: "a", X: []float64{1}, Y: []float64{2}}
+	if err := s.Validate(); err != nil {
+		t.Errorf("valid series: %v", err)
+	}
+	bad := []Series{
+		{Name: "", X: []float64{1}, Y: []float64{1}},
+		{Name: "b", X: []float64{1, 2}, Y: []float64{1}},
+	}
+	for _, s := range bad {
+		if err := s.Validate(); err == nil {
+			t.Errorf("Validate(%+v): want error", s)
+		}
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	var b strings.Builder
+	series := []Series{
+		{Name: "fast", X: []float64{1, 2}, Y: []float64{0.5, 0.25}},
+		{Name: "slow", X: []float64{1}, Y: []float64{0.9}},
+	}
+	if err := WriteCSV(&b, series); err != nil {
+		t.Fatal(err)
+	}
+	want := "series,x,y\nfast,1,0.5\nfast,2,0.25\nslow,1,0.9\n"
+	if b.String() != want {
+		t.Errorf("csv = %q, want %q", b.String(), want)
+	}
+	if err := WriteCSV(&b, nil); err == nil {
+		t.Error("WriteCSV(nil): want error")
+	}
+	if err := WriteCSV(&b, []Series{{Name: "x", X: []float64{1}, Y: nil}}); err == nil {
+		t.Error("WriteCSV(misaligned): want error")
+	}
+}
+
+func TestSaveCSVAndTable(t *testing.T) {
+	dir := t.TempDir()
+	csvPath := filepath.Join(dir, "sub", "fig.csv")
+	if err := SaveCSV(csvPath, []Series{{Name: "s", X: []float64{1}, Y: []float64{2}}}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(csvPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "s,1,2") {
+		t.Errorf("csv content = %q", data)
+	}
+
+	tab := NewTable("T", "c")
+	if err := tab.AddRow("v"); err != nil {
+		t.Fatal(err)
+	}
+	tabPath := filepath.Join(dir, "sub2", "table.txt")
+	if err := SaveTable(tabPath, tab); err != nil {
+		t.Fatal(err)
+	}
+	data, err = os.ReadFile(tabPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "v") {
+		t.Errorf("table content = %q", data)
+	}
+}

@@ -1,0 +1,89 @@
+package spectral
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"github.com/trustnet/trustnet/internal/community"
+	"github.com/trustnet/trustnet/internal/gen"
+	"github.com/trustnet/trustnet/internal/graph"
+)
+
+func TestCheegerLowerValidation(t *testing.T) {
+	if _, err := CheegerLower(-0.1); err == nil {
+		t.Error("CheegerLower(-0.1): want error")
+	}
+	if _, err := CheegerLower(1.1); err == nil {
+		t.Error("CheegerLower(1.1): want error")
+	}
+	b, err := CheegerLower(0.8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(b-0.1) > 1e-12 {
+		t.Errorf("CheegerLower(0.8) = %v, want 0.1", b)
+	}
+}
+
+// Cross-package invariant: no cut of a graph can have conductance below
+// the Cheeger lower bound (1-μ)/2 derived from the measured SLEM. We
+// check it against random cuts and against label-propagation communities
+// on both a fast and a slow mixer.
+func TestCheegerBoundHoldsForMeasuredCuts(t *testing.T) {
+	graphs := map[string]*graph.Graph{}
+	fast, err := gen.BarabasiAlbert(300, 4, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	graphs["fast"] = fast
+	slow, _, err := gen.ClusteredPA(gen.ClusteredPAConfig{
+		Communities: 6, CommunitySize: 50, Attach: 3, Bridges: 1, Seed: 8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	graphs["slow"] = slow
+
+	for name, g := range graphs {
+		sr, err := SLEM(g, Config{Tolerance: 1e-7, Seed: 1})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		bound, err := CheegerLower(sr.SLEM)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		checkCut := func(member []bool, what string) {
+			phi, err := community.Conductance(g, member)
+			if err != nil {
+				return // degenerate cut; conductance undefined
+			}
+			if phi < bound-1e-9 {
+				t.Errorf("%s/%s: conductance %v below Cheeger bound %v (mu=%v)",
+					name, what, phi, bound, sr.SLEM)
+			}
+		}
+		// Random cuts.
+		rng := rand.New(rand.NewSource(5))
+		for trial := 0; trial < 20; trial++ {
+			member := make([]bool, g.NumNodes())
+			for v := range member {
+				member[v] = rng.Intn(2) == 0
+			}
+			checkCut(member, "random")
+		}
+		// Community cuts: each detected community against the rest.
+		labels, err := community.LabelPropagation(g, 50, 2)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		for lbl := range community.Sizes(labels) {
+			member := make([]bool, g.NumNodes())
+			for v, l := range labels {
+				member[v] = l == lbl
+			}
+			checkCut(member, "community")
+		}
+	}
+}

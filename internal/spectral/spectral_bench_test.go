@@ -1,0 +1,39 @@
+package spectral
+
+import (
+	"testing"
+
+	"github.com/trustnet/trustnet/internal/gen"
+)
+
+func BenchmarkSLEMFastMixer(b *testing.B) {
+	g, err := gen.BarabasiAlbert(3000, 5, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := SLEM(g, Config{Tolerance: 1e-8, Seed: 1}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSLEMSlowMixer(b *testing.B) {
+	// Clustered spectra converge slowly: this benchmark tracks the cost
+	// of the hard case.
+	g, _, err := gen.ClusteredPA(gen.ClusteredPAConfig{
+		Communities: 8, CommunitySize: 100, Attach: 4, Bridges: 1, Seed: 1,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := SLEM(g, Config{Tolerance: 1e-6, Seed: 1}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

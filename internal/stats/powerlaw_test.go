@@ -1,0 +1,66 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// paretoSamples draws discrete-ish power-law samples with exponent alpha
+// and minimum xmin via inverse-CDF.
+func paretoSamples(rng *rand.Rand, n int, alpha, xmin float64) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		u := rng.Float64()
+		out[i] = math.Floor(xmin * math.Pow(1-u, -1/(alpha-1)))
+	}
+	return out
+}
+
+func TestPowerLawAlphaRecoversExponent(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, alpha := range []float64{2.2, 2.8, 3.5} {
+		samples := paretoSamples(rng, 20000, alpha, 10)
+		got, n, err := PowerLawAlpha(samples, 10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n < 15000 {
+			t.Fatalf("tail size = %d, generation broken", n)
+		}
+		if math.Abs(got-alpha) > 0.2 {
+			t.Errorf("fit alpha = %v, want %v +- 0.2", got, alpha)
+		}
+	}
+}
+
+func TestPowerLawAlphaValidation(t *testing.T) {
+	if _, _, err := PowerLawAlpha([]float64{1, 2, 3}, 0.4); err == nil {
+		t.Error("xmin <= 0.5: want error")
+	}
+	if _, _, err := PowerLawAlpha([]float64{1}, 2); err == nil {
+		t.Error("too few tail samples: want error")
+	}
+	if _, _, err := PowerLawAlpha([]float64{0.9, 0.8}, 2); err == nil {
+		t.Error("no tail samples: want error")
+	}
+}
+
+func TestPowerLawAlphaIgnoresBody(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	samples := paretoSamples(rng, 10000, 2.5, 5)
+	// Pollute with sub-xmin noise that the fit must ignore.
+	for i := 0; i < 5000; i++ {
+		samples = append(samples, rng.Float64()*4)
+	}
+	got, n, err := PowerLawAlpha(samples, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n > 10000 {
+		t.Errorf("tail included body samples: n = %d", n)
+	}
+	if math.Abs(got-2.5) > 0.2 {
+		t.Errorf("fit alpha = %v, want 2.5 +- 0.2", got)
+	}
+}

@@ -1,0 +1,140 @@
+package bridgecut
+
+import (
+	"context"
+	"testing"
+
+	"github.com/trustnet/trustnet/internal/gen"
+	"github.com/trustnet/trustnet/internal/graph"
+	"github.com/trustnet/trustnet/internal/sybil"
+)
+
+func TestRunCutsAttackEdges(t *testing.T) {
+	honest, err := gen.BarabasiAlbert(300, 4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := sybil.Inject(honest, sybil.AttackConfig{SybilNodes: 80, AttackEdges: 3, Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(context.Background(), a, 0, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Split {
+		t.Fatal("defense did not find a split")
+	}
+	m, err := sybil.Evaluate(a, res.Accepted, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hr := m.HonestAcceptRate(); hr < 0.95 {
+		t.Errorf("honest acceptance = %v, want >= 0.95 on a fast mixer", hr)
+	}
+	if m.SybilAccepted > 0 {
+		t.Errorf("sybils accepted = %d, want 0 after a clean cut", m.SybilAccepted)
+	}
+	// The removed edges should include (most of) the actual attack edges.
+	attackSet := map[graph.Edge]struct{}{}
+	for _, e := range a.AttackEdges {
+		attackSet[e.Canonical()] = struct{}{}
+	}
+	hit := 0
+	for _, e := range res.RemovedEdges {
+		if _, ok := attackSet[e]; ok {
+			hit++
+		}
+	}
+	if hit < len(a.AttackEdges) {
+		t.Errorf("removed %d of %d attack edges", hit, len(a.AttackEdges))
+	}
+}
+
+func TestRunCommunityConfusion(t *testing.T) {
+	// On a community-structured honest graph without any attack, the
+	// highest-betweenness edges are the honest bridges: the defense cuts
+	// an honest community away — the paper's community-sensitivity
+	// observation.
+	honest, _, err := gen.ClusteredPA(gen.ClusteredPAConfig{
+		Communities: 4, CommunitySize: 70, Attach: 4, Bridges: 1, Seed: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := &sybil.Attack{Honest: honest, Combined: honest, HonestNodes: honest.NumNodes()}
+	res, err := Run(context.Background(), a, 0, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Split {
+		t.Fatal("no split found on a 4-community graph")
+	}
+	m, err := sybil.Evaluate(a, res.Accepted, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hr := m.HonestAcceptRate(); hr > 0.9 {
+		t.Errorf("honest acceptance = %v; expected community confusion to reject a community", hr)
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	honest, err := gen.BarabasiAlbert(100, 3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := sybil.Inject(honest, sybil.AttackConfig{SybilNodes: 10, AttackEdges: 2, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	if _, err := Run(ctx, a, 9999, Config{}); err == nil {
+		t.Error("Run(bad verifier): want error")
+	}
+	for _, cfg := range []Config{
+		{MaxCutEdges: -1},
+		{Pivots: -1},
+		{BatchSize: -1},
+		{MinComponentFraction: 0.9},
+	} {
+		if _, err := Run(ctx, a, 0, cfg); err == nil {
+			t.Errorf("Run(%+v): want error", cfg)
+		}
+	}
+	b := graph.NewBuilder(4)
+	if err := b.AddEdge(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	g := b.Build()
+	iso := &sybil.Attack{Honest: g, Combined: g, HonestNodes: 4}
+	if _, err := Run(ctx, iso, 3, Config{}); err == nil {
+		t.Error("Run(isolated verifier): want error")
+	}
+}
+
+func TestRunBudgetExhaustion(t *testing.T) {
+	// A clique has no bridges: the defense must exhaust its budget and
+	// accept everything still attached to the verifier.
+	g, err := gen.Complete(30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := &sybil.Attack{Honest: g, Combined: g, HonestNodes: 30}
+	res, err := Run(context.Background(), a, 0, Config{MaxCutEdges: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Split {
+		t.Error("clique reported a meaningful split")
+	}
+	accepted := 0
+	for _, ok := range res.Accepted {
+		if ok {
+			accepted++
+		}
+	}
+	if accepted < 25 {
+		t.Errorf("accepted %d of 30 clique nodes after budget exhaustion", accepted)
+	}
+}

@@ -1,0 +1,117 @@
+package communityrank
+
+import (
+	"testing"
+
+	"github.com/trustnet/trustnet/internal/gen"
+	"github.com/trustnet/trustnet/internal/graph"
+	"github.com/trustnet/trustnet/internal/sybil"
+)
+
+func TestRunFastMixerSeparates(t *testing.T) {
+	honest, err := gen.BarabasiAlbert(500, 4, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := sybil.Inject(honest, sybil.AttackConfig{SybilNodes: 120, AttackEdges: 4, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(a, 0, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := sybil.Evaluate(a, res.Accepted, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hr := m.HonestAcceptRate(); hr < 0.9 {
+		t.Errorf("honest acceptance = %v, want >= 0.9 on a fast mixer", hr)
+	}
+	sybilRate := float64(m.SybilAccepted) / float64(a.NumSybil())
+	if sybilRate > 0.2 {
+		t.Errorf("sybil acceptance = %v, want <= 0.2", sybilRate)
+	}
+	if res.CutConductance <= 0 {
+		t.Errorf("cut conductance = %v, want > 0", res.CutConductance)
+	}
+}
+
+func TestRunSlowMixerConfusesCommunities(t *testing.T) {
+	// Viswanath et al.'s observation, which the paper builds on: with
+	// strong community structure the ranking cuts at the verifier's own
+	// community boundary and rejects distant honest communities.
+	honest, _, err := gen.ClusteredPA(gen.ClusteredPAConfig{
+		Communities: 8, CommunitySize: 80, Attach: 4, Bridges: 1, Seed: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := sybil.Inject(honest, sybil.AttackConfig{SybilNodes: 120, AttackEdges: 4, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(a, 0, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := sybil.Evaluate(a, res.Accepted, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fastHonest := 0.9 // threshold the fast mixer clears above
+	if hr := m.HonestAcceptRate(); hr >= fastHonest {
+		t.Errorf("honest acceptance = %v on a slow mixer, expected community confusion (< %v)",
+			hr, fastHonest)
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	honest, err := gen.BarabasiAlbert(100, 3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := sybil.Inject(honest, sybil.AttackConfig{SybilNodes: 10, AttackEdges: 2, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Run(a, 9999, Config{}); err == nil {
+		t.Error("Run(bad verifier): want error")
+	}
+	if _, err := Run(a, 0, Config{WalkLength: -1}); err == nil {
+		t.Error("Run(bad walk length): want error")
+	}
+	if _, err := Run(a, 0, Config{MinAcceptFraction: 2}); err == nil {
+		t.Error("Run(bad fraction): want error")
+	}
+	b := graph.NewBuilder(4)
+	if err := b.AddEdge(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	g := b.Build()
+	iso := &sybil.Attack{Honest: g, Combined: g, HonestNodes: 4}
+	if _, err := Run(iso, 3, Config{}); err == nil {
+		t.Error("Run(isolated verifier): want error")
+	}
+}
+
+func TestVerifierAlwaysAccepted(t *testing.T) {
+	honest, err := gen.BarabasiAlbert(200, 3, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := sybil.Inject(honest, sybil.AttackConfig{SybilNodes: 30, AttackEdges: 2, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(a, 17, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Accepted[17] {
+		t.Error("verifier not accepted")
+	}
+	if len(res.Score) != a.Combined.NumNodes() {
+		t.Errorf("score length = %d", len(res.Score))
+	}
+}

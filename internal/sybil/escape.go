@@ -1,0 +1,93 @@
+package sybil
+
+import (
+	"fmt"
+
+	"github.com/trustnet/trustnet/internal/graph"
+)
+
+// EscapeProbability computes, exactly, the probability that a w-step
+// random walk started at each given honest source crosses into the sybil
+// region — the quantity every random-walk defense analysis bounds by
+// g·w/(2m) (g attack edges among 2m directed edges, w chances to cross).
+//
+// It evolves the walk distribution with the sybil region made absorbing:
+// mass that enters a sybil node stays there, so after w steps the total
+// mass on sybil nodes is the escape probability. The result is one value
+// per source, in source order.
+func EscapeProbability(a *Attack, sources []graph.NodeID, w int) ([]float64, error) {
+	if w < 1 {
+		return nil, fmt.Errorf("sybil: escape walk length %d must be >= 1", w)
+	}
+	g := a.Combined
+	n := g.NumNodes()
+	for _, s := range sources {
+		if !g.Valid(s) {
+			return nil, fmt.Errorf("sybil: escape source %d out of range", s)
+		}
+		if !a.IsHonest(s) {
+			return nil, fmt.Errorf("sybil: escape source %d is a sybil", s)
+		}
+		if g.Degree(s) == 0 {
+			return nil, fmt.Errorf("sybil: escape source %d is isolated", s)
+		}
+	}
+	out := make([]float64, len(sources))
+	cur := make([]float64, n)
+	next := make([]float64, n)
+	for si, s := range sources {
+		for i := range cur {
+			cur[i] = 0
+			next[i] = 0
+		}
+		cur[s] = 1
+		for step := 0; step < w; step++ {
+			for i := range next {
+				next[i] = 0
+			}
+			for v := graph.NodeID(0); int(v) < n; v++ {
+				mass := cur[v]
+				if mass == 0 {
+					continue
+				}
+				if !a.IsHonest(v) {
+					next[v] += mass // absorbed
+					continue
+				}
+				ns := g.Neighbors(v)
+				if len(ns) == 0 {
+					next[v] += mass
+					continue
+				}
+				share := mass / float64(len(ns))
+				for _, u := range ns {
+					next[u] += share
+				}
+			}
+			cur, next = next, cur
+		}
+		escaped := 0.0
+		for v := graph.NodeID(0); int(v) < n; v++ {
+			if !a.IsHonest(v) {
+				escaped += cur[v]
+			}
+		}
+		out[si] = escaped
+	}
+	return out, nil
+}
+
+// TheoreticalEscapeBound returns the standard g·w/(2m) upper estimate of
+// the escape probability used throughout the defense literature, with m
+// the honest region's edge count.
+func (a *Attack) TheoreticalEscapeBound(w int) float64 {
+	m := a.Honest.NumEdges()
+	if m == 0 {
+		return 1
+	}
+	b := float64(len(a.AttackEdges)) * float64(w) / float64(2*m)
+	if b > 1 {
+		return 1
+	}
+	return b
+}

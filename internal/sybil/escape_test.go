@@ -1,0 +1,142 @@
+package sybil
+
+import (
+	"math"
+	"testing"
+
+	"github.com/trustnet/trustnet/internal/gen"
+	"github.com/trustnet/trustnet/internal/graph"
+)
+
+func TestEscapeProbabilityBasics(t *testing.T) {
+	honest, err := gen.BarabasiAlbert(300, 4, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := Inject(honest, AttackConfig{SybilNodes: 60, AttackEdges: 5, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sources := []graph.NodeID{0, 10, 50}
+	short, err := EscapeProbability(a, sources, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	long, err := EscapeProbability(a, sources, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range sources {
+		if short[i] < 0 || short[i] > 1 || long[i] < 0 || long[i] > 1 {
+			t.Fatalf("escape probabilities out of [0,1]: %v / %v", short[i], long[i])
+		}
+		// Absorption makes escape monotone in walk length.
+		if long[i] < short[i]-1e-12 {
+			t.Errorf("source %d: escape decreased with length: %v -> %v",
+				sources[i], short[i], long[i])
+		}
+	}
+}
+
+func TestEscapeProbabilityTracksTheory(t *testing.T) {
+	honest, err := gen.BarabasiAlbert(400, 4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := Inject(honest, AttackConfig{SybilNodes: 50, AttackEdges: 4, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := 10
+	srcs := make([]graph.NodeID, 0, 20)
+	for v := graph.NodeID(0); v < 20; v++ {
+		srcs = append(srcs, v)
+	}
+	esc, err := EscapeProbability(a, srcs, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bound := a.TheoreticalEscapeBound(w)
+	mean := 0.0
+	for _, e := range esc {
+		mean += e
+	}
+	mean /= float64(len(esc))
+	// The g·w/2m estimate is the right order of magnitude for the mean
+	// escape: within a factor of 5 either way on a fast mixer.
+	if mean > 5*bound || mean < bound/5 {
+		t.Errorf("mean escape %v vs theoretical %v: off by more than 5x", mean, bound)
+	}
+}
+
+func TestEscapeProbabilityMoreEdgesMoreEscape(t *testing.T) {
+	honest, err := gen.BarabasiAlbert(300, 4, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	few, err := Inject(honest, AttackConfig{SybilNodes: 50, AttackEdges: 2, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	many, err := Inject(honest, AttackConfig{SybilNodes: 50, AttackEdges: 40, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srcs := []graph.NodeID{1, 2, 3, 4, 5}
+	fewEsc, err := EscapeProbability(few, srcs, 15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	manyEsc, err := EscapeProbability(many, srcs, 15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var fm, mm float64
+	for i := range srcs {
+		fm += fewEsc[i]
+		mm += manyEsc[i]
+	}
+	if mm <= fm {
+		t.Errorf("escape with 40 edges %v <= with 2 edges %v", mm, fm)
+	}
+}
+
+func TestEscapeProbabilityValidation(t *testing.T) {
+	honest, err := gen.BarabasiAlbert(100, 3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := Inject(honest, AttackConfig{SybilNodes: 10, AttackEdges: 2, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := EscapeProbability(a, []graph.NodeID{0}, 0); err == nil {
+		t.Error("w=0: want error")
+	}
+	if _, err := EscapeProbability(a, []graph.NodeID{9999}, 5); err == nil {
+		t.Error("bad source: want error")
+	}
+	if _, err := EscapeProbability(a, []graph.NodeID{100}, 5); err == nil {
+		t.Error("sybil source: want error")
+	}
+}
+
+func TestTheoreticalEscapeBoundClamped(t *testing.T) {
+	honest, err := gen.BarabasiAlbert(50, 3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := Inject(honest, AttackConfig{SybilNodes: 10, AttackEdges: 40, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b := a.TheoreticalEscapeBound(10000); b != 1 {
+		t.Errorf("bound = %v, want clamped to 1", b)
+	}
+	if b := a.TheoreticalEscapeBound(1); b <= 0 || b >= 1 {
+		t.Errorf("bound = %v, want in (0,1)", b)
+	}
+	if math.IsNaN(a.TheoreticalEscapeBound(5)) {
+		t.Error("NaN bound")
+	}
+}

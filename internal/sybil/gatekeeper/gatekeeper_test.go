@@ -1,0 +1,225 @@
+package gatekeeper
+
+import (
+	"testing"
+
+	"github.com/trustnet/trustnet/internal/gen"
+	"github.com/trustnet/trustnet/internal/graph"
+	"github.com/trustnet/trustnet/internal/sybil"
+)
+
+func attackOn(t *testing.T, honest *graph.Graph, sybils, attackEdges int) *sybil.Attack {
+	t.Helper()
+	a, err := sybil.Inject(honest, sybil.AttackConfig{
+		SybilNodes:  sybils,
+		AttackEdges: attackEdges,
+		Seed:        7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a
+}
+
+func TestRunAdmitsHonestRejectsSybil(t *testing.T) {
+	honest, err := gen.BarabasiAlbert(600, 4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := attackOn(t, honest, 120, 6)
+	out, err := Run(a, 0, Config{Distributers: 40, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Distributers != 40 || len(out.Sources) != 40 {
+		t.Fatalf("distributers = %d/%d", out.Distributers, len(out.Sources))
+	}
+	accepted, err := out.Accepted(0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := sybil.Evaluate(a, accepted, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rate := m.HonestAcceptRate(); rate < 0.8 {
+		t.Errorf("honest acceptance = %v, want >= 0.8 at f=0.2", rate)
+	}
+	if spe := m.SybilsPerAttackEdge(); spe > 4 {
+		t.Errorf("sybils per attack edge = %v, want bounded (<= 4)", spe)
+	}
+	// Sybils must fare dramatically worse than honest nodes.
+	sybilRate := float64(m.SybilAccepted) / float64(a.NumSybil())
+	if sybilRate >= m.HonestAcceptRate() {
+		t.Errorf("sybil acceptance rate %v >= honest rate %v", sybilRate, m.HonestAcceptRate())
+	}
+}
+
+func TestHonestAcceptanceDecreasesWithF(t *testing.T) {
+	// The Table II trend: raising the admission threshold f lowers honest
+	// acceptance (and sybil acceptance).
+	honest, err := gen.BarabasiAlbert(500, 4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := attackOn(t, honest, 100, 5)
+	out, err := Run(a, 3, Config{Distributers: 50, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var prevHonest, prevSybil float64 = 2, 1e18
+	for _, f := range []float64{0.1, 0.2, 0.4, 0.8} {
+		acc, err := out.Accepted(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m, err := sybil.Evaluate(a, acc, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if hr := m.HonestAcceptRate(); hr > prevHonest+1e-9 {
+			t.Errorf("honest acceptance increased with f: %v -> %v", prevHonest, hr)
+		} else {
+			prevHonest = hr
+		}
+		if spe := m.SybilsPerAttackEdge(); spe > prevSybil+1e-9 {
+			t.Errorf("sybil acceptance increased with f: %v -> %v", prevSybil, spe)
+		} else {
+			prevSybil = spe
+		}
+	}
+}
+
+func TestMoreAttackEdgesMoreSybils(t *testing.T) {
+	honest, err := gen.BarabasiAlbert(500, 4, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	few := attackOn(t, honest, 100, 2)
+	many := attackOn(t, honest, 100, 40)
+	cfg := Config{Distributers: 40, Seed: 9}
+	outFew, err := Run(few, 0, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	outMany, err := Run(many, 0, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	accFew, err := outFew.Accepted(0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	accMany, err := outMany.Accepted(0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mFew, err := sybil.Evaluate(few, accFew, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mMany, err := sybil.Evaluate(many, accMany, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mMany.SybilAccepted < mFew.SybilAccepted {
+		t.Errorf("absolute sybil admissions decreased with more attack edges: %d -> %d",
+			mFew.SybilAccepted, mMany.SybilAccepted)
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	honest, err := gen.BarabasiAlbert(100, 3, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := attackOn(t, honest, 10, 2)
+	bad := []Config{
+		{Distributers: 0},
+		{Distributers: 5, WalkLength: -1},
+		{Distributers: 5, TargetReach: 1.5},
+		{Distributers: 5, MaxDoublings: -1},
+	}
+	for _, cfg := range bad {
+		if _, err := Run(a, 0, cfg); err == nil {
+			t.Errorf("Run(%+v): want error", cfg)
+		}
+	}
+	// Sybil controller rejected.
+	if _, err := Run(a, graph.NodeID(100), Config{Distributers: 5}); err == nil {
+		t.Error("Run(sybil controller): want error")
+	}
+	if _, err := Run(a, 9999, Config{Distributers: 5}); err == nil {
+		t.Error("Run(bad controller): want error")
+	}
+}
+
+func TestAcceptedThresholdValidation(t *testing.T) {
+	o := &Outcome{ReachCount: []int{0, 5, 10}, Distributers: 10}
+	if _, err := o.Accepted(0); err == nil {
+		t.Error("Accepted(0): want error")
+	}
+	if _, err := o.Accepted(1.5); err == nil {
+		t.Error("Accepted(1.5): want error")
+	}
+	acc, err := o.Accepted(0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []bool{false, true, true}
+	for i := range want {
+		if acc[i] != want[i] {
+			t.Errorf("Accepted[%d] = %v, want %v", i, acc[i], want[i])
+		}
+	}
+}
+
+func TestRunDeterministic(t *testing.T) {
+	honest, err := gen.BarabasiAlbert(200, 3, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := attackOn(t, honest, 40, 3)
+	cfg := Config{Distributers: 20, Seed: 77}
+	o1, err := Run(a, 1, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o2, err := Run(a, 1, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := range o1.ReachCount {
+		if o1.ReachCount[v] != o2.ReachCount[v] {
+			t.Fatalf("reach counts differ at node %d: %d vs %d", v, o1.ReachCount[v], o2.ReachCount[v])
+		}
+	}
+}
+
+func TestFlowConservesAtSourceLevel(t *testing.T) {
+	// On a star, t tickets at the hub: hub consumes 1, leaves split the
+	// rest; every leaf with >= 1 ticket is reached.
+	g, err := gen.Star(11) // hub + 10 leaves
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := graph.NewBuilder(g.NumNodes())
+	for _, e := range g.Edges() {
+		if err := b.AddEdge(e.U, e.V); err != nil {
+			t.Fatal(err)
+		}
+	}
+	a := &sybil.Attack{Honest: g, Combined: g, HonestNodes: g.NumNodes()}
+	out, err := Run(a, 0, Config{Distributers: 1, WalkLength: 2, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for _, c := range out.ReachCount {
+		total += c
+	}
+	// The single distributer must reach at least half the star.
+	if total < 6 {
+		t.Errorf("reached %d node-source pairs, want >= 6", total)
+	}
+}

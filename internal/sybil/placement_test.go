@@ -1,0 +1,108 @@
+package sybil
+
+import (
+	"sort"
+	"testing"
+
+	"github.com/trustnet/trustnet/internal/gen"
+	"github.com/trustnet/trustnet/internal/graph"
+)
+
+func TestPlacementString(t *testing.T) {
+	tests := map[Placement]string{
+		PlaceRandom:    "random",
+		PlaceHubs:      "hubs",
+		PlacePeriphery: "periphery",
+		Placement(42):  "Placement(42)",
+	}
+	for p, want := range tests {
+		if got := p.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", p, got, want)
+		}
+	}
+}
+
+func TestPlacementTargetsDegreeExtremes(t *testing.T) {
+	honest, err := gen.BarabasiAlbert(400, 3, 21)
+	if err != nil {
+		t.Fatal(err)
+	}
+	degrees := honest.Degrees()
+	sorted := make([]int, len(degrees))
+	copy(sorted, degrees)
+	sort.Ints(sorted)
+	medianDeg := sorted[len(sorted)/2]
+
+	hub, err := Inject(honest, AttackConfig{
+		SybilNodes: 50, AttackEdges: 10, Placement: PlaceHubs, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range hub.AttackEdges {
+		if honest.Degree(e.U) <= medianDeg {
+			t.Errorf("hub placement used endpoint %d with degree %d <= median %d",
+				e.U, honest.Degree(e.U), medianDeg)
+		}
+	}
+
+	per, err := Inject(honest, AttackConfig{
+		SybilNodes: 50, AttackEdges: 10, Placement: PlacePeriphery, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range per.AttackEdges {
+		if honest.Degree(e.U) > medianDeg {
+			t.Errorf("periphery placement used endpoint %d with degree %d > median %d",
+				e.U, honest.Degree(e.U), medianDeg)
+		}
+	}
+}
+
+func TestPlacementUnknownRejected(t *testing.T) {
+	honest, err := gen.BarabasiAlbert(100, 3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Inject(honest, AttackConfig{
+		SybilNodes: 10, AttackEdges: 2, Placement: 99, Seed: 1,
+	}); err == nil {
+		t.Error("Inject(unknown placement): want error")
+	}
+}
+
+func TestPlacementPoolExhaustion(t *testing.T) {
+	// With a 100-node graph the hub pool has 5 nodes; asking for more
+	// distinct attack edges than pool × sybils must fail cleanly.
+	honest, err := gen.BarabasiAlbert(100, 3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Inject(honest, AttackConfig{
+		SybilNodes: 2, AttackEdges: 11, Placement: PlaceHubs, Seed: 1,
+	}); err == nil {
+		t.Error("Inject(exhausted hub pool): want error")
+	}
+}
+
+func TestPlacementDefaultIsRandom(t *testing.T) {
+	honest, err := gen.BarabasiAlbert(200, 3, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := Inject(honest, AttackConfig{SybilNodes: 20, AttackEdges: 5, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Inject(honest, AttackConfig{SybilNodes: 20, AttackEdges: 5, Placement: PlaceRandom, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.AttackEdges {
+		if a.AttackEdges[i] != b.AttackEdges[i] {
+			t.Fatalf("default placement differs from explicit PlaceRandom at edge %d", i)
+		}
+	}
+	_ = graph.Edge{}
+}

@@ -1,0 +1,237 @@
+// Package sumup implements the SumUp sybil-resilient vote aggregation
+// system of Tran et al. (NSDI 2009), one of the mixing-time-based designs
+// whose assumptions the paper examines.
+//
+// SumUp collects votes as a flow toward a trusted vote collector through
+// an *adaptive vote-flow envelope*: the collector hands out t tickets that
+// propagate outward level by level (each node keeps one and forwards the
+// rest to the next BFS level), and a directed link toward the collector
+// gets capacity 1 + the tickets that flowed over it. Votes are then
+// collected by computing a max-flow from the voters to the collector
+// under those capacities. Because the envelope's extra capacity is
+// concentrated near the collector and attack edges have base capacity 1,
+// the sybil region can push at most ~1 vote per attack edge plus whatever
+// tickets happen to reach the attack edges.
+package sumup
+
+import (
+	"fmt"
+
+	"github.com/trustnet/trustnet/internal/graph"
+	"github.com/trustnet/trustnet/internal/sybil"
+)
+
+// Config parameterizes a SumUp run.
+type Config struct {
+	// Tickets is t, the expected number of votes to collect. Defaults to
+	// n/4 when 0.
+	Tickets int
+	// MaxVotes caps collected votes (the collector stops augmenting after
+	// this much flow). 0 means unlimited.
+	MaxVotes int
+}
+
+func (c *Config) fill(n int) error {
+	if c.Tickets == 0 {
+		c.Tickets = n / 4
+		if c.Tickets < 1 {
+			c.Tickets = 1
+		}
+	}
+	if c.Tickets < 1 {
+		return fmt.Errorf("sumup: tickets %d must be >= 1", c.Tickets)
+	}
+	if c.MaxVotes < 0 {
+		return fmt.Errorf("sumup: max votes %d must be >= 0", c.MaxVotes)
+	}
+	return nil
+}
+
+// Result reports which voters' votes were collected.
+type Result struct {
+	// Collected[v] reports whether node v's vote reached the collector.
+	Collected []bool
+	// TotalCollected is the number of collected votes (the flow value).
+	TotalCollected int
+}
+
+// dirEdge is a directed edge of the flow network.
+type dirEdge struct{ from, to graph.NodeID }
+
+// flowNetwork is the residual network over the combined graph: every
+// directed edge has base capacity 1 plus its vote-envelope capacity.
+type flowNetwork struct {
+	g        *graph.Graph
+	envelope map[dirEdge]int64
+	used     map[dirEdge]int64
+}
+
+func (fn *flowNetwork) residual(from, to graph.NodeID) int64 {
+	de := dirEdge{from: from, to: to}
+	c := fn.envelope[de] + 1
+	return c - fn.used[de] + fn.used[dirEdge{from: to, to: from}]
+}
+
+func (fn *flowNetwork) push(from, to graph.NodeID) {
+	back := dirEdge{from: to, to: from}
+	if fn.used[back] > 0 {
+		fn.used[back]--
+		return
+	}
+	fn.used[dirEdge{from: from, to: to}]++
+}
+
+// Run collects one vote from every node (except the collector) and
+// reports whose votes were accepted. Interpreting "vote collected" as
+// "identity accepted" yields the usual sybil-defense metrics.
+func Run(a *sybil.Attack, collector graph.NodeID, cfg Config) (*Result, error) {
+	g := a.Combined
+	n := g.NumNodes()
+	if err := cfg.fill(n); err != nil {
+		return nil, err
+	}
+	if !g.Valid(collector) {
+		return nil, fmt.Errorf("sumup: collector %d out of range", collector)
+	}
+	if g.Degree(collector) == 0 {
+		return nil, fmt.Errorf("sumup: collector %d is isolated", collector)
+	}
+
+	fn, err := buildEnvelope(g, collector, cfg.Tickets)
+	if err != nil {
+		return nil, err
+	}
+
+	collected := make([]bool, n)
+	total := 0
+	prev := make([]graph.NodeID, n)
+	visited := make([]bool, n)
+	queue := make([]graph.NodeID, 0, n)
+
+	// Repeat passes until a whole pass adds no flow: pushing one voter's
+	// flow can open residual paths for voters that failed earlier, and
+	// with integer capacities this terminates at the exact max flow.
+	progress := true
+	for progress {
+		progress = false
+		for v := graph.NodeID(0); int(v) < n; v++ {
+			if v == collector || g.Degree(v) == 0 || collected[v] {
+				continue
+			}
+			if cfg.MaxVotes > 0 && total >= cfg.MaxVotes {
+				return &Result{Collected: collected, TotalCollected: total}, nil
+			}
+			if !augment(fn, v, collector, prev, visited, queue) {
+				continue
+			}
+			collected[v] = true
+			total++
+			progress = true
+		}
+	}
+	return &Result{Collected: collected, TotalCollected: total}, nil
+}
+
+// buildEnvelope runs the level-based ticket distribution and returns the
+// capacity network.
+func buildEnvelope(g *graph.Graph, collector graph.NodeID, t int) (*flowNetwork, error) {
+	bfsRes, err := graph.BFS(g, collector)
+	if err != nil {
+		return nil, fmt.Errorf("sumup: bfs: %w", err)
+	}
+	n := g.NumNodes()
+	dist := bfsRes.Dist
+
+	fn := &flowNetwork{
+		g:        g,
+		envelope: make(map[dirEdge]int64),
+		used:     make(map[dirEdge]int64),
+	}
+	tickets := make([]int64, n)
+	tickets[collector] = int64(t) + 1
+
+	maxLevel := int32(0)
+	for v := 0; v < n; v++ {
+		if dist[v] > maxLevel {
+			maxLevel = dist[v]
+		}
+	}
+	buckets := make([][]graph.NodeID, maxLevel+1)
+	for v := graph.NodeID(0); int(v) < n; v++ {
+		if dist[v] >= 0 {
+			buckets[dist[v]] = append(buckets[dist[v]], v)
+		}
+	}
+	var fwd []graph.NodeID
+	for _, bucket := range buckets {
+		for _, v := range bucket {
+			have := tickets[v]
+			if have <= 0 {
+				continue
+			}
+			have-- // the node keeps one ticket
+			if have == 0 {
+				continue
+			}
+			fwd = fwd[:0]
+			for _, u := range g.Neighbors(v) {
+				if dist[u] == dist[v]+1 {
+					fwd = append(fwd, u)
+				}
+			}
+			if len(fwd) == 0 {
+				continue
+			}
+			share := have / int64(len(fwd))
+			rem := have % int64(len(fwd))
+			for i, u := range fwd {
+				sent := share
+				if int64(i) < rem {
+					sent++
+				}
+				if sent == 0 {
+					continue
+				}
+				tickets[u] += sent
+				// Vote flow runs u -> v (toward the collector); the
+				// envelope capacity rides on that direction.
+				fn.envelope[dirEdge{from: u, to: v}] += sent
+			}
+		}
+	}
+	return fn, nil
+}
+
+// augment finds one unit augmenting path from voter to collector in the
+// residual network and applies it. It reports whether a path was found.
+func augment(fn *flowNetwork, voter, collector graph.NodeID, prev []graph.NodeID, visited []bool, queue []graph.NodeID) bool {
+	for i := range visited {
+		visited[i] = false
+		prev[i] = -1
+	}
+	queue = append(queue[:0], voter)
+	visited[voter] = true
+	found := false
+	for head := 0; head < len(queue) && !found; head++ {
+		x := queue[head]
+		for _, u := range fn.g.Neighbors(x) {
+			if visited[u] || fn.residual(x, u) <= 0 {
+				continue
+			}
+			prev[u] = x
+			if u == collector {
+				found = true
+				break
+			}
+			visited[u] = true
+			queue = append(queue, u)
+		}
+	}
+	if !found {
+		return false
+	}
+	for cur := collector; cur != voter; cur = prev[cur] {
+		fn.push(prev[cur], cur)
+	}
+	return true
+}

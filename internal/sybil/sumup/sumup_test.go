@@ -1,0 +1,189 @@
+package sumup
+
+import (
+	"testing"
+
+	"github.com/trustnet/trustnet/internal/gen"
+	"github.com/trustnet/trustnet/internal/graph"
+	"github.com/trustnet/trustnet/internal/sybil"
+)
+
+func TestRunCollectsHonestBoundsSybil(t *testing.T) {
+	honest, err := gen.BarabasiAlbert(300, 4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := sybil.Inject(honest, sybil.AttackConfig{SybilNodes: 100, AttackEdges: 3, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(a, 0, Config{Tickets: 400})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := sybil.Evaluate(a, res.Collected, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hr := m.HonestAcceptRate(); hr < 0.5 {
+		t.Errorf("honest votes collected = %v, want >= 0.5", hr)
+	}
+	// Sybil flow is cut by the attack edges: at most 1 + envelope tickets
+	// per attack edge; with the collector far from the attack edges the
+	// envelope contribution stays small.
+	if m.SybilAccepted > 12*m.AttackEdges {
+		t.Errorf("sybil votes = %d for %d attack edges, want tightly bounded",
+			m.SybilAccepted, m.AttackEdges)
+	}
+	sybilRate := float64(m.SybilAccepted) / float64(a.NumSybil())
+	if sybilRate >= m.HonestAcceptRate() {
+		t.Errorf("sybil rate %v >= honest rate %v", sybilRate, m.HonestAcceptRate())
+	}
+}
+
+func TestSybilVotesScaleWithAttackEdges(t *testing.T) {
+	honest, err := gen.BarabasiAlbert(300, 4, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	few, err := sybil.Inject(honest, sybil.AttackConfig{SybilNodes: 100, AttackEdges: 2, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	many, err := sybil.Inject(honest, sybil.AttackConfig{SybilNodes: 100, AttackEdges: 30, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rFew, err := Run(few, 0, Config{Tickets: 400})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rMany, err := Run(many, 0, Config{Tickets: 400})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mFew, err := sybil.Evaluate(few, rFew.Collected, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mMany, err := sybil.Evaluate(many, rMany.Collected, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mMany.SybilAccepted <= mFew.SybilAccepted {
+		t.Errorf("sybil votes did not grow with attack edges: %d (g=2) vs %d (g=30)",
+			mFew.SybilAccepted, mMany.SybilAccepted)
+	}
+}
+
+func TestMaxVotesCap(t *testing.T) {
+	honest, err := gen.BarabasiAlbert(100, 3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := sybil.Inject(honest, sybil.AttackConfig{SybilNodes: 10, AttackEdges: 2, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(a, 0, Config{Tickets: 100, MaxVotes: 25})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TotalCollected != 25 {
+		t.Errorf("TotalCollected = %d, want capped at 25", res.TotalCollected)
+	}
+}
+
+func TestFlowRespectsCollectorCut(t *testing.T) {
+	// On a star with the hub as collector, every leaf's vote has a
+	// dedicated unit edge: all collected.
+	g, err := gen.Star(12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := &sybil.Attack{Honest: g, Combined: g, HonestNodes: 12}
+	res, err := Run(a, 0, Config{Tickets: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TotalCollected != 11 {
+		t.Errorf("TotalCollected = %d, want 11", res.TotalCollected)
+	}
+	// On a path with the collector at one end, the single edge out of the
+	// collector bounds total flow by 1 + tickets.
+	p, err := gen.Path(30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ap := &sybil.Attack{Honest: p, Combined: p, HonestNodes: 30}
+	res, err = Run(ap, 0, Config{Tickets: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TotalCollected > 5 {
+		t.Errorf("path flow = %d, exceeds cut bound 5", res.TotalCollected)
+	}
+	if res.TotalCollected < 1 {
+		t.Errorf("path flow = %d, want >= 1", res.TotalCollected)
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	honest, err := gen.BarabasiAlbert(50, 3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := sybil.Inject(honest, sybil.AttackConfig{SybilNodes: 5, AttackEdges: 1, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Run(a, 9999, Config{}); err == nil {
+		t.Error("Run(bad collector): want error")
+	}
+	if _, err := Run(a, 0, Config{Tickets: -1}); err == nil {
+		t.Error("Run(negative tickets): want error")
+	}
+	if _, err := Run(a, 0, Config{MaxVotes: -1}); err == nil {
+		t.Error("Run(negative max votes): want error")
+	}
+	b := graph.NewBuilder(3)
+	if err := b.AddEdge(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	g := b.Build()
+	iso := &sybil.Attack{Honest: g, Combined: g, HonestNodes: 3}
+	if _, err := Run(iso, 2, Config{}); err == nil {
+		t.Error("Run(isolated collector): want error")
+	}
+}
+
+func TestEnvelopeTicketConservation(t *testing.T) {
+	g, err := gen.BarabasiAlbert(80, 3, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fn, err := buildEnvelope(g, 0, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Envelope capacity points toward the collector and never exceeds the
+	// ticket budget in total per level cut.
+	var total int64
+	for de, c := range fn.envelope {
+		if c < 0 {
+			t.Fatalf("negative envelope on %v", de)
+		}
+		total += c
+	}
+	if total == 0 {
+		t.Error("envelope empty despite 200 tickets")
+	}
+	// Tickets leaving the collector are at most t.
+	var fromCollector int64
+	for _, u := range g.Neighbors(0) {
+		fromCollector += fn.envelope[dirEdge{from: u, to: 0}]
+	}
+	if fromCollector > 200 {
+		t.Errorf("collector sent %d tickets, budget 200", fromCollector)
+	}
+}

@@ -1,0 +1,386 @@
+// Package sybil provides the shared substrate for the social-network-based
+// Sybil defenses the paper studies (§II): the attack model (a sybil region
+// wired to the honest region through a limited number of attack edges),
+// evaluation metrics (honest acceptance rate and sybils accepted per
+// attack edge, the two columns of Table II), and the random-route
+// primitive with per-node permutation routing tables that SybilGuard and
+// SybilLimit are built on.
+package sybil
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"github.com/trustnet/trustnet/internal/gen"
+	"github.com/trustnet/trustnet/internal/graph"
+)
+
+// SybilTopology selects how the adversary wires the sybil region.
+type SybilTopology int
+
+const (
+	// TopologyScaleFree wires sybils as a Barabási–Albert graph — the
+	// adversary mimics a real social network.
+	TopologyScaleFree SybilTopology = iota + 1
+	// TopologyRandom wires sybils as a sparse Erdős–Rényi graph.
+	TopologyRandom
+	// TopologyClique wires sybils as a complete graph (small regions
+	// only: the clique has |S|² edges).
+	TopologyClique
+)
+
+// Placement selects which honest nodes the adversary targets with attack
+// edges — the "formal models of attackers" the paper's §VI calls for.
+type Placement int
+
+const (
+	// PlaceRandom picks honest endpoints uniformly (the paper's Table II
+	// setting: "attackers are selected randomly").
+	PlaceRandom Placement = iota + 1
+	// PlaceHubs targets the highest-degree honest nodes: a social
+	// engineering adversary going after well-connected users. Hubs sit
+	// in the graph's core, so tickets, routes, and votes reach the sybil
+	// region much more easily.
+	PlaceHubs
+	// PlacePeriphery targets the lowest-degree honest nodes: an
+	// opportunistic adversary befriending careless users at the fringe.
+	PlacePeriphery
+)
+
+// String implements fmt.Stringer.
+func (p Placement) String() string {
+	switch p {
+	case PlaceRandom:
+		return "random"
+	case PlaceHubs:
+		return "hubs"
+	case PlacePeriphery:
+		return "periphery"
+	default:
+		return fmt.Sprintf("Placement(%d)", int(p))
+	}
+}
+
+// AttackConfig parameterizes an attack injection.
+type AttackConfig struct {
+	// SybilNodes is the number of sybil identities created.
+	SybilNodes int
+	// AttackEdges is the number of edges the adversary manages to
+	// establish to honest nodes.
+	AttackEdges int
+	// Topology wires the sybil region; defaults to TopologyScaleFree.
+	Topology SybilTopology
+	// Placement selects the honest endpoints of attack edges; defaults
+	// to PlaceRandom.
+	Placement Placement
+	// Seed makes the attack deterministic.
+	Seed int64
+}
+
+// Attack is an honest social graph with an injected sybil region. Node IDs
+// [0, HonestNodes) are the original honest nodes; [HonestNodes, n) are
+// sybils.
+type Attack struct {
+	// Honest is the original graph.
+	Honest *graph.Graph
+	// Combined is the graph the defense actually sees: honest region,
+	// sybil region, and the attack edges between them.
+	Combined *graph.Graph
+	// HonestNodes is the size of the honest region.
+	HonestNodes int
+	// AttackEdges are the edges crossing the honest/sybil boundary.
+	AttackEdges []graph.Edge
+}
+
+// NumSybil returns the number of sybil identities.
+func (a *Attack) NumSybil() int { return a.Combined.NumNodes() - a.HonestNodes }
+
+// IsHonest reports whether v is an original honest node.
+func (a *Attack) IsHonest(v graph.NodeID) bool { return int(v) < a.HonestNodes }
+
+// Inject builds an Attack on top of an honest graph.
+func Inject(honest *graph.Graph, cfg AttackConfig) (*Attack, error) {
+	hn := honest.NumNodes()
+	if hn < 2 {
+		return nil, fmt.Errorf("sybil: honest graph too small (%d nodes)", hn)
+	}
+	if cfg.SybilNodes < 1 {
+		return nil, fmt.Errorf("sybil: need >= 1 sybil node, got %d", cfg.SybilNodes)
+	}
+	if cfg.AttackEdges < 1 {
+		return nil, fmt.Errorf("sybil: need >= 1 attack edge, got %d", cfg.AttackEdges)
+	}
+	if cfg.AttackEdges > hn*cfg.SybilNodes {
+		return nil, fmt.Errorf("sybil: %d attack edges exceed possible %d", cfg.AttackEdges, hn*cfg.SybilNodes)
+	}
+	topo := cfg.Topology
+	if topo == 0 {
+		topo = TopologyScaleFree
+	}
+
+	region, err := sybilRegion(cfg.SybilNodes, topo, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+
+	n := hn + cfg.SybilNodes
+	b := graph.NewBuilder(n)
+	for _, e := range honest.Edges() {
+		b.AddEdgeSafe(e.U, e.V)
+	}
+	for _, e := range region.Edges() {
+		b.AddEdgeSafe(e.U+graph.NodeID(hn), e.V+graph.NodeID(hn))
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed + 1))
+	pickHonest, err := honestPicker(honest, cfg.Placement, rng)
+	if err != nil {
+		return nil, err
+	}
+	seen := make(map[graph.Edge]struct{}, cfg.AttackEdges)
+	attackEdges := make([]graph.Edge, 0, cfg.AttackEdges)
+	attempts := 0
+	maxAttempts := 100*cfg.AttackEdges + 1000
+	for len(attackEdges) < cfg.AttackEdges {
+		attempts++
+		if attempts > maxAttempts {
+			return nil, fmt.Errorf("sybil: could not place %d distinct attack edges with placement %v (target pool too small)",
+				cfg.AttackEdges, cfg.Placement)
+		}
+		h := pickHonest()
+		s := graph.NodeID(hn + rng.Intn(cfg.SybilNodes))
+		e := graph.Edge{U: h, V: s}
+		if _, dup := seen[e]; dup {
+			continue
+		}
+		seen[e] = struct{}{}
+		attackEdges = append(attackEdges, e)
+		b.AddEdgeSafe(h, s)
+	}
+	return &Attack{
+		Honest:      honest,
+		Combined:    b.Build(),
+		HonestNodes: hn,
+		AttackEdges: attackEdges,
+	}, nil
+}
+
+// honestPicker returns a sampler over honest endpoints implementing the
+// configured placement. Targeted placements concentrate draws on the top
+// (or bottom) 5% of nodes by degree, sampling within that pool.
+func honestPicker(honest *graph.Graph, placement Placement, rng *rand.Rand) (func() graph.NodeID, error) {
+	hn := honest.NumNodes()
+	if placement == 0 {
+		placement = PlaceRandom
+	}
+	switch placement {
+	case PlaceRandom:
+		return func() graph.NodeID { return graph.NodeID(rng.Intn(hn)) }, nil
+	case PlaceHubs, PlacePeriphery:
+		order := make([]graph.NodeID, hn)
+		for i := range order {
+			order[i] = graph.NodeID(i)
+		}
+		sort.Slice(order, func(i, j int) bool {
+			di, dj := honest.Degree(order[i]), honest.Degree(order[j])
+			if di != dj {
+				if placement == PlaceHubs {
+					return di > dj
+				}
+				return di < dj
+			}
+			return order[i] < order[j]
+		})
+		pool := hn / 20
+		if pool < 1 {
+			pool = 1
+		}
+		targets := order[:pool]
+		return func() graph.NodeID { return targets[rng.Intn(len(targets))] }, nil
+	default:
+		return nil, fmt.Errorf("sybil: unknown placement %d", placement)
+	}
+}
+
+func sybilRegion(n int, topo SybilTopology, seed int64) (*graph.Graph, error) {
+	switch topo {
+	case TopologyScaleFree:
+		if n <= 3 {
+			return gen.Complete(n)
+		}
+		g, err := gen.BarabasiAlbert(n, 3, seed)
+		if err != nil {
+			return nil, fmt.Errorf("sybil region: %w", err)
+		}
+		return g, nil
+	case TopologyRandom:
+		if n < 2 {
+			return gen.Complete(n)
+		}
+		m := int64(3 * n)
+		if max := int64(n) * int64(n-1) / 2; m > max {
+			m = max
+		}
+		g, err := gen.GNM(n, m, seed)
+		if err != nil {
+			return nil, fmt.Errorf("sybil region: %w", err)
+		}
+		return g, nil
+	case TopologyClique:
+		if n > 2000 {
+			return nil, fmt.Errorf("sybil: clique region with %d nodes is too dense; use another topology", n)
+		}
+		return gen.Complete(n)
+	default:
+		return nil, fmt.Errorf("sybil: unknown topology %d", topo)
+	}
+}
+
+// Metrics are the Table II evaluation quantities for one defense run.
+type Metrics struct {
+	// HonestAccepted and HonestTotal count the honest region (excluding
+	// the verifier itself when the defense excludes it).
+	HonestAccepted int
+	HonestTotal    int
+	// SybilAccepted counts accepted sybil identities.
+	SybilAccepted int
+	// AttackEdges is the number of attack edges in the run.
+	AttackEdges int
+}
+
+// HonestAcceptRate returns the fraction of honest nodes accepted.
+func (m Metrics) HonestAcceptRate() float64 {
+	if m.HonestTotal == 0 {
+		return 0
+	}
+	return float64(m.HonestAccepted) / float64(m.HonestTotal)
+}
+
+// SybilsPerAttackEdge returns accepted sybils normalized by attack edges —
+// the guarantee unit every defense in the literature reports.
+func (m Metrics) SybilsPerAttackEdge() float64 {
+	if m.AttackEdges == 0 {
+		return 0
+	}
+	return float64(m.SybilAccepted) / float64(m.AttackEdges)
+}
+
+// Evaluate computes Metrics from a per-node acceptance vector over the
+// combined graph. The verifier is excluded from the honest tally.
+func Evaluate(a *Attack, accepted []bool, verifier graph.NodeID) (Metrics, error) {
+	if len(accepted) != a.Combined.NumNodes() {
+		return Metrics{}, fmt.Errorf("sybil: acceptance vector length %d, want %d",
+			len(accepted), a.Combined.NumNodes())
+	}
+	if !a.Combined.Valid(verifier) {
+		return Metrics{}, fmt.Errorf("sybil: verifier %d out of range", verifier)
+	}
+	m := Metrics{AttackEdges: len(a.AttackEdges)}
+	for v, ok := range accepted {
+		node := graph.NodeID(v)
+		if node == verifier {
+			continue
+		}
+		if a.IsHonest(node) {
+			m.HonestTotal++
+			if ok {
+				m.HonestAccepted++
+			}
+		} else if ok {
+			m.SybilAccepted++
+		}
+	}
+	return m, nil
+}
+
+// ErrNoRoute is returned by route operations on nodes without edges.
+var ErrNoRoute = errors.New("sybil: node has no edges")
+
+// RouteTable holds the per-node random permutation routing tables of
+// SybilGuard/SybilLimit: a node with degree d stores a permutation π of
+// its incident edge slots, and a route entering through edge slot i leaves
+// through slot π(i). Routes are therefore deterministic given entry point
+// and convergent (two routes entering a node on the same edge merge).
+type RouteTable struct {
+	g *graph.Graph
+	// perm[v] is a permutation of [0, deg(v)).
+	perm [][]int32
+}
+
+// NewRouteTable draws one random routing table for every node.
+func NewRouteTable(g *graph.Graph, seed int64) *RouteTable {
+	rng := rand.New(rand.NewSource(seed))
+	perm := make([][]int32, g.NumNodes())
+	for v := range perm {
+		d := g.Degree(graph.NodeID(v))
+		p := make([]int32, d)
+		for i := range p {
+			p[i] = int32(i)
+		}
+		rng.Shuffle(d, func(i, j int) { p[i], p[j] = p[j], p[i] })
+		perm[v] = p
+	}
+	return &RouteTable{g: g, perm: perm}
+}
+
+// edgeSlot returns the index of neighbor u in v's adjacency list.
+func (rt *RouteTable) edgeSlot(v, u graph.NodeID) (int32, error) {
+	ns := rt.g.Neighbors(v)
+	lo, hi := 0, len(ns)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if ns[mid] < u {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < len(ns) && ns[lo] == u {
+		return int32(lo), nil
+	}
+	return 0, fmt.Errorf("sybil: (%d,%d) is not an edge", v, u)
+}
+
+// Route performs a random route of `length` hops from start, leaving first
+// through startSlot (an index into start's adjacency list). It returns the
+// sequence of directed edges traversed, each encoded as [from, to].
+func (rt *RouteTable) Route(start graph.NodeID, startSlot int, length int) ([][2]graph.NodeID, error) {
+	if !rt.g.Valid(start) {
+		return nil, fmt.Errorf("sybil: route start %d out of range", start)
+	}
+	d := rt.g.Degree(start)
+	if d == 0 {
+		return nil, ErrNoRoute
+	}
+	if startSlot < 0 || startSlot >= d {
+		return nil, fmt.Errorf("sybil: start slot %d out of range [0,%d)", startSlot, d)
+	}
+	if length < 1 {
+		return nil, fmt.Errorf("sybil: route length %d must be >= 1", length)
+	}
+	hops := make([][2]graph.NodeID, 0, length)
+	cur := start
+	next := rt.g.Neighbors(start)[startSlot]
+	hops = append(hops, [2]graph.NodeID{cur, next})
+	for len(hops) < length {
+		inSlot, err := rt.edgeSlot(next, cur)
+		if err != nil {
+			return nil, err
+		}
+		outSlot := rt.perm[next][inSlot]
+		cur, next = next, rt.g.Neighbors(next)[outSlot]
+		hops = append(hops, [2]graph.NodeID{cur, next})
+	}
+	return hops, nil
+}
+
+// Tail returns the last directed edge of the route from start via
+// startSlot — SybilLimit's intersection primitive.
+func (rt *RouteTable) Tail(start graph.NodeID, startSlot, length int) ([2]graph.NodeID, error) {
+	hops, err := rt.Route(start, startSlot, length)
+	if err != nil {
+		return [2]graph.NodeID{}, err
+	}
+	return hops[len(hops)-1], nil
+}

@@ -1,0 +1,268 @@
+package sybil
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"github.com/trustnet/trustnet/internal/gen"
+	"github.com/trustnet/trustnet/internal/graph"
+)
+
+func honestGraph(t *testing.T, n int) *graph.Graph {
+	t.Helper()
+	g, err := gen.BarabasiAlbert(n, 3, 17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestInjectBasics(t *testing.T) {
+	h := honestGraph(t, 200)
+	a, err := Inject(h, AttackConfig{SybilNodes: 50, AttackEdges: 10, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.HonestNodes != 200 || a.NumSybil() != 50 {
+		t.Errorf("sizes = %d honest, %d sybil", a.HonestNodes, a.NumSybil())
+	}
+	if len(a.AttackEdges) != 10 {
+		t.Errorf("attack edges = %d, want 10", len(a.AttackEdges))
+	}
+	for _, e := range a.AttackEdges {
+		if !a.IsHonest(e.U) || a.IsHonest(e.V) {
+			t.Errorf("attack edge %v does not cross boundary", e)
+		}
+		if !a.Combined.HasEdge(e.U, e.V) {
+			t.Errorf("attack edge %v missing from combined graph", e)
+		}
+	}
+	// The honest region is untouched inside the combined graph.
+	for _, e := range h.Edges() {
+		if !a.Combined.HasEdge(e.U, e.V) {
+			t.Errorf("honest edge %v missing", e)
+		}
+	}
+	// Cross-boundary edges are exactly the attack edges.
+	cross := 0
+	for _, e := range a.Combined.Edges() {
+		if a.IsHonest(e.U) != a.IsHonest(e.V) {
+			cross++
+		}
+	}
+	if cross != 10 {
+		t.Errorf("cross edges = %d, want 10", cross)
+	}
+}
+
+func TestInjectTopologies(t *testing.T) {
+	h := honestGraph(t, 100)
+	for _, topo := range []SybilTopology{TopologyScaleFree, TopologyRandom, TopologyClique} {
+		a, err := Inject(h, AttackConfig{SybilNodes: 20, AttackEdges: 5, Topology: topo, Seed: 2})
+		if err != nil {
+			t.Fatalf("topology %d: %v", topo, err)
+		}
+		if a.NumSybil() != 20 {
+			t.Errorf("topology %d: sybils = %d", topo, a.NumSybil())
+		}
+	}
+	if _, err := Inject(h, AttackConfig{SybilNodes: 20, AttackEdges: 5, Topology: 99, Seed: 2}); err == nil {
+		t.Error("unknown topology: want error")
+	}
+	if _, err := Inject(h, AttackConfig{SybilNodes: 5000, AttackEdges: 5, Topology: TopologyClique}); err == nil {
+		t.Error("huge clique: want error")
+	}
+}
+
+func TestInjectSmallSybilRegions(t *testing.T) {
+	h := honestGraph(t, 50)
+	for _, n := range []int{1, 2, 3, 4} {
+		a, err := Inject(h, AttackConfig{SybilNodes: n, AttackEdges: 1, Seed: 3})
+		if err != nil {
+			t.Fatalf("sybil region %d: %v", n, err)
+		}
+		if a.NumSybil() != n {
+			t.Errorf("sybil region %d: got %d", n, a.NumSybil())
+		}
+	}
+}
+
+func TestInjectValidation(t *testing.T) {
+	h := honestGraph(t, 50)
+	bad := []AttackConfig{
+		{SybilNodes: 0, AttackEdges: 1},
+		{SybilNodes: 5, AttackEdges: 0},
+		{SybilNodes: 1, AttackEdges: 51},
+	}
+	for _, cfg := range bad {
+		if _, err := Inject(h, cfg); err == nil {
+			t.Errorf("Inject(%+v): want error", cfg)
+		}
+	}
+	tiny := graph.NewBuilder(1).Build()
+	if _, err := Inject(tiny, AttackConfig{SybilNodes: 1, AttackEdges: 1}); err == nil {
+		t.Error("Inject(tiny honest graph): want error")
+	}
+}
+
+func TestMetrics(t *testing.T) {
+	m := Metrics{HonestAccepted: 90, HonestTotal: 100, SybilAccepted: 6, AttackEdges: 3}
+	if m.HonestAcceptRate() != 0.9 {
+		t.Errorf("HonestAcceptRate = %v", m.HonestAcceptRate())
+	}
+	if m.SybilsPerAttackEdge() != 2 {
+		t.Errorf("SybilsPerAttackEdge = %v", m.SybilsPerAttackEdge())
+	}
+	var zero Metrics
+	if zero.HonestAcceptRate() != 0 || zero.SybilsPerAttackEdge() != 0 {
+		t.Error("zero metrics should be 0")
+	}
+}
+
+func TestEvaluate(t *testing.T) {
+	h := honestGraph(t, 100)
+	a, err := Inject(h, AttackConfig{SybilNodes: 10, AttackEdges: 4, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	accepted := make([]bool, a.Combined.NumNodes())
+	for v := 0; v < 50; v++ {
+		accepted[v] = true // half the honest nodes
+	}
+	accepted[100] = true // one sybil
+	m, err := Evaluate(a, accepted, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Verifier (node 0, accepted) is excluded: 49 of 99.
+	if m.HonestAccepted != 49 || m.HonestTotal != 99 {
+		t.Errorf("honest tally = %d/%d, want 49/99", m.HonestAccepted, m.HonestTotal)
+	}
+	if m.SybilAccepted != 1 || m.AttackEdges != 4 {
+		t.Errorf("sybil tally = %d/%d", m.SybilAccepted, m.AttackEdges)
+	}
+	if _, err := Evaluate(a, accepted[:5], 0); err == nil {
+		t.Error("Evaluate(short vector): want error")
+	}
+	if _, err := Evaluate(a, accepted, 9999); err == nil {
+		t.Error("Evaluate(bad verifier): want error")
+	}
+}
+
+func TestRouteTableDeterministicAndValid(t *testing.T) {
+	g := honestGraph(t, 80)
+	rt := NewRouteTable(g, 9)
+	route, err := rt.Route(0, 0, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(route) != 20 {
+		t.Fatalf("route length = %d, want 20", len(route))
+	}
+	for i, hop := range route {
+		if !g.HasEdge(hop[0], hop[1]) {
+			t.Fatalf("hop %d = %v is not an edge", i, hop)
+		}
+		if i > 0 && route[i-1][1] != hop[0] {
+			t.Fatalf("hop %d does not continue from previous: %v -> %v", i, route[i-1], hop)
+		}
+	}
+	// Same table, same start: identical route.
+	route2, err := rt.Route(0, 0, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range route {
+		if route[i] != route2[i] {
+			t.Fatalf("routes diverge at hop %d", i)
+		}
+	}
+	tail, err := rt.Tail(0, 0, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tail != route[19] {
+		t.Errorf("Tail = %v, want %v", tail, route[19])
+	}
+}
+
+func TestRouteConvergent(t *testing.T) {
+	// The defining property of permutation routing: two routes that enter
+	// a node through the same edge leave through the same edge, so routes
+	// that merge stay merged.
+	g := honestGraph(t, 60)
+	rt := NewRouteTable(g, 3)
+	// Route A from node 0 slot 0, Route B re-traces A from its midpoint.
+	routeA, err := rt.Route(0, 0, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mid := routeA[10]
+	slot, err := rt.edgeSlot(mid[0], mid[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	routeB, err := rt.Route(mid[0], int(slot), 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		if routeA[10+i] != routeB[i] {
+			t.Fatalf("merged routes diverge at offset %d: %v vs %v", i, routeA[10+i], routeB[i])
+		}
+	}
+}
+
+func TestRouteErrors(t *testing.T) {
+	b := graph.NewBuilder(3)
+	if err := b.AddEdge(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	g := b.Build()
+	rt := NewRouteTable(g, 1)
+	if _, err := rt.Route(9, 0, 5); err == nil {
+		t.Error("Route(bad start): want error")
+	}
+	if _, err := rt.Route(2, 0, 5); err == nil {
+		t.Error("Route(isolated): want error")
+	}
+	if _, err := rt.Route(0, 5, 5); err == nil {
+		t.Error("Route(bad slot): want error")
+	}
+	if _, err := rt.Route(0, 0, 0); err == nil {
+		t.Error("Route(zero length): want error")
+	}
+	if _, err := rt.edgeSlot(0, 2); err == nil {
+		t.Error("edgeSlot(non-edge): want error")
+	}
+}
+
+// Property: random routes are reversible in the sense that the multiset of
+// directed edges used at each step forms a permutation — no two distinct
+// entry edges at a node map to the same exit edge.
+func TestRoutePermutationQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 10 + rng.Intn(40)
+		g, err := gen.GNM(n, int64(3*n), seed)
+		if err != nil {
+			return false
+		}
+		rt := NewRouteTable(g, seed)
+		for v := graph.NodeID(0); int(v) < n; v++ {
+			p := rt.perm[v]
+			seen := make(map[int32]bool, len(p))
+			for _, x := range p {
+				if x < 0 || int(x) >= len(p) || seen[x] {
+					return false
+				}
+				seen[x] = true
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,197 @@
+// Package sybilguard implements the SybilGuard verification protocol of
+// Yu et al. (SIGCOMM 2006), the first defense to exploit the fast-mixing
+// property the paper measures.
+//
+// Every node performs one random route per incident edge, of length
+// w = Θ(√(n log n)), using shared per-node permutation routing tables
+// (sybil.RouteTable), and registers its identity at every node its route
+// visits. A verifier V accepts a suspect S when at least an AcceptFraction
+// of S's routes intersect the node set of V's routes *at a node where S's
+// registration was actually recorded*.
+//
+// The registration step is what produces SybilGuard's g·w bound on
+// accepted sybils: permutation routing is convergent, so every sybil route
+// escaping through the same attack edge with the same remaining length
+// follows the identical suffix and competes for the identical registry
+// slots (node, entry-edge, position), of which there are at most w per
+// attack edge. Honest routes never collide in a registry slot because
+// permutation routing is also reversible: a route entering a node through
+// a given edge at a given position has a unique origin.
+package sybilguard
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/trustnet/trustnet/internal/graph"
+	"github.com/trustnet/trustnet/internal/sybil"
+)
+
+// Config parameterizes a SybilGuard run.
+type Config struct {
+	// RouteLength is w. Defaults to ceil(sqrt(n·log2 n)) when 0.
+	RouteLength int
+	// AcceptFraction is the fraction of the suspect's routes that must
+	// (verifiably) intersect the verifier's routes. Defaults to 0.5.
+	AcceptFraction float64
+	// Seed drives the routing tables.
+	Seed int64
+}
+
+func (c *Config) fill(n int) error {
+	if c.RouteLength == 0 {
+		c.RouteLength = int(math.Ceil(math.Sqrt(float64(n) * math.Log2(float64(n)+1))))
+	}
+	if c.RouteLength < 1 {
+		return fmt.Errorf("sybilguard: route length %d must be >= 1", c.RouteLength)
+	}
+	if c.AcceptFraction == 0 {
+		c.AcceptFraction = 0.5
+	}
+	if c.AcceptFraction <= 0 || c.AcceptFraction > 1 {
+		return fmt.Errorf("sybilguard: accept fraction %v out of (0,1]", c.AcceptFraction)
+	}
+	return nil
+}
+
+// trajectory is a sequence of directed hops, each encoded [from, to].
+type trajectory = [][2]graph.NodeID
+
+// regKey identifies one registry slot: a node, the edge slot a route
+// entered through, and the route position (hop index) at which it did.
+type regKey struct {
+	node graph.NodeID
+	slot int32
+	pos  int32
+}
+
+// Run evaluates every node of the attack's combined graph from the
+// verifier's perspective and returns the acceptance vector.
+func Run(a *sybil.Attack, verifier graph.NodeID, cfg Config) ([]bool, error) {
+	g := a.Combined
+	if err := cfg.fill(g.NumNodes()); err != nil {
+		return nil, err
+	}
+	if !g.Valid(verifier) {
+		return nil, fmt.Errorf("sybilguard: verifier %d out of range", verifier)
+	}
+	if g.Degree(verifier) == 0 {
+		return nil, fmt.Errorf("sybilguard: verifier %d is isolated", verifier)
+	}
+	rt := sybil.NewRouteTable(g, cfg.Seed)
+
+	// Pass 1: every node walks its routes and registers itself along
+	// them; first writer wins a contested slot (honest routes never
+	// contest, by reversibility of permutation routing).
+	n := g.NumNodes()
+	registry := make(map[regKey]graph.NodeID)
+	routes := make([][]trajectory, n) // routes[v][slot] = trajectory
+	for v := graph.NodeID(0); int(v) < n; v++ {
+		d := g.Degree(v)
+		if d == 0 {
+			continue
+		}
+		routes[v] = make([]trajectory, d)
+		for slot := 0; slot < d; slot++ {
+			route, err := rt.Route(v, slot, cfg.RouteLength)
+			if err != nil {
+				return nil, fmt.Errorf("sybilguard: route of %d: %w", v, err)
+			}
+			routes[v][slot] = route
+			for pos, hop := range route {
+				inSlot, err := edgeSlot(g, hop[1], hop[0])
+				if err != nil {
+					return nil, err
+				}
+				key := regKey{node: hop[1], slot: inSlot, pos: int32(pos)}
+				if _, taken := registry[key]; !taken {
+					registry[key] = v
+				}
+			}
+		}
+	}
+
+	// registeredAt[v] is the set of nodes where v's registrations stuck.
+	registeredAt := make([][]graph.NodeID, n)
+	for v := graph.NodeID(0); int(v) < n; v++ {
+		seen := make(map[graph.NodeID]struct{})
+		for _, route := range routes[v] {
+			for pos, hop := range route {
+				inSlot, err := edgeSlot(g, hop[1], hop[0])
+				if err != nil {
+					return nil, err
+				}
+				if registry[regKey{node: hop[1], slot: inSlot, pos: int32(pos)}] == v {
+					seen[hop[1]] = struct{}{}
+				}
+			}
+		}
+		pts := make([]graph.NodeID, 0, len(seen))
+		for x := range seen {
+			pts = append(pts, x)
+		}
+		registeredAt[v] = pts
+	}
+
+	// Membership stamps for each verifier route: routeMark[x] is a bitmask
+	// of the verifier routes passing through x (verifier degree is assumed
+	// modest; beyond 64 routes the extras share the last bit, which only
+	// makes acceptance stricter, never looser).
+	dv := g.Degree(verifier)
+	routeMark := make([]uint64, n)
+	for j, route := range routes[verifier] {
+		bit := uint64(1) << uint(min(j, 63))
+		for _, hop := range route {
+			routeMark[hop[1]] |= bit
+		}
+	}
+
+	// Pass 2: V accepts S when at least AcceptFraction of V's routes
+	// intersect a node where S is verifiably registered.
+	accepted := make([]bool, n)
+	accepted[verifier] = true
+	need := int(math.Ceil(cfg.AcceptFraction * float64(dv)))
+	if need < 1 {
+		need = 1
+	}
+	for s := graph.NodeID(0); int(s) < n; s++ {
+		if s == verifier || g.Degree(s) == 0 {
+			continue
+		}
+		var mask uint64
+		for _, x := range registeredAt[s] {
+			mask |= routeMark[x]
+		}
+		hits := 0
+		for m := mask; m != 0; m &= m - 1 {
+			hits++
+		}
+		accepted[s] = hits >= need
+	}
+	return accepted, nil
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// edgeSlot returns the index of neighbor u in v's sorted adjacency list.
+func edgeSlot(g *graph.Graph, v, u graph.NodeID) (int32, error) {
+	ns := g.Neighbors(v)
+	lo, hi := 0, len(ns)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if ns[mid] < u {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < len(ns) && ns[lo] == u {
+		return int32(lo), nil
+	}
+	return 0, fmt.Errorf("sybilguard: (%d,%d) is not an edge", v, u)
+}

@@ -1,0 +1,120 @@
+package sybilguard
+
+import (
+	"testing"
+
+	"github.com/trustnet/trustnet/internal/gen"
+	"github.com/trustnet/trustnet/internal/graph"
+	"github.com/trustnet/trustnet/internal/sybil"
+)
+
+func TestRunSeparatesHonestFromSybil(t *testing.T) {
+	// SybilGuard's guarantee is g·w accepted sybils (w per attack edge),
+	// so separation is only observable when the sybil count exceeds it:
+	// here w ≈ √(900·log₂900) ≈ 94 and g = 2, so the bound is ≈ 188 of
+	// the 500 sybils.
+	honest, err := gen.BarabasiAlbert(400, 4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := sybil.Inject(honest, sybil.AttackConfig{SybilNodes: 500, AttackEdges: 2, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	accepted, err := Run(a, 0, Config{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := sybil.Evaluate(a, accepted, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hr := m.HonestAcceptRate(); hr < 0.7 {
+		t.Errorf("honest acceptance = %v, want >= 0.7", hr)
+	}
+	sybilRate := float64(m.SybilAccepted) / float64(a.NumSybil())
+	if sybilRate >= m.HonestAcceptRate() {
+		t.Errorf("sybil rate %v >= honest rate %v", sybilRate, m.HonestAcceptRate())
+	}
+	// The g·w bound, with slack for the route-length rounding.
+	w := Config{}
+	if err := w.fill(a.Combined.NumNodes()); err != nil {
+		t.Fatal(err)
+	}
+	bound := 2 * w.RouteLength
+	if m.SybilAccepted > bound {
+		t.Errorf("accepted sybils %d exceed g·w bound %d", m.SybilAccepted, bound)
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	honest, err := gen.BarabasiAlbert(100, 3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := sybil.Inject(honest, sybil.AttackConfig{SybilNodes: 10, AttackEdges: 2, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Run(a, 9999, Config{}); err == nil {
+		t.Error("Run(bad verifier): want error")
+	}
+	if _, err := Run(a, 0, Config{RouteLength: -1}); err == nil {
+		t.Error("Run(negative route length): want error")
+	}
+	if _, err := Run(a, 0, Config{AcceptFraction: 2}); err == nil {
+		t.Error("Run(accept fraction 2): want error")
+	}
+}
+
+func TestRunIsolatedVerifier(t *testing.T) {
+	b := graph.NewBuilder(5)
+	if err := b.AddEdge(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.AddEdge(1, 2); err != nil {
+		t.Fatal(err)
+	}
+	g := b.Build()
+	a := &sybil.Attack{Honest: g, Combined: g, HonestNodes: 5}
+	if _, err := Run(a, 4, Config{}); err == nil {
+		t.Error("Run(isolated verifier): want error")
+	}
+}
+
+func TestVerifierAlwaysAcceptsSelf(t *testing.T) {
+	honest, err := gen.BarabasiAlbert(150, 3, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := sybil.Inject(honest, sybil.AttackConfig{SybilNodes: 10, AttackEdges: 2, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	accepted, err := Run(a, 42, Config{Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !accepted[42] {
+		t.Error("verifier did not accept itself")
+	}
+}
+
+func TestIsolatedSuspectRejected(t *testing.T) {
+	// Add an isolated node to the combined graph via a custom attack.
+	b := graph.NewBuilder(6)
+	for _, e := range []graph.Edge{{U: 0, V: 1}, {U: 1, V: 2}, {U: 2, V: 3}, {U: 3, V: 0}, {U: 0, V: 2}, {U: 1, V: 3}} {
+		if err := b.AddEdge(e.U, e.V); err != nil {
+			t.Fatal(err)
+		}
+	}
+	g := b.Build() // nodes 4,5 isolated
+	a := &sybil.Attack{Honest: g, Combined: g, HonestNodes: 6}
+	accepted, err := Run(a, 0, Config{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if accepted[4] || accepted[5] {
+		t.Error("isolated suspects were accepted")
+	}
+}

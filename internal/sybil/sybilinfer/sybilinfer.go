@@ -1,0 +1,348 @@
+// Package sybilinfer implements the SybilInfer detection mechanism of
+// Danezis and Mittal (NDSS 2009): Bayesian inference of the honest region
+// from random-walk traces, sampled with Metropolis–Hastings.
+//
+// The generative model leans directly on the fast-mixing assumption the
+// paper measures: a length-w walk starting inside the honest set X ends
+// at a ~uniform node of X with (fixed model) probability P_stay, escapes
+// to a ~uniform node of X̄ otherwise, and walks from X̄ land uniformly
+// anywhere. For a candidate cut X with a internal and b escaping traces,
+//
+//	L(X) = (P_stay/|X|)^a · ((1-P_stay)/|X̄|)^b · (1/n)^(T-a-b),
+//
+// which rewards cuts whose internal traces stay internal. P_stay is a
+// fixed parameter rather than the per-cut estimate a/(a+b): the adaptive
+// estimate makes L nearly size-invariant, and the sampler then collapses
+// onto the smallest set the honest-majority constraint allows. The
+// sampler explores cuts by flipping one node at a time under an
+// |X| >= n/2 constraint; each node's marginal acceptance probability is
+// its frequency across retained samples.
+package sybilinfer
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"github.com/trustnet/trustnet/internal/graph"
+	"github.com/trustnet/trustnet/internal/sybil"
+	"github.com/trustnet/trustnet/internal/walk"
+)
+
+// Config parameterizes a SybilInfer run.
+type Config struct {
+	// WalksPerNode is the number of traces each node contributes.
+	// Defaults to 20.
+	WalksPerNode int
+	// WalkLength is the trace length. Defaults to 2·ceil(log2 n).
+	WalkLength int
+	// BurnIn is the number of MH steps discarded. Defaults to 20·n.
+	BurnIn int
+	// Samples is the number of retained samples. Defaults to 200.
+	Samples int
+	// Thin is the number of MH steps between retained samples.
+	// Defaults to n/2.
+	Thin int
+	// Threshold is the marginal probability above which a node is
+	// accepted as honest. Defaults to 0.5.
+	Threshold float64
+	// PStay is the model probability that a walk from the honest set ends
+	// inside it. It is a fixed model parameter, not estimated from the
+	// candidate cut: an adaptive estimate makes the likelihood nearly
+	// size-invariant and the sampler collapses onto the smallest allowed
+	// set. Defaults to 0.9.
+	PStay float64
+	// Seed makes the run deterministic.
+	Seed int64
+}
+
+func (c *Config) fill(n int) error {
+	if c.WalksPerNode == 0 {
+		c.WalksPerNode = 20
+	}
+	if c.WalksPerNode < 1 {
+		return fmt.Errorf("sybilinfer: walks per node %d must be >= 1", c.WalksPerNode)
+	}
+	if c.WalkLength == 0 {
+		c.WalkLength = 2 * int(math.Ceil(math.Log2(float64(n)+1)))
+	}
+	if c.WalkLength < 1 {
+		return fmt.Errorf("sybilinfer: walk length %d must be >= 1", c.WalkLength)
+	}
+	if c.BurnIn == 0 {
+		c.BurnIn = 40 * n
+	}
+	if c.BurnIn < 0 {
+		return fmt.Errorf("sybilinfer: burn-in %d must be >= 0", c.BurnIn)
+	}
+	if c.Samples == 0 {
+		c.Samples = 200
+	}
+	if c.Samples < 1 {
+		return fmt.Errorf("sybilinfer: samples %d must be >= 1", c.Samples)
+	}
+	if c.Thin == 0 {
+		c.Thin = n / 2
+		if c.Thin < 1 {
+			c.Thin = 1
+		}
+	}
+	if c.Thin < 1 {
+		return fmt.Errorf("sybilinfer: thinning %d must be >= 1", c.Thin)
+	}
+	if c.Threshold == 0 {
+		c.Threshold = 0.5
+	}
+	if c.Threshold <= 0 || c.Threshold >= 1 {
+		return fmt.Errorf("sybilinfer: threshold %v out of (0,1)", c.Threshold)
+	}
+	if c.PStay == 0 {
+		c.PStay = 0.9
+	}
+	if c.PStay <= 0 || c.PStay >= 1 {
+		return fmt.Errorf("sybilinfer: pstay %v out of (0,1)", c.PStay)
+	}
+	return nil
+}
+
+// Result carries per-node marginals and the acceptance vector.
+type Result struct {
+	// Marginal[v] is the fraction of retained samples containing v.
+	Marginal []float64
+	// Accepted[v] is Marginal[v] >= Threshold.
+	Accepted []bool
+}
+
+// trace is one random-walk start/end observation.
+type trace struct {
+	start, end graph.NodeID
+}
+
+// initialCut seeds the sampler with the top 75% of nodes by
+// degree-normalized lazy-walk probability from the verifier (always
+// including the verifier itself).
+func initialCut(g *graph.Graph, verifier graph.NodeID) ([]bool, int, error) {
+	n := g.NumNodes()
+	d, err := walk.NewDistribution(g, verifier, true)
+	if err != nil {
+		return nil, 0, err
+	}
+	steps := 3 * int(math.Ceil(math.Log2(float64(n)+1)))
+	for i := 0; i < steps; i++ {
+		d.Step()
+	}
+	probs := d.Probabilities()
+	score := make([]float64, n)
+	for v := graph.NodeID(0); int(v) < n; v++ {
+		if deg := g.Degree(v); deg > 0 {
+			score[v] = probs[v] / float64(deg)
+		}
+	}
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(i, j int) bool {
+		if score[order[i]] != score[order[j]] {
+			return score[order[i]] > score[order[j]]
+		}
+		return order[i] < order[j]
+	})
+	take := (3 * n) / 4
+	if take < 1 {
+		take = 1
+	}
+	inX := make([]bool, n)
+	size := 0
+	for _, v := range order[:take] {
+		inX[v] = true
+		size++
+	}
+	if !inX[verifier] {
+		inX[verifier] = true
+		size++
+	}
+	return inX, size, nil
+}
+
+// Run infers the honest region of the attack's combined graph, anchored at
+// an honest verifier (which is pinned inside X throughout sampling).
+func Run(a *sybil.Attack, verifier graph.NodeID, cfg Config) (*Result, error) {
+	g := a.Combined
+	n := g.NumNodes()
+	if err := cfg.fill(n); err != nil {
+		return nil, err
+	}
+	if !g.Valid(verifier) {
+		return nil, fmt.Errorf("sybilinfer: verifier %d out of range", verifier)
+	}
+	if g.Degree(verifier) == 0 {
+		return nil, fmt.Errorf("sybilinfer: verifier %d is isolated", verifier)
+	}
+
+	// Collect traces.
+	w := walk.NewWalker(g, cfg.Seed)
+	var traces []trace
+	startsAt := make([][]int32, n) // trace indices by start node
+	endsAt := make([][]int32, n)   // trace indices by end node
+	for v := graph.NodeID(0); int(v) < n; v++ {
+		if g.Degree(v) == 0 {
+			continue
+		}
+		for i := 0; i < cfg.WalksPerNode; i++ {
+			end, err := w.Endpoint(v, cfg.WalkLength)
+			if err != nil {
+				return nil, fmt.Errorf("sybilinfer: trace from %d: %w", v, err)
+			}
+			idx := int32(len(traces))
+			traces = append(traces, trace{start: v, end: end})
+			startsAt[v] = append(startsAt[v], idx)
+			endsAt[end] = append(endsAt[end], idx)
+		}
+	}
+	if len(traces) == 0 {
+		return nil, fmt.Errorf("sybilinfer: no traces (graph has no edges)")
+	}
+
+	// MH over cuts. X starts from the verifier's trust ranking — the top
+	// 75% of nodes by degree-normalized probability of a short lazy walk
+	// from the verifier. On an honest verifier this set is dominated by
+	// the honest region, so the sampler starts near the honest mode and
+	// cannot nucleate the inverted (sybil-side) mode, which is also a
+	// local likelihood maximum.
+	inX, sizeX, err := initialCut(g, verifier)
+	if err != nil {
+		return nil, fmt.Errorf("sybilinfer: initial cut: %w", err)
+	}
+	var aCnt, bCnt int // traces from X ending in X / outside X
+	for _, tr := range traces {
+		if inX[tr.start] {
+			if inX[tr.end] {
+				aCnt++
+			} else {
+				bCnt++
+			}
+		}
+	}
+
+	// Traces from inside X follow the fast-mixing model — with
+	// probability PStay they end ~uniformly inside X, otherwise
+	// ~uniformly outside. Traces from outside X are modeled as uniform
+	// over all n nodes (the Danezis–Mittal model). Without the uniform
+	// factor for X̄-traces the likelihood would trivially favor tiny
+	// sets, because shrinking X simply removes factors from the product.
+	totalTraces := len(traces)
+	logUniform := -math.Log(float64(n))
+	logStay := math.Log(cfg.PStay)
+	logEscape := math.Log(1 - cfg.PStay)
+	logL := func(aC, bC, size int) float64 {
+		if size == 0 {
+			return math.Inf(-1)
+		}
+		outside := float64(totalTraces-aC-bC) * logUniform
+		inFactor := float64(aC) * (logStay - math.Log(float64(size)))
+		var outFactor float64
+		if bC > 0 {
+			if size == n {
+				return math.Inf(-1) // impossible: no complement to escape to
+			}
+			outFactor = float64(bC) * (logEscape - math.Log(float64(n-size)))
+		}
+		return inFactor + outFactor + outside
+	}
+
+	// flipDelta computes the (a, b, size) after toggling v.
+	flip := func(v graph.NodeID, aC, bC, size int) (int, int, int) {
+		joining := !inX[v]
+		for _, ti := range startsAt[v] {
+			tr := traces[ti]
+			if joining {
+				// The trace is added under the membership after the flip.
+				if inX[tr.end] || tr.end == v {
+					aC++
+				} else {
+					bC++
+				}
+			} else {
+				// The trace is removed from the category it currently
+				// occupies (v is still in X here, so end==v counts as in).
+				if inX[tr.end] {
+					aC--
+				} else {
+					bC--
+				}
+			}
+		}
+		for _, ti := range endsAt[v] {
+			tr := traces[ti]
+			if tr.start == v {
+				continue // handled above with the corrected end membership
+			}
+			if !inX[tr.start] {
+				continue
+			}
+			if joining {
+				aC++
+				bC--
+			} else {
+				aC--
+				bC++
+			}
+		}
+		if joining {
+			size++
+		} else {
+			size--
+		}
+		return aC, bC, size
+	}
+
+	rng := rand.New(rand.NewSource(cfg.Seed + 1))
+	cur := logL(aCnt, bCnt, sizeX)
+	counts := make([]int, n)
+	steps := cfg.BurnIn + cfg.Samples*cfg.Thin
+	taken := 0
+	for step := 0; step < steps; step++ {
+		v := graph.NodeID(rng.Intn(n))
+		if v == verifier {
+			continue
+		}
+		na, nb, ns := flip(v, aCnt, bCnt, sizeX)
+		// SybilInfer assumes an honest majority; without the |X| >= n/2
+		// constraint the sampler inverts onto the small, cohesive sybil
+		// region, which scores higher per trace purely because it is
+		// smaller.
+		if ns < (n+1)/2 {
+			continue
+		}
+		prop := logL(na, nb, ns)
+		if prop >= cur || rng.Float64() < math.Exp(prop-cur) {
+			inX[v] = !inX[v]
+			aCnt, bCnt, sizeX = na, nb, ns
+			cur = prop
+		}
+		if step >= cfg.BurnIn && (step-cfg.BurnIn)%cfg.Thin == 0 {
+			for u := 0; u < n; u++ {
+				if inX[u] {
+					counts[u]++
+				}
+			}
+			taken++
+		}
+	}
+	if taken == 0 {
+		return nil, fmt.Errorf("sybilinfer: no samples retained (burn-in %d, steps %d)", cfg.BurnIn, steps)
+	}
+
+	res := &Result{
+		Marginal: make([]float64, n),
+		Accepted: make([]bool, n),
+	}
+	for v := 0; v < n; v++ {
+		res.Marginal[v] = float64(counts[v]) / float64(taken)
+		res.Accepted[v] = res.Marginal[v] >= cfg.Threshold
+	}
+	res.Accepted[verifier] = true
+	return res, nil
+}

@@ -1,0 +1,123 @@
+package sybilinfer
+
+import (
+	"testing"
+
+	"github.com/trustnet/trustnet/internal/gen"
+	"github.com/trustnet/trustnet/internal/graph"
+	"github.com/trustnet/trustnet/internal/sybil"
+)
+
+func TestRunSeparatesHonestFromSybil(t *testing.T) {
+	honest, err := gen.BarabasiAlbert(300, 4, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := sybil.Inject(honest, sybil.AttackConfig{SybilNodes: 60, AttackEdges: 3, Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(a, 0, Config{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := sybil.Evaluate(a, res.Accepted, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hr := m.HonestAcceptRate(); hr < 0.7 {
+		t.Errorf("honest acceptance = %v, want >= 0.7", hr)
+	}
+	sybilRate := float64(m.SybilAccepted) / float64(a.NumSybil())
+	if sybilRate > 0.5 {
+		t.Errorf("sybil acceptance rate = %v, want <= 0.5", sybilRate)
+	}
+	if sybilRate >= m.HonestAcceptRate() {
+		t.Errorf("sybil rate %v >= honest rate %v", sybilRate, m.HonestAcceptRate())
+	}
+}
+
+func TestMarginalsInUnitInterval(t *testing.T) {
+	honest, err := gen.BarabasiAlbert(120, 3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := sybil.Inject(honest, sybil.AttackConfig{SybilNodes: 20, AttackEdges: 2, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(a, 5, Config{BurnIn: 500, Samples: 50, Thin: 10, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v, p := range res.Marginal {
+		if p < 0 || p > 1 {
+			t.Fatalf("marginal[%d] = %v out of [0,1]", v, p)
+		}
+	}
+	if !res.Accepted[5] {
+		t.Error("verifier not accepted")
+	}
+	if res.Marginal[5] < 0.9 {
+		t.Errorf("verifier marginal = %v, want >= 0.9 (pinned in X)", res.Marginal[5])
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	honest, err := gen.BarabasiAlbert(60, 3, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := sybil.Inject(honest, sybil.AttackConfig{SybilNodes: 10, AttackEdges: 2, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Run(a, 9999, Config{}); err == nil {
+		t.Error("Run(bad verifier): want error")
+	}
+	for _, cfg := range []Config{
+		{WalksPerNode: -1}, {WalkLength: -1}, {BurnIn: -1},
+		{Samples: -1}, {Thin: -1}, {Threshold: 1.5},
+	} {
+		if _, err := Run(a, 0, cfg); err == nil {
+			t.Errorf("Run(%+v): want error", cfg)
+		}
+	}
+}
+
+func TestRunIsolatedVerifier(t *testing.T) {
+	b := graph.NewBuilder(4)
+	if err := b.AddEdge(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	g := b.Build()
+	a := &sybil.Attack{Honest: g, Combined: g, HonestNodes: 4}
+	if _, err := Run(a, 3, Config{}); err == nil {
+		t.Error("Run(isolated verifier): want error")
+	}
+}
+
+func TestRunDeterministic(t *testing.T) {
+	honest, err := gen.BarabasiAlbert(100, 3, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := sybil.Inject(honest, sybil.AttackConfig{SybilNodes: 15, AttackEdges: 2, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{BurnIn: 1000, Samples: 40, Thin: 20, Seed: 9}
+	r1, err := Run(a, 0, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := Run(a, 0, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := range r1.Marginal {
+		if r1.Marginal[v] != r2.Marginal[v] {
+			t.Fatalf("marginals differ at node %d: %v vs %v", v, r1.Marginal[v], r2.Marginal[v])
+		}
+	}
+}

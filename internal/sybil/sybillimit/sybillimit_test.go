@@ -1,0 +1,185 @@
+package sybillimit
+
+import (
+	"math"
+	"testing"
+
+	"github.com/trustnet/trustnet/internal/gen"
+	"github.com/trustnet/trustnet/internal/graph"
+	"github.com/trustnet/trustnet/internal/sybil"
+)
+
+func TestRunSeparatesHonestFromSybil(t *testing.T) {
+	honest, err := gen.BarabasiAlbert(400, 4, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := sybil.Inject(honest, sybil.AttackConfig{SybilNodes: 200, AttackEdges: 2, Seed: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(a, 0, Config{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := sybil.Evaluate(a, res.Accepted, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hr := m.HonestAcceptRate(); hr < 0.7 {
+		t.Errorf("honest acceptance = %v, want >= 0.7", hr)
+	}
+	sybilRate := float64(m.SybilAccepted) / float64(a.NumSybil())
+	if sybilRate >= m.HonestAcceptRate()/2 {
+		t.Errorf("sybil rate %v vs honest %v: insufficient separation", sybilRate, m.HonestAcceptRate())
+	}
+	// SybilLimit's guarantee: O(w) = O(log n) accepted sybils per attack
+	// edge, with constant ≈ r₀²/2 = 4.5 at the default r = 3√m.
+	w := 2 * int(math.Ceil(math.Log2(float64(a.Combined.NumNodes())+1)))
+	if spe := m.SybilsPerAttackEdge(); spe > 4.5*float64(w) {
+		t.Errorf("sybils per attack edge = %v, exceeds (r₀²/2)·w = %v", spe, 4.5*float64(w))
+	}
+}
+
+func TestShortRoutesHurtHonestAcceptance(t *testing.T) {
+	// With w far below the mixing time, honest tails are not uniform and
+	// the intersection probability collapses — this is exactly why the
+	// paper argues the mixing time must be *measured*, not assumed.
+	honest, err := gen.BarabasiAlbert(400, 4, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := sybil.Inject(honest, sybil.AttackConfig{SybilNodes: 40, AttackEdges: 4, Seed: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	long, err := Run(a, 0, Config{Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	short, err := Run(a, 0, Config{RouteLength: 1, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mLong, err := sybil.Evaluate(a, long.Accepted, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mShort, err := sybil.Evaluate(a, short.Accepted, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mShort.HonestAcceptRate() >= mLong.HonestAcceptRate() {
+		t.Errorf("short routes accept %v >= long routes %v",
+			mShort.HonestAcceptRate(), mLong.HonestAcceptRate())
+	}
+}
+
+func TestBalanceConditionCapsAcceptance(t *testing.T) {
+	honest, err := gen.BarabasiAlbert(300, 4, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := sybil.Inject(honest, sybil.AttackConfig{SybilNodes: 30, AttackEdges: 3, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A tiny balance factor should reject many honest nodes via balance
+	// failures, demonstrating the condition is active.
+	strict, err := Run(a, 0, Config{BalanceFactor: 0.3, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	loose, err := Run(a, 0, Config{BalanceFactor: 50, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strict.BalanceFailures == 0 {
+		t.Error("strict balance factor produced no balance failures")
+	}
+	if loose.BalanceFailures >= strict.BalanceFailures {
+		t.Errorf("loose balance failures %d >= strict %d",
+			loose.BalanceFailures, strict.BalanceFailures)
+	}
+	mStrict, err := sybil.Evaluate(a, strict.Accepted, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mLoose, err := sybil.Evaluate(a, loose.Accepted, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mStrict.HonestAccepted > mLoose.HonestAccepted {
+		t.Errorf("strict balance accepted more honest nodes (%d) than loose (%d)",
+			mStrict.HonestAccepted, mLoose.HonestAccepted)
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	honest, err := gen.BarabasiAlbert(100, 3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := sybil.Inject(honest, sybil.AttackConfig{SybilNodes: 10, AttackEdges: 2, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Run(a, 9999, Config{}); err == nil {
+		t.Error("Run(bad verifier): want error")
+	}
+	for _, cfg := range []Config{
+		{Instances: -1}, {RouteLength: -1}, {BalanceFactor: -1},
+	} {
+		if _, err := Run(a, 0, cfg); err == nil {
+			t.Errorf("Run(%+v): want error", cfg)
+		}
+	}
+}
+
+func TestIsolatedNodesSkipped(t *testing.T) {
+	b := graph.NewBuilder(8)
+	for _, e := range []graph.Edge{{U: 0, V: 1}, {U: 1, V: 2}, {U: 2, V: 3}, {U: 3, V: 0}, {U: 0, V: 2}, {U: 1, V: 3}} {
+		if err := b.AddEdge(e.U, e.V); err != nil {
+			t.Fatal(err)
+		}
+	}
+	g := b.Build() // nodes 4..7 isolated
+	a := &sybil.Attack{Honest: g, Combined: g, HonestNodes: 8}
+	res, err := Run(a, 0, Config{Instances: 10, RouteLength: 4, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := 4; v < 8; v++ {
+		if res.Accepted[v] {
+			t.Errorf("isolated node %d accepted", v)
+		}
+	}
+	if _, err := Run(a, 4, Config{}); err == nil {
+		t.Error("Run(isolated verifier): want error")
+	}
+}
+
+func TestRunDeterministic(t *testing.T) {
+	honest, err := gen.BarabasiAlbert(200, 3, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := sybil.Inject(honest, sybil.AttackConfig{SybilNodes: 20, AttackEdges: 3, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{Instances: 60, RouteLength: 12, Seed: 5}
+	r1, err := Run(a, 0, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := Run(a, 0, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := range r1.Accepted {
+		if r1.Accepted[v] != r2.Accepted[v] {
+			t.Fatalf("acceptance differs at node %d", v)
+		}
+	}
+}

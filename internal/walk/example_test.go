@@ -1,0 +1,54 @@
+package walk_test
+
+import (
+	"fmt"
+	"log"
+
+	"github.com/trustnet/trustnet/internal/gen"
+	"github.com/trustnet/trustnet/internal/walk"
+)
+
+// Measure how fast a clique mixes: the walk is within 1% of stationary
+// after a handful of steps.
+func ExampleMeasureMixing() {
+	g, err := gen.Complete(100)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := walk.MeasureMixing(g, walk.MixingConfig{
+		MaxSteps: 10, Sources: 5, Seed: 1,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	t, ok := res.MixingTime(0.01)
+	fmt.Println("mixed:", ok, "T(0.01) =", t)
+	// Output:
+	// mixed: true T(0.01) = 2
+}
+
+// The exact distribution evolution behind the measurement.
+func ExampleDistribution() {
+	g, err := gen.Cycle(5)
+	if err != nil {
+		log.Fatal(err)
+	}
+	pi, err := g.StationaryDistribution()
+	if err != nil {
+		log.Fatal(err)
+	}
+	d, err := walk.NewDistribution(g, 0, false)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for i := 0; i < 50; i++ {
+		d.Step()
+	}
+	tvd, err := d.DistanceTo(pi)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("TVD after 50 steps: %.4f\n", tvd)
+	// Output:
+	// TVD after 50 steps: 0.0000
+}

@@ -1,0 +1,241 @@
+package walk
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/trustnet/trustnet/internal/graph"
+)
+
+// Strategy selects a modulated random-walk design from Mohaisen et al.
+// (INFOCOM 2011), the follow-up the paper cites for incorporating trust
+// into mixing-based defenses ("This observation is used in [16] to
+// account for trust ... using modulated random walks"). Modulation slows
+// mixing by design — the trust/mixing trade-off the measurement suite
+// quantifies.
+type Strategy int
+
+const (
+	// StrategyUniform is the plain simple random walk (Eq. 1).
+	StrategyUniform Strategy = iota + 1
+	// StrategyLazy stays put with probability Alpha at every step:
+	// P' = Alpha·I + (1-Alpha)·P.
+	StrategyLazy
+	// StrategyOriginatorBiased teleports back to the walk's originator
+	// with probability Alpha at every step (personalized-PageRank-style);
+	// it models a walker who only partially trusts every hop.
+	StrategyOriginatorBiased
+	// StrategyInteractionBiased walks proportionally to per-edge trust
+	// weights instead of uniformly.
+	StrategyInteractionBiased
+)
+
+// String implements fmt.Stringer.
+func (s Strategy) String() string {
+	switch s {
+	case StrategyUniform:
+		return "uniform"
+	case StrategyLazy:
+		return "lazy"
+	case StrategyOriginatorBiased:
+		return "originator-biased"
+	case StrategyInteractionBiased:
+		return "interaction-biased"
+	default:
+		return fmt.Sprintf("Strategy(%d)", int(s))
+	}
+}
+
+// EdgeWeight assigns a positive trust weight to the directed use of an
+// edge. It is only consulted for adjacent pairs.
+type EdgeWeight func(from, to graph.NodeID) float64
+
+// ModulatedConfig parameterizes a modulated distribution.
+type ModulatedConfig struct {
+	Strategy Strategy
+	// Alpha is the modulation parameter for the lazy and
+	// originator-biased strategies, in [0, 1).
+	Alpha float64
+	// Weight supplies trust weights for StrategyInteractionBiased;
+	// ignored otherwise. Must be positive for every edge.
+	Weight EdgeWeight
+}
+
+func (c *ModulatedConfig) validate() error {
+	switch c.Strategy {
+	case StrategyUniform:
+	case StrategyLazy, StrategyOriginatorBiased:
+		if c.Alpha < 0 || c.Alpha >= 1 {
+			return fmt.Errorf("walk: alpha %v out of [0,1)", c.Alpha)
+		}
+	case StrategyInteractionBiased:
+		if c.Weight == nil {
+			return fmt.Errorf("walk: interaction-biased strategy needs a weight function")
+		}
+	default:
+		return fmt.Errorf("walk: unknown strategy %d", c.Strategy)
+	}
+	return nil
+}
+
+// ModulatedDistribution evolves the exact distribution of a modulated
+// walk. Like Distribution, it is bound to one graph and one source and
+// is not safe for concurrent use.
+type ModulatedDistribution struct {
+	g      *graph.Graph
+	cfg    ModulatedConfig
+	origin graph.NodeID
+	cur    []float64
+	next   []float64
+	step   int
+	// weightSum[v] caches Σ_u w(v,u) for the interaction-biased walk.
+	weightSum []float64
+}
+
+// NewModulatedDistribution returns the modulated distribution
+// concentrated at source.
+func NewModulatedDistribution(g *graph.Graph, source graph.NodeID, cfg ModulatedConfig) (*ModulatedDistribution, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if g.NumEdges() == 0 {
+		return nil, ErrNoEdges
+	}
+	if !g.Valid(source) {
+		return nil, fmt.Errorf("walk: source %d out of range", source)
+	}
+	if g.Degree(source) == 0 {
+		return nil, fmt.Errorf("walk: source %d is isolated", source)
+	}
+	d := &ModulatedDistribution{
+		g:      g,
+		cfg:    cfg,
+		origin: source,
+		cur:    make([]float64, g.NumNodes()),
+		next:   make([]float64, g.NumNodes()),
+	}
+	d.cur[source] = 1
+	if cfg.Strategy == StrategyInteractionBiased {
+		d.weightSum = make([]float64, g.NumNodes())
+		for v := graph.NodeID(0); int(v) < g.NumNodes(); v++ {
+			for _, u := range g.Neighbors(v) {
+				w := cfg.Weight(v, u)
+				if w <= 0 || math.IsNaN(w) || math.IsInf(w, 0) {
+					return nil, fmt.Errorf("walk: weight(%d,%d) = %v must be positive and finite", v, u, w)
+				}
+				d.weightSum[v] += w
+			}
+		}
+	}
+	return d, nil
+}
+
+// Step advances the modulated distribution by one walk step.
+func (d *ModulatedDistribution) Step() {
+	for i := range d.next {
+		d.next[i] = 0
+	}
+	alpha := d.cfg.Alpha
+	for v := graph.NodeID(0); int(v) < d.g.NumNodes(); v++ {
+		mass := d.cur[v]
+		if mass == 0 {
+			continue
+		}
+		ns := d.g.Neighbors(v)
+		if len(ns) == 0 {
+			d.next[v] += mass
+			continue
+		}
+		switch d.cfg.Strategy {
+		case StrategyUniform:
+			share := mass / float64(len(ns))
+			for _, u := range ns {
+				d.next[u] += share
+			}
+		case StrategyLazy:
+			d.next[v] += alpha * mass
+			share := (1 - alpha) * mass / float64(len(ns))
+			for _, u := range ns {
+				d.next[u] += share
+			}
+		case StrategyOriginatorBiased:
+			d.next[d.origin] += alpha * mass
+			share := (1 - alpha) * mass / float64(len(ns))
+			for _, u := range ns {
+				d.next[u] += share
+			}
+		case StrategyInteractionBiased:
+			total := d.weightSum[v]
+			for _, u := range ns {
+				d.next[u] += mass * d.cfg.Weight(v, u) / total
+			}
+		}
+	}
+	d.cur, d.next = d.next, d.cur
+	d.step++
+}
+
+// StepCount returns the number of steps taken so far.
+func (d *ModulatedDistribution) StepCount() int { return d.step }
+
+// Probabilities returns the current distribution. The slice aliases
+// internal state and is only valid until the next Step.
+func (d *ModulatedDistribution) Probabilities() []float64 { return d.cur }
+
+// DistanceTo returns the total variation distance to target.
+func (d *ModulatedDistribution) DistanceTo(target []float64) (float64, error) {
+	return TotalVariation(d.cur, target)
+}
+
+// WeightedStationary returns the stationary distribution of the
+// interaction-biased walk: π(v) ∝ Σ_u w(v,u), which reduces to the
+// degree-proportional π when weights are symmetric. The weight function
+// must be symmetric for this to be the true stationary distribution.
+func WeightedStationary(g *graph.Graph, weight EdgeWeight) ([]float64, error) {
+	if g.NumEdges() == 0 {
+		return nil, ErrNoEdges
+	}
+	if weight == nil {
+		return nil, fmt.Errorf("walk: nil weight function")
+	}
+	pi := make([]float64, g.NumNodes())
+	total := 0.0
+	for v := graph.NodeID(0); int(v) < g.NumNodes(); v++ {
+		for _, u := range g.Neighbors(v) {
+			w := weight(v, u)
+			if w <= 0 || math.IsNaN(w) || math.IsInf(w, 0) {
+				return nil, fmt.Errorf("walk: weight(%d,%d) = %v must be positive and finite", v, u, w)
+			}
+			pi[v] += w
+		}
+		total += pi[v]
+	}
+	for v := range pi {
+		pi[v] /= total
+	}
+	return pi, nil
+}
+
+// ModulatedMixingCurve evolves the modulated walk from source and returns
+// the TVD trajectory against the given target distribution — the
+// measurement [16] uses to quantify how much each trust modulation slows
+// mixing.
+func ModulatedMixingCurve(g *graph.Graph, source graph.NodeID, cfg ModulatedConfig, target []float64, maxSteps int) ([]float64, error) {
+	if maxSteps < 1 {
+		return nil, fmt.Errorf("walk: maxSteps %d must be >= 1", maxSteps)
+	}
+	d, err := NewModulatedDistribution(g, source, cfg)
+	if err != nil {
+		return nil, err
+	}
+	curve := make([]float64, maxSteps)
+	for t := 0; t < maxSteps; t++ {
+		d.Step()
+		tvd, err := d.DistanceTo(target)
+		if err != nil {
+			return nil, err
+		}
+		curve[t] = tvd
+	}
+	return curve, nil
+}

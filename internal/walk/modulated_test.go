@@ -1,0 +1,247 @@
+package walk
+
+import (
+	"math"
+	"testing"
+
+	"github.com/trustnet/trustnet/internal/gen"
+	"github.com/trustnet/trustnet/internal/graph"
+)
+
+func baGraph(t *testing.T) *graph.Graph {
+	t.Helper()
+	g, err := gen.BarabasiAlbert(300, 4, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestModulatedUniformMatchesPlain(t *testing.T) {
+	g := baGraph(t)
+	plain, err := NewDistribution(g, 3, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mod, err := NewModulatedDistribution(g, 3, ModulatedConfig{Strategy: StrategyUniform})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for s := 0; s < 25; s++ {
+		plain.Step()
+		mod.Step()
+	}
+	tvd, err := TotalVariation(plain.Probabilities(), mod.Probabilities())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tvd > 1e-12 {
+		t.Errorf("uniform strategy diverges from plain walk: TVD %v", tvd)
+	}
+}
+
+func TestModulatedLazyHalfMatchesLazyWalk(t *testing.T) {
+	g := baGraph(t)
+	lazy, err := NewDistribution(g, 0, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mod, err := NewModulatedDistribution(g, 0, ModulatedConfig{Strategy: StrategyLazy, Alpha: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for s := 0; s < 20; s++ {
+		lazy.Step()
+		mod.Step()
+	}
+	tvd, err := TotalVariation(lazy.Probabilities(), mod.Probabilities())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tvd > 1e-12 {
+		t.Errorf("lazy(0.5) diverges from built-in lazy walk: TVD %v", tvd)
+	}
+}
+
+func TestModulationSlowsMixing(t *testing.T) {
+	// The trade-off from [16]: more trust modulation, slower mixing.
+	g := baGraph(t)
+	pi, err := g.StationaryDistribution()
+	if err != nil {
+		t.Fatal(err)
+	}
+	const steps = 30
+	prev := -1.0
+	for _, alpha := range []float64{0, 0.3, 0.6, 0.9} {
+		curve, err := ModulatedMixingCurve(g, 0, ModulatedConfig{Strategy: StrategyLazy, Alpha: alpha}, pi, steps)
+		if err != nil {
+			t.Fatal(err)
+		}
+		final := curve[steps-1]
+		if final < prev {
+			t.Errorf("alpha=%v: final TVD %v < previous %v; laziness should slow mixing", alpha, final, prev)
+		}
+		prev = final
+	}
+}
+
+func TestOriginatorBiasedNeverFullyMixes(t *testing.T) {
+	g := baGraph(t)
+	pi, err := g.StationaryDistribution()
+	if err != nil {
+		t.Fatal(err)
+	}
+	curve, err := ModulatedMixingCurve(g, 0,
+		ModulatedConfig{Strategy: StrategyOriginatorBiased, Alpha: 0.3}, pi, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The walk keeps teleporting home, so it converges to a personalized
+	// distribution bounded away from π.
+	if final := curve[len(curve)-1]; final < 0.05 {
+		t.Errorf("originator-biased walk reached TVD %v to pi; expected a persistent gap", final)
+	}
+	// But it does converge (to its own stationary point): late deltas
+	// are tiny.
+	if delta := math.Abs(curve[199] - curve[150]); delta > 1e-3 {
+		t.Errorf("late TVD still moving by %v; expected convergence", delta)
+	}
+}
+
+func TestInteractionBiasedUniformWeightsMatchPlain(t *testing.T) {
+	g := baGraph(t)
+	plain, err := NewDistribution(g, 7, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mod, err := NewModulatedDistribution(g, 7, ModulatedConfig{
+		Strategy: StrategyInteractionBiased,
+		Weight:   func(_, _ graph.NodeID) float64 { return 2.5 },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for s := 0; s < 20; s++ {
+		plain.Step()
+		mod.Step()
+	}
+	tvd, err := TotalVariation(plain.Probabilities(), mod.Probabilities())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tvd > 1e-12 {
+		t.Errorf("uniform-weight interaction walk diverges from plain: TVD %v", tvd)
+	}
+}
+
+func TestInteractionBiasedConvergesToWeightedStationary(t *testing.T) {
+	g := baGraph(t)
+	// Symmetric trust weights: stronger between low-ID ("old friend")
+	// pairs.
+	weight := func(a, b graph.NodeID) float64 {
+		if a > b {
+			a, b = b, a
+		}
+		return 1 + 10/float64(b+1)
+	}
+	pi, err := WeightedStationary(g, weight)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := 0.0
+	for _, p := range pi {
+		sum += p
+	}
+	if math.Abs(sum-1) > 1e-12 {
+		t.Fatalf("weighted stationary sums to %v", sum)
+	}
+	curve, err := ModulatedMixingCurve(g, 0, ModulatedConfig{
+		Strategy: StrategyInteractionBiased, Weight: weight,
+	}, pi, 120)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final := curve[len(curve)-1]; final > 0.01 {
+		t.Errorf("weighted walk TVD to weighted stationary = %v, want < 0.01", final)
+	}
+}
+
+func TestModulatedValidation(t *testing.T) {
+	g := baGraph(t)
+	bad := []ModulatedConfig{
+		{Strategy: 99},
+		{Strategy: StrategyLazy, Alpha: 1},
+		{Strategy: StrategyLazy, Alpha: -0.1},
+		{Strategy: StrategyOriginatorBiased, Alpha: 1.5},
+		{Strategy: StrategyInteractionBiased}, // nil weight
+	}
+	for _, cfg := range bad {
+		if _, err := NewModulatedDistribution(g, 0, cfg); err == nil {
+			t.Errorf("NewModulatedDistribution(%+v): want error", cfg)
+		}
+	}
+	if _, err := NewModulatedDistribution(g, 0, ModulatedConfig{
+		Strategy: StrategyInteractionBiased,
+		Weight:   func(_, _ graph.NodeID) float64 { return -1 },
+	}); err == nil {
+		t.Error("negative weights: want error")
+	}
+	var empty graph.Graph
+	if _, err := NewModulatedDistribution(&empty, 0, ModulatedConfig{Strategy: StrategyUniform}); err == nil {
+		t.Error("empty graph: want error")
+	}
+	if _, err := NewModulatedDistribution(g, 9999, ModulatedConfig{Strategy: StrategyUniform}); err == nil {
+		t.Error("bad source: want error")
+	}
+	if _, err := ModulatedMixingCurve(g, 0, ModulatedConfig{Strategy: StrategyUniform}, nil, 0); err == nil {
+		t.Error("maxSteps=0: want error")
+	}
+	if _, err := WeightedStationary(g, nil); err == nil {
+		t.Error("WeightedStationary(nil): want error")
+	}
+	if _, err := WeightedStationary(&empty, func(_, _ graph.NodeID) float64 { return 1 }); err == nil {
+		t.Error("WeightedStationary(empty): want error")
+	}
+}
+
+func TestStrategyString(t *testing.T) {
+	tests := map[Strategy]string{
+		StrategyUniform:           "uniform",
+		StrategyLazy:              "lazy",
+		StrategyOriginatorBiased:  "originator-biased",
+		StrategyInteractionBiased: "interaction-biased",
+		Strategy(42):              "Strategy(42)",
+	}
+	for s, want := range tests {
+		if got := s.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", s, got, want)
+		}
+	}
+}
+
+func TestModulatedConservesMass(t *testing.T) {
+	g := baGraph(t)
+	for _, cfg := range []ModulatedConfig{
+		{Strategy: StrategyLazy, Alpha: 0.4},
+		{Strategy: StrategyOriginatorBiased, Alpha: 0.25},
+		{Strategy: StrategyInteractionBiased, Weight: func(a, b graph.NodeID) float64 { return float64(a+b) + 1 }},
+	} {
+		d, err := NewModulatedDistribution(g, 2, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for s := 0; s < 15; s++ {
+			d.Step()
+			sum := 0.0
+			for _, p := range d.Probabilities() {
+				sum += p
+			}
+			if math.Abs(sum-1) > 1e-9 {
+				t.Fatalf("%v step %d: mass %v", cfg.Strategy, s+1, sum)
+			}
+		}
+		if d.StepCount() != 15 {
+			t.Errorf("StepCount = %d", d.StepCount())
+		}
+	}
+}

@@ -1,0 +1,375 @@
+// Package walk implements the random-walk machinery of §III-C of the
+// paper: exact evolution of the walk distribution p ← pP over the simple
+// random walk (Eq. 1), the total variation distance to the stationary
+// distribution, and the sampling method for measuring the mixing time
+// T(ε) (Eq. 2) from many sampled sources. It also provides the discrete
+// random-walk trajectories that the Sybil defenses (SybilGuard, SybilLimit,
+// GateKeeper, ...) are built on.
+package walk
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"runtime"
+	"sync"
+
+	"github.com/trustnet/trustnet/internal/graph"
+)
+
+// ErrNoEdges is returned when the random walk is undefined because the
+// graph has no edges.
+var ErrNoEdges = errors.New("walk: graph has no edges")
+
+// TotalVariation returns ||p - q||_TV = ½ Σ|p_i - q_i| for equal-length
+// distributions.
+func TotalVariation(p, q []float64) (float64, error) {
+	if len(p) != len(q) {
+		return 0, fmt.Errorf("walk: total variation length mismatch %d vs %d", len(p), len(q))
+	}
+	sum := 0.0
+	for i := range p {
+		sum += math.Abs(p[i] - q[i])
+	}
+	return sum / 2, nil
+}
+
+// Distribution tracks the exact probability distribution of a random walk
+// as it evolves. A Distribution is bound to one graph; Step costs O(m).
+// Distributions are not safe for concurrent use; create one per goroutine.
+type Distribution struct {
+	g    *graph.Graph
+	cur  []float64
+	next []float64
+	// Lazy selects the lazy walk P' = (I+P)/2, which is aperiodic on every
+	// connected graph (the plain walk is periodic on bipartite graphs and
+	// then never converges).
+	lazy bool
+	step int
+}
+
+// NewDistribution returns the distribution concentrated at source.
+func NewDistribution(g *graph.Graph, source graph.NodeID, lazy bool) (*Distribution, error) {
+	if g.NumEdges() == 0 {
+		return nil, ErrNoEdges
+	}
+	if !g.Valid(source) {
+		return nil, fmt.Errorf("walk: source %d out of range", source)
+	}
+	if g.Degree(source) == 0 {
+		return nil, fmt.Errorf("walk: source %d is isolated", source)
+	}
+	d := &Distribution{
+		g:    g,
+		cur:  make([]float64, g.NumNodes()),
+		next: make([]float64, g.NumNodes()),
+		lazy: lazy,
+	}
+	d.cur[source] = 1
+	return d, nil
+}
+
+// Step advances the distribution one walk step: p ← pP (or p ← p(I+P)/2
+// for the lazy walk).
+func (d *Distribution) Step() {
+	for i := range d.next {
+		d.next[i] = 0
+	}
+	for v := graph.NodeID(0); int(v) < d.g.NumNodes(); v++ {
+		mass := d.cur[v]
+		if mass == 0 {
+			continue
+		}
+		ns := d.g.Neighbors(v)
+		if len(ns) == 0 {
+			d.next[v] += mass // isolated nodes hold their (zero-by-construction) mass
+			continue
+		}
+		if d.lazy {
+			d.next[v] += mass / 2
+			mass /= 2
+		}
+		share := mass / float64(len(ns))
+		for _, u := range ns {
+			d.next[u] += share
+		}
+	}
+	d.cur, d.next = d.next, d.cur
+	d.step++
+}
+
+// StepCount returns the number of steps taken so far.
+func (d *Distribution) StepCount() int { return d.step }
+
+// Probabilities returns the current distribution. The slice aliases
+// internal state and is only valid until the next Step.
+func (d *Distribution) Probabilities() []float64 { return d.cur }
+
+// DistanceTo returns the total variation distance from the current
+// distribution to target.
+func (d *Distribution) DistanceTo(target []float64) (float64, error) {
+	return TotalVariation(d.cur, target)
+}
+
+// MixingConfig parameterizes the sampling-method mixing measurement.
+type MixingConfig struct {
+	// MaxSteps bounds the walk length explored (the x-axis of Figure 1).
+	MaxSteps int
+	// Sources is the number of sampled walk sources; the paper samples
+	// 1000 sources on its graphs, scaled-down graphs need fewer.
+	Sources int
+	// Lazy selects the lazy walk. The paper's graphs are non-bipartite so
+	// it measures the plain walk; tests on bipartite structures need lazy.
+	Lazy bool
+	// Seed drives source sampling.
+	Seed int64
+	// Workers sets how many sources are measured concurrently; defaults
+	// to GOMAXPROCS when <= 0. Results are deterministic regardless of
+	// worker count because each source's curve is independent.
+	Workers int
+}
+
+func (c MixingConfig) validate() error {
+	if c.MaxSteps < 1 {
+		return fmt.Errorf("walk: MaxSteps must be >= 1, got %d", c.MaxSteps)
+	}
+	if c.Sources < 1 {
+		return fmt.Errorf("walk: Sources must be >= 1, got %d", c.Sources)
+	}
+	return nil
+}
+
+// MixingResult is the outcome of the sampling-method measurement.
+type MixingResult struct {
+	// MeanTVD[t] is the mean total variation distance to stationarity
+	// after t+1 steps, averaged over sources — one Figure 1 curve.
+	MeanTVD []float64
+	// MaxTVD[t] is the worst (max over sources) distance, matching the
+	// max_i in Eq. 2 restricted to the sampled sources.
+	MaxTVD []float64
+	// MinTVD[t] is the best source's distance.
+	MinTVD []float64
+	// Sources records the sampled source nodes.
+	Sources []graph.NodeID
+	// Curves[i] is source i's full TVD trajectory — retained because the
+	// paper's methodology (§III-C) is precisely to look at the
+	// *distribution* of mixing across sources, not only the worst case
+	// the eigenvalue bound captures.
+	Curves [][]float64
+}
+
+// SourceMixingTimes returns, for each sampled source, the smallest walk
+// length t (1-based) at which that source's TVD drops below eps, or 0 if
+// it never does within the budget. The spread of these values is the
+// "richer patterns of mixing" the paper samples for.
+func (r *MixingResult) SourceMixingTimes(eps float64) []int {
+	out := make([]int, len(r.Curves))
+	for i, curve := range r.Curves {
+		for t, d := range curve {
+			if d < eps {
+				out[i] = t + 1
+				break
+			}
+		}
+	}
+	return out
+}
+
+// MixingTime returns the smallest walk length t (1-based) at which the
+// worst sampled source is within eps of stationarity, or (0, false) if
+// that never happens within MaxSteps.
+func (r *MixingResult) MixingTime(eps float64) (int, bool) {
+	for t, d := range r.MaxTVD {
+		if d < eps {
+			return t + 1, true
+		}
+	}
+	return 0, false
+}
+
+// MeanMixingTime is MixingTime for the source-averaged curve, reflecting
+// the "richer patterns of mixing" view the paper advocates over the
+// worst-case eigenvalue bound.
+func (r *MixingResult) MeanMixingTime(eps float64) (int, bool) {
+	for t, d := range r.MeanTVD {
+		if d < eps {
+			return t + 1, true
+		}
+	}
+	return 0, false
+}
+
+// MeasureMixing runs the sampling method of §III-C: it samples cfg.Sources
+// walk sources uniformly (without replacement when possible), evolves the
+// exact walk distribution from each, and aggregates the TVD-to-stationarity
+// trajectory across sources.
+func MeasureMixing(g *graph.Graph, cfg MixingConfig) (*MixingResult, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	pi, err := g.StationaryDistribution()
+	if err != nil {
+		return nil, fmt.Errorf("measure mixing: %w", err)
+	}
+	sources, err := SampleSources(g, cfg.Sources, cfg.Seed)
+	if err != nil {
+		return nil, fmt.Errorf("measure mixing: %w", err)
+	}
+	res := &MixingResult{
+		MeanTVD: make([]float64, cfg.MaxSteps),
+		MaxTVD:  make([]float64, cfg.MaxSteps),
+		MinTVD:  make([]float64, cfg.MaxSteps),
+		Sources: sources,
+	}
+	for t := range res.MinTVD {
+		res.MinTVD[t] = math.Inf(1)
+	}
+
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(sources) {
+		workers = len(sources)
+	}
+	curves := make([][]float64, len(sources))
+	errs := make([]error, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(slot int) {
+			defer wg.Done()
+			for i := slot; i < len(sources); i += workers {
+				curve, err := sourceCurve(g, sources[i], pi, cfg)
+				if err != nil {
+					errs[slot] = err
+					return
+				}
+				curves[i] = curve
+			}
+		}(w)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("measure mixing: %w", err)
+		}
+	}
+	for _, curve := range curves {
+		for t, tvd := range curve {
+			res.MeanTVD[t] += tvd
+			if tvd > res.MaxTVD[t] {
+				res.MaxTVD[t] = tvd
+			}
+			if tvd < res.MinTVD[t] {
+				res.MinTVD[t] = tvd
+			}
+		}
+	}
+	for t := range res.MeanTVD {
+		res.MeanTVD[t] /= float64(len(sources))
+	}
+	res.Curves = curves
+	return res, nil
+}
+
+// sourceCurve evolves the exact walk distribution from one source and
+// returns its TVD-to-stationarity trajectory.
+func sourceCurve(g *graph.Graph, src graph.NodeID, pi []float64, cfg MixingConfig) ([]float64, error) {
+	d, err := NewDistribution(g, src, cfg.Lazy)
+	if err != nil {
+		return nil, fmt.Errorf("source %d: %w", src, err)
+	}
+	curve := make([]float64, cfg.MaxSteps)
+	for t := 0; t < cfg.MaxSteps; t++ {
+		d.Step()
+		tvd, err := d.DistanceTo(pi)
+		if err != nil {
+			return nil, err
+		}
+		curve[t] = tvd
+	}
+	return curve, nil
+}
+
+// SampleSources draws k distinct non-isolated nodes uniformly at random,
+// or all of them if the graph has fewer than k.
+func SampleSources(g *graph.Graph, k int, seed int64) ([]graph.NodeID, error) {
+	if k < 1 {
+		return nil, fmt.Errorf("walk: sample size %d must be >= 1", k)
+	}
+	candidates := make([]graph.NodeID, 0, g.NumNodes())
+	for v := graph.NodeID(0); int(v) < g.NumNodes(); v++ {
+		if g.Degree(v) > 0 {
+			candidates = append(candidates, v)
+		}
+	}
+	if len(candidates) == 0 {
+		return nil, ErrNoEdges
+	}
+	rng := rand.New(rand.NewSource(seed))
+	rng.Shuffle(len(candidates), func(i, j int) {
+		candidates[i], candidates[j] = candidates[j], candidates[i]
+	})
+	if k > len(candidates) {
+		k = len(candidates)
+	}
+	out := make([]graph.NodeID, k)
+	copy(out, candidates[:k])
+	return out, nil
+}
+
+// Walker generates discrete random-walk trajectories. It is the primitive
+// the Sybil defenses use for their random routes. Walkers are not safe for
+// concurrent use; create one per goroutine.
+type Walker struct {
+	g   *graph.Graph
+	rng *rand.Rand
+}
+
+// NewWalker returns a walker over g seeded deterministically.
+func NewWalker(g *graph.Graph, seed int64) *Walker {
+	return &Walker{g: g, rng: rand.New(rand.NewSource(seed))}
+}
+
+// Walk returns a trajectory of `length` steps starting at start (the
+// returned slice has length+1 nodes, starting with start). Walking from an
+// isolated node or an invalid start is an error.
+func (w *Walker) Walk(start graph.NodeID, length int) ([]graph.NodeID, error) {
+	if !w.g.Valid(start) {
+		return nil, fmt.Errorf("walk: start %d out of range", start)
+	}
+	if length < 0 {
+		return nil, fmt.Errorf("walk: negative length %d", length)
+	}
+	out := make([]graph.NodeID, 0, length+1)
+	out = append(out, start)
+	cur := start
+	for i := 0; i < length; i++ {
+		ns := w.g.Neighbors(cur)
+		if len(ns) == 0 {
+			return nil, fmt.Errorf("walk: node %d is isolated at step %d", cur, i)
+		}
+		cur = ns[w.rng.Intn(len(ns))]
+		out = append(out, cur)
+	}
+	return out, nil
+}
+
+// Endpoint returns only the final node of a `length`-step walk from start,
+// avoiding the trajectory allocation.
+func (w *Walker) Endpoint(start graph.NodeID, length int) (graph.NodeID, error) {
+	if !w.g.Valid(start) {
+		return 0, fmt.Errorf("walk: start %d out of range", start)
+	}
+	cur := start
+	for i := 0; i < length; i++ {
+		ns := w.g.Neighbors(cur)
+		if len(ns) == 0 {
+			return 0, fmt.Errorf("walk: node %d is isolated at step %d", cur, i)
+		}
+		cur = ns[w.rng.Intn(len(ns))]
+	}
+	return cur, nil
+}

@@ -1,0 +1,78 @@
+package walk
+
+import (
+	"testing"
+
+	"github.com/trustnet/trustnet/internal/gen"
+)
+
+func BenchmarkDistributionStep(b *testing.B) {
+	g, err := gen.BarabasiAlbert(5000, 5, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	d, err := NewDistribution(g, 0, false)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d.Step()
+	}
+}
+
+func BenchmarkMeasureMixing(b *testing.B) {
+	g, err := gen.BarabasiAlbert(2000, 4, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := MeasureMixing(g, MixingConfig{MaxSteps: 30, Sources: 10, Seed: 2}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkWalkerEndpoint(b *testing.B) {
+	g, err := gen.BarabasiAlbert(5000, 5, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	w := NewWalker(g, 3)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := w.Endpoint(0, 20); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkModulatedStep(b *testing.B) {
+	g, err := gen.BarabasiAlbert(5000, 5, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, cfg := range []struct {
+		name string
+		c    ModulatedConfig
+	}{
+		{"lazy", ModulatedConfig{Strategy: StrategyLazy, Alpha: 0.5}},
+		{"originator", ModulatedConfig{Strategy: StrategyOriginatorBiased, Alpha: 0.2}},
+	} {
+		b.Run(cfg.name, func(b *testing.B) {
+			d, err := NewModulatedDistribution(g, 0, cfg.c)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				d.Step()
+			}
+		})
+	}
+}

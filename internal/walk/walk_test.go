@@ -1,0 +1,455 @@
+package walk
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"github.com/trustnet/trustnet/internal/gen"
+	"github.com/trustnet/trustnet/internal/graph"
+)
+
+func TestTotalVariation(t *testing.T) {
+	tests := []struct {
+		name string
+		p, q []float64
+		want float64
+	}{
+		{"identical", []float64{0.5, 0.5}, []float64{0.5, 0.5}, 0},
+		{"disjoint", []float64{1, 0}, []float64{0, 1}, 1},
+		{"half", []float64{0.75, 0.25}, []float64{0.25, 0.75}, 0.5},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			got, err := TotalVariation(tt.p, tt.q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if math.Abs(got-tt.want) > 1e-12 {
+				t.Errorf("TVD = %v, want %v", got, tt.want)
+			}
+		})
+	}
+	if _, err := TotalVariation([]float64{1}, []float64{0.5, 0.5}); err == nil {
+		t.Error("TotalVariation(mismatch): want error")
+	}
+}
+
+func TestDistributionCompleteGraphMixesInstantly(t *testing.T) {
+	g, err := gen.Complete(50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pi, err := g.StationaryDistribution()
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := NewDistribution(g, 0, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.Step()
+	d.Step()
+	tvd, err := d.DistanceTo(pi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// On K_n the walk is within O(1/n) of uniform after two steps.
+	if tvd > 0.05 {
+		t.Errorf("TVD on K50 after 2 steps = %v, want < 0.05", tvd)
+	}
+	if d.StepCount() != 2 {
+		t.Errorf("StepCount = %d, want 2", d.StepCount())
+	}
+}
+
+func TestDistributionConservesMass(t *testing.T) {
+	g, err := gen.BarabasiAlbert(200, 3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := NewDistribution(g, 5, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		d.Step()
+		sum := 0.0
+		for _, p := range d.Probabilities() {
+			sum += p
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Fatalf("step %d: mass = %v, want 1", i+1, sum)
+		}
+	}
+}
+
+func TestDistributionBipartitePeriodicity(t *testing.T) {
+	// On an even cycle the plain walk is periodic and never converges,
+	// while the lazy walk does.
+	g, err := gen.Cycle(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pi, err := g.StationaryDistribution()
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, err := NewDistribution(g, 0, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lazy, err := NewDistribution(g, 0, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 400; i++ {
+		plain.Step()
+		lazy.Step()
+	}
+	plainTVD, err := plain.DistanceTo(pi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lazyTVD, err := lazy.DistanceTo(pi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plainTVD < 0.4 {
+		t.Errorf("plain walk TVD on even cycle = %v, expected stuck near 0.5", plainTVD)
+	}
+	if lazyTVD > 0.01 {
+		t.Errorf("lazy walk TVD on even cycle = %v, want < 0.01", lazyTVD)
+	}
+}
+
+func TestNewDistributionErrors(t *testing.T) {
+	var empty graph.Graph
+	if _, err := NewDistribution(&empty, 0, false); !errors.Is(err, ErrNoEdges) {
+		t.Errorf("NewDistribution(empty) = %v, want ErrNoEdges", err)
+	}
+	b := graph.NewBuilder(3)
+	if err := b.AddEdge(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	g := b.Build()
+	if _, err := NewDistribution(g, 7, false); err == nil {
+		t.Error("NewDistribution(out of range): want error")
+	}
+	if _, err := NewDistribution(g, 2, false); err == nil {
+		t.Error("NewDistribution(isolated source): want error")
+	}
+}
+
+func TestMeasureMixingFastVsSlow(t *testing.T) {
+	// Fast mixer: preferential attachment. Slow mixer: clustered
+	// communities with few bridges. This is the paper's central contrast.
+	fast, err := gen.BarabasiAlbert(400, 4, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	slow, _, err := gen.ClusteredPA(gen.ClusteredPAConfig{
+		Communities: 8, CommunitySize: 50, Attach: 3, Bridges: 1, Seed: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := MixingConfig{MaxSteps: 150, Sources: 20, Lazy: true, Seed: 42}
+	fr, err := MeasureMixing(fast, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sr, err := MeasureMixing(slow, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eps := 0.1
+	ft, fok := fr.MixingTime(eps)
+	if !fok {
+		t.Fatal("fast graph never mixed within budget")
+	}
+	st, sok := sr.MixingTime(eps)
+	if sok && st <= ft {
+		t.Errorf("slow graph mixed in %d <= fast %d; expected slower", st, ft)
+	}
+	if !sok {
+		t.Logf("slow graph did not mix within %d steps (expected)", cfg.MaxSteps)
+	}
+}
+
+func TestMeasureMixingCurvesMonotoneish(t *testing.T) {
+	g, err := gen.BarabasiAlbert(200, 3, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := MeasureMixing(g, MixingConfig{MaxSteps: 50, Sources: 10, Lazy: true, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.MeanTVD) != 50 || len(r.MaxTVD) != 50 || len(r.MinTVD) != 50 {
+		t.Fatalf("curve lengths = %d/%d/%d", len(r.MeanTVD), len(r.MaxTVD), len(r.MinTVD))
+	}
+	for tstep := range r.MeanTVD {
+		if r.MinTVD[tstep] > r.MeanTVD[tstep]+1e-12 || r.MeanTVD[tstep] > r.MaxTVD[tstep]+1e-12 {
+			t.Fatalf("step %d: min %v mean %v max %v out of order",
+				tstep, r.MinTVD[tstep], r.MeanTVD[tstep], r.MaxTVD[tstep])
+		}
+	}
+	// Lazy-walk TVD from a point mass is non-increasing in t.
+	for tstep := 1; tstep < len(r.MaxTVD); tstep++ {
+		if r.MaxTVD[tstep] > r.MaxTVD[tstep-1]+1e-9 {
+			t.Fatalf("MaxTVD increased at step %d: %v -> %v", tstep, r.MaxTVD[tstep-1], r.MaxTVD[tstep])
+		}
+	}
+	if _, ok := r.MixingTime(1e-9); ok {
+		// Plausible but unlikely at 50 steps on 200 nodes; not an error.
+		t.Log("graph mixed to 1e-9 within 50 steps")
+	}
+	if mt, ok := r.MeanMixingTime(0.25); !ok || mt < 1 {
+		t.Errorf("MeanMixingTime(0.25) = %d,%v", mt, ok)
+	}
+}
+
+func TestSourceMixingTimesDistribution(t *testing.T) {
+	g, err := gen.BarabasiAlbert(300, 4, 17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := MeasureMixing(g, MixingConfig{MaxSteps: 80, Sources: 15, Lazy: true, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Curves) != 15 {
+		t.Fatalf("curves = %d, want 15", len(r.Curves))
+	}
+	times := r.SourceMixingTimes(0.05)
+	if len(times) != 15 {
+		t.Fatalf("times = %d", len(times))
+	}
+	worst, ok := r.MixingTime(0.05)
+	if !ok {
+		t.Fatal("graph did not mix")
+	}
+	maxSrc := 0
+	for i, tm := range times {
+		if tm == 0 {
+			t.Errorf("source %d never mixed despite worst-case mixing at %d", i, worst)
+		}
+		if tm > maxSrc {
+			maxSrc = tm
+		}
+		if tm > worst {
+			t.Errorf("source %d time %d exceeds worst-case %d", i, tm, worst)
+		}
+	}
+	// The worst source defines the overall mixing time exactly.
+	if maxSrc != worst {
+		t.Errorf("max source time %d != MixingTime %d", maxSrc, worst)
+	}
+	// And the per-source curves reconstruct the aggregates.
+	for tstep := 0; tstep < 80; tstep += 13 {
+		maxT := 0.0
+		for _, c := range r.Curves {
+			if c[tstep] > maxT {
+				maxT = c[tstep]
+			}
+		}
+		if math.Abs(maxT-r.MaxTVD[tstep]) > 1e-12 {
+			t.Errorf("step %d: curve max %v != MaxTVD %v", tstep, maxT, r.MaxTVD[tstep])
+		}
+	}
+}
+
+func TestMeasureMixingConfigValidation(t *testing.T) {
+	g, err := gen.Complete(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := MeasureMixing(g, MixingConfig{MaxSteps: 0, Sources: 1}); err == nil {
+		t.Error("MaxSteps=0: want error")
+	}
+	if _, err := MeasureMixing(g, MixingConfig{MaxSteps: 5, Sources: 0}); err == nil {
+		t.Error("Sources=0: want error")
+	}
+	var empty graph.Graph
+	if _, err := MeasureMixing(&empty, MixingConfig{MaxSteps: 5, Sources: 1}); err == nil {
+		t.Error("empty graph: want error")
+	}
+}
+
+func TestSampleSources(t *testing.T) {
+	b := graph.NewBuilder(10)
+	if err := b.AddEdge(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.AddEdge(2, 3); err != nil {
+		t.Fatal(err)
+	}
+	g := b.Build() // nodes 4..9 isolated
+	srcs, err := SampleSources(g, 10, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(srcs) != 4 {
+		t.Fatalf("sampled %d sources, want 4 non-isolated", len(srcs))
+	}
+	seen := map[graph.NodeID]bool{}
+	for _, s := range srcs {
+		if g.Degree(s) == 0 {
+			t.Errorf("sampled isolated node %d", s)
+		}
+		if seen[s] {
+			t.Errorf("duplicate source %d", s)
+		}
+		seen[s] = true
+	}
+	if _, err := SampleSources(g, 0, 1); err == nil {
+		t.Error("SampleSources(k=0): want error")
+	}
+	var empty graph.Graph
+	if _, err := SampleSources(&empty, 3, 1); !errors.Is(err, ErrNoEdges) {
+		t.Errorf("SampleSources(empty) = %v, want ErrNoEdges", err)
+	}
+}
+
+func TestWalkerTrajectory(t *testing.T) {
+	g, err := gen.Cycle(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := NewWalker(g, 7)
+	traj, err := w.Walk(0, 25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(traj) != 26 {
+		t.Fatalf("trajectory length = %d, want 26", len(traj))
+	}
+	if traj[0] != 0 {
+		t.Errorf("trajectory starts at %d, want 0", traj[0])
+	}
+	for i := 1; i < len(traj); i++ {
+		if !g.HasEdge(traj[i-1], traj[i]) {
+			t.Fatalf("step %d: %d -> %d is not an edge", i, traj[i-1], traj[i])
+		}
+	}
+}
+
+func TestWalkerErrors(t *testing.T) {
+	b := graph.NewBuilder(3)
+	if err := b.AddEdge(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	g := b.Build()
+	w := NewWalker(g, 1)
+	if _, err := w.Walk(9, 5); err == nil {
+		t.Error("Walk(out of range): want error")
+	}
+	if _, err := w.Walk(0, -1); err == nil {
+		t.Error("Walk(negative length): want error")
+	}
+	if _, err := w.Walk(2, 5); err == nil {
+		t.Error("Walk(isolated): want error")
+	}
+	if _, err := w.Endpoint(9, 5); err == nil {
+		t.Error("Endpoint(out of range): want error")
+	}
+	if _, err := w.Endpoint(2, 5); err == nil {
+		t.Error("Endpoint(isolated): want error")
+	}
+}
+
+func TestWalkerDeterministic(t *testing.T) {
+	g, err := gen.BarabasiAlbert(100, 2, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := NewWalker(g, 99).Walk(3, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewWalker(g, 99).Walk(3, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("trajectories diverge at %d: %d vs %d", i, a[i], b[i])
+		}
+	}
+}
+
+func TestWalkerEndpointMatchesStationary(t *testing.T) {
+	// Empirical endpoint frequencies of long walks should approximate the
+	// degree-proportional stationary distribution.
+	g, err := gen.BarabasiAlbert(60, 3, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pi, err := g.StationaryDistribution()
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := NewWalker(g, 123)
+	counts := make([]float64, g.NumNodes())
+	const trials = 6000
+	for i := 0; i < trials; i++ {
+		end, err := w.Endpoint(0, 80)
+		if err != nil {
+			t.Fatal(err)
+		}
+		counts[end]++
+	}
+	for i := range counts {
+		counts[i] /= trials
+	}
+	tvd, err := TotalVariation(counts, pi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tvd > 0.08 {
+		t.Errorf("endpoint TVD to stationary = %v, want < 0.08", tvd)
+	}
+}
+
+// Property: TVD is a metric-ish quantity in [0,1] for distributions, and
+// symmetric.
+func TestTotalVariationQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(30)
+		p := randomDist(rng, n)
+		q := randomDist(rng, n)
+		d1, err := TotalVariation(p, q)
+		if err != nil {
+			return false
+		}
+		d2, err := TotalVariation(q, p)
+		if err != nil {
+			return false
+		}
+		self, err := TotalVariation(p, p)
+		if err != nil {
+			return false
+		}
+		return d1 >= 0 && d1 <= 1+1e-12 && math.Abs(d1-d2) < 1e-12 && self == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func randomDist(rng *rand.Rand, n int) []float64 {
+	p := make([]float64, n)
+	sum := 0.0
+	for i := range p {
+		p[i] = rng.Float64()
+		sum += p[i]
+	}
+	for i := range p {
+		p[i] /= sum
+	}
+	return p
+}
