@@ -47,7 +47,7 @@ func BenchmarkFigure1(b *testing.B) {
 	opts := benchOpts()
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		if _, err := experiments.Figure1(opts); err != nil {
+		if _, err := experiments.Figure1(context.Background(), opts); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -67,7 +67,7 @@ func BenchmarkTableII(b *testing.B) {
 	opts := benchOpts()
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		if _, err := experiments.TableII(opts); err != nil {
+		if _, err := experiments.TableII(context.Background(), opts); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -193,7 +193,7 @@ func BenchmarkAblationLazyWalk(b *testing.B) {
 		b.Run(name, func(b *testing.B) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
-				if _, err := walk.MeasureMixing(g, walk.MixingConfig{
+				if _, err := walk.MeasureMixing(context.Background(), g, walk.MixingConfig{
 					MaxSteps: 40, Sources: 8, Lazy: lazy, Seed: 2,
 				}); err != nil {
 					b.Fatal(err)
@@ -249,7 +249,7 @@ func BenchmarkAblationSpectralVsSampling(b *testing.B) {
 	b.Run("sampling", func(b *testing.B) {
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
-			if _, err := walk.MeasureMixing(g, walk.MixingConfig{
+			if _, err := walk.MeasureMixing(context.Background(), g, walk.MixingConfig{
 				MaxSteps: 60, Sources: 20, Seed: 1,
 			}); err != nil {
 				b.Fatal(err)

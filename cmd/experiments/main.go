@@ -2,19 +2,27 @@
 // evaluation section from the synthetic dataset registry, writing ASCII
 // tables and CSV series under -out (default ./out).
 //
+// The runner is fault tolerant: a job that fails, panics, or exceeds
+// its -timeout is reported as a failed job while the remaining jobs
+// still run (disable with -keep-going=false), and any failure makes the
+// process exit nonzero with a summary table.
+//
 // Usage:
 //
 //	experiments                 # run everything (minutes)
 //	experiments -run tableII    # one experiment
 //	experiments -quick          # reduced sampling, seconds
+//	experiments -timeout 2m     # bound each job
 package main
 
 import (
 	"context"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
+	"runtime/debug"
 	"strings"
 	"time"
 
@@ -29,56 +37,124 @@ func main() {
 	}
 }
 
+// job is one experiment: run receives a context already bounded by the
+// per-job timeout and must return rather than os.Exit on failure.
+type job struct {
+	name string
+	run  func(ctx context.Context) error
+}
+
+// jobFailure records one failed job for the summary.
+type jobFailure struct {
+	name string
+	err  error
+}
+
 func run(args []string) error {
 	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
 	var (
-		only  = fs.String("run", "", "run one experiment: tableI | figure1 | figure2 | tableII | figure3 | figure4 | figure5 | cross | dynamic | modulated | attacker | betweenness | sweep")
-		quick = fs.Bool("quick", false, "reduced sampling for a fast smoke run")
-		seed  = fs.Int64("seed", 1, "measurement seed")
-		out   = fs.String("out", "out", "output directory")
+		only      = fs.String("run", "", "run one experiment: tableI | figure1 | figure2 | tableII | figure3 | figure4 | figure5 | cross | dynamic | modulated | attacker | betweenness | sweep | churn")
+		quick     = fs.Bool("quick", false, "reduced sampling for a fast smoke run")
+		seed      = fs.Int64("seed", 1, "measurement seed")
+		out       = fs.String("out", "out", "output directory")
+		timeout   = fs.Duration("timeout", 0, "per-job timeout (0 = none)")
+		keepGoing = fs.Bool("keep-going", true, "run remaining jobs after a failure and summarize at the end")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	opts := experiments.Options{Quick: *quick, Seed: *seed}
-	ctx := context.Background()
 
-	type job struct {
-		name string
-		run  func() error
-	}
 	jobs := []job{
-		{"tableI", func() error { return runTableI(opts, *out) }},
-		{"figure1", func() error { return runFigure1(opts, *out) }},
-		{"figure2", func() error { return runFigure2(opts, *out) }},
-		{"tableII", func() error { return runTableII(opts, *out) }},
-		{"figure3", func() error { return runFigure3(ctx, opts, *out) }},
-		{"figure4", func() error { return runFigure4(ctx, opts, *out) }},
-		{"figure5", func() error { return runFigure5(opts, *out) }},
-		{"cross", func() error { return runCross(ctx, opts, *out) }},
-		{"dynamic", func() error { return runDynamic(ctx, opts, *out) }},
-		{"modulated", func() error { return runModulated(opts, *out) }},
-		{"attacker", func() error { return runAttacker(opts, *out) }},
-		{"betweenness", func() error { return runBetweenness(ctx, opts, *out) }},
-		{"sweep", func() error { return runSweep(ctx, opts, *out) }},
+		{"tableI", func(ctx context.Context) error { return runTableI(opts, *out) }},
+		{"figure1", func(ctx context.Context) error { return runFigure1(ctx, opts, *out) }},
+		{"figure2", func(ctx context.Context) error { return runFigure2(opts, *out) }},
+		{"tableII", func(ctx context.Context) error { return runTableII(ctx, opts, *out) }},
+		{"figure3", func(ctx context.Context) error { return runFigure3(ctx, opts, *out) }},
+		{"figure4", func(ctx context.Context) error { return runFigure4(ctx, opts, *out) }},
+		{"figure5", func(ctx context.Context) error { return runFigure5(opts, *out) }},
+		{"cross", func(ctx context.Context) error { return runCross(ctx, opts, *out) }},
+		{"dynamic", func(ctx context.Context) error { return runDynamic(ctx, opts, *out) }},
+		{"modulated", func(ctx context.Context) error { return runModulated(opts, *out) }},
+		{"attacker", func(ctx context.Context) error { return runAttacker(opts, *out) }},
+		{"betweenness", func(ctx context.Context) error { return runBetweenness(ctx, opts, *out) }},
+		{"sweep", func(ctx context.Context) error { return runSweep(ctx, opts, *out) }},
+		{"churn", func(ctx context.Context) error { return runChurn(ctx, opts, *out) }},
 	}
-	ran := 0
+	selected := jobs[:0:0]
 	for _, j := range jobs {
-		if *only != "" && !strings.EqualFold(*only, j.name) {
-			continue
+		if *only == "" || strings.EqualFold(*only, j.name) {
+			selected = append(selected, j)
 		}
-		start := time.Now()
-		fmt.Printf("== %s ==\n", j.name)
-		if err := j.run(); err != nil {
-			return fmt.Errorf("%s: %w", j.name, err)
-		}
-		fmt.Printf("(%s in %v)\n\n", j.name, time.Since(start).Round(time.Millisecond))
-		ran++
 	}
-	if ran == 0 {
+	if len(selected) == 0 {
 		return fmt.Errorf("unknown experiment %q", *only)
 	}
-	return nil
+	return runJobs(context.Background(), selected, *timeout, *keepGoing, os.Stdout)
+}
+
+// runJobs executes jobs sequentially with per-job timeout and panic
+// recovery. With keepGoing, a failed job is recorded and the remaining
+// jobs still run; the failures are summarized on w and returned as a
+// single error so the process exits nonzero.
+func runJobs(ctx context.Context, jobs []job, timeout time.Duration, keepGoing bool, w io.Writer) error {
+	var failures []jobFailure
+	for _, j := range jobs {
+		start := time.Now()
+		fmt.Fprintf(w, "== %s ==\n", j.name)
+		err := runOne(ctx, j, timeout)
+		if err != nil {
+			failures = append(failures, jobFailure{name: j.name, err: err})
+			fmt.Fprintf(w, "FAILED %s after %v: %v\n\n", j.name, time.Since(start).Round(time.Millisecond), err)
+			if !keepGoing {
+				break
+			}
+			continue
+		}
+		fmt.Fprintf(w, "(%s in %v)\n\n", j.name, time.Since(start).Round(time.Millisecond))
+	}
+	if len(failures) == 0 {
+		return nil
+	}
+	t := report.NewTable(fmt.Sprintf("%d of %d jobs failed", len(failures), len(jobs)), "Job", "Error")
+	for _, f := range failures {
+		if err := t.AddRow(f.name, f.err.Error()); err != nil {
+			return err
+		}
+	}
+	if err := t.Render(w); err != nil {
+		return err
+	}
+	return fmt.Errorf("%d job(s) failed (first: %s: %v)", len(failures), failures[0].name, failures[0].err)
+}
+
+// runOne runs a single job under its timeout, converting a panic into a
+// reported failure. The job runs in its own goroutine so a job that
+// ignores its context cannot stall the runner past the deadline; such a
+// goroutine is abandoned (it holds no locks the runner needs) and the
+// leak lasts at most until process exit.
+func runOne(parent context.Context, j job, timeout time.Duration) (err error) {
+	ctx := parent
+	if timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(parent, timeout)
+		defer cancel()
+	}
+	done := make(chan error, 1)
+	go func() {
+		defer func() {
+			if r := recover(); r != nil {
+				done <- fmt.Errorf("panic: %v\n%s", r, debug.Stack())
+			}
+		}()
+		done <- j.run(ctx)
+	}()
+	select {
+	case err = <-done:
+		return err
+	case <-ctx.Done():
+		return fmt.Errorf("timed out after %v: %w", timeout, ctx.Err())
+	}
 }
 
 func runTableI(opts experiments.Options, out string) error {
@@ -96,8 +172,8 @@ func runTableI(opts experiments.Options, out string) error {
 	return report.SaveTable(filepath.Join(out, "tableI.txt"), t)
 }
 
-func runFigure1(opts experiments.Options, out string) error {
-	res, err := experiments.Figure1(opts)
+func runFigure1(ctx context.Context, opts experiments.Options, out string) error {
+	res, err := experiments.Figure1(ctx, opts)
 	if err != nil {
 		return err
 	}
@@ -139,8 +215,8 @@ func runFigure2(opts experiments.Options, out string) error {
 	return t.Render(os.Stdout)
 }
 
-func runTableII(opts experiments.Options, out string) error {
-	res, err := experiments.TableII(opts)
+func runTableII(ctx context.Context, opts experiments.Options, out string) error {
+	res, err := experiments.TableII(ctx, opts)
 	if err != nil {
 		return err
 	}
@@ -290,6 +366,24 @@ func runSweep(ctx context.Context, opts experiments.Options, out string) error {
 		return err
 	}
 	return report.SaveTable(filepath.Join(out, "sweep.txt"), t)
+}
+
+func runChurn(ctx context.Context, opts experiments.Options, out string) error {
+	res, err := experiments.Churn(ctx, opts)
+	if err != nil {
+		return err
+	}
+	t, err := res.Table()
+	if err != nil {
+		return err
+	}
+	if err := t.Render(os.Stdout); err != nil {
+		return err
+	}
+	if err := report.SaveTable(filepath.Join(out, "churn.txt"), t); err != nil {
+		return err
+	}
+	return report.SaveCSV(filepath.Join(out, "churn.csv"), res.Series())
 }
 
 func runCross(ctx context.Context, opts experiments.Options, out string) error {

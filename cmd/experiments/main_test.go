@@ -1,9 +1,14 @@
 package main
 
 import (
+	"bytes"
+	"context"
+	"errors"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
+	"time"
 )
 
 func TestRunSingleExperiments(t *testing.T) {
@@ -68,5 +73,117 @@ func TestRunUnknownExperiment(t *testing.T) {
 func TestRunBadFlag(t *testing.T) {
 	if err := run([]string{"-definitely-not-a-flag"}); err == nil {
 		t.Error("run(bad flag): want error")
+	}
+}
+
+func TestRunChurnQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-dataset experiment is slow")
+	}
+	dir := t.TempDir()
+	if err := run([]string{"-quick", "-run", "churn", "-out", dir}); err != nil {
+		t.Fatalf("churn: %v", err)
+	}
+	for _, f := range []string{"churn.txt", "churn.csv"} {
+		if _, err := os.Stat(filepath.Join(dir, f)); err != nil {
+			t.Errorf("%s not written: %v", f, err)
+		}
+	}
+}
+
+func TestRunJobsKeepGoingAfterFailure(t *testing.T) {
+	var ran []string
+	jobs := []job{
+		{"boom", func(ctx context.Context) error { ran = append(ran, "boom"); return errors.New("kaput") }},
+		{"after", func(ctx context.Context) error { ran = append(ran, "after"); return nil }},
+	}
+	var buf bytes.Buffer
+	err := runJobs(context.Background(), jobs, 0, true, &buf)
+	if err == nil {
+		t.Fatal("runJobs with a failing job: want error (nonzero exit)")
+	}
+	if len(ran) != 2 || ran[1] != "after" {
+		t.Fatalf("jobs run = %v, want both despite the failure", ran)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "FAILED boom") || !strings.Contains(out, "1 of 2 jobs failed") {
+		t.Errorf("summary missing from output:\n%s", out)
+	}
+}
+
+func TestRunJobsPanicIsReportedFailure(t *testing.T) {
+	var ran []string
+	jobs := []job{
+		{"panics", func(ctx context.Context) error { panic("exploded") }},
+		{"survivor", func(ctx context.Context) error { ran = append(ran, "survivor"); return nil }},
+	}
+	var buf bytes.Buffer
+	err := runJobs(context.Background(), jobs, 0, true, &buf)
+	if err == nil {
+		t.Fatal("runJobs with a panicking job: want error")
+	}
+	if !strings.Contains(err.Error(), "panics") {
+		t.Errorf("error %q does not name the panicking job", err)
+	}
+	if !strings.Contains(buf.String(), "panic: exploded") {
+		t.Errorf("panic not converted to a reported failure:\n%s", buf.String())
+	}
+	if len(ran) != 1 {
+		t.Fatalf("job after the panic did not run: %v", ran)
+	}
+}
+
+func TestRunJobsTimeout(t *testing.T) {
+	jobs := []job{
+		{"slow", func(ctx context.Context) error {
+			select {
+			case <-ctx.Done():
+				return ctx.Err()
+			case <-time.After(30 * time.Second):
+				return nil
+			}
+		}},
+		{"next", func(ctx context.Context) error { return nil }},
+	}
+	var buf bytes.Buffer
+	start := time.Now()
+	err := runJobs(context.Background(), jobs, 50*time.Millisecond, true, &buf)
+	if err == nil {
+		t.Fatal("runJobs with a timed-out job: want error")
+	}
+	if time.Since(start) > 5*time.Second {
+		t.Fatalf("runner waited %v for a 50ms timeout", time.Since(start))
+	}
+	if !strings.Contains(buf.String(), "FAILED slow") || !strings.Contains(buf.String(), "timed out") {
+		t.Errorf("timeout not reported:\n%s", buf.String())
+	}
+	if !strings.Contains(buf.String(), "(next in") {
+		t.Errorf("job after the timeout did not run:\n%s", buf.String())
+	}
+}
+
+func TestRunJobsIgnoredContextStillTimesOut(t *testing.T) {
+	// A job that never looks at its context cannot stall the runner.
+	block := make(chan struct{})
+	defer close(block)
+	jobs := []job{{"stuck", func(ctx context.Context) error { <-block; return nil }}}
+	var buf bytes.Buffer
+	if err := runJobs(context.Background(), jobs, 50*time.Millisecond, true, &buf); err == nil {
+		t.Fatal("runJobs with a stuck job: want error")
+	}
+}
+
+func TestRunJobsStopsWithoutKeepGoing(t *testing.T) {
+	var ran []string
+	jobs := []job{
+		{"boom", func(ctx context.Context) error { return errors.New("kaput") }},
+		{"after", func(ctx context.Context) error { ran = append(ran, "after"); return nil }},
+	}
+	var buf bytes.Buffer
+	if err := runJobs(context.Background(), jobs, 0, false, &buf); err == nil {
+		t.Fatal("want error")
+	}
+	if len(ran) != 0 {
+		t.Fatalf("-keep-going=false still ran later jobs: %v", ran)
 	}
 }

@@ -14,6 +14,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -68,7 +69,7 @@ func run() error {
 	// Operational decision: the walk length at which the observer's TVD
 	// advantage drops below 1%.
 	pick := func(g *graph.Graph) string {
-		w, ok, err := anonymity.RequiredWalkLength(g, 20, 0.01, 200, true, 4)
+		w, ok, err := anonymity.RequiredWalkLength(context.Background(), g, 20, 0.01, 200, true, 4)
 		if err != nil || !ok {
 			return "not within budget"
 		}

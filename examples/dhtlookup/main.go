@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -46,7 +47,7 @@ func run() error {
 	}{{"fast (BA)", fast}, {"slow (clustered)", slow}} {
 		// Measure the mixing time first — the deployment decision the
 		// paper argues for.
-		mr, err := walk.MeasureMixing(tc.g, walk.MixingConfig{
+		mr, err := walk.MeasureMixing(context.Background(), tc.g, walk.MixingConfig{
 			MaxSteps: 200, Sources: 20, Seed: 1,
 		})
 		if err != nil {

@@ -11,6 +11,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math"
@@ -44,7 +45,7 @@ func run() error {
 		}
 		n := g.NumNodes()
 
-		mr, err := walk.MeasureMixing(g, walk.MixingConfig{
+		mr, err := walk.MeasureMixing(context.Background(), g, walk.MixingConfig{
 			MaxSteps: 300, Sources: 30, Seed: 1,
 		})
 		if err != nil {

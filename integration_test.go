@@ -166,7 +166,7 @@ func TestSpectralSamplingConsistencyAcrossRegistry(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		mr, err := walk.MeasureMixing(g, walk.MixingConfig{MaxSteps: 60, Sources: 10, Seed: 1})
+		mr, err := walk.MeasureMixing(context.Background(), g, walk.MixingConfig{MaxSteps: 60, Sources: 10, Seed: 1})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -190,7 +190,7 @@ func TestEpsilonSensitivity(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	mr, err := walk.MeasureMixing(g, walk.MixingConfig{MaxSteps: 120, Sources: 10, Seed: 1})
+	mr, err := walk.MeasureMixing(context.Background(), g, walk.MixingConfig{MaxSteps: 120, Sources: 10, Seed: 1})
 	if err != nil {
 		t.Fatal(err)
 	}

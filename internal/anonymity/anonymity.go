@@ -19,6 +19,7 @@
 package anonymity
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -134,15 +135,16 @@ func MeasureAll(g *graph.Graph, k int, cfg Config, seed int64) (*Summary, error)
 
 // RequiredWalkLength returns the smallest walk length in [1, maxLen]
 // whose worst sampled TVD gap is below eps — the deployment knob for a
-// relay overlay, directly derived from the mixing measurement.
-func RequiredWalkLength(g *graph.Graph, k int, eps float64, maxLen int, lazy bool, seed int64) (int, bool, error) {
+// relay overlay, directly derived from the mixing measurement. ctx
+// cancels the underlying measurement between walk steps.
+func RequiredWalkLength(ctx context.Context, g *graph.Graph, k int, eps float64, maxLen int, lazy bool, seed int64) (int, bool, error) {
 	if eps <= 0 || eps >= 1 {
 		return 0, false, fmt.Errorf("anonymity: eps %v out of (0,1)", eps)
 	}
 	if maxLen < 1 {
 		return 0, false, fmt.Errorf("anonymity: max length %d must be >= 1", maxLen)
 	}
-	mr, err := walk.MeasureMixing(g, walk.MixingConfig{
+	mr, err := walk.MeasureMixing(ctx, g, walk.MixingConfig{
 		MaxSteps: maxLen,
 		Sources:  k,
 		Lazy:     lazy,

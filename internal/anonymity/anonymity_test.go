@@ -1,6 +1,7 @@
 package anonymity
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -92,7 +93,7 @@ func TestRequiredWalkLength(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	w, ok, err := RequiredWalkLength(g, 10, 0.05, 100, false, 1)
+	w, ok, err := RequiredWalkLength(context.Background(), g, 10, 0.05, 100, false, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -125,10 +126,10 @@ func TestValidation(t *testing.T) {
 	if _, err := MeasureAll(g, 0, Config{WalkLength: 3}, 1); err == nil {
 		t.Error("MeasureAll(k=0): want error")
 	}
-	if _, _, err := RequiredWalkLength(g, 3, 0, 10, false, 1); err == nil {
+	if _, _, err := RequiredWalkLength(context.Background(), g, 3, 0, 10, false, 1); err == nil {
 		t.Error("RequiredWalkLength(eps=0): want error")
 	}
-	if _, _, err := RequiredWalkLength(g, 3, 0.1, 0, false, 1); err == nil {
+	if _, _, err := RequiredWalkLength(context.Background(), g, 3, 0.1, 0, false, 1); err == nil {
 		t.Error("RequiredWalkLength(maxLen=0): want error")
 	}
 }

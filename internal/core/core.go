@@ -151,7 +151,7 @@ func Measure(ctx context.Context, name string, g *graph.Graph, cfg Config) (*Rep
 	}
 
 	// Sampling-method mixing measurement (§III-C, Figure 1).
-	mix, err := walk.MeasureMixing(g, walk.MixingConfig{
+	mix, err := walk.MeasureMixing(ctx, g, walk.MixingConfig{
 		MaxSteps: cfg.MixingMaxSteps,
 		Sources:  cfg.MixingSources,
 		Seed:     cfg.Seed,

@@ -246,13 +246,7 @@ func (t *Table) Lookup(origin graph.NodeID, key Key, rng *rand.Rand) (LookupResu
 	// Candidate fingers ordered by ring proximity of their ID *before*
 	// the key (Whānau queries the finger best positioned to hold the
 	// key among its successors).
-	order := make([]int, len(fs))
-	for i := range order {
-		order[i] = i
-	}
-	sort.Slice(order, func(i, j int) bool {
-		return ringDistance(fs[order[i]].id, key) < ringDistance(fs[order[j]].id, key)
-	})
+	order := fingerOrder(fs, key)
 	tries := t.cfg.Retries
 	if tries > len(order) {
 		tries = len(order)

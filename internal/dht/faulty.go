@@ -1,0 +1,218 @@
+package dht
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"github.com/trustnet/trustnet/internal/faults"
+	"github.com/trustnet/trustnet/internal/graph"
+)
+
+// FaultConfig parameterizes failure handling of a lookup running over a
+// fault schedule. All durations are simulated ticks (the unit
+// faults.Model.Deliver charges latency in).
+type FaultConfig struct {
+	// Timeout is how long a querier waits for a finger's reply before
+	// giving up on it. Defaults to 8 ticks.
+	Timeout int
+	// MaxRetries bounds the number of independent fingers tried; it
+	// plays the role Config.Retries plays for fault-free lookups and
+	// defaults to that value.
+	MaxRetries int
+	// BackoffBase is the wait after the first failed query; it doubles
+	// after each subsequent failure (bounded exponential backoff over
+	// independent fingers). Defaults to 1 tick.
+	BackoffBase int
+}
+
+func (c *FaultConfig) fill(retries int) error {
+	if c.Timeout == 0 {
+		c.Timeout = 8
+	}
+	if c.Timeout < 1 {
+		return fmt.Errorf("dht: fault timeout %d must be >= 1", c.Timeout)
+	}
+	if c.MaxRetries == 0 {
+		c.MaxRetries = retries
+	}
+	if c.MaxRetries < 1 {
+		return fmt.Errorf("dht: fault max retries %d must be >= 1", c.MaxRetries)
+	}
+	if c.BackoffBase == 0 {
+		c.BackoffBase = 1
+	}
+	if c.BackoffBase < 1 {
+		return fmt.Errorf("dht: fault backoff base %d must be >= 1", c.BackoffBase)
+	}
+	return nil
+}
+
+// FaultyLookupResult extends LookupResult with explicit degraded-result
+// reporting: a caller can distinguish "found cleanly", "found but the
+// routing state is visibly degraded", and "not found after the retry
+// budget".
+type FaultyLookupResult struct {
+	LookupResult
+	// Degraded reports that at least one query failed (finger down,
+	// request or reply dropped) before the lookup concluded — the
+	// result, even when Found, came from degraded routing state.
+	Degraded bool
+	// Timeouts is the number of queries that timed out.
+	Timeouts int
+	// Latency is the total simulated ticks the lookup cost, including
+	// timeouts and backoff waits.
+	Latency int
+}
+
+// LookupFaulty is Lookup running over a fault schedule: fingers are
+// queried nearest-preceding first, each query is charged simulated
+// latency, a query to a churned finger or whose request/reply is
+// dropped times out after cfg.Timeout ticks, and failed queries back
+// off exponentially before the next independent finger is tried. A nil
+// model degrades to the fault-free Lookup semantics with one tick per
+// query.
+func (t *Table) LookupFaulty(origin graph.NodeID, key Key, m *faults.Model, cfg FaultConfig) (FaultyLookupResult, error) {
+	if err := cfg.fill(t.cfg.Retries); err != nil {
+		return FaultyLookupResult{}, err
+	}
+	g := t.attack.Combined
+	if !g.Valid(origin) {
+		return FaultyLookupResult{}, fmt.Errorf("dht: origin %d out of range", origin)
+	}
+	if m != nil && !m.Alive(origin) {
+		return FaultyLookupResult{}, fmt.Errorf("dht: origin %d is down", origin)
+	}
+	fs := t.fingers[origin]
+	if len(fs) == 0 {
+		return FaultyLookupResult{}, fmt.Errorf("dht: origin %d has no fingers", origin)
+	}
+
+	res := FaultyLookupResult{}
+	order := fingerOrder(fs, key)
+	tries := cfg.MaxRetries
+	if tries > len(order) {
+		tries = len(order)
+	}
+	backoff := cfg.BackoffBase
+	for i := 0; i < tries; i++ {
+		f := fs[order[i]]
+		res.Queries++
+
+		// Request and reply both cross the (faulty) network.
+		if m != nil {
+			req := m.Deliver(origin, f.node)
+			if !req.OK {
+				res.Timeouts++
+				res.Degraded = true
+				res.Latency += cfg.Timeout + backoff
+				backoff *= 2
+				continue
+			}
+			rep := m.Deliver(f.node, origin)
+			if !rep.OK {
+				res.Timeouts++
+				res.Degraded = true
+				res.Latency += cfg.Timeout + backoff
+				backoff *= 2
+				continue
+			}
+			res.Latency += req.Ticks + rep.Ticks
+		} else {
+			res.Latency++
+		}
+
+		if !t.attack.IsHonest(f.node) {
+			continue // adversarial finger: replies, but withholds the record
+		}
+		for _, r := range t.successors[f.node] {
+			if r.key == key && t.attack.IsHonest(r.owner) {
+				res.Found = true
+				return res, nil
+			}
+		}
+	}
+	return res, nil
+}
+
+// fingerOrder returns finger indices by ring proximity of their ID
+// before the key — the shared candidate order of Lookup and
+// LookupFaulty.
+func fingerOrder(fs []finger, key Key) []int {
+	order := make([]int, len(fs))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(i, j int) bool {
+		return ringDistance(fs[order[i]].id, key) < ringDistance(fs[order[j]].id, key)
+	})
+	return order
+}
+
+// FaultEvalResult aggregates lookups under one fault schedule.
+type FaultEvalResult struct {
+	// SuccessRate is the fraction of lookups that found the record.
+	SuccessRate float64
+	// DegradedRate is the fraction of lookups (successful or not) that
+	// saw at least one failed query.
+	DegradedRate float64
+	// MeanQueries and MeanLatency average over all lookups.
+	MeanQueries float64
+	MeanLatency float64
+	// Trials is the number of lookups performed.
+	Trials int
+}
+
+// EvaluateUnderFaults runs lookups from sampled live honest origins to
+// sampled live honest targets over the fault schedule. The sampling
+// stream is the same one Evaluate draws from, and fault decisions come
+// from the model's independent stream — so with a nil or zero-fault
+// model the success pattern is bit-for-bit the one Evaluate measures.
+func (t *Table) EvaluateUnderFaults(trials int, seed int64, m *faults.Model, cfg FaultConfig) (*FaultEvalResult, error) {
+	if trials < 1 {
+		return nil, fmt.Errorf("dht: trials %d must be >= 1", trials)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	hn := t.attack.HonestNodes
+	res := &FaultEvalResult{}
+	degraded := 0
+	success := 0
+	totalQueries := 0
+	totalLatency := 0
+	done := 0
+	attempts := 0
+	maxAttempts := 1000*trials + 1000
+	for done < trials {
+		attempts++
+		if attempts > maxAttempts {
+			return nil, fmt.Errorf("dht: could not sample %d live origin/target pairs (churn too high?)", trials)
+		}
+		origin := graph.NodeID(rng.Intn(hn))
+		target := graph.NodeID(rng.Intn(hn))
+		if t.attack.Combined.Degree(origin) == 0 || t.attack.Combined.Degree(target) == 0 {
+			continue
+		}
+		if m != nil && (!m.Alive(origin) || !m.Alive(target)) {
+			continue // a dead origin can't ask; a dead target has no user to serve
+		}
+		r, err := t.LookupFaulty(origin, KeyOf(target), m, cfg)
+		if err != nil {
+			return nil, err
+		}
+		if r.Found {
+			success++
+		}
+		if r.Degraded {
+			degraded++
+		}
+		totalQueries += r.Queries
+		totalLatency += r.Latency
+		done++
+	}
+	res.Trials = trials
+	res.SuccessRate = float64(success) / float64(trials)
+	res.DegradedRate = float64(degraded) / float64(trials)
+	res.MeanQueries = float64(totalQueries) / float64(trials)
+	res.MeanLatency = float64(totalLatency) / float64(trials)
+	return res, nil
+}

@@ -1,0 +1,246 @@
+package dht
+
+import (
+	"math"
+	"testing"
+
+	"github.com/trustnet/trustnet/internal/faults"
+	"github.com/trustnet/trustnet/internal/gen"
+	"github.com/trustnet/trustnet/internal/graph"
+	"github.com/trustnet/trustnet/internal/sybil"
+)
+
+func TestRingDistanceUint64Boundary(t *testing.T) {
+	const max = Key(math.MaxUint64)
+	if d := ringDistance(max, 0); d != 1 {
+		t.Errorf("ringDistance(max, 0) = %d, want 1 (wrap across the boundary)", d)
+	}
+	if d := ringDistance(0, max); d != math.MaxUint64 {
+		t.Errorf("ringDistance(0, max) = %d, want 2^64-1", d)
+	}
+	if d := ringDistance(max, max); d != 0 {
+		t.Errorf("ringDistance(max, max) = %d, want 0", d)
+	}
+	// Crossing the boundary from just below to just above.
+	if d := ringDistance(max-2, 3); d != 6 {
+		t.Errorf("ringDistance(max-2, 3) = %d, want 6", d)
+	}
+	// One step short of a full revolution.
+	if d := ringDistance(1, 0); d != math.MaxUint64 {
+		t.Errorf("ringDistance(1, 0) = %d, want 2^64-1", d)
+	}
+	// Halfway around, from both sides of the boundary.
+	const half = Key(1) << 63
+	if d := ringDistance(0, half); d != 1<<63 {
+		t.Errorf("ringDistance(0, 2^63) = %d, want 2^63", d)
+	}
+	if d := ringDistance(half, 0); d != 1<<63 {
+		t.Errorf("ringDistance(2^63, 0) = %d, want 2^63", d)
+	}
+}
+
+func TestLookupDeterministicUnderFixedSeed(t *testing.T) {
+	honest, err := gen.BarabasiAlbert(300, 4, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	build := func() *Table {
+		a, err := sybil.Inject(honest, sybil.AttackConfig{
+			SybilNodes: 40, AttackEdges: 4, Seed: 5,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		tab, err := Build(a, Config{Seed: 17})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return tab
+	}
+	t1, t2 := build(), build()
+	for v := graph.NodeID(0); v < 100; v++ {
+		key := KeyOf(v)
+		r1, err := t1.Lookup(v, key, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r2, err := t2.Lookup(v, key, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r1 != r2 {
+			t.Fatalf("lookup for %d: %+v vs %+v under identical seeds", v, r1, r2)
+		}
+	}
+	// Evaluate is deterministic end-to-end as well.
+	e1, err := t1.Evaluate(200, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e2, err := t2.Evaluate(200, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e1 != e2 {
+		t.Fatalf("Evaluate = %v vs %v under identical seeds", e1, e2)
+	}
+}
+
+func faultyTable(t *testing.T, n int) *Table {
+	t.Helper()
+	honest, err := gen.BarabasiAlbert(n, 5, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return buildOn(t, honest, n/10, 3, Config{Seed: 1})
+}
+
+func TestZeroFaultModelMatchesEvaluateBitForBit(t *testing.T) {
+	tab := faultyTable(t, 500)
+	base, err := tab.Evaluate(300, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Nil model.
+	nilRes, err := tab.EvaluateUnderFaults(300, 9, nil, FaultConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nilRes.SuccessRate != base {
+		t.Errorf("nil-model success %v != fault-free %v", nilRes.SuccessRate, base)
+	}
+	if nilRes.DegradedRate != 0 {
+		t.Errorf("nil-model degraded rate %v, want 0", nilRes.DegradedRate)
+	}
+	// Zero-fault model (latency still charged, but structure untouched).
+	m, err := faults.New(tab.attack.Combined, faults.Config{Seed: 4, LatencyMean: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	zeroRes, err := tab.EvaluateUnderFaults(300, 9, m, FaultConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if zeroRes.SuccessRate != base {
+		t.Errorf("zero-churn success %v != fault-free %v", zeroRes.SuccessRate, base)
+	}
+	if zeroRes.DegradedRate != 0 {
+		t.Errorf("zero-churn degraded rate %v, want 0", zeroRes.DegradedRate)
+	}
+}
+
+func TestLookupFaultyDeterministicSchedules(t *testing.T) {
+	tab := faultyTable(t, 400)
+	run := func() *FaultEvalResult {
+		m, err := faults.New(tab.attack.Combined, faults.Config{
+			Churn: 0.2, MsgDrop: 0.1, LatencyMean: 2, Seed: 21,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		r, err := tab.EvaluateUnderFaults(200, 7, m, FaultConfig{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r
+	}
+	a, b := run(), run()
+	if *a != *b {
+		t.Fatalf("identical fault seeds gave %+v vs %+v", a, b)
+	}
+}
+
+func TestLookupSuccessDegradesGracefullyWithChurn(t *testing.T) {
+	tab := faultyTable(t, 600)
+	prev := 1.1
+	var at30 float64
+	for _, churn := range []float64{0, 0.1, 0.2, 0.3} {
+		m, err := faults.New(tab.attack.Combined, faults.Config{Churn: churn, Seed: 13})
+		if err != nil {
+			t.Fatal(err)
+		}
+		r, err := tab.EvaluateUnderFaults(300, 11, m, FaultConfig{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Graceful: success may fall with churn but never cliffs; allow
+		// small sampling noise in the monotonicity check.
+		if r.SuccessRate > prev+0.05 {
+			t.Errorf("success rose from %v to %v as churn grew to %v", prev, r.SuccessRate, churn)
+		}
+		prev = r.SuccessRate
+		if churn == 0.3 {
+			at30 = r.SuccessRate
+		}
+		if churn > 0 && r.DegradedRate == 0 {
+			t.Errorf("churn %v produced no degraded lookups", churn)
+		}
+	}
+	if at30 < 0.3 {
+		t.Errorf("success at 30%% churn = %v — cliff, not graceful degradation", at30)
+	}
+}
+
+func TestLookupFaultyTimeoutsAndBackoffAccounting(t *testing.T) {
+	tab := faultyTable(t, 400)
+	m, err := faults.New(tab.attack.Combined, faults.Config{MsgDrop: 0.5, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := FaultConfig{Timeout: 10, BackoffBase: 2, MaxRetries: 4}
+	sawTimeout := false
+	for v := graph.NodeID(0); v < 80; v++ {
+		r, err := tab.LookupFaulty(v, KeyOf(v), m, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.Queries > 4 {
+			t.Fatalf("lookup made %d queries with MaxRetries=4", r.Queries)
+		}
+		if r.Timeouts > 0 {
+			sawTimeout = true
+			if !r.Degraded {
+				t.Fatal("lookup with timeouts not reported degraded")
+			}
+			// Each timeout costs at least Timeout + backoff ticks.
+			if r.Latency < r.Timeouts*cfg.Timeout {
+				t.Fatalf("latency %d below timeout cost of %d timeouts", r.Latency, r.Timeouts)
+			}
+		}
+	}
+	if !sawTimeout {
+		t.Error("50% message drop produced no timeouts in 80 lookups")
+	}
+}
+
+func TestLookupFaultyValidation(t *testing.T) {
+	tab := faultyTable(t, 200)
+	if _, err := tab.LookupFaulty(-1, 0, nil, FaultConfig{}); err == nil {
+		t.Error("LookupFaulty(bad origin): want error")
+	}
+	for _, cfg := range []FaultConfig{{Timeout: -1}, {MaxRetries: -1}, {BackoffBase: -1}} {
+		if _, err := tab.LookupFaulty(0, 0, nil, cfg); err == nil {
+			t.Errorf("LookupFaulty(%+v): want error", cfg)
+		}
+	}
+	if _, err := tab.EvaluateUnderFaults(0, 1, nil, FaultConfig{}); err == nil {
+		t.Error("EvaluateUnderFaults(0 trials): want error")
+	}
+	// An origin that churned away cannot originate lookups.
+	m, err := faults.New(tab.attack.Combined, faults.Config{Churn: 0.5, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var down graph.NodeID = -1
+	for v := graph.NodeID(0); int(v) < tab.attack.Combined.NumNodes(); v++ {
+		if !m.Alive(v) {
+			down = v
+			break
+		}
+	}
+	if down >= 0 {
+		if _, err := tab.LookupFaulty(down, 0, m, FaultConfig{}); err == nil {
+			t.Error("LookupFaulty(down origin): want error")
+		}
+	}
+}

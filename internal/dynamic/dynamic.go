@@ -218,7 +218,7 @@ func Track(ctx context.Context, snaps []Snapshot, cfg TrackConfig) ([]TrackPoint
 		}
 		pt.SLEM = sr.SLEM
 
-		mr, err := walk.MeasureMixing(g, walk.MixingConfig{
+		mr, err := walk.MeasureMixing(ctx, g, walk.MixingConfig{
 			MaxSteps: cfg.MixingMaxSteps,
 			Sources:  cfg.MixingSources,
 			Seed:     cfg.Seed,

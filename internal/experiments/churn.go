@@ -1,0 +1,210 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+
+	"github.com/trustnet/trustnet/internal/dht"
+	"github.com/trustnet/trustnet/internal/faults"
+	"github.com/trustnet/trustnet/internal/graph"
+	"github.com/trustnet/trustnet/internal/report"
+	"github.com/trustnet/trustnet/internal/sybil"
+	"github.com/trustnet/trustnet/internal/sybil/gatekeeper"
+)
+
+// churnFractions is the x-axis of the degradation curve: the fraction
+// of nodes (honest and sybil alike) that have crashed or left by the
+// time the application runs over state built on the pristine graph.
+var churnFractions = []float64{0, 0.05, 0.1, 0.2, 0.3, 0.4, 0.5}
+
+// churnAdmitThreshold is the GateKeeper admission threshold the churn
+// sweep holds fixed (the middle of the Table II sweep).
+const churnAdmitThreshold = 0.2
+
+// ChurnPoint is one (dataset, churn fraction) measurement.
+type ChurnPoint struct {
+	Fraction float64
+	// DHT aggregates Whānau-style lookups under the fault schedule.
+	DHT *dht.FaultEvalResult
+	// HonestAcceptPct is GateKeeper's honest acceptance among surviving
+	// honest nodes on the degraded graph, in percent.
+	HonestAcceptPct float64
+	// SybilsPerEdge is accepted sybils per surviving attack edge.
+	SybilsPerEdge float64
+	// SurvivingAttackEdges counts attack edges the churn left up.
+	SurvivingAttackEdges int
+}
+
+// ChurnRow is one dataset's sweep.
+type ChurnRow struct {
+	Name string
+	// Class is "fast" or "slow" — the Table I mixing class of the
+	// stand-in, which the degradation ordering should track.
+	Class  string
+	Points []ChurnPoint
+}
+
+// ChurnResult is the graceful-degradation experiment: the
+// trustworthy-computing applications (Sybil-proof DHT lookups,
+// GateKeeper admission) run over state built on the pristine graph
+// while an increasing fraction of nodes churns away. The paper derives
+// both applications' guarantees from static-graph properties; this
+// sweep measures how much of the guarantee survives the assumption
+// breaking.
+type ChurnResult struct {
+	Fractions []float64
+	Rows      []ChurnRow
+}
+
+// Table renders the DHT success and admission curves side by side.
+func (r *ChurnResult) Table() (*report.Table, error) {
+	headers := []string{"Dataset", "Metric"}
+	for _, f := range r.Fractions {
+		headers = append(headers, fmt.Sprintf("churn=%.2f", f))
+	}
+	t := report.NewTable(
+		"Churn: DHT lookup success and GateKeeper honest acceptance vs node churn (state built pre-churn)",
+		headers...,
+	)
+	for _, row := range r.Rows {
+		label := fmt.Sprintf("%s (%s)", row.Name, row.Class)
+		success := []string{label, "DHT success"}
+		degraded := []string{"", "DHT degraded"}
+		latency := []string{"", "DHT latency"}
+		honest := []string{"", "Honest %"}
+		sybils := []string{"", "Sybil/edge"}
+		for _, p := range row.Points {
+			success = append(success, report.Float(p.DHT.SuccessRate, 3))
+			degraded = append(degraded, report.Float(p.DHT.DegradedRate, 3))
+			latency = append(latency, report.Float(p.DHT.MeanLatency, 1))
+			honest = append(honest, report.Float(p.HonestAcceptPct, 1))
+			sybils = append(sybils, report.Float(p.SybilsPerEdge, 2))
+		}
+		for _, cells := range [][]string{success, degraded, latency, honest, sybils} {
+			if err := t.AddRow(cells...); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return t, nil
+}
+
+// Series returns the degradation curves in CSV-ready form: per dataset,
+// DHT lookup success and honest acceptance (as a fraction) vs churn.
+func (r *ChurnResult) Series() []report.Series {
+	var out []report.Series
+	for _, row := range r.Rows {
+		dhtS := report.Series{Name: row.Name + "-dht-success"}
+		adm := report.Series{Name: row.Name + "-honest-accept"}
+		lat := report.Series{Name: row.Name + "-dht-latency"}
+		for _, p := range row.Points {
+			dhtS.X = append(dhtS.X, p.Fraction)
+			dhtS.Y = append(dhtS.Y, p.DHT.SuccessRate)
+			adm.X = append(adm.X, p.Fraction)
+			adm.Y = append(adm.Y, p.HonestAcceptPct/100)
+			lat.X = append(lat.X, p.Fraction)
+			lat.Y = append(lat.Y, p.DHT.MeanLatency)
+		}
+		out = append(out, dhtS, adm, lat)
+	}
+	return out
+}
+
+// churnDatasets pairs each stand-in with its Table I mixing class. The
+// quick set keeps one fast and one slow graph so the contrast the
+// acceptance check needs is still exercised.
+func churnDatasets(quick bool) [][2]string {
+	if quick {
+		return [][2]string{{"wiki-vote", "fast"}, {"physics-1", "slow"}}
+	}
+	return [][2]string{
+		{"wiki-vote", "fast"}, {"livejournal-a", "fast"},
+		{"physics-1", "slow"}, {"physics-3", "slow"},
+	}
+}
+
+// Churn runs the graceful-degradation sweep. Routing state and ticket
+// sources are built on the pristine graph; every fault schedule is then
+// applied to the same build, isolating the effect of churn from
+// build-time randomness. ctx is checked between sweep points.
+func Churn(ctx context.Context, opts Options) (*ChurnResult, error) {
+	opts.fill()
+	res := &ChurnResult{Fractions: churnFractions}
+	trials := opts.pick(250, 800)
+	for i, ds := range churnDatasets(opts.Quick) {
+		name, class := ds[0], ds[1]
+		g, err := opts.graphFor(name)
+		if err != nil {
+			return nil, err
+		}
+		n := g.NumNodes()
+		attackEdges := n / 50
+		if attackEdges < 2 {
+			attackEdges = 2
+		}
+		a, err := sybil.Inject(g, sybil.AttackConfig{
+			SybilNodes:  n / 5,
+			AttackEdges: attackEdges,
+			Seed:        opts.Seed + int64(i),
+		})
+		if err != nil {
+			return nil, fmt.Errorf("experiments: churn inject on %s: %w", name, err)
+		}
+		tab, err := dht.Build(a, dht.Config{Seed: opts.Seed + int64(i)})
+		if err != nil {
+			return nil, fmt.Errorf("experiments: churn dht build on %s: %w", name, err)
+		}
+		row := ChurnRow{Name: name, Class: class}
+		for j, f := range res.Fractions {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			m, err := faults.New(a.Combined, faults.Config{
+				Churn: f,
+				Seed:  opts.Seed + int64(100*i+j),
+				// The controller asking the admission question is up by
+				// definition.
+				Protected: []graph.NodeID{0},
+			})
+			if err != nil {
+				return nil, fmt.Errorf("experiments: churn model %s f=%v: %w", name, f, err)
+			}
+			pt := ChurnPoint{Fraction: f}
+			pt.DHT, err = tab.EvaluateUnderFaults(trials, opts.Seed+int64(j), m, dht.FaultConfig{})
+			if err != nil {
+				return nil, fmt.Errorf("experiments: churn dht eval %s f=%v: %w", name, f, err)
+			}
+
+			d, err := sybil.Degrade(a, m)
+			if err != nil {
+				return nil, fmt.Errorf("experiments: churn degrade %s f=%v: %w", name, f, err)
+			}
+			pt.SurvivingAttackEdges = len(d.AttackEdges)
+			if d.Combined.Degree(0) > 0 {
+				out, err := gatekeeper.Run(d, 0, gatekeeper.Config{
+					Distributers: opts.pick(30, 99),
+					Seed:         opts.Seed + int64(i),
+				})
+				if err != nil {
+					return nil, fmt.Errorf("experiments: churn gatekeeper %s f=%v: %w", name, f, err)
+				}
+				acc, err := out.Accepted(churnAdmitThreshold)
+				if err != nil {
+					return nil, err
+				}
+				mt, err := sybil.EvaluateAlive(d, acc, 0, m)
+				if err != nil {
+					return nil, fmt.Errorf("experiments: churn evaluate %s f=%v: %w", name, f, err)
+				}
+				pt.HonestAcceptPct = 100 * mt.HonestAcceptRate()
+				pt.SybilsPerEdge = mt.SybilsPerAttackEdge()
+			}
+			// A controller isolated by churn admits nobody: acceptance
+			// stays at the zero value, which is itself a (maximally)
+			// degraded but honest answer.
+			row.Points = append(row.Points, pt)
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}

@@ -1,0 +1,97 @@
+package experiments
+
+import (
+	"context"
+	"testing"
+)
+
+func TestChurnQuick(t *testing.T) {
+	res, err := Churn(context.Background(), sharedOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2 {
+		t.Fatalf("quick churn rows = %d, want 2", len(res.Rows))
+	}
+	var fast, slow *ChurnRow
+	for i := range res.Rows {
+		switch res.Rows[i].Class {
+		case "fast":
+			fast = &res.Rows[i]
+		case "slow":
+			slow = &res.Rows[i]
+		}
+	}
+	if fast == nil || slow == nil {
+		t.Fatal("quick churn set must contain one fast and one slow stand-in")
+	}
+	for _, row := range res.Rows {
+		if len(row.Points) != len(res.Fractions) {
+			t.Fatalf("%s has %d points, want %d", row.Name, len(row.Points), len(res.Fractions))
+		}
+		if p0 := row.Points[0]; p0.Fraction != 0 || p0.DHT.DegradedRate != 0 {
+			t.Errorf("%s churn-0 point degraded: %+v", row.Name, p0)
+		}
+	}
+	// Graceful degradation on the fast mixer: no cliff to ~0 below 30%
+	// churn (the acceptance criterion of the robustness pass).
+	for _, p := range fast.Points {
+		if p.Fraction < 0.3 && p.DHT.SuccessRate < 0.3 {
+			t.Errorf("fast mixer %s cliffed to %.3f at churn %.2f",
+				fast.Name, p.DHT.SuccessRate, p.Fraction)
+		}
+	}
+	// Fast vs slow ordered consistently with Table I at every churn
+	// level (small tolerance for sampling noise).
+	for j := range res.Fractions {
+		if fast.Points[j].DHT.SuccessRate+0.05 < slow.Points[j].DHT.SuccessRate {
+			t.Errorf("churn %.2f: fast success %.3f below slow %.3f",
+				res.Fractions[j], fast.Points[j].DHT.SuccessRate, slow.Points[j].DHT.SuccessRate)
+		}
+	}
+	// Rendering paths.
+	tab, err := res.Table()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tab.NumRows() != 5*len(res.Rows) {
+		t.Errorf("table rows = %d, want %d", tab.NumRows(), 5*len(res.Rows))
+	}
+	series := res.Series()
+	if len(series) != 3*len(res.Rows) {
+		t.Errorf("series = %d, want %d", len(series), 3*len(res.Rows))
+	}
+	for _, s := range series {
+		if err := s.Validate(); err != nil {
+			t.Error(err)
+		}
+	}
+}
+
+func TestChurnDeterministic(t *testing.T) {
+	a, err := Churn(context.Background(), sharedOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Churn(context.Background(), sharedOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Rows {
+		for j := range a.Rows[i].Points {
+			pa, pb := a.Rows[i].Points[j], b.Rows[i].Points[j]
+			if *pa.DHT != *pb.DHT || pa.HonestAcceptPct != pb.HonestAcceptPct ||
+				pa.SybilsPerEdge != pb.SybilsPerEdge {
+				t.Fatalf("churn point %d/%d differs across identical runs: %+v vs %+v", i, j, pa, pb)
+			}
+		}
+	}
+}
+
+func TestChurnHonorsCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := Churn(ctx, sharedOpts()); err == nil {
+		t.Error("Churn(cancelled ctx): want error")
+	}
+}

@@ -54,7 +54,7 @@ func TestTableIQuick(t *testing.T) {
 }
 
 func TestFigure1Quick(t *testing.T) {
-	res, err := Figure1(sharedOpts())
+	res, err := Figure1(context.Background(), sharedOpts())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -127,7 +127,7 @@ func TestFigure2Quick(t *testing.T) {
 }
 
 func TestTableIIQuick(t *testing.T) {
-	res, err := TableII(sharedOpts())
+	res, err := TableII(context.Background(), sharedOpts())
 	if err != nil {
 		t.Fatal(err)
 	}

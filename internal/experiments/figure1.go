@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"github.com/trustnet/trustnet/internal/datasets"
@@ -27,8 +28,9 @@ type Figure1Result struct {
 	SourceECDFs []report.Series
 }
 
-// Figure1 measures the mixing curves of every dataset.
-func Figure1(opts Options) (*Figure1Result, error) {
+// Figure1 measures the mixing curves of every dataset. ctx cancels the
+// underlying mixing measurements between walk steps.
+func Figure1(ctx context.Context, opts Options) (*Figure1Result, error) {
 	opts.fill()
 	res := &Figure1Result{MixingTimes: make(map[string]int)}
 	run := func(specs []datasets.Spec, panel *[]report.Series) error {
@@ -37,7 +39,7 @@ func Figure1(opts Options) (*Figure1Result, error) {
 			if err != nil {
 				return err
 			}
-			mr, err := walk.MeasureMixing(g, walk.MixingConfig{
+			mr, err := walk.MeasureMixing(ctx, g, walk.MixingConfig{
 				MaxSteps: opts.pick(60, 200),
 				Sources:  opts.pick(10, 50),
 				Seed:     opts.Seed,

@@ -81,7 +81,7 @@ func BridgeSweep(ctx context.Context, opts Options) (*SweepResult, error) {
 		}
 		pt.SLEM = sr.SLEM
 
-		mr, err := walk.MeasureMixing(g, walk.MixingConfig{
+		mr, err := walk.MeasureMixing(ctx, g, walk.MixingConfig{
 			MaxSteps: opts.pick(100, 250),
 			Sources:  opts.pick(10, 30),
 			Seed:     opts.Seed,

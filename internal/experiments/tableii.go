@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"github.com/trustnet/trustnet/internal/report"
@@ -73,7 +74,9 @@ func (r *TableIIResult) Table() (*report.Table, error) {
 // TableII runs GateKeeper over the four Table II graphs. Attackers are
 // random (sybil.Inject places attack edges at random honest endpoints)
 // and the distributer count follows the paper's 99 sampled distributers.
-func TableII(opts Options) (*TableIIResult, error) {
+// ctx is checked between datasets so a runner timeout cuts the sweep
+// short.
+func TableII(ctx context.Context, opts Options) (*TableIIResult, error) {
 	opts.fill()
 	res := &TableIIResult{Thresholds: tableIIThresholds}
 	names := tableIIDatasets
@@ -83,6 +86,9 @@ func TableII(opts Options) (*TableIIResult, error) {
 		names = []string{tableIIDatasets[0], tableIIDatasets[2]}
 	}
 	for i, name := range names {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		g, err := opts.graphFor(name)
 		if err != nil {
 			return nil, err

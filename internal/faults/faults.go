@@ -1,0 +1,227 @@
+// Package faults provides the deterministic fault-injection and churn
+// model the robustness experiments run the trustworthy-computing
+// applications (the Whānau-style DHT, GateKeeper, SybilLimit, ...)
+// under. The paper's guarantees (§I–II) are derived on a static,
+// fully-available social graph; real deployments of the same protocols
+// (distributed mixing-time computation, distributed k-core
+// decomposition) face node churn, link loss, and message-level
+// failures. This package turns those failure classes into a seeded,
+// reproducible schedule:
+//
+//   - node churn: a fraction of nodes crash or leave, losing all their
+//     incident edges (they stay in the ID space, isolated, so node
+//     identifiers remain dense and honest/sybil bookkeeping holds);
+//   - edge loss: a fraction of the surviving edges drop independently
+//     (a lost friendship link, a failed overlay connection);
+//   - message drop: each simulated message is lost with a fixed
+//     probability at delivery time;
+//   - latency: each delivered message costs a random number of
+//     simulated ticks, so protocols can account timeouts and backoff
+//     in a common simulated-time unit.
+//
+// The schedule (which nodes are down, which edges are lost) is fixed at
+// construction from the seed, so two models built with identical
+// configurations are identical; message-level randomness is a separate
+// seeded stream, so structural determinism is independent of how many
+// messages a protocol sends.
+package faults
+
+import (
+	"fmt"
+	"math/rand"
+
+	"github.com/trustnet/trustnet/internal/graph"
+)
+
+// Config parameterizes a fault model.
+type Config struct {
+	// Churn is the fraction of nodes down (crashed or departed), in
+	// [0, 1). Down nodes lose every incident edge.
+	Churn float64
+	// EdgeLoss is the probability each edge between two up nodes is
+	// independently lost, in [0, 1).
+	EdgeLoss float64
+	// MsgDrop is the probability an individual message is dropped at
+	// delivery time, in [0, 1).
+	MsgDrop float64
+	// LatencyMean is the mean simulated latency of a delivered message
+	// in ticks; each delivery costs 1 + Exp(LatencyMean) ticks. 0 means
+	// every delivery costs exactly 1 tick.
+	LatencyMean float64
+	// Seed makes the fault schedule and the message stream
+	// deterministic.
+	Seed int64
+	// Protected nodes never churn — the verifier or controller of a
+	// defense run, which by definition is the live node asking the
+	// question.
+	Protected []graph.NodeID
+}
+
+func (c Config) validate() error {
+	if c.Churn < 0 || c.Churn >= 1 {
+		return fmt.Errorf("faults: churn %v out of [0,1)", c.Churn)
+	}
+	if c.EdgeLoss < 0 || c.EdgeLoss >= 1 {
+		return fmt.Errorf("faults: edge loss %v out of [0,1)", c.EdgeLoss)
+	}
+	if c.MsgDrop < 0 || c.MsgDrop >= 1 {
+		return fmt.Errorf("faults: message drop %v out of [0,1)", c.MsgDrop)
+	}
+	if c.LatencyMean < 0 {
+		return fmt.Errorf("faults: latency mean %v must be >= 0", c.LatencyMean)
+	}
+	return nil
+}
+
+// Model is a fault schedule over one graph plus a message-level fault
+// stream. The structural schedule (down nodes, lost edges) is immutable
+// after construction; Deliver consumes the message stream and is
+// therefore not safe for concurrent use — create one model per
+// goroutine.
+type Model struct {
+	cfg      Config
+	g        *graph.Graph
+	down     []bool
+	lost     map[graph.Edge]struct{}
+	degraded *graph.Graph
+	msgRNG   *rand.Rand
+}
+
+// New builds the fault schedule for g: it samples floor(Churn·n)
+// unprotected nodes to take down and then drops each remaining edge
+// with probability EdgeLoss, all deterministically from cfg.Seed.
+func New(g *graph.Graph, cfg Config) (*Model, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	n := g.NumNodes()
+	m := &Model{
+		cfg:    cfg,
+		g:      g,
+		down:   make([]bool, n),
+		lost:   make(map[graph.Edge]struct{}),
+		msgRNG: rand.New(rand.NewSource(cfg.Seed + 2)),
+	}
+	protected := make(map[graph.NodeID]bool, len(cfg.Protected))
+	for _, v := range cfg.Protected {
+		if !g.Valid(v) {
+			return nil, fmt.Errorf("faults: protected node %d out of range", v)
+		}
+		protected[v] = true
+	}
+
+	if cfg.Churn > 0 {
+		rng := rand.New(rand.NewSource(cfg.Seed))
+		candidates := make([]graph.NodeID, 0, n)
+		for v := graph.NodeID(0); int(v) < n; v++ {
+			if !protected[v] {
+				candidates = append(candidates, v)
+			}
+		}
+		rng.Shuffle(len(candidates), func(i, j int) {
+			candidates[i], candidates[j] = candidates[j], candidates[i]
+		})
+		take := int(cfg.Churn * float64(n))
+		if take > len(candidates) {
+			take = len(candidates)
+		}
+		for _, v := range candidates[:take] {
+			m.down[v] = true
+		}
+	}
+
+	if cfg.EdgeLoss > 0 {
+		rng := rand.New(rand.NewSource(cfg.Seed + 1))
+		// Iterate edges in canonical order so the loss set depends only
+		// on the seed and the graph, not on traversal incidentals.
+		for _, e := range g.Edges() {
+			if m.down[e.U] || m.down[e.V] {
+				continue // already gone with its endpoint
+			}
+			if rng.Float64() < cfg.EdgeLoss {
+				m.lost[e] = struct{}{}
+			}
+		}
+	}
+
+	b := graph.NewBuilder(n)
+	for _, e := range g.Edges() {
+		if m.EdgeUp(e.U, e.V) {
+			b.AddEdgeSafe(e.U, e.V)
+		}
+	}
+	m.degraded = b.Build()
+	return m, nil
+}
+
+// Config returns the configuration the model was built with.
+func (m *Model) Config() Config { return m.cfg }
+
+// Graph returns the pristine graph the schedule was drawn over.
+func (m *Model) Graph() *graph.Graph { return m.g }
+
+// Alive reports whether v survived the churn schedule.
+func (m *Model) Alive(v graph.NodeID) bool {
+	return m.g.Valid(v) && !m.down[v]
+}
+
+// EdgeUp reports whether the edge (u, v) is usable: both endpoints
+// alive and the edge itself not lost.
+func (m *Model) EdgeUp(u, v graph.NodeID) bool {
+	if !m.Alive(u) || !m.Alive(v) {
+		return false
+	}
+	_, gone := m.lost[graph.Edge{U: u, V: v}.Canonical()]
+	return !gone
+}
+
+// Degraded returns the graph as the failure schedule leaves it: same
+// node set (IDs stay dense so honest/sybil bookkeeping holds), with
+// down nodes isolated and lost edges removed. The graph is built once
+// at construction and safe to share.
+func (m *Model) Degraded() *graph.Graph { return m.degraded }
+
+// NumDown returns the number of churned nodes.
+func (m *Model) NumDown() int {
+	c := 0
+	for _, d := range m.down {
+		if d {
+			c++
+		}
+	}
+	return c
+}
+
+// NumLostEdges returns the number of edges lost independently of churn.
+func (m *Model) NumLostEdges() int { return len(m.lost) }
+
+// Delivery is the outcome of one simulated message send.
+type Delivery struct {
+	// OK reports whether the message arrived.
+	OK bool
+	// Ticks is the simulated latency the send cost (also charged for
+	// drops: the sender finds out by timing out, which its own timeout
+	// accounting covers).
+	Ticks int
+}
+
+// Deliver simulates sending one message from u to v over the current
+// schedule: it fails when either endpoint is down, when every path
+// between them is irrelevant (the caller chooses routing; Deliver only
+// models the directly-addressed message), or with probability MsgDrop;
+// otherwise it succeeds after 1 + Exp(LatencyMean) ticks. Deliver
+// advances the seeded message stream and is not safe for concurrent
+// use.
+func (m *Model) Deliver(u, v graph.NodeID) Delivery {
+	if !m.Alive(u) || !m.Alive(v) {
+		return Delivery{OK: false}
+	}
+	if m.cfg.MsgDrop > 0 && m.msgRNG.Float64() < m.cfg.MsgDrop {
+		return Delivery{OK: false}
+	}
+	ticks := 1
+	if m.cfg.LatencyMean > 0 {
+		ticks += int(m.msgRNG.ExpFloat64() * m.cfg.LatencyMean)
+	}
+	return Delivery{OK: true, Ticks: ticks}
+}

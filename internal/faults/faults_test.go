@@ -1,0 +1,185 @@
+package faults
+
+import (
+	"testing"
+
+	"github.com/trustnet/trustnet/internal/gen"
+	"github.com/trustnet/trustnet/internal/graph"
+)
+
+func testGraph(t *testing.T) *graph.Graph {
+	t.Helper()
+	g, err := gen.BarabasiAlbert(400, 4, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestConfigValidation(t *testing.T) {
+	g := testGraph(t)
+	for _, cfg := range []Config{
+		{Churn: -0.1}, {Churn: 1}, {EdgeLoss: -0.1}, {EdgeLoss: 1},
+		{MsgDrop: -0.1}, {MsgDrop: 1}, {LatencyMean: -1},
+		{Protected: []graph.NodeID{-1}}, {Protected: []graph.NodeID{10000}},
+	} {
+		if _, err := New(g, cfg); err == nil {
+			t.Errorf("New(%+v): want error", cfg)
+		}
+	}
+}
+
+func TestIdenticalSeedsIdenticalSchedules(t *testing.T) {
+	g := testGraph(t)
+	cfg := Config{Churn: 0.3, EdgeLoss: 0.1, MsgDrop: 0.2, LatencyMean: 3, Seed: 11}
+	a, err := New(g, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := New(g, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := graph.NodeID(0); int(v) < g.NumNodes(); v++ {
+		if a.Alive(v) != b.Alive(v) {
+			t.Fatalf("node %d: alive %v vs %v under identical seeds", v, a.Alive(v), b.Alive(v))
+		}
+	}
+	if a.NumLostEdges() != b.NumLostEdges() {
+		t.Fatalf("lost edges %d vs %d under identical seeds", a.NumLostEdges(), b.NumLostEdges())
+	}
+	for _, e := range g.Edges() {
+		if a.EdgeUp(e.U, e.V) != b.EdgeUp(e.U, e.V) {
+			t.Fatalf("edge %v: up %v vs %v under identical seeds", e, a.EdgeUp(e.U, e.V), b.EdgeUp(e.U, e.V))
+		}
+	}
+	// The message stream is deterministic too.
+	for i := 0; i < 200; i++ {
+		da := a.Deliver(0, 1)
+		db := b.Deliver(0, 1)
+		if da != db {
+			t.Fatalf("delivery %d: %+v vs %+v under identical seeds", i, da, db)
+		}
+	}
+	// Different seed changes the schedule (with overwhelming probability
+	// at these sizes).
+	cfg.Seed = 12
+	c, err := New(g, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := true
+	for v := graph.NodeID(0); int(v) < g.NumNodes(); v++ {
+		if a.Alive(v) != c.Alive(v) {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("seeds 11 and 12 produced identical churn schedules")
+	}
+}
+
+func TestZeroChurnReproducesPristineGraph(t *testing.T) {
+	g := testGraph(t)
+	m, err := New(g, Config{Churn: 0, EdgeLoss: 0, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.NumDown() != 0 || m.NumLostEdges() != 0 {
+		t.Fatalf("zero-fault model took down %d nodes, lost %d edges", m.NumDown(), m.NumLostEdges())
+	}
+	d := m.Degraded()
+	if d.NumNodes() != g.NumNodes() || d.NumEdges() != g.NumEdges() {
+		t.Fatalf("degraded graph n=%d m=%d, want n=%d m=%d",
+			d.NumNodes(), d.NumEdges(), g.NumNodes(), g.NumEdges())
+	}
+	ge, de := g.Edges(), d.Edges()
+	for i := range ge {
+		if ge[i] != de[i] {
+			t.Fatalf("edge %d: %v vs %v — zero-fault graph not bit-for-bit identical", i, ge[i], de[i])
+		}
+	}
+	// Zero-fault delivery always succeeds in exactly one tick.
+	for i := 0; i < 50; i++ {
+		if d := m.Deliver(1, 2); !d.OK || d.Ticks != 1 {
+			t.Fatalf("zero-fault delivery = %+v, want {OK:true Ticks:1}", d)
+		}
+	}
+}
+
+func TestChurnTakesDownRequestedFraction(t *testing.T) {
+	g := testGraph(t)
+	m, err := New(g, Config{Churn: 0.25, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := int(0.25 * float64(g.NumNodes()))
+	if m.NumDown() != want {
+		t.Errorf("NumDown = %d, want %d", m.NumDown(), want)
+	}
+	// Down nodes are isolated in the degraded graph.
+	d := m.Degraded()
+	for v := graph.NodeID(0); int(v) < g.NumNodes(); v++ {
+		if !m.Alive(v) && d.Degree(v) != 0 {
+			t.Fatalf("down node %d has degree %d in degraded graph", v, d.Degree(v))
+		}
+	}
+}
+
+func TestProtectedNodesNeverChurn(t *testing.T) {
+	g := testGraph(t)
+	prot := []graph.NodeID{0, 7, 399}
+	for seed := int64(0); seed < 20; seed++ {
+		m, err := New(g, Config{Churn: 0.9, Seed: seed, Protected: prot})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, v := range prot {
+			if !m.Alive(v) {
+				t.Fatalf("protected node %d churned at seed %d", v, seed)
+			}
+		}
+	}
+}
+
+func TestEdgeLossOnlyAffectsUpEdges(t *testing.T) {
+	g := testGraph(t)
+	m, err := New(g, Config{Churn: 0.2, EdgeLoss: 0.3, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.NumLostEdges() == 0 {
+		t.Fatal("expected some independently lost edges")
+	}
+	d := m.Degraded()
+	if d.NumEdges() >= g.NumEdges() {
+		t.Fatalf("degraded edges %d >= pristine %d", d.NumEdges(), g.NumEdges())
+	}
+	for _, e := range d.Edges() {
+		if !m.EdgeUp(e.U, e.V) {
+			t.Fatalf("degraded graph contains downed edge %v", e)
+		}
+	}
+}
+
+func TestDeliverToDownNodeFails(t *testing.T) {
+	g := testGraph(t)
+	m, err := New(g, Config{Churn: 0.5, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var down graph.NodeID = -1
+	for v := graph.NodeID(0); int(v) < g.NumNodes(); v++ {
+		if !m.Alive(v) {
+			down = v
+			break
+		}
+	}
+	if down < 0 {
+		t.Fatal("no node churned at 50%")
+	}
+	if d := m.Deliver(0, down); d.OK {
+		t.Errorf("Deliver to down node %d succeeded", down)
+	}
+}

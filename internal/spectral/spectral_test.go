@@ -1,6 +1,7 @@
 package spectral
 
 import (
+	"context"
 	"errors"
 	"math"
 	"testing"
@@ -170,7 +171,7 @@ func TestSLEMUpperBoundDominatesSampledMixing(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := walk.MeasureMixing(g, walk.MixingConfig{MaxSteps: 200, Sources: 15, Lazy: false, Seed: 5})
+	res, err := walk.MeasureMixing(context.Background(), g, walk.MixingConfig{MaxSteps: 200, Sources: 15, Lazy: false, Seed: 5})
 	if err != nil {
 		t.Fatal(err)
 	}

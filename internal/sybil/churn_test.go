@@ -1,0 +1,147 @@
+package sybil
+
+import (
+	"testing"
+
+	"github.com/trustnet/trustnet/internal/faults"
+	"github.com/trustnet/trustnet/internal/gen"
+	"github.com/trustnet/trustnet/internal/graph"
+)
+
+func churnAttack(t *testing.T) *Attack {
+	t.Helper()
+	honest, err := gen.BarabasiAlbert(400, 4, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := Inject(honest, AttackConfig{SybilNodes: 80, AttackEdges: 10, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a
+}
+
+func TestDegradeZeroChurnIsIdentity(t *testing.T) {
+	a := churnAttack(t)
+	m, err := faults.New(a.Combined, faults.Config{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := Degrade(a, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Combined.NumEdges() != a.Combined.NumEdges() {
+		t.Errorf("zero-churn combined edges %d, want %d", d.Combined.NumEdges(), a.Combined.NumEdges())
+	}
+	if d.Honest.NumEdges() != a.Honest.NumEdges() {
+		t.Errorf("zero-churn honest edges %d, want %d", d.Honest.NumEdges(), a.Honest.NumEdges())
+	}
+	if len(d.AttackEdges) != len(a.AttackEdges) {
+		t.Errorf("zero-churn attack edges %d, want %d", len(d.AttackEdges), len(a.AttackEdges))
+	}
+	ce, de := a.Combined.Edges(), d.Combined.Edges()
+	for i := range ce {
+		if ce[i] != de[i] {
+			t.Fatalf("edge %d: %v vs %v — zero-churn degrade not bit-for-bit", i, ce[i], de[i])
+		}
+	}
+}
+
+func TestDegradeRemovesDownNodesAndAttackEdges(t *testing.T) {
+	a := churnAttack(t)
+	m, err := faults.New(a.Combined, faults.Config{Churn: 0.4, Seed: 9, Protected: []graph.NodeID{0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := Degrade(a, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.HonestNodes != a.HonestNodes || d.Combined.NumNodes() != a.Combined.NumNodes() {
+		t.Fatal("degrade changed the ID space")
+	}
+	for v := graph.NodeID(0); int(v) < d.Combined.NumNodes(); v++ {
+		if !m.Alive(v) && d.Combined.Degree(v) != 0 {
+			t.Fatalf("down node %d keeps %d edges", v, d.Combined.Degree(v))
+		}
+	}
+	if len(d.AttackEdges) >= len(a.AttackEdges) {
+		t.Skipf("no attack edge lost at this seed (%d of %d survive)", len(d.AttackEdges), len(a.AttackEdges))
+	}
+	for _, e := range d.AttackEdges {
+		if !m.Alive(e.U) || !m.Alive(e.V) {
+			t.Fatalf("surviving attack edge %v has a down endpoint", e)
+		}
+	}
+}
+
+func TestDegradeRejectsForeignModel(t *testing.T) {
+	a := churnAttack(t)
+	other, err := gen.BarabasiAlbert(100, 3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := faults.New(other, faults.Config{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Degrade(a, m); err == nil {
+		t.Error("Degrade with a model over another graph: want error")
+	}
+}
+
+func TestEvaluateAliveSkipsChurnedNodes(t *testing.T) {
+	a := churnAttack(t)
+	m, err := faults.New(a.Combined, faults.Config{Churn: 0.3, Seed: 5, Protected: []graph.NodeID{0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := Degrade(a, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	accepted := make([]bool, a.Combined.NumNodes())
+	for i := range accepted {
+		accepted[i] = true // accept everyone; only liveness filters
+	}
+	mt, err := EvaluateAlive(d, accepted, 0, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	aliveHonest := 0
+	aliveSybil := 0
+	for v := graph.NodeID(0); int(v) < a.Combined.NumNodes(); v++ {
+		if v == 0 || !m.Alive(v) {
+			continue
+		}
+		if a.IsHonest(v) {
+			aliveHonest++
+		} else {
+			aliveSybil++
+		}
+	}
+	if mt.HonestTotal != aliveHonest || mt.HonestAccepted != aliveHonest {
+		t.Errorf("honest tally %d/%d, want %d/%d", mt.HonestAccepted, mt.HonestTotal, aliveHonest, aliveHonest)
+	}
+	if mt.SybilAccepted != aliveSybil {
+		t.Errorf("sybil tally %d, want %d", mt.SybilAccepted, aliveSybil)
+	}
+	if mt.AttackEdges != len(d.AttackEdges) {
+		t.Errorf("attack edges %d, want surviving %d", mt.AttackEdges, len(d.AttackEdges))
+	}
+}
+
+func TestEvaluateAliveValidation(t *testing.T) {
+	a := churnAttack(t)
+	m, err := faults.New(a.Combined, faults.Config{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := EvaluateAlive(a, make([]bool, 3), 0, m); err == nil {
+		t.Error("EvaluateAlive(short vector): want error")
+	}
+	if _, err := EvaluateAlive(a, make([]bool, a.Combined.NumNodes()), -1, m); err == nil {
+		t.Error("EvaluateAlive(bad verifier): want error")
+	}
+}

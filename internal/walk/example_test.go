@@ -1,6 +1,7 @@
 package walk_test
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -15,7 +16,7 @@ func ExampleMeasureMixing() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	res, err := walk.MeasureMixing(g, walk.MixingConfig{
+	res, err := walk.MeasureMixing(context.Background(), g, walk.MixingConfig{
 		MaxSteps: 10, Sources: 5, Seed: 1,
 	})
 	if err != nil {

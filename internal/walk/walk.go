@@ -8,6 +8,7 @@
 package walk
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -203,8 +204,9 @@ func (r *MixingResult) MeanMixingTime(eps float64) (int, bool) {
 // MeasureMixing runs the sampling method of §III-C: it samples cfg.Sources
 // walk sources uniformly (without replacement when possible), evolves the
 // exact walk distribution from each, and aggregates the TVD-to-stationarity
-// trajectory across sources.
-func MeasureMixing(g *graph.Graph, cfg MixingConfig) (*MixingResult, error) {
+// trajectory across sources. Cancellation of ctx is honored between walk
+// steps, so a caller's timeout bounds even slow-mixing measurements.
+func MeasureMixing(ctx context.Context, g *graph.Graph, cfg MixingConfig) (*MixingResult, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
@@ -241,7 +243,7 @@ func MeasureMixing(g *graph.Graph, cfg MixingConfig) (*MixingResult, error) {
 		go func(slot int) {
 			defer wg.Done()
 			for i := slot; i < len(sources); i += workers {
-				curve, err := sourceCurve(g, sources[i], pi, cfg)
+				curve, err := sourceCurve(ctx, g, sources[i], pi, cfg)
 				if err != nil {
 					errs[slot] = err
 					return
@@ -275,14 +277,18 @@ func MeasureMixing(g *graph.Graph, cfg MixingConfig) (*MixingResult, error) {
 }
 
 // sourceCurve evolves the exact walk distribution from one source and
-// returns its TVD-to-stationarity trajectory.
-func sourceCurve(g *graph.Graph, src graph.NodeID, pi []float64, cfg MixingConfig) ([]float64, error) {
+// returns its TVD-to-stationarity trajectory, checking for cancellation
+// between steps.
+func sourceCurve(ctx context.Context, g *graph.Graph, src graph.NodeID, pi []float64, cfg MixingConfig) ([]float64, error) {
 	d, err := NewDistribution(g, src, cfg.Lazy)
 	if err != nil {
 		return nil, fmt.Errorf("source %d: %w", src, err)
 	}
 	curve := make([]float64, cfg.MaxSteps)
 	for t := 0; t < cfg.MaxSteps; t++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		d.Step()
 		tvd, err := d.DistanceTo(pi)
 		if err != nil {

@@ -1,6 +1,7 @@
 package walk
 
 import (
+	"context"
 	"testing"
 
 	"github.com/trustnet/trustnet/internal/gen"
@@ -30,7 +31,7 @@ func BenchmarkMeasureMixing(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := MeasureMixing(g, MixingConfig{MaxSteps: 30, Sources: 10, Seed: 2}); err != nil {
+		if _, err := MeasureMixing(context.Background(), g, MixingConfig{MaxSteps: 30, Sources: 10, Seed: 2}); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -1,6 +1,7 @@
 package walk
 
 import (
+	"context"
 	"errors"
 	"math"
 	"math/rand"
@@ -157,11 +158,11 @@ func TestMeasureMixingFastVsSlow(t *testing.T) {
 		t.Fatal(err)
 	}
 	cfg := MixingConfig{MaxSteps: 150, Sources: 20, Lazy: true, Seed: 42}
-	fr, err := MeasureMixing(fast, cfg)
+	fr, err := MeasureMixing(context.Background(), fast, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
-	sr, err := MeasureMixing(slow, cfg)
+	sr, err := MeasureMixing(context.Background(), slow, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -184,7 +185,7 @@ func TestMeasureMixingCurvesMonotoneish(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	r, err := MeasureMixing(g, MixingConfig{MaxSteps: 50, Sources: 10, Lazy: true, Seed: 1})
+	r, err := MeasureMixing(context.Background(), g, MixingConfig{MaxSteps: 50, Sources: 10, Lazy: true, Seed: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -217,7 +218,7 @@ func TestSourceMixingTimesDistribution(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	r, err := MeasureMixing(g, MixingConfig{MaxSteps: 80, Sources: 15, Lazy: true, Seed: 2})
+	r, err := MeasureMixing(context.Background(), g, MixingConfig{MaxSteps: 80, Sources: 15, Lazy: true, Seed: 2})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -267,14 +268,14 @@ func TestMeasureMixingConfigValidation(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := MeasureMixing(g, MixingConfig{MaxSteps: 0, Sources: 1}); err == nil {
+	if _, err := MeasureMixing(context.Background(), g, MixingConfig{MaxSteps: 0, Sources: 1}); err == nil {
 		t.Error("MaxSteps=0: want error")
 	}
-	if _, err := MeasureMixing(g, MixingConfig{MaxSteps: 5, Sources: 0}); err == nil {
+	if _, err := MeasureMixing(context.Background(), g, MixingConfig{MaxSteps: 5, Sources: 0}); err == nil {
 		t.Error("Sources=0: want error")
 	}
 	var empty graph.Graph
-	if _, err := MeasureMixing(&empty, MixingConfig{MaxSteps: 5, Sources: 1}); err == nil {
+	if _, err := MeasureMixing(context.Background(), &empty, MixingConfig{MaxSteps: 5, Sources: 1}); err == nil {
 		t.Error("empty graph: want error")
 	}
 }
@@ -452,4 +453,16 @@ func randomDist(rng *rand.Rand, n int) []float64 {
 		p[i] /= sum
 	}
 	return p
+}
+
+func TestMeasureMixingHonorsCancellation(t *testing.T) {
+	g, err := gen.BarabasiAlbert(300, 4, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // already cancelled: the measurement must abort between steps
+	if _, err := MeasureMixing(ctx, g, MixingConfig{MaxSteps: 1000, Sources: 10, Seed: 1}); !errors.Is(err, context.Canceled) {
+		t.Errorf("MeasureMixing(cancelled ctx) = %v, want context.Canceled", err)
+	}
 }
