@@ -273,7 +273,7 @@ func BenchmarkAblationSampledExpansion(b *testing.B) {
 	})
 	b.Run("sampled-100", func(b *testing.B) {
 		b.ReportAllocs()
-		srcs, err := expansion.SampledSources(g, 100)
+		srcs, err := expansion.SampledSources(g, 100, 1)
 		if err != nil {
 			b.Fatal(err)
 		}

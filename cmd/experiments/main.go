@@ -13,10 +13,13 @@
 //	experiments -run tableII    # one experiment
 //	experiments -quick          # reduced sampling, seconds
 //	experiments -timeout 2m     # bound each job
+//	experiments -workers 4      # bound measurement parallelism
+//	experiments bench           # time workers=1 vs N, write out/BENCH_parallel.json
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -51,6 +54,10 @@ type jobFailure struct {
 }
 
 func run(args []string) error {
+	bench := len(args) > 0 && args[0] == "bench"
+	if bench {
+		args = args[1:]
+	}
 	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
 	var (
 		only      = fs.String("run", "", "run one experiment: tableI | figure1 | figure2 | tableII | figure3 | figure4 | figure5 | cross | dynamic | modulated | attacker | betweenness | sweep | churn")
@@ -59,11 +66,16 @@ func run(args []string) error {
 		out       = fs.String("out", "out", "output directory")
 		timeout   = fs.Duration("timeout", 0, "per-job timeout (0 = none)")
 		keepGoing = fs.Bool("keep-going", true, "run remaining jobs after a failure and summarize at the end")
+		workers   = fs.Int("workers", 0, "measurement parallelism; 0 = GOMAXPROCS")
+		repeats   = fs.Int("bench-repeats", 3, "bench mode: timed repetitions per variant (best kept)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	opts := experiments.Options{Quick: *quick, Seed: *seed}
+	opts := experiments.Options{Quick: *quick, Seed: *seed, Workers: *workers}
+	if bench {
+		return runBench(context.Background(), opts, *out, *workers, *repeats, os.Stdout)
+	}
 
 	jobs := []job{
 		{"tableI", func(ctx context.Context) error { return runTableI(opts, *out) }},
@@ -155,6 +167,41 @@ func runOne(parent context.Context, j job, timeout time.Duration) (err error) {
 	case <-ctx.Done():
 		return fmt.Errorf("timed out after %v: %w", timeout, ctx.Err())
 	}
+}
+
+// runBench times the parallel measurement kernels at workers=1 vs N and
+// writes the trajectory point to out/BENCH_parallel.json.
+func runBench(ctx context.Context, opts experiments.Options, out string, workers, repeats int, w io.Writer) error {
+	res, err := experiments.Bench(ctx, opts, workers, repeats)
+	if err != nil {
+		return err
+	}
+	t := report.NewTable(
+		fmt.Sprintf("bench: workers=1 vs %d (GOMAXPROCS=%d, best of %d)", res.Workers, res.GOMAXPROCS, repeats),
+		"Kernel", "Dataset", "workers=1 (s)", fmt.Sprintf("workers=%d (s)", res.Workers), "Speedup", "Identical")
+	for _, e := range res.Entries {
+		if err := t.AddRow(e.Name, e.Dataset,
+			report.Float(e.SequentialSeconds, 4), report.Float(e.ParallelSeconds, 4),
+			report.Float(e.Speedup, 2), fmt.Sprintf("%v", e.Identical)); err != nil {
+			return err
+		}
+	}
+	if err := t.Render(w); err != nil {
+		return err
+	}
+	if err := os.MkdirAll(out, 0o755); err != nil {
+		return err
+	}
+	data, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		return err
+	}
+	path := filepath.Join(out, "BENCH_parallel.json")
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "wrote %s\n", path)
+	return nil
 }
 
 func runTableI(opts experiments.Options, out string) error {

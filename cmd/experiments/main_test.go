@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"context"
 	"errors"
 	"os"
@@ -185,5 +186,35 @@ func TestRunJobsStopsWithoutKeepGoing(t *testing.T) {
 	}
 	if len(ran) != 0 {
 		t.Fatalf("-keep-going=false still ran later jobs: %v", ran)
+	}
+}
+
+func TestRunBenchMode(t *testing.T) {
+	dir := t.TempDir()
+	if err := run([]string{"bench", "-quick", "-workers", "4", "-bench-repeats", "1", "-out", dir}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "BENCH_parallel.json"))
+	if err != nil {
+		t.Fatalf("BENCH_parallel.json not written: %v", err)
+	}
+	var res struct {
+		Workers int `json:"workers"`
+		Entries []struct {
+			Name      string  `json:"name"`
+			Speedup   float64 `json:"speedup"`
+			Identical bool    `json:"identical"`
+		} `json:"entries"`
+	}
+	if err := json.Unmarshal(data, &res); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	if res.Workers != 4 || len(res.Entries) != 3 {
+		t.Errorf("workers=%d entries=%d, want 4 and 3", res.Workers, len(res.Entries))
+	}
+	for _, e := range res.Entries {
+		if !e.Identical {
+			t.Errorf("%s: workers=1 vs 4 results differ", e.Name)
+		}
 	}
 }

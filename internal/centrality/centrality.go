@@ -16,10 +16,9 @@ import (
 	"context"
 	"errors"
 	"fmt"
-	"runtime"
-	"sync"
 
 	"github.com/trustnet/trustnet/internal/graph"
+	"github.com/trustnet/trustnet/internal/parallel"
 )
 
 // Config controls a centrality computation.
@@ -44,44 +43,24 @@ func Betweenness(ctx context.Context, g *graph.Graph, cfg Config) ([]float64, er
 	if err != nil {
 		return nil, err
 	}
-	workers := cfg.Workers
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers > len(sources) {
-		workers = len(sources)
-	}
-
+	// Sharded accumulation: slot s owns partials[s] and its Brandes
+	// scratch, so the fan-out needs no locks; shards merge in slot order.
+	workers := parallel.Workers(cfg.Workers, len(sources))
 	partials := make([][]float64, workers)
-	errs := make([]error, workers)
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func(slot int) {
-			defer wg.Done()
-			acc := make([]float64, n)
-			st := newBrandesState(n)
-			for i := slot; i < len(sources); i += workers {
-				if ctx.Err() != nil {
-					errs[slot] = ctx.Err()
-					return
-				}
-				st.run(g, sources[i], acc)
-			}
-			partials[slot] = acc
-		}(w)
+	states := make([]*brandesState, workers)
+	for s := 0; s < workers; s++ {
+		partials[s] = make([]float64, n)
+		states[s] = newBrandesState(n)
 	}
-	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return nil, fmt.Errorf("centrality: betweenness: %w", err)
-		}
+	err = parallel.ForEach(ctx, workers, len(sources), func(slot, i int) error {
+		states[slot].run(g, sources[i], partials[slot])
+		return nil
+	})
+	if err != nil {
+		return nil, fmt.Errorf("centrality: betweenness: %w", err)
 	}
 	out := make([]float64, n)
 	for _, p := range partials {
-		if p == nil {
-			continue
-		}
 		for v := range out {
 			out[v] += p[v]
 		}
@@ -166,49 +145,31 @@ func Closeness(ctx context.Context, g *graph.Graph, cfg Config) ([]float64, erro
 	if err != nil {
 		return nil, err
 	}
-	workers := cfg.Workers
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers > len(sources) {
-		workers = len(sources)
-	}
+	// Each item writes only out[v] for its own node, so the fan-out is
+	// race-free without shards; BFS scratch comes from a shared pool.
 	out := make([]float64, n)
-	errs := make([]error, workers)
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func(slot int) {
-			defer wg.Done()
-			bfs := graph.NewBFSWorker(g)
-			for i := slot; i < len(sources); i += workers {
-				if ctx.Err() != nil {
-					errs[slot] = ctx.Err()
-					return
-				}
-				v := sources[i]
-				r, err := bfs.Run(v)
-				if err != nil {
-					errs[slot] = err
-					return
-				}
-				var sum int64
-				for d, c := range r.LevelSizes {
-					sum += int64(d) * c
-				}
-				if sum == 0 {
-					continue
-				}
-				reach := float64(r.Reached - 1)
-				out[v] = reach / float64(sum) * (reach / float64(n-1))
-			}
-		}(w)
-	}
-	wg.Wait()
-	for _, err := range errs {
+	pool := graph.NewBFSPool(g)
+	err = parallel.ForEach(ctx, cfg.Workers, len(sources), func(_, i int) error {
+		v := sources[i]
+		bfs := pool.Get()
+		defer pool.Put(bfs)
+		r, err := bfs.Run(v)
 		if err != nil {
-			return nil, fmt.Errorf("centrality: closeness: %w", err)
+			return err
 		}
+		var sum int64
+		for d, c := range r.LevelSizes {
+			sum += int64(d) * c
+		}
+		if sum == 0 {
+			return nil
+		}
+		reach := float64(r.Reached - 1)
+		out[v] = reach / float64(sum) * (reach / float64(n-1))
+		return nil
+	})
+	if err != nil {
+		return nil, fmt.Errorf("centrality: closeness: %w", err)
 	}
 	return out, nil
 }

@@ -4,10 +4,9 @@ import (
 	"context"
 	"errors"
 	"fmt"
-	"runtime"
-	"sync"
 
 	"github.com/trustnet/trustnet/internal/graph"
+	"github.com/trustnet/trustnet/internal/parallel"
 )
 
 // EdgeScore is an undirected edge with its betweenness value.
@@ -30,38 +29,20 @@ func EdgeBetweenness(ctx context.Context, g *graph.Graph, cfg Config) (map[graph
 	if err != nil {
 		return nil, err
 	}
-	workers := cfg.Workers
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers > len(sources) {
-		workers = len(sources)
-	}
-
+	// Sharded per-slot edge maps, merged in slot order after the fan-out.
+	workers := parallel.Workers(cfg.Workers, len(sources))
 	partials := make([]map[graph.Edge]float64, workers)
-	errs := make([]error, workers)
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func(slot int) {
-			defer wg.Done()
-			acc := make(map[graph.Edge]float64, int(g.NumEdges()))
-			st := newBrandesState(n)
-			for i := slot; i < len(sources); i += workers {
-				if ctx.Err() != nil {
-					errs[slot] = ctx.Err()
-					return
-				}
-				st.runEdges(g, sources[i], acc)
-			}
-			partials[slot] = acc
-		}(w)
+	states := make([]*brandesState, workers)
+	for s := 0; s < workers; s++ {
+		partials[s] = make(map[graph.Edge]float64, int(g.NumEdges()))
+		states[s] = newBrandesState(n)
 	}
-	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return nil, fmt.Errorf("centrality: edge betweenness: %w", err)
-		}
+	err = parallel.ForEach(ctx, workers, len(sources), func(slot, i int) error {
+		states[slot].runEdges(g, sources[i], partials[slot])
+		return nil
+	})
+	if err != nil {
+		return nil, fmt.Errorf("centrality: edge betweenness: %w", err)
 	}
 	out := make(map[graph.Edge]float64, int(g.NumEdges()))
 	for _, p := range partials {

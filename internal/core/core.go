@@ -195,7 +195,7 @@ func Measure(ctx context.Context, name string, g *graph.Graph, cfg Config) (*Rep
 	// Expansion (§III-D, Figures 3 and 4).
 	ecfg := expansion.Config{Workers: cfg.Workers}
 	if cfg.ExpansionSources > 0 {
-		srcs, err := expansion.SampledSources(g, cfg.ExpansionSources)
+		srcs, err := expansion.SampledSources(g, cfg.ExpansionSources, cfg.Seed)
 		if err != nil {
 			return nil, fmt.Errorf("core: expansion sources of %q: %w", name, err)
 		}

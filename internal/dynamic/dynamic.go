@@ -231,7 +231,7 @@ func Track(ctx context.Context, snaps []Snapshot, cfg TrackConfig) ([]TrackPoint
 
 		ecfg := expansion.Config{Workers: cfg.Workers}
 		if cfg.ExpansionSources > 0 {
-			srcs, err := expansion.SampledSources(g, cfg.ExpansionSources)
+			srcs, err := expansion.SampledSources(g, cfg.ExpansionSources, cfg.Seed)
 			if err != nil {
 				return nil, fmt.Errorf("dynamic: expansion sources at n=%d: %w", snap.Nodes, err)
 			}

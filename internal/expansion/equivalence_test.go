@@ -1,0 +1,60 @@
+package expansion
+
+import (
+	"context"
+	"reflect"
+	"sync"
+	"testing"
+
+	"github.com/trustnet/trustnet/internal/gen"
+)
+
+// TestEquivalenceExpansionWorkerCounts is the determinism contract for
+// the expansion measurement: a bit-for-bit identical Result at every
+// worker count (the per-source level sequences are folded into the keyed
+// summaries sequentially in source order).
+func TestEquivalenceExpansionWorkerCounts(t *testing.T) {
+	g, err := gen.BarabasiAlbert(500, 4, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srcs, err := SampledSources(g, 120, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(workers int) *Result {
+		r, err := Measure(context.Background(), g, Config{Sources: srcs, Workers: workers})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		return r
+	}
+	want := run(1)
+	for _, workers := range []int{2, 8} {
+		got := run(workers)
+		if !reflect.DeepEqual(want, got) {
+			t.Errorf("workers=%d: Result differs from workers=1 (including float bit patterns)", workers)
+		}
+	}
+}
+
+// TestEquivalenceExpansionRace drives the pooled-scratch fan-out under
+// the race detector: overlapping Measure calls sharing nothing but the
+// graph, each with more workers than GOMAXPROCS.
+func TestEquivalenceExpansionRace(t *testing.T) {
+	g, err := gen.BarabasiAlbert(300, 3, 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for round := 0; round < 4; round++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, err := Measure(context.Background(), g, Config{Workers: 16}); err != nil {
+				t.Error(err)
+			}
+		}()
+	}
+	wg.Wait()
+}

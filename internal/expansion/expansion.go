@@ -9,15 +9,22 @@
 // Aggregating (|Env_i|, |Exp_i|) pairs over all cores by unique envelope
 // size gives the min/mean/max scatter of Figure 3; aggregating α over all
 // sets of equal size gives the expected-expansion curves of Figure 4.
+//
+// Complexity: one core's BFS is O(m); the full measurement over k cores is
+// O(k·m) — the paper's exact O(nm) when every node is a core. Cores fan
+// out across parallel workers with BFS frontier/visited scratch drawn from
+// a graph.BFSPool, for O(k·m/workers) wall clock; each core's envelope
+// observations are collected independently and folded into the
+// stats.KeyedSummary aggregates sequentially in source order, so the
+// result is bit-for-bit identical at any worker count.
 package expansion
 
 import (
 	"context"
 	"fmt"
-	"runtime"
-	"sync"
 
 	"github.com/trustnet/trustnet/internal/graph"
+	"github.com/trustnet/trustnet/internal/parallel"
 	"github.com/trustnet/trustnet/internal/stats"
 )
 
@@ -90,61 +97,28 @@ func Measure(ctx context.Context, g *graph.Graph, cfg Config) (*Result, error) {
 			return nil, fmt.Errorf("expansion: source %d out of range", s)
 		}
 	}
-	workers := cfg.Workers
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
+	// levels[i] is source i's BFS level-size sequence — everything the
+	// fold needs. BFS scratch comes from a shared pool; the per-source
+	// results are folded sequentially in source order below, so the keyed
+	// summaries are bit-for-bit identical at any worker count.
+	type sourceLevels struct {
+		ecc    int
+		levels []int64
 	}
-	if workers > len(sources) {
-		workers = len(sources)
-	}
-	if workers < 1 {
-		workers = 1
-	}
-
-	type partial struct {
-		neighbors *stats.KeyedSummary
-		factors   *stats.KeyedSummary
-		maxEcc    int
-		err       error
-	}
-	work := make(chan graph.NodeID)
-	parts := make([]partial, workers)
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func(slot int) {
-			defer wg.Done()
-			p := partial{
-				neighbors: stats.NewKeyedSummary(),
-				factors:   stats.NewKeyedSummary(),
-			}
-			bfs := graph.NewBFSWorker(g)
-			for src := range work {
-				r, err := bfs.Run(src)
-				if err != nil {
-					p.err = err
-					break
-				}
-				accumulate(r, &p.maxEcc, p.neighbors, p.factors)
-			}
-			parts[slot] = p
-		}(w)
-	}
-
-	var sendErr error
-feed:
-	for _, src := range sources {
-		select {
-		case work <- src:
-		case <-ctx.Done():
-			sendErr = ctx.Err()
-			break feed
+	pool := graph.NewBFSPool(g)
+	parts, err := parallel.Map(ctx, cfg.Workers, len(sources), func(_, i int) (sourceLevels, error) {
+		bfs := pool.Get()
+		defer pool.Put(bfs)
+		r, err := bfs.Run(sources[i])
+		if err != nil {
+			return sourceLevels{}, err
 		}
-	}
-	close(work)
-	wg.Wait()
-	if sendErr != nil {
-		return nil, fmt.Errorf("expansion: %w", sendErr)
+		levels := make([]int64, len(r.LevelSizes))
+		copy(levels, r.LevelSizes)
+		return sourceLevels{ecc: r.Eccentricity(), levels: levels}, nil
+	})
+	if err != nil {
+		return nil, fmt.Errorf("expansion: %w", err)
 	}
 
 	res := &Result{
@@ -153,66 +127,34 @@ feed:
 		Sources:            len(sources),
 	}
 	for _, p := range parts {
-		if p.err != nil {
-			return nil, fmt.Errorf("expansion: %w", p.err)
+		if p.ecc > res.MaxEccentricity {
+			res.MaxEccentricity = p.ecc
 		}
-		res.NeighborsBySetSize.Merge(p.neighbors)
-		res.FactorBySetSize.Merge(p.factors)
-		if p.maxEcc > res.MaxEccentricity {
-			res.MaxEccentricity = p.maxEcc
+		// For each depth i with a non-empty next level, the envelope is
+		// the first i+1 levels and the expansion is level i+1.
+		var envelope int64
+		for i := 0; i+1 < len(p.levels); i++ {
+			envelope += p.levels[i]
+			next := p.levels[i+1]
+			res.NeighborsBySetSize.Add(envelope, float64(next))
+			res.FactorBySetSize.Add(envelope, float64(next)/float64(envelope))
 		}
 	}
 	return res, nil
 }
 
-// accumulate folds one BFS tree into the keyed summaries: for each depth i
-// with a non-empty next level, the envelope is the first i+1 levels and
-// the expansion is level i+1.
-func accumulate(r *graph.BFSResult, maxEcc *int, neighbors, factors *stats.KeyedSummary) {
-	if e := r.Eccentricity(); e > *maxEcc {
-		*maxEcc = e
-	}
-	var envelope int64
-	for i := 0; i+1 < len(r.LevelSizes); i++ {
-		envelope += r.LevelSizes[i]
-		next := r.LevelSizes[i+1]
-		neighbors.Add(envelope, float64(next))
-		factors.Add(envelope, float64(next)/float64(envelope))
-	}
-}
-
-// SampledSources returns k deterministic pseudo-random distinct sources
-// for large graphs where the exact O(nm) measurement is too slow. The
-// sequence is a fixed-stride probe of the node space, which is unbiased
-// for the aggregate statistics because node IDs carry no meaning.
-func SampledSources(g *graph.Graph, k int) ([]graph.NodeID, error) {
-	n := g.NumNodes()
-	if n == 0 {
+// SampledSources returns k seeded uniform distinct sources for large
+// graphs where the exact O(nm) measurement is too slow. It shares the
+// seeded sampler (graph.SampleNodes) with walk.SampleSources so both
+// measurements draw comparable source sets from one root seed; BFS cores
+// may be isolated nodes, so no degree filter is applied.
+func SampledSources(g *graph.Graph, k int, seed int64) ([]graph.NodeID, error) {
+	if g.NumNodes() == 0 {
 		return nil, fmt.Errorf("expansion: empty graph")
 	}
-	if k < 1 {
-		return nil, fmt.Errorf("expansion: sample size %d must be >= 1", k)
-	}
-	if k > n {
-		k = n
-	}
-	// A co-prime stride visits all nodes before repeating.
-	stride := n/2 + 1
-	for gcd(stride, n) != 1 {
-		stride++
-	}
-	out := make([]graph.NodeID, k)
-	cur := 0
-	for i := 0; i < k; i++ {
-		out[i] = graph.NodeID(cur)
-		cur = (cur + stride) % n
+	out, err := graph.SampleNodes(g, k, seed, false)
+	if err != nil {
+		return nil, fmt.Errorf("expansion: %w", err)
 	}
 	return out, nil
-}
-
-func gcd(a, b int) int {
-	for b != 0 {
-		a, b = b, a%b
-	}
-	return a
 }

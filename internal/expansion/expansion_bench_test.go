@@ -27,7 +27,7 @@ func BenchmarkMeasureSampled(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	srcs, err := SampledSources(g, 100)
+	srcs, err := SampledSources(g, 100, 1)
 	if err != nil {
 		b.Fatal(err)
 	}

@@ -186,7 +186,7 @@ func TestSampledSources(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	srcs, err := SampledSources(g, 10)
+	srcs, err := SampledSources(g, 10, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -204,18 +204,18 @@ func TestSampledSources(t *testing.T) {
 		seen[s] = true
 	}
 	// Oversampling clamps to n.
-	all, err := SampledSources(g, 1000)
+	all, err := SampledSources(g, 1000, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if len(all) != 100 {
 		t.Errorf("oversample len = %d, want 100", len(all))
 	}
-	if _, err := SampledSources(g, 0); err == nil {
+	if _, err := SampledSources(g, 0, 1); err == nil {
 		t.Error("SampledSources(0): want error")
 	}
 	var empty graph.Graph
-	if _, err := SampledSources(&empty, 5); err == nil {
+	if _, err := SampledSources(&empty, 5, 1); err == nil {
 		t.Error("SampledSources(empty): want error")
 	}
 }
@@ -252,13 +252,3 @@ func TestMeasureWorkerCountsAgree(t *testing.T) {
 	}
 }
 
-func TestGCD(t *testing.T) {
-	tests := []struct{ a, b, want int }{
-		{12, 8, 4}, {7, 3, 1}, {5, 0, 5}, {0, 5, 5}, {100, 100, 100},
-	}
-	for _, tt := range tests {
-		if got := gcd(tt.a, tt.b); got != tt.want {
-			t.Errorf("gcd(%d,%d) = %d, want %d", tt.a, tt.b, got, tt.want)
-		}
-	}
-}

@@ -41,7 +41,7 @@ type Figure4Result struct {
 func measureExpansion(ctx context.Context, opts Options, g *graph.Graph) (*expansion.Result, error) {
 	cfg := expansion.Config{Workers: opts.Workers}
 	if opts.Quick {
-		srcs, err := expansion.SampledSources(g, 60)
+		srcs, err := expansion.SampledSources(g, 60, opts.Seed)
 		if err != nil {
 			return nil, err
 		}

@@ -92,7 +92,7 @@ func BridgeSweep(ctx context.Context, opts Options) (*SweepResult, error) {
 		}
 		pt.MixingTime, pt.Mixed = mr.MeanMixingTime(0.1)
 
-		srcs, err := expansion.SampledSources(g, opts.pick(60, 200))
+		srcs, err := expansion.SampledSources(g, opts.pick(60, 200), opts.Seed)
 		if err != nil {
 			return nil, err
 		}

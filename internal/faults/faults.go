@@ -24,6 +24,11 @@
 // configurations are identical; message-level randomness is a separate
 // seeded stream, so structural determinism is independent of how many
 // messages a protocol sends.
+//
+// Complexity: New builds a model in O(n + m) (one pass over nodes for
+// the churn draw, one over edges for the loss draw) and materializes the
+// degraded graph once; Alive/EdgeUp checks are O(1), and each Deliver
+// costs O(1) RNG draws.
 package faults
 
 import (

@@ -1,0 +1,76 @@
+package graph
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+)
+
+// ErrNoCandidates is returned by SampleNodes when the candidate set the
+// filter admits is empty.
+var ErrNoCandidates = errors.New("graph: no candidate nodes to sample")
+
+// SampleNodes draws k distinct nodes uniformly at random with a seeded
+// Fisher–Yates shuffle, or every candidate (in shuffled order) when the
+// graph has fewer than k. It is the one seeded source sampler shared by
+// the mixing measurement (walk.SampleSources) and the expansion
+// measurement (expansion.SampledSources), so the two measurements sample
+// comparable source sets from the same root seed.
+//
+// The seed-derivation scheme is: an experiment's root seed is passed
+// through unchanged for its primary sample, and derived per-item streams
+// (one RNG per sampled source, repetition, or defense instance) come from
+// parallel.SeedFor(root, i). SampleNodes itself consumes only the seed it
+// is given, so its output is a pure function of (graph, k, seed,
+// nonIsolated) — independent of worker count and call order.
+//
+// With nonIsolated, zero-degree nodes are excluded — required by walk
+// sources (the walk is undefined on them), not by BFS cores. Candidates
+// are enumerated in node-ID order before shuffling, so the sample is
+// deterministic for a fixed graph.
+func SampleNodes(g *Graph, k int, seed int64, nonIsolated bool) ([]NodeID, error) {
+	if k < 1 {
+		return nil, fmt.Errorf("graph: sample size %d must be >= 1", k)
+	}
+	candidates := make([]NodeID, 0, g.NumNodes())
+	for v := NodeID(0); int(v) < g.NumNodes(); v++ {
+		if !nonIsolated || g.Degree(v) > 0 {
+			candidates = append(candidates, v)
+		}
+	}
+	if len(candidates) == 0 {
+		return nil, ErrNoCandidates
+	}
+	rng := rand.New(rand.NewSource(seed))
+	rng.Shuffle(len(candidates), func(i, j int) {
+		candidates[i], candidates[j] = candidates[j], candidates[i]
+	})
+	if k > len(candidates) {
+		k = len(candidates)
+	}
+	out := make([]NodeID, k)
+	copy(out, candidates[:k])
+	return out, nil
+}
+
+// BFSPool amortizes BFSWorker scratch (the O(n) frontier queue and
+// visited/distance array) across goroutines. Unlike a plain per-goroutine
+// NewBFSWorker, a pool lets a fan-out that processes many short phases
+// reuse scratch across phases without threading worker state through the
+// call chain, and idle scratch is reclaimable by the GC.
+type BFSPool struct {
+	pool sync.Pool
+}
+
+// NewBFSPool returns a pool of BFS workers bound to g.
+func NewBFSPool(g *Graph) *BFSPool {
+	return &BFSPool{pool: sync.Pool{New: func() any { return NewBFSWorker(g) }}}
+}
+
+// Get returns a BFS worker for exclusive use until Put.
+func (p *BFSPool) Get() *BFSWorker { return p.pool.Get().(*BFSWorker) }
+
+// Put returns a worker to the pool. The worker's last BFSResult (whose
+// Dist slice aliases worker scratch) must not be read afterwards.
+func (p *BFSPool) Put(w *BFSWorker) { p.pool.Put(w) }

@@ -1,0 +1,132 @@
+package graph
+
+import (
+	"sync"
+	"testing"
+)
+
+// sampleTestGraph builds a path 0-1-2-...-6 plus isolated nodes 7, 8, 9.
+func sampleTestGraph(t *testing.T) *Graph {
+	t.Helper()
+	b := NewBuilder(10)
+	for v := NodeID(0); v < 6; v++ {
+		if err := b.AddEdge(v, v+1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return b.Build()
+}
+
+func TestSampleNodesDistinctAndSeeded(t *testing.T) {
+	g := sampleTestGraph(t)
+	a, err := SampleNodes(g, 5, 42, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != 5 {
+		t.Fatalf("len = %d, want 5", len(a))
+	}
+	seen := make(map[NodeID]bool)
+	for _, v := range a {
+		if seen[v] {
+			t.Fatalf("duplicate node %d", v)
+		}
+		seen[v] = true
+	}
+	b, err := SampleNodes(g, 5, 42, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed, different sample at %d: %d vs %d", i, a[i], b[i])
+		}
+	}
+	c, err := SampleNodes(g, 5, 43, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical samples")
+	}
+}
+
+func TestSampleNodesNonIsolatedFilter(t *testing.T) {
+	g := sampleTestGraph(t)
+	got, err := SampleNodes(g, 100, 1, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 7 {
+		t.Fatalf("len = %d, want all 7 non-isolated nodes", len(got))
+	}
+	for _, v := range got {
+		if g.Degree(v) == 0 {
+			t.Errorf("sampled isolated node %d", v)
+		}
+	}
+	all, err := SampleNodes(g, 100, 1, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) != 10 {
+		t.Fatalf("len = %d, want all 10 nodes", len(all))
+	}
+}
+
+func TestSampleNodesErrors(t *testing.T) {
+	g := sampleTestGraph(t)
+	if _, err := SampleNodes(g, 0, 1, false); err == nil {
+		t.Error("k=0: want error")
+	}
+	empty := NewBuilder(3).Build()
+	if _, err := SampleNodes(empty, 2, 1, true); err == nil {
+		t.Error("all-isolated with nonIsolated: want error")
+	}
+	none := NewBuilder(0).Build()
+	if _, err := SampleNodes(none, 1, 1, false); err == nil {
+		t.Error("empty graph: want error")
+	}
+}
+
+func TestBFSPoolReuseAndConcurrency(t *testing.T) {
+	g := sampleTestGraph(t)
+	p := NewBFSPool(g)
+	w := p.Get()
+	r, err := w.Run(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Reached != 7 {
+		t.Fatalf("Reached = %d, want 7", r.Reached)
+	}
+	p.Put(w)
+
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(src NodeID) {
+			defer wg.Done()
+			w := p.Get()
+			defer p.Put(w)
+			for j := 0; j < 50; j++ {
+				r, err := w.Run(src)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if r.Reached != 7 {
+					t.Errorf("Reached = %d, want 7", r.Reached)
+					return
+				}
+			}
+		}(NodeID(i % 7))
+	}
+	wg.Wait()
+}

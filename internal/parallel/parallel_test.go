@@ -1,0 +1,182 @@
+package parallel
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func TestWorkersNormalization(t *testing.T) {
+	cases := []struct {
+		requested, items, want int
+	}{
+		{0, 100, runtime.GOMAXPROCS(0)},
+		{-3, 100, runtime.GOMAXPROCS(0)},
+		{4, 100, 4},
+		{8, 3, 3},
+		{5, 0, 1},
+	}
+	for _, c := range cases {
+		if got := Workers(c.requested, c.items); got != c.want {
+			t.Errorf("Workers(%d, %d) = %d, want %d", c.requested, c.items, got, c.want)
+		}
+	}
+}
+
+func TestForEachVisitsEveryItemOnce(t *testing.T) {
+	for _, workers := range []int{1, 2, 8, 33} {
+		const n = 100
+		var visits [n]int32
+		err := ForEach(context.Background(), workers, n, func(_, i int) error {
+			atomic.AddInt32(&visits[i], 1)
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i, v := range visits {
+			if v != 1 {
+				t.Fatalf("workers=%d: item %d visited %d times", workers, i, v)
+			}
+		}
+	}
+}
+
+func TestForEachSlotAssignmentIsStrided(t *testing.T) {
+	const n, workers = 20, 4
+	slots := make([]int32, n)
+	err := ForEach(context.Background(), workers, n, func(slot, i int) error {
+		atomic.StoreInt32(&slots[i], int32(slot))
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, s := range slots {
+		if int(s) != i%workers {
+			t.Errorf("item %d ran on slot %d, want %d", i, s, i%workers)
+		}
+	}
+}
+
+func TestForEachReturnsSmallestIndexError(t *testing.T) {
+	for _, workers := range []int{1, 2, 8} {
+		err := ForEach(context.Background(), workers, 50, func(_, i int) error {
+			if i >= 10 {
+				return fmt.Errorf("item %d failed", i)
+			}
+			return nil
+		})
+		if err == nil || err.Error() != "item 10 failed" {
+			t.Errorf("workers=%d: err = %v, want item 10 failed", workers, err)
+		}
+	}
+}
+
+func TestForEachHonorsCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var done int32
+	err := ForEach(ctx, 4, 1000, func(_, i int) error {
+		if atomic.AddInt32(&done, 1) == 10 {
+			cancel()
+		}
+		return nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if n := atomic.LoadInt32(&done); n >= 1000 {
+		t.Errorf("all %d items ran despite cancellation", n)
+	}
+}
+
+func TestForEachEmpty(t *testing.T) {
+	if err := ForEach(context.Background(), 4, 0, func(_, i int) error {
+		t.Fatal("fn called for n=0")
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestEquivalenceMapWorkerCounts is the package-level determinism
+// contract: Map output is identical at every worker count.
+func TestEquivalenceMapWorkerCounts(t *testing.T) {
+	run := func(workers int) []int64 {
+		out, err := Map(context.Background(), workers, 64, func(_, i int) (int64, error) {
+			return SeedFor(42, i), nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	want := run(1)
+	for _, workers := range []int{2, 4, 8, 64} {
+		got := run(workers)
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("workers=%d: out[%d] = %d, want %d", workers, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestMapError(t *testing.T) {
+	boom := errors.New("boom")
+	out, err := Map(context.Background(), 4, 10, func(_, i int) (int, error) {
+		if i == 3 {
+			return 0, boom
+		}
+		return i, nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	if out != nil {
+		t.Errorf("out = %v, want nil on error", out)
+	}
+}
+
+func TestSeedForDecorrelated(t *testing.T) {
+	// Distinct (root, i) pairs must give distinct seeds, including the
+	// (root+1, i) vs (root, i+1) collisions of the additive scheme.
+	seen := make(map[int64][2]int64)
+	for root := int64(0); root < 64; root++ {
+		for i := 0; i < 64; i++ {
+			s := SeedFor(root, i)
+			if prev, ok := seen[s]; ok {
+				t.Fatalf("SeedFor(%d,%d) collides with SeedFor(%d,%d)", root, i, prev[0], prev[1])
+			}
+			seen[s] = [2]int64{root, int64(i)}
+		}
+	}
+	if SeedFor(7, 3) != SeedFor(7, 3) {
+		t.Error("SeedFor is not a pure function")
+	}
+}
+
+// TestForEachRaceShardedAccumulation exercises the sharded-accumulator
+// pattern the measurement packages use, so the -race job covers the
+// merge protocol: per-slot shards written without locks, merged after.
+func TestForEachRaceShardedAccumulation(t *testing.T) {
+	const n, workers = 2048, 8
+	shards := make([]int64, Workers(workers, n))
+	err := ForEach(context.Background(), workers, n, func(slot, i int) error {
+		shards[slot] += int64(i)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var total int64
+	for _, s := range shards {
+		total += s
+	}
+	if want := int64(n) * (n - 1) / 2; total != want {
+		t.Fatalf("total = %d, want %d", total, want)
+	}
+}

@@ -1,0 +1,61 @@
+package walk
+
+import (
+	"context"
+	"reflect"
+	"sync"
+	"testing"
+
+	"github.com/trustnet/trustnet/internal/gen"
+)
+
+// TestEquivalenceMixingWorkerCounts is the determinism contract for the
+// mixing measurement: for a fixed seed, MeasureMixing returns a
+// bit-for-bit identical MixingResult at every worker count.
+func TestEquivalenceMixingWorkerCounts(t *testing.T) {
+	g, err := gen.BarabasiAlbert(400, 4, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := MixingConfig{MaxSteps: 25, Sources: 20, Seed: 3}
+	run := func(workers int) *MixingResult {
+		cfg := base
+		cfg.Workers = workers
+		r, err := MeasureMixing(context.Background(), g, cfg)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		return r
+	}
+	want := run(1)
+	for _, workers := range []int{2, 8} {
+		got := run(workers)
+		if !reflect.DeepEqual(want, got) {
+			t.Errorf("workers=%d: MixingResult differs from workers=1", workers)
+		}
+	}
+}
+
+// TestEquivalenceMixingRace exercises concurrent curve accumulation under
+// the race detector: many sources, more workers than GOMAXPROCS, run a
+// few times so goroutine interleavings vary.
+func TestEquivalenceMixingRace(t *testing.T) {
+	g, err := gen.BarabasiAlbert(200, 3, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for round := 0; round < 4; round++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_, err := MeasureMixing(context.Background(), g, MixingConfig{
+				MaxSteps: 10, Sources: 50, Seed: 3, Workers: 16,
+			})
+			if err != nil {
+				t.Error(err)
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -5,6 +5,13 @@
 // T(ε) (Eq. 2) from many sampled sources. It also provides the discrete
 // random-walk trajectories that the Sybil defenses (SybilGuard, SybilLimit,
 // GateKeeper, ...) are built on.
+//
+// Complexity: one exact walk step is O(m); measuring Eq. 2 over k sampled
+// sources for T steps is O(k·T·m) total, fanned out one source per
+// parallel worker (each with its own Distribution buffers) for
+// O(k·T·m/workers) wall clock. Results are bit-for-bit independent of the
+// worker count: each source's curve is a pure function of the graph, and
+// curves are folded in source order.
 package walk
 
 import (
@@ -13,10 +20,9 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
-	"runtime"
-	"sync"
 
 	"github.com/trustnet/trustnet/internal/graph"
+	"github.com/trustnet/trustnet/internal/parallel"
 )
 
 // ErrNoEdges is returned when the random walk is undefined because the
@@ -228,35 +234,14 @@ func MeasureMixing(ctx context.Context, g *graph.Graph, cfg MixingConfig) (*Mixi
 		res.MinTVD[t] = math.Inf(1)
 	}
 
-	workers := cfg.Workers
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers > len(sources) {
-		workers = len(sources)
-	}
-	curves := make([][]float64, len(sources))
-	errs := make([]error, workers)
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func(slot int) {
-			defer wg.Done()
-			for i := slot; i < len(sources); i += workers {
-				curve, err := sourceCurve(ctx, g, sources[i], pi, cfg)
-				if err != nil {
-					errs[slot] = err
-					return
-				}
-				curves[i] = curve
-			}
-		}(w)
-	}
-	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return nil, fmt.Errorf("measure mixing: %w", err)
-		}
+	// One worker per sampled source, each with its own Distribution
+	// buffers; the fold below runs in source order so the aggregate is
+	// bit-for-bit identical at any worker count.
+	curves, err := parallel.Map(ctx, cfg.Workers, len(sources), func(_, i int) ([]float64, error) {
+		return sourceCurve(ctx, g, sources[i], pi, cfg)
+	})
+	if err != nil {
+		return nil, fmt.Errorf("measure mixing: %w", err)
 	}
 	for _, curve := range curves {
 		for t, tvd := range curve {
@@ -300,29 +285,18 @@ func sourceCurve(ctx context.Context, g *graph.Graph, src graph.NodeID, pi []flo
 }
 
 // SampleSources draws k distinct non-isolated nodes uniformly at random,
-// or all of them if the graph has fewer than k.
+// or all of them if the graph has fewer than k. It is a thin wrapper over
+// graph.SampleNodes, the seeded sampler shared with the expansion
+// measurement; walk sources must be non-isolated because the walk is
+// undefined on a degree-0 node.
 func SampleSources(g *graph.Graph, k int, seed int64) ([]graph.NodeID, error) {
-	if k < 1 {
-		return nil, fmt.Errorf("walk: sample size %d must be >= 1", k)
-	}
-	candidates := make([]graph.NodeID, 0, g.NumNodes())
-	for v := graph.NodeID(0); int(v) < g.NumNodes(); v++ {
-		if g.Degree(v) > 0 {
-			candidates = append(candidates, v)
-		}
-	}
-	if len(candidates) == 0 {
+	out, err := graph.SampleNodes(g, k, seed, true)
+	if errors.Is(err, graph.ErrNoCandidates) {
 		return nil, ErrNoEdges
 	}
-	rng := rand.New(rand.NewSource(seed))
-	rng.Shuffle(len(candidates), func(i, j int) {
-		candidates[i], candidates[j] = candidates[j], candidates[i]
-	})
-	if k > len(candidates) {
-		k = len(candidates)
+	if err != nil {
+		return nil, fmt.Errorf("walk: %w", err)
 	}
-	out := make([]graph.NodeID, k)
-	copy(out, candidates[:k])
 	return out, nil
 }
 

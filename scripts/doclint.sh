@@ -1,0 +1,13 @@
+#!/bin/sh
+# doclint: fail if any package under ./internal/... or ./cmd/... lacks a
+# package-level doc comment (the paper-equation + complexity contract of
+# ISSUE 2; rendered by `go doc <pkg>`). CI runs this as the doc-lint step.
+set -eu
+
+missing=$(go list -f '{{if not .Doc}}{{.ImportPath}}{{end}}' ./internal/... ./cmd/...)
+if [ -n "$missing" ]; then
+    echo "doclint: packages missing a package comment:" >&2
+    echo "$missing" >&2
+    exit 1
+fi
+echo "doclint: all packages documented"
