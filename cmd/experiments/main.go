@@ -14,7 +14,12 @@
 //	experiments -quick          # reduced sampling, seconds
 //	experiments -timeout 2m     # bound each job
 //	experiments -workers 4      # bound measurement parallelism
-//	experiments bench           # time workers=1 vs N, write out/BENCH_parallel.json
+//	experiments -cpuprofile cpu.pprof -memprofile mem.pprof  # profile any run
+//	experiments bench           # time the parallel fan-out (workers=1 vs N,
+//	                            # out/BENCH_parallel.json) and the batched
+//	                            # kernels (naive vs kernel at workers=1,
+//	                            # out/BENCH_kernels.json); exits nonzero if
+//	                            # any variant pair is not bit-identical
 package main
 
 import (
@@ -25,7 +30,9 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"runtime"
 	"runtime/debug"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -60,17 +67,44 @@ func run(args []string) error {
 	}
 	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
 	var (
-		only      = fs.String("run", "", "run one experiment: tableI | figure1 | figure2 | tableII | figure3 | figure4 | figure5 | cross | dynamic | modulated | attacker | betweenness | sweep | churn")
-		quick     = fs.Bool("quick", false, "reduced sampling for a fast smoke run")
-		seed      = fs.Int64("seed", 1, "measurement seed")
-		out       = fs.String("out", "out", "output directory")
-		timeout   = fs.Duration("timeout", 0, "per-job timeout (0 = none)")
-		keepGoing = fs.Bool("keep-going", true, "run remaining jobs after a failure and summarize at the end")
-		workers   = fs.Int("workers", 0, "measurement parallelism; 0 = GOMAXPROCS")
-		repeats   = fs.Int("bench-repeats", 3, "bench mode: timed repetitions per variant (best kept)")
+		only       = fs.String("run", "", "run one experiment: tableI | figure1 | figure2 | tableII | figure3 | figure4 | figure5 | cross | dynamic | modulated | attacker | betweenness | sweep | churn")
+		quick      = fs.Bool("quick", false, "reduced sampling for a fast smoke run")
+		seed       = fs.Int64("seed", 1, "measurement seed")
+		out        = fs.String("out", "out", "output directory")
+		timeout    = fs.Duration("timeout", 0, "per-job timeout (0 = none)")
+		keepGoing  = fs.Bool("keep-going", true, "run remaining jobs after a failure and summarize at the end")
+		workers    = fs.Int("workers", 0, "measurement parallelism; 0 = GOMAXPROCS")
+		repeats    = fs.Int("bench-repeats", 3, "bench mode: timed repetitions per variant (best kept)")
+		cpuprofile = fs.String("cpuprofile", "", "write a CPU profile to this file (any mode)")
+		memprofile = fs.String("memprofile", "", "write a heap profile to this file at exit (any mode)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			return fmt.Errorf("cpuprofile: %w", err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return fmt.Errorf("cpuprofile: %w", err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "experiments: memprofile:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // materialize the final live set
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "experiments: memprofile:", err)
+			}
+		}()
 	}
 	opts := experiments.Options{Quick: *quick, Seed: *seed, Workers: *workers}
 	if bench {
@@ -201,6 +235,36 @@ func runBench(ctx context.Context, opts experiments.Options, out string, workers
 		return err
 	}
 	fmt.Fprintf(w, "wrote %s\n", path)
+
+	kres, err := experiments.BenchKernels(ctx, opts, repeats)
+	if err != nil {
+		return err
+	}
+	kt := report.NewTable(
+		fmt.Sprintf("bench: naive vs batched kernels at workers=1 (best of %d)", repeats),
+		"Kernel", "Dataset", "Sources", "Naive (s)", "Kernel (s)", "Speedup", "Identical")
+	for _, e := range kres.Entries {
+		if err := kt.AddRow(e.Name, e.Dataset, report.Int(e.Sources),
+			report.Float(e.NaiveSeconds, 4), report.Float(e.KernelSeconds, 4),
+			report.Float(e.Speedup, 2), fmt.Sprintf("%v", e.Identical)); err != nil {
+			return err
+		}
+	}
+	if err := kt.Render(w); err != nil {
+		return err
+	}
+	kdata, err := json.MarshalIndent(kres, "", "  ")
+	if err != nil {
+		return err
+	}
+	kpath := filepath.Join(out, "BENCH_kernels.json")
+	if err := os.WriteFile(kpath, append(kdata, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "wrote %s\n", kpath)
+	if !kres.Identical() {
+		return fmt.Errorf("bench: kernel and naive result fingerprints diverged (see %s)", kpath)
+	}
 	return nil
 }
 

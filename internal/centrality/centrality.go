@@ -157,6 +157,8 @@ func Closeness(ctx context.Context, g *graph.Graph, cfg Config) ([]float64, erro
 		if err != nil {
 			return err
 		}
+		// r aliases pooled scratch; everything below reads it before the
+		// deferred Put, and nothing of r escapes this task.
 		var sum int64
 		for d, c := range r.LevelSizes {
 			sum += int64(d) * c

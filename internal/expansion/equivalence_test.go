@@ -7,6 +7,7 @@ import (
 	"testing"
 
 	"github.com/trustnet/trustnet/internal/gen"
+	"github.com/trustnet/trustnet/internal/graph"
 )
 
 // TestEquivalenceExpansionWorkerCounts is the determinism contract for
@@ -35,6 +36,54 @@ func TestEquivalenceExpansionWorkerCounts(t *testing.T) {
 		if !reflect.DeepEqual(want, got) {
 			t.Errorf("workers=%d: Result differs from workers=1 (including float bit patterns)", workers)
 		}
+	}
+}
+
+// TestEquivalenceBFSBatchWidths is the bit-parallel kernel contract: a
+// bit-for-bit identical Result at every BFS batch width (1 = scalar
+// pooled workers) and worker count, on a random graph, a disconnected
+// graph with isolated cores, and a star graph.
+func TestEquivalenceBFSBatchWidths(t *testing.T) {
+	ba, err := gen.BarabasiAlbert(400, 4, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	star, err := gen.Star(90)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := graph.NewBuilder(40)
+	for v := graph.NodeID(1); v < 18; v++ {
+		if err := b.AddEdge(0, v); err != nil { // hub component
+			t.Fatal(err)
+		}
+	}
+	for v := graph.NodeID(20); v < 38; v++ {
+		if err := b.AddEdge(v, v+1); err != nil { // path component; 18, 19, 39 isolated
+			t.Fatal(err)
+		}
+	}
+	disconnected := b.Build()
+
+	for name, g := range map[string]*graph.Graph{"ba": ba, "star": star, "disconnected": disconnected} {
+		run := func(batch, workers int) *Result {
+			r, err := Measure(context.Background(), g, Config{Workers: workers, BFSBatch: batch})
+			if err != nil {
+				t.Fatalf("%s batch=%d workers=%d: %v", name, batch, workers, err)
+			}
+			return r
+		}
+		want := run(1, 1)
+		for _, batch := range []int{2, 7, 64} {
+			for _, workers := range []int{1, 3, 8} {
+				if got := run(batch, workers); !reflect.DeepEqual(want, got) {
+					t.Errorf("%s: BFSBatch=%d workers=%d differs from scalar", name, batch, workers)
+				}
+			}
+		}
+	}
+	if _, err := Measure(context.Background(), ba, Config{BFSBatch: 65}); err == nil {
+		t.Error("BFSBatch=65: want error")
 	}
 }
 

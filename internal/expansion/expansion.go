@@ -10,13 +10,18 @@
 // size gives the min/mean/max scatter of Figure 3; aggregating α over all
 // sets of equal size gives the expected-expansion curves of Figure 4.
 //
-// Complexity: one core's BFS is O(m); the full measurement over k cores is
-// O(k·m) — the paper's exact O(nm) when every node is a core. Cores fan
-// out across parallel workers with BFS frontier/visited scratch drawn from
-// a graph.BFSPool, for O(k·m/workers) wall clock; each core's envelope
-// observations are collected independently and folded into the
-// stats.KeyedSummary aggregates sequentially in source order, so the
-// result is bit-for-bit identical at any worker count.
+// Complexity: one core's scalar BFS is O(m); the full measurement over k
+// cores is O(k·m) — the paper's exact O(nm) when every node is a core. On
+// large graphs the cores advance 64 at a time through the bit-parallel
+// BFS kernel (kernels.BFSBatch, uint64 frontier/visited masks, exact
+// integer level sizes), cutting the adjacency scans by up to ~64×; small
+// graphs keep the scalar loop with frontier/visited scratch drawn from a
+// graph.BFSPool. Batches fan out across parallel workers for
+// O(k·m/(64·workers)) wall clock; each core's envelope observations are
+// collected independently and folded into the stats.KeyedSummary
+// aggregates sequentially in source order, so the result is bit-for-bit
+// identical at any worker count and batch width (BFS is integer — batch
+// composition cannot perturb a single level count).
 package expansion
 
 import (
@@ -24,6 +29,7 @@ import (
 	"fmt"
 
 	"github.com/trustnet/trustnet/internal/graph"
+	"github.com/trustnet/trustnet/internal/kernels"
 	"github.com/trustnet/trustnet/internal/parallel"
 	"github.com/trustnet/trustnet/internal/stats"
 )
@@ -37,6 +43,27 @@ type Config struct {
 	// Workers is the parallelism; defaults to GOMAXPROCS when <= 0. The
 	// naive algorithm is O(nm) total, embarrassingly parallel per source.
 	Workers int
+	// BFSBatch selects the BFS kernel. 0 auto-selects: 64-wide
+	// bit-parallel batches (kernels.BFSBatch) on graphs with at least
+	// kernels.MinKernelNodes nodes, scalar per-core BFS otherwise. 1
+	// forces the scalar loop; values in [2, 64] force that batch width.
+	// Every setting produces identical integer results.
+	BFSBatch int
+}
+
+// batchWidth resolves the BFSBatch knob against the graph size.
+func (c Config) batchWidth(g *graph.Graph) (int, error) {
+	switch {
+	case c.BFSBatch == 0:
+		if g.NumNodes() >= kernels.MinKernelNodes {
+			return kernels.BFSBatchWidth, nil
+		}
+		return 1, nil
+	case c.BFSBatch < 0 || c.BFSBatch > kernels.BFSBatchWidth:
+		return 0, fmt.Errorf("expansion: BFSBatch %d outside [0, %d]", c.BFSBatch, kernels.BFSBatchWidth)
+	default:
+		return c.BFSBatch, nil
+	}
 }
 
 // Result aggregates an expansion measurement across sources.
@@ -98,25 +125,46 @@ func Measure(ctx context.Context, g *graph.Graph, cfg Config) (*Result, error) {
 		}
 	}
 	// levels[i] is source i's BFS level-size sequence — everything the
-	// fold needs. BFS scratch comes from a shared pool; the per-source
-	// results are folded sequentially in source order below, so the keyed
-	// summaries are bit-for-bit identical at any worker count.
-	type sourceLevels struct {
-		ecc    int
-		levels []int64
+	// fold needs. Cores run either one per task through pooled scalar
+	// BFS workers or 64 per task through the bit-parallel kernel; both
+	// produce the same integer level sizes, and the per-source results
+	// are folded sequentially in source order below, so the keyed
+	// summaries are bit-for-bit identical at any worker count and batch
+	// width.
+	width, err := cfg.batchWidth(g)
+	if err != nil {
+		return nil, err
 	}
-	pool := graph.NewBFSPool(g)
-	parts, err := parallel.Map(ctx, cfg.Workers, len(sources), func(_, i int) (sourceLevels, error) {
-		bfs := pool.Get()
-		defer pool.Put(bfs)
-		r, err := bfs.Run(sources[i])
-		if err != nil {
-			return sourceLevels{}, err
+	var levels [][]int64
+	if width <= 1 {
+		pool := graph.NewBFSPool(g)
+		levels, err = parallel.Map(ctx, cfg.Workers, len(sources), func(_, i int) ([]int64, error) {
+			bfs := pool.Get()
+			defer pool.Put(bfs)
+			r, err := bfs.Run(sources[i])
+			if err != nil {
+				return nil, err
+			}
+			// r aliases pooled scratch (see BFSWorker.Run); keep only a
+			// copy of the level sizes, which is all the fold reads.
+			return append([]int64(nil), r.LevelSizes...), nil
+		})
+	} else {
+		blocks := parallel.Blocks(len(sources), width)
+		pool := kernels.NewBFSBatchPool(g)
+		var parts [][][]int64
+		parts, err = parallel.Map(ctx, cfg.Workers, len(blocks), func(_, b int) ([][]int64, error) {
+			batch := pool.Get()
+			defer pool.Put(batch)
+			return batch.Run(sources[blocks[b].Start:blocks[b].End])
+		})
+		if err == nil {
+			levels = make([][]int64, 0, len(sources))
+			for _, p := range parts {
+				levels = append(levels, p...)
+			}
 		}
-		levels := make([]int64, len(r.LevelSizes))
-		copy(levels, r.LevelSizes)
-		return sourceLevels{ecc: r.Eccentricity(), levels: levels}, nil
-	})
+	}
 	if err != nil {
 		return nil, fmt.Errorf("expansion: %w", err)
 	}
@@ -126,16 +174,16 @@ func Measure(ctx context.Context, g *graph.Graph, cfg Config) (*Result, error) {
 		FactorBySetSize:    stats.NewKeyedSummary(),
 		Sources:            len(sources),
 	}
-	for _, p := range parts {
-		if p.ecc > res.MaxEccentricity {
-			res.MaxEccentricity = p.ecc
+	for _, ls := range levels {
+		if ecc := len(ls) - 1; ecc > res.MaxEccentricity {
+			res.MaxEccentricity = ecc
 		}
 		// For each depth i with a non-empty next level, the envelope is
 		// the first i+1 levels and the expansion is level i+1.
 		var envelope int64
-		for i := 0; i+1 < len(p.levels); i++ {
-			envelope += p.levels[i]
-			next := p.levels[i+1]
+		for i := 0; i+1 < len(ls); i++ {
+			envelope += ls[i]
+			next := ls[i+1]
 			res.NeighborsBySetSize.Add(envelope, float64(next))
 			res.FactorBySetSize.Add(envelope, float64(next)/float64(envelope))
 		}

@@ -72,5 +72,8 @@ func NewBFSPool(g *Graph) *BFSPool {
 func (p *BFSPool) Get() *BFSWorker { return p.pool.Get().(*BFSWorker) }
 
 // Put returns a worker to the pool. The worker's last BFSResult (whose
-// Dist slice aliases worker scratch) must not be read afterwards.
+// Dist and LevelSizes slices alias worker scratch) must not be read
+// afterwards — the next Get+Run, possibly on another goroutine, silently
+// overwrites it. Callers that keep anything past Put must copy it first
+// (BFSResult.Clone, or a targeted copy of the slice they need).
 func (p *BFSPool) Put(w *BFSWorker) { p.pool.Put(w) }

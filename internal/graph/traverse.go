@@ -11,6 +11,12 @@ import (
 // source: per-node distances (-1 for unreachable) and the number of nodes
 // discovered at each level, which is exactly the L_i sequence the paper's
 // expansion measurement (§III-D) consumes.
+//
+// ALIASING: a result produced by BFSWorker.Run shares its Dist and
+// LevelSizes slices with the worker's scratch. It is valid only until the
+// worker's next Run — in particular, a result retained after returning
+// its worker to a BFSPool is silently overwritten by whoever draws that
+// worker next. Callers that outlive the worker must Clone first.
 type BFSResult struct {
 	Source NodeID
 	// Dist[v] is the hop distance from Source to v, or -1 if unreachable.
@@ -27,8 +33,22 @@ func (r *BFSResult) Eccentricity() int {
 	return len(r.LevelSizes) - 1
 }
 
+// Clone returns a deep copy whose Dist and LevelSizes are freshly
+// allocated, safe to retain after the producing worker runs again or
+// goes back to its pool.
+func (r *BFSResult) Clone() *BFSResult {
+	return &BFSResult{
+		Source:     r.Source,
+		Dist:       append([]int32(nil), r.Dist...),
+		LevelSizes: append([]int64(nil), r.LevelSizes...),
+		Reached:    r.Reached,
+	}
+}
+
 // BFS runs a breadth-first search from src, allocating its own scratch
-// space. For repeated searches over the same graph use a BFSWorker.
+// space. The result aliases that private scratch, which is never reused,
+// so it is safe to retain. For repeated searches over the same graph use
+// a BFSWorker (and Clone any result that must outlive the next Run).
 func BFS(g *Graph, src NodeID) (*BFSResult, error) {
 	w := NewBFSWorker(g)
 	return w.Run(src)
@@ -37,9 +57,10 @@ func BFS(g *Graph, src NodeID) (*BFSResult, error) {
 // BFSWorker amortizes BFS scratch allocations across many runs on the same
 // graph. Workers are not safe for concurrent use; make one per goroutine.
 type BFSWorker struct {
-	g     *Graph
-	dist  []int32
-	queue []NodeID
+	g      *Graph
+	dist   []int32
+	queue  []NodeID
+	levels []int64
 }
 
 // NewBFSWorker returns a worker bound to g.
@@ -51,9 +72,10 @@ func NewBFSWorker(g *Graph) *BFSWorker {
 	}
 }
 
-// Run performs a BFS from src. The returned result's Dist slice is reused
-// by the next Run call on the same worker; callers that need it afterwards
-// must copy it.
+// Run performs a BFS from src. The returned result's Dist and LevelSizes
+// slices alias worker scratch reused by the next Run on this worker;
+// callers that need the result afterwards (or after a BFSPool.Put) must
+// copy what they keep, e.g. via BFSResult.Clone.
 func (w *BFSWorker) Run(src NodeID) (*BFSResult, error) {
 	if !w.g.Valid(src) {
 		return nil, fmt.Errorf("%w: bfs source %d", ErrNodeRange, src)
@@ -64,20 +86,14 @@ func (w *BFSWorker) Run(src NodeID) (*BFSResult, error) {
 	w.queue = w.queue[:0]
 	w.queue = append(w.queue, src)
 	w.dist[src] = 0
-	levelSizes := []int64{1}
+	levelSizes := append(w.levels[:0], 1)
 	reached := 1
 
 	head := 0
-	currentLevel := int32(0)
-	levelCount := int64(0)
 	for head < len(w.queue) {
 		v := w.queue[head]
 		head++
 		dv := w.dist[v]
-		if dv > currentLevel {
-			currentLevel = dv
-			levelCount = 0
-		}
 		for _, u := range w.g.Neighbors(v) {
 			if w.dist[u] < 0 {
 				w.dist[u] = dv + 1
@@ -90,7 +106,7 @@ func (w *BFSWorker) Run(src NodeID) (*BFSResult, error) {
 			}
 		}
 	}
-	_ = levelCount
+	w.levels = levelSizes
 	return &BFSResult{Source: src, Dist: w.dist, LevelSizes: levelSizes, Reached: reached}, nil
 }
 

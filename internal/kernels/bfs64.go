@@ -1,0 +1,146 @@
+package kernels
+
+import (
+	"fmt"
+	"math/bits"
+	"sync"
+
+	"github.com/trustnet/trustnet/internal/graph"
+)
+
+// BFSBatch advances up to 64 breadth-first searches at once. Each node
+// carries one uint64 of per-source state — bit j of visited[v] means
+// source j has reached v — so one pass over the frontier's adjacency
+// advances every source together: the per-edge work is a single OR
+// instead of 64 separate queue pushes, and the adjacency array is
+// streamed once per level for the whole batch instead of once per
+// source. Level sizes fall out of popcounting the newly set bits, so the
+// results are exactly the integer LevelSizes a scalar graph.BFSWorker
+// produces, per source, in any batch composition.
+//
+// A batch holds three n-word masks (24n bytes of scratch); reuse one
+// across many Run calls, or draw from a BFSBatchPool under a fan-out.
+// BFSBatches are not safe for concurrent use; create one per goroutine.
+type BFSBatch struct {
+	g *graph.Graph
+	// front, next and visited are the per-node source masks.
+	front, next, visited []uint64
+	// active and touched are the sparse node lists for the current and
+	// next frontier.
+	active, touched []graph.NodeID
+}
+
+// NewBFSBatch returns a batch runner bound to g.
+func NewBFSBatch(g *graph.Graph) *BFSBatch {
+	n := g.NumNodes()
+	return &BFSBatch{
+		g:       g,
+		front:   make([]uint64, n),
+		next:    make([]uint64, n),
+		visited: make([]uint64, n),
+		active:  make([]graph.NodeID, 0, n),
+		touched: make([]graph.NodeID, 0, n),
+	}
+}
+
+// Run performs one BFS per source (at most BFSBatchWidth of them) and
+// returns each source's level-size sequence: out[j][d] is the number of
+// nodes at distance d from sources[j], with out[j][0] == 1. The returned
+// slices are freshly allocated — unlike graph.BFSWorker.Run they alias
+// no batch scratch and stay valid across further Run calls.
+func (b *BFSBatch) Run(sources []graph.NodeID) ([][]int64, error) {
+	if len(sources) == 0 {
+		return nil, fmt.Errorf("kernels: bfs batch needs at least one source")
+	}
+	if len(sources) > BFSBatchWidth {
+		return nil, fmt.Errorf("kernels: bfs batch of %d sources exceeds %d lanes", len(sources), BFSBatchWidth)
+	}
+	// Validate before touching any scratch, so a failed Run leaves the
+	// batch clean for the next one.
+	for _, s := range sources {
+		if !b.g.Valid(s) {
+			return nil, fmt.Errorf("%w: bfs source %d", graph.ErrNodeRange, s)
+		}
+	}
+	levels := make([][]int64, len(sources))
+	b.active = b.active[:0]
+	for j, s := range sources {
+		levels[j] = append(make([]int64, 0, 8), 1)
+		if b.front[s] == 0 {
+			b.active = append(b.active, s)
+		}
+		b.front[s] |= 1 << j
+		b.visited[s] |= 1 << j
+	}
+
+	depth := 0
+	for len(b.active) > 0 {
+		depth++
+		// Scatter: push every active node's source mask to its neighbors.
+		touched := b.touched[:0]
+		for _, v := range b.active {
+			fv := b.front[v]
+			for _, u := range b.g.Neighbors(v) {
+				if b.next[u] == 0 {
+					touched = append(touched, u)
+				}
+				b.next[u] |= fv
+			}
+		}
+		// The old frontier is consumed; clear its masks before harvest
+		// so front can hold the new frontier.
+		for _, v := range b.active {
+			b.front[v] = 0
+		}
+		// Harvest: keep only first-time discoveries, popcount them into
+		// the per-source level sizes, and form the next frontier.
+		b.active = b.active[:0]
+		for _, u := range touched {
+			discovered := b.next[u] &^ b.visited[u]
+			b.next[u] = 0
+			if discovered == 0 {
+				continue
+			}
+			b.visited[u] |= discovered
+			b.front[u] = discovered
+			b.active = append(b.active, u)
+			for rem := discovered; rem != 0; rem &= rem - 1 {
+				j := bits.TrailingZeros64(rem)
+				if len(levels[j]) == depth {
+					levels[j] = append(levels[j], 0)
+				}
+				levels[j][depth]++
+			}
+		}
+		b.touched = touched[:0]
+	}
+
+	// front and next are zero again by construction (every frontier is
+	// cleared when consumed, every touched mask on harvest); visited
+	// holds every reached node and needs one memclr per Run, amortized
+	// over the whole batch.
+	for i := range b.visited {
+		b.visited[i] = 0
+	}
+	return levels, nil
+}
+
+// BFSBatchPool amortizes BFSBatch scratch (three n-word masks and two
+// frontier lists) across goroutines, mirroring graph.BFSPool for the
+// scalar workers. Results returned by Run are fresh allocations, so —
+// unlike scalar BFSResults — they remain valid after the batch is
+// returned to the pool.
+type BFSBatchPool struct {
+	pool sync.Pool
+}
+
+// NewBFSBatchPool returns a pool of batch runners bound to g.
+func NewBFSBatchPool(g *graph.Graph) *BFSBatchPool {
+	return &BFSBatchPool{pool: sync.Pool{New: func() any { return NewBFSBatch(g) }}}
+}
+
+// Get returns a batch runner for exclusive use until Put.
+func (p *BFSBatchPool) Get() *BFSBatch { return p.pool.Get().(*BFSBatch) }
+
+// Put returns a batch runner to the pool.
+func (p *BFSBatchPool) Put(b *BFSBatch) { p.pool.Put(b) }

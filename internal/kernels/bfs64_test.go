@@ -1,0 +1,124 @@
+package kernels_test
+
+import (
+	"reflect"
+	"testing"
+
+	"github.com/trustnet/trustnet/internal/gen"
+	"github.com/trustnet/trustnet/internal/graph"
+	"github.com/trustnet/trustnet/internal/kernels"
+)
+
+// disconnectedGraph builds two components plus an isolated node.
+func disconnectedGraph(t *testing.T) *graph.Graph {
+	t.Helper()
+	b := graph.NewBuilder(12)
+	for _, e := range [][2]graph.NodeID{
+		{0, 1}, {1, 2}, {2, 3}, {3, 0}, // 4-cycle
+		{5, 6}, {6, 7}, {7, 8}, {8, 9}, {9, 5}, {5, 7}, // chorded 5-cycle
+		// 4 and 10, 11 isolated
+	} {
+		if err := b.AddEdge(e[0], e[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return b.Build()
+}
+
+// TestEquivalenceBFSBatchVsScalar: the batch kernel's level sizes must
+// equal the scalar BFS's, per source, on random, disconnected and star
+// graphs, at several batch widths including a full 64-lane batch.
+func TestEquivalenceBFSBatchVsScalar(t *testing.T) {
+	ba, err := gen.BarabasiAlbert(500, 3, 21)
+	if err != nil {
+		t.Fatal(err)
+	}
+	star, err := gen.Star(80)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path, err := gen.Path(70) // deep levels: many popcount rounds per lane
+	if err != nil {
+		t.Fatal(err)
+	}
+	graphs := map[string]*graph.Graph{
+		"ba": ba, "star": star, "path": path, "disconnected": disconnectedGraph(t),
+	}
+	for name, g := range graphs {
+		for _, width := range []int{1, 3, 64} {
+			batch := kernels.NewBFSBatch(g)
+			n := g.NumNodes()
+			for start := 0; start < n; start += width {
+				end := start + width
+				if end > n {
+					end = n
+				}
+				sources := make([]graph.NodeID, 0, end-start)
+				for v := start; v < end; v++ {
+					sources = append(sources, graph.NodeID(v))
+				}
+				levels, err := batch.Run(sources)
+				if err != nil {
+					t.Fatalf("%s width=%d: %v", name, width, err)
+				}
+				for j, s := range sources {
+					ref, err := graph.BFS(g, s)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if !reflect.DeepEqual(levels[j], ref.LevelSizes) {
+						t.Fatalf("%s width=%d source=%d: batch %v scalar %v",
+							name, width, s, levels[j], ref.LevelSizes)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestBFSBatchReuse runs the same batch runner back to back and with
+// duplicate sources: scratch must come back clean between runs, and a
+// result must stay valid after further runs.
+func TestBFSBatchReuse(t *testing.T) {
+	g, err := gen.BarabasiAlbert(200, 3, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	batch := kernels.NewBFSBatch(g)
+	first, err := batch.Run([]graph.NodeID{0, 0, 5}) // duplicates share a frontier
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(first[0], first[1]) {
+		t.Fatalf("duplicate sources disagree: %v vs %v", first[0], first[1])
+	}
+	keep := append([]int64(nil), first[2]...)
+	second, err := batch.Run([]graph.NodeID{5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(second[0], keep) {
+		t.Fatalf("rerun of source 5 diverged: %v vs %v", second[0], keep)
+	}
+	if !reflect.DeepEqual(first[2], keep) {
+		t.Fatal("result from first run was clobbered by the second run")
+	}
+}
+
+// TestBFSBatchErrors covers the lane-count and validity contract.
+func TestBFSBatchErrors(t *testing.T) {
+	g, err := gen.Star(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	batch := kernels.NewBFSBatch(g)
+	if _, err := batch.Run(nil); err == nil {
+		t.Error("empty batch: want error")
+	}
+	if _, err := batch.Run(make([]graph.NodeID, 65)); err == nil {
+		t.Error("65 lanes: want error")
+	}
+	if _, err := batch.Run([]graph.NodeID{42}); err == nil {
+		t.Error("out-of-range source: want error")
+	}
+}

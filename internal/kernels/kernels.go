@@ -1,0 +1,45 @@
+// Package kernels holds the cache-friendly batched measurement kernels
+// that the naive per-source loops in internal/walk and internal/expansion
+// delegate to on large graphs:
+//
+//   - WalkBlock evolves a block of B walk distributions per CSR pass
+//     (an SpMM-style column-blocked n×B buffer), so one adjacency stream
+//     serves B sources per step instead of one — the amortization that
+//     "Distributed Computation of Mixing Time" (arXiv:1610.05646)
+//     exploits for the bandwidth-bound mixing measurement of Eq. 2.
+//   - BFSBatch advances up to 64 BFS cores at once with uint64
+//     frontier/visited masks over the CSR, extracting per-source level
+//     sizes via popcount — up to ~64× fewer adjacency scans for the
+//     expansion measurement of Eq. 4, with exact integer results.
+//
+// Both kernels preserve the repository's determinism contract
+// bit-for-bit. Per-source walk columns are independent and every
+// floating-point addition into a column happens in the same ascending
+// node order as the per-source dense loop (skipped zero-mass nodes
+// contribute exact +0.0, which is a bitwise no-op on the non-negative
+// values a walk produces), so blocked results equal per-source results
+// at every block width. BFS is integer, so batching cannot change its
+// level counts at all.
+//
+// Callers pick the kernel through their config (walk.MixingConfig.
+// BlockSize, expansion.Config.BFSBatch); the zero value auto-selects the
+// batched kernel only on graphs with at least MinKernelNodes nodes, the
+// same small-graph cutoff style as spectral.SLEM's parallel threshold,
+// so tiny graphs keep the naive loops whose constants are smaller.
+package kernels
+
+// MinKernelNodes is the auto-selection cutoff: graphs with fewer nodes
+// default to the naive per-source loops (mirroring the ≥4096-node
+// threshold spectral.SLEM uses for its row-partitioned mat-vec), because
+// batching pays off only once per-step buffers outgrow cache and the
+// adjacency stream dominates.
+const MinKernelNodes = 4096
+
+// DefaultBlockWidth is the walk-propagation block width the auto path
+// uses: wide enough to amortize one adjacency stream over many sources,
+// narrow enough that a block's n×B working set stays cache-resident.
+const DefaultBlockWidth = 16
+
+// BFSBatchWidth is the fixed lane count of the bit-parallel BFS: one
+// bit per source in a uint64 word.
+const BFSBatchWidth = 64

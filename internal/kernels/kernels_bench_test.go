@@ -1,0 +1,96 @@
+package kernels_test
+
+import (
+	"testing"
+
+	"github.com/trustnet/trustnet/internal/gen"
+	"github.com/trustnet/trustnet/internal/graph"
+	"github.com/trustnet/trustnet/internal/kernels"
+	"github.com/trustnet/trustnet/internal/walk"
+)
+
+func benchGraph(b *testing.B) *graph.Graph {
+	b.Helper()
+	g, err := gen.BarabasiAlbert(2000, 8, 42)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return g
+}
+
+// BenchmarkWalkBlockStep measures one blocked propagation step per width;
+// width=1 is the per-source cost the block amortizes away.
+func BenchmarkWalkBlockStep(b *testing.B) {
+	g := benchGraph(b)
+	for _, width := range []int{1, kernels.DefaultBlockWidth, kernels.BFSBatchWidth} {
+		sources := make([]graph.NodeID, width)
+		for j := range sources {
+			sources[j] = graph.NodeID((j * 17) % g.NumNodes())
+		}
+		b.Run(width1Name(width), func(b *testing.B) {
+			wb, err := kernels.NewWalkBlock(g, sources, true)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				wb.Step()
+			}
+		})
+	}
+}
+
+// BenchmarkWalkDistributionStep is the scalar baseline WalkBlock replaces:
+// one dense per-source step.
+func BenchmarkWalkDistributionStep(b *testing.B) {
+	g := benchGraph(b)
+	d, err := walk.NewDistribution(g, 0, true)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		d.Step()
+	}
+}
+
+// BenchmarkBFSBatchRun measures a full 64-lane batch against 64 scalar
+// pooled BFS runs over the same sources.
+func BenchmarkBFSBatchRun(b *testing.B) {
+	g := benchGraph(b)
+	sources := make([]graph.NodeID, kernels.BFSBatchWidth)
+	for j := range sources {
+		sources[j] = graph.NodeID((j * 13) % g.NumNodes())
+	}
+	b.Run("batch64", func(b *testing.B) {
+		batch := kernels.NewBFSBatch(g)
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := batch.Run(sources); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("scalar64", func(b *testing.B) {
+		w := graph.NewBFSWorker(g)
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			for _, s := range sources {
+				if _, err := w.Run(s); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+}
+
+func width1Name(w int) string {
+	switch w {
+	case 1:
+		return "width1"
+	case kernels.DefaultBlockWidth:
+		return "width16"
+	default:
+		return "width64"
+	}
+}

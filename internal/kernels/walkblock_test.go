@@ -1,0 +1,141 @@
+package kernels_test
+
+import (
+	"math"
+	"testing"
+
+	"github.com/trustnet/trustnet/internal/gen"
+	"github.com/trustnet/trustnet/internal/graph"
+	"github.com/trustnet/trustnet/internal/kernels"
+	"github.com/trustnet/trustnet/internal/walk"
+)
+
+// TestEquivalenceWalkBlockVsDistribution is the blocked kernel's core
+// property: every column of a WalkBlock is bit-for-bit identical to an
+// independent walk.Distribution from the same source, at every step, for
+// both the plain and the lazy walk and at several block widths.
+func TestEquivalenceWalkBlockVsDistribution(t *testing.T) {
+	ba, err := gen.BarabasiAlbert(300, 3, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cycle, err := gen.Cycle(64) // bipartite: the plain walk oscillates, the lazy walk converges
+	if err != nil {
+		t.Fatal(err)
+	}
+	star, err := gen.Star(50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	graphs := map[string]*graph.Graph{"ba": ba, "cycle": cycle, "star": star}
+
+	for name, g := range graphs {
+		for _, lazy := range []bool{false, true} {
+			for _, width := range []int{1, 2, 5, 16} {
+				sources := make([]graph.NodeID, width)
+				for j := range sources {
+					sources[j] = graph.NodeID((j * 7) % g.NumNodes())
+					for g.Degree(sources[j]) == 0 {
+						sources[j]++
+					}
+				}
+				wb, err := kernels.NewWalkBlock(g, sources, lazy)
+				if err != nil {
+					t.Fatalf("%s width=%d: %v", name, width, err)
+				}
+				refs := make([]*walk.Distribution, width)
+				for j, s := range sources {
+					refs[j], err = walk.NewDistribution(g, s, lazy)
+					if err != nil {
+						t.Fatal(err)
+					}
+				}
+				var col []float64
+				for step := 0; step < 20; step++ {
+					wb.Step()
+					for j := range refs {
+						refs[j].Step()
+						col = wb.Column(j, col)
+						for v, want := range refs[j].Probabilities() {
+							if got := col[v]; got != want {
+								t.Fatalf("%s lazy=%v width=%d step=%d col=%d node=%d: got %x want %x",
+									name, lazy, width, step, j, v, got, want)
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestEquivalenceWalkBlockDistances checks DistancesTo against the
+// per-source walk.TotalVariation, bit for bit.
+func TestEquivalenceWalkBlockDistances(t *testing.T) {
+	g, err := gen.BarabasiAlbert(200, 4, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pi, err := g.StationaryDistribution()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sources := []graph.NodeID{0, 3, 9, 14, 77}
+	wb, err := kernels.NewWalkBlock(g, sources, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	refs := make([]*walk.Distribution, len(sources))
+	for j, s := range sources {
+		refs[j], err = walk.NewDistribution(g, s, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	dist := make([]float64, len(sources))
+	for step := 0; step < 15; step++ {
+		wb.Step()
+		if err := wb.DistancesTo(pi, dist); err != nil {
+			t.Fatal(err)
+		}
+		for j := range refs {
+			refs[j].Step()
+			want, err := refs[j].DistanceTo(pi)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if dist[j] != want {
+				t.Fatalf("step=%d col=%d: got %x want %x", step, j, dist[j], want)
+			}
+		}
+	}
+	if math.IsNaN(dist[0]) {
+		t.Fatal("distance went NaN")
+	}
+}
+
+// TestWalkBlockErrors covers the constructor contract.
+func TestWalkBlockErrors(t *testing.T) {
+	g, err := gen.Star(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := kernels.NewWalkBlock(g, nil, false); err == nil {
+		t.Error("empty source list: want error")
+	}
+	if _, err := kernels.NewWalkBlock(g, []graph.NodeID{99}, false); err == nil {
+		t.Error("out-of-range source: want error")
+	}
+	empty := graph.NewBuilder(3).Build()
+	if _, err := kernels.NewWalkBlock(empty, []graph.NodeID{0}, false); err == nil {
+		t.Error("edgeless graph: want error")
+	}
+	b := graph.NewBuilder(4)
+	if err := b.AddEdge(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	withIsolated := b.Build()
+	if _, err := kernels.NewWalkBlock(withIsolated, []graph.NodeID{2}, false); err == nil {
+		t.Error("isolated source: want error")
+	}
+}

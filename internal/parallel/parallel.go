@@ -137,6 +137,39 @@ func Map[T any](ctx context.Context, workers, n int, fn func(slot, i int) (T, er
 	return out, nil
 }
 
+// Block is one contiguous item range [Start, End) produced by Blocks.
+type Block struct {
+	Start, End int
+}
+
+// Len returns the number of items in the block.
+func (b Block) Len() int { return b.End - b.Start }
+
+// Blocks partitions the items [0, n) into consecutive blocks of at most
+// size items each (the last block may be shorter). It is the batch
+// partitioner for kernels that amortize one shared scan across a block
+// of items (blocked walk propagation, bit-parallel BFS): fanning the
+// blocks out with ForEach/Map keeps the determinism contract, because
+// the block boundaries depend only on (n, size) and every item stays in
+// item order within its block. size <= 0 is treated as 1.
+func Blocks(n, size int) []Block {
+	if n <= 0 {
+		return nil
+	}
+	if size < 1 {
+		size = 1
+	}
+	out := make([]Block, 0, (n+size-1)/size)
+	for start := 0; start < n; start += size {
+		end := start + size
+		if end > n {
+			end = n
+		}
+		out = append(out, Block{Start: start, End: end})
+	}
+	return out
+}
+
 // SeedFor derives the seed for item i from a root seed with a SplitMix64
 // mix. It is the canonical per-item stream derivation of the determinism
 // contract: streams are decorrelated even for adjacent roots or indices

@@ -180,3 +180,34 @@ func TestForEachRaceShardedAccumulation(t *testing.T) {
 		t.Fatalf("total = %d, want %d", total, want)
 	}
 }
+
+func TestBlocksPartition(t *testing.T) {
+	cases := []struct {
+		n, size int
+		want    []Block
+	}{
+		{0, 4, nil},
+		{-2, 4, nil},
+		{5, 2, []Block{{0, 2}, {2, 4}, {4, 5}}},
+		{4, 4, []Block{{0, 4}}},
+		{4, 99, []Block{{0, 4}}},
+		{3, 0, []Block{{0, 1}, {1, 2}, {2, 3}}}, // size <= 0 behaves as 1
+	}
+	for _, c := range cases {
+		got := Blocks(c.n, c.size)
+		if len(got) != len(c.want) {
+			t.Errorf("Blocks(%d, %d) = %v, want %v", c.n, c.size, got, c.want)
+			continue
+		}
+		covered := 0
+		for i, b := range got {
+			if b != c.want[i] {
+				t.Errorf("Blocks(%d, %d)[%d] = %v, want %v", c.n, c.size, i, b, c.want[i])
+			}
+			covered += b.Len()
+		}
+		if c.n > 0 && covered != c.n {
+			t.Errorf("Blocks(%d, %d) covers %d items", c.n, c.size, covered)
+		}
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"testing"
 
 	"github.com/trustnet/trustnet/internal/gen"
+	"github.com/trustnet/trustnet/internal/graph"
 )
 
 // TestEquivalenceMixingWorkerCounts is the determinism contract for the
@@ -34,6 +35,125 @@ func TestEquivalenceMixingWorkerCounts(t *testing.T) {
 			t.Errorf("workers=%d: MixingResult differs from workers=1", workers)
 		}
 	}
+}
+
+// TestEquivalenceBlockedMixingWidths is the blocked-kernel contract: for
+// a fixed seed, MeasureMixing returns a bit-for-bit identical
+// MixingResult at every block width (1 = per-source dense loop) and
+// worker count, lazy and plain, including on a bipartite graph where
+// only the lazy walk converges.
+func TestEquivalenceBlockedMixingWidths(t *testing.T) {
+	ba, err := gen.BarabasiAlbert(400, 4, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cycle, err := gen.Cycle(128) // bipartite
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, tc := range map[string]struct {
+		g    *graph.Graph
+		lazy bool
+	}{
+		"ba-plain": {ba, false}, "ba-lazy": {ba, true}, "cycle-lazy": {cycle, true},
+	} {
+		base := MixingConfig{MaxSteps: 20, Sources: 30, Seed: 3, Lazy: tc.lazy, BlockSize: 1}
+		run := func(block, workers int) *MixingResult {
+			cfg := base
+			cfg.BlockSize = block
+			cfg.Workers = workers
+			r, err := MeasureMixing(context.Background(), tc.g, cfg)
+			if err != nil {
+				t.Fatalf("%s block=%d workers=%d: %v", name, block, workers, err)
+			}
+			return r
+		}
+		want := run(1, 1)
+		for _, block := range []int{2, 5, 16, 64} {
+			for _, workers := range []int{1, 3, 8} {
+				if got := run(block, workers); !reflect.DeepEqual(want, got) {
+					t.Errorf("%s: BlockSize=%d workers=%d differs from per-source dense", name, block, workers)
+				}
+			}
+		}
+	}
+}
+
+// TestEquivalenceSparseStepDense pins the sparse-frontier Step fast path
+// to the dense reference scan, bitwise, on a slow-spreading path graph
+// (stays sparse for many steps) and a fast-spreading BA graph (crosses
+// into dense mode).
+func TestEquivalenceSparseStepDense(t *testing.T) {
+	path, err := gen.Path(200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ba, err := gen.BarabasiAlbert(300, 3, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, g := range map[string]*graph.Graph{"path": path, "ba": ba} {
+		for _, lazy := range []bool{false, true} {
+			d, err := NewDistribution(g, 0, lazy)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ref := newDenseReference(g, 0, lazy)
+			for step := 0; step < 60; step++ {
+				d.Step()
+				ref.step()
+				for v, want := range ref.cur {
+					if got := d.Probabilities()[v]; got != want {
+						t.Fatalf("%s lazy=%v step=%d node=%d: got %x want %x", name, lazy, step, v, got, want)
+					}
+				}
+			}
+		}
+	}
+}
+
+// denseReference replays the pre-kernel unconditional-clear Step so the
+// sparse fast path has a frozen reference to diff against.
+type denseReference struct {
+	g         *graph.Graph
+	cur, next []float64
+	lazy      bool
+}
+
+func newDenseReference(g *graph.Graph, source graph.NodeID, lazy bool) *denseReference {
+	r := &denseReference{
+		g: g, lazy: lazy,
+		cur:  make([]float64, g.NumNodes()),
+		next: make([]float64, g.NumNodes()),
+	}
+	r.cur[source] = 1
+	return r
+}
+
+func (r *denseReference) step() {
+	for i := range r.next {
+		r.next[i] = 0
+	}
+	for v := graph.NodeID(0); int(v) < r.g.NumNodes(); v++ {
+		mass := r.cur[v]
+		if mass == 0 {
+			continue
+		}
+		ns := r.g.Neighbors(v)
+		if len(ns) == 0 {
+			r.next[v] += mass
+			continue
+		}
+		if r.lazy {
+			r.next[v] += mass / 2
+			mass /= 2
+		}
+		share := mass / float64(len(ns))
+		for _, u := range ns {
+			r.next[u] += share
+		}
+	}
+	r.cur, r.next = r.next, r.cur
 }
 
 // TestEquivalenceMixingRace exercises concurrent curve accumulation under

@@ -7,11 +7,16 @@
 // GateKeeper, ...) are built on.
 //
 // Complexity: one exact walk step is O(m); measuring Eq. 2 over k sampled
-// sources for T steps is O(k·T·m) total, fanned out one source per
-// parallel worker (each with its own Distribution buffers) for
-// O(k·T·m/workers) wall clock. Results are bit-for-bit independent of the
-// worker count: each source's curve is a pure function of the graph, and
-// curves are folded in source order.
+// sources for T steps is O(k·T·m) total. On large graphs the sources fan
+// out in blocks of MixingConfig.BlockSize over the blocked propagation
+// kernel (kernels.WalkBlock), which streams the adjacency once per step
+// for a whole block instead of once per source, for O(k·T·m/(workers·B))
+// adjacency scans; small graphs keep the per-source dense loop (one
+// Distribution per worker). Results are bit-for-bit independent of both
+// the worker count and the block width: each source's curve is a pure
+// function of the graph (blocked columns receive the same additions in
+// the same order as the dense loop), and curves are folded in source
+// order.
 package walk
 
 import (
@@ -20,8 +25,10 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"sort"
 
 	"github.com/trustnet/trustnet/internal/graph"
+	"github.com/trustnet/trustnet/internal/kernels"
 	"github.com/trustnet/trustnet/internal/parallel"
 )
 
@@ -54,6 +61,17 @@ type Distribution struct {
 	// then never converges).
 	lazy bool
 	step int
+	// support lists the nodes with (possibly) nonzero mass in cur, in
+	// ascending order; every other cur entry is exactly zero. nil means
+	// the walk has spread past half the graph and Step uses the dense
+	// scan for the rest of the distribution's life.
+	support []graph.NodeID
+	// stale lists the entries of next still holding mass from two steps
+	// ago — the only entries Step must zero on the sparse path, instead
+	// of the unconditional O(n) clear.
+	stale []graph.NodeID
+	// mark is the first-touch scratch for building the next support list.
+	mark []bool
 }
 
 // NewDistribution returns the distribution concentrated at source.
@@ -68,18 +86,35 @@ func NewDistribution(g *graph.Graph, source graph.NodeID, lazy bool) (*Distribut
 		return nil, fmt.Errorf("walk: source %d is isolated", source)
 	}
 	d := &Distribution{
-		g:    g,
-		cur:  make([]float64, g.NumNodes()),
-		next: make([]float64, g.NumNodes()),
-		lazy: lazy,
+		g:       g,
+		cur:     make([]float64, g.NumNodes()),
+		next:    make([]float64, g.NumNodes()),
+		lazy:    lazy,
+		support: []graph.NodeID{source},
+		mark:    make([]bool, g.NumNodes()),
 	}
 	d.cur[source] = 1
 	return d, nil
 }
 
 // Step advances the distribution one walk step: p ← pP (or p ← p(I+P)/2
-// for the lazy walk).
+// for the lazy walk). While the walk's support is small, only the touched
+// entries of the scratch buffer are zeroed and only support nodes are
+// propagated, so a step on a slow-spreading walk costs O(edges incident
+// to the support) instead of O(n+m); the propagation order (ascending
+// node, CSR neighbor order) and hence every floating-point result is
+// bit-identical to the dense scan.
 func (d *Distribution) Step() {
+	if d.support == nil {
+		d.stepDense()
+	} else {
+		d.stepSparse()
+	}
+	d.cur, d.next = d.next, d.cur
+	d.step++
+}
+
+func (d *Distribution) stepDense() {
 	for i := range d.next {
 		d.next[i] = 0
 	}
@@ -102,8 +137,61 @@ func (d *Distribution) Step() {
 			d.next[u] += share
 		}
 	}
-	d.cur, d.next = d.next, d.cur
-	d.step++
+}
+
+func (d *Distribution) stepSparse() {
+	for _, v := range d.stale {
+		d.next[v] = 0
+	}
+	// stale's contents are consumed; its backing array becomes the new
+	// support list built from first touches below.
+	touched := d.stale[:0]
+	for _, v := range d.support {
+		mass := d.cur[v]
+		if mass == 0 {
+			continue
+		}
+		ns := d.g.Neighbors(v)
+		if len(ns) == 0 {
+			d.next[v] += mass
+			if !d.mark[v] {
+				d.mark[v] = true
+				touched = append(touched, v)
+			}
+			continue
+		}
+		if d.lazy {
+			d.next[v] += mass / 2
+			mass /= 2
+			if !d.mark[v] {
+				d.mark[v] = true
+				touched = append(touched, v)
+			}
+		}
+		share := mass / float64(len(ns))
+		for _, u := range ns {
+			d.next[u] += share
+			if !d.mark[u] {
+				d.mark[u] = true
+				touched = append(touched, u)
+			}
+		}
+	}
+	// The next step iterates this list as its support, so it must be
+	// ascending for the addition order to keep matching the dense scan.
+	sort.Slice(touched, func(i, j int) bool { return touched[i] < touched[j] })
+	for _, v := range touched {
+		d.mark[v] = false
+	}
+	d.stale = d.support
+	d.support = touched
+	if len(touched) > d.g.NumNodes()/2 {
+		// The support rarely shrinks below half once the walk has spread
+		// this far; the dense scan's straight-line clear is cheaper than
+		// list upkeep from here on.
+		d.support = nil
+		d.stale = nil
+	}
 }
 
 // StepCount returns the number of steps taken so far.
@@ -135,6 +223,14 @@ type MixingConfig struct {
 	// to GOMAXPROCS when <= 0. Results are deterministic regardless of
 	// worker count because each source's curve is independent.
 	Workers int
+	// BlockSize selects the propagation kernel. 0 auto-selects: blocks of
+	// kernels.DefaultBlockWidth sources per kernels.WalkBlock on graphs
+	// with at least kernels.MinKernelNodes nodes, the per-source dense
+	// loop otherwise (tiny graphs don't benefit from blocking). 1 forces
+	// the per-source loop; values > 1 force that block width. Every
+	// setting produces bit-identical results — the knob only trades
+	// adjacency-scan amortization against fan-out granularity.
+	BlockSize int
 }
 
 func (c MixingConfig) validate() error {
@@ -144,7 +240,21 @@ func (c MixingConfig) validate() error {
 	if c.Sources < 1 {
 		return fmt.Errorf("walk: Sources must be >= 1, got %d", c.Sources)
 	}
+	if c.BlockSize < 0 {
+		return fmt.Errorf("walk: BlockSize must be >= 0, got %d", c.BlockSize)
+	}
 	return nil
+}
+
+// blockWidth resolves the BlockSize knob against the graph size.
+func (c MixingConfig) blockWidth(g *graph.Graph) int {
+	if c.BlockSize != 0 {
+		return c.BlockSize
+	}
+	if g.NumNodes() >= kernels.MinKernelNodes {
+		return kernels.DefaultBlockWidth
+	}
+	return 1
 }
 
 // MixingResult is the outcome of the sampling-method measurement.
@@ -234,12 +344,28 @@ func MeasureMixing(ctx context.Context, g *graph.Graph, cfg MixingConfig) (*Mixi
 		res.MinTVD[t] = math.Inf(1)
 	}
 
-	// One worker per sampled source, each with its own Distribution
-	// buffers; the fold below runs in source order so the aggregate is
-	// bit-for-bit identical at any worker count.
-	curves, err := parallel.Map(ctx, cfg.Workers, len(sources), func(_, i int) ([]float64, error) {
-		return sourceCurve(ctx, g, sources[i], pi, cfg)
-	})
+	// One worker task per source (dense path) or per block of sources
+	// (kernel path), each with its own propagation buffers; the fold
+	// below runs in source order so the aggregate is bit-for-bit
+	// identical at any worker count and block width.
+	var curves [][]float64
+	if width := cfg.blockWidth(g); width <= 1 {
+		curves, err = parallel.Map(ctx, cfg.Workers, len(sources), func(_, i int) ([]float64, error) {
+			return sourceCurve(ctx, g, sources[i], pi, cfg)
+		})
+	} else {
+		blocks := parallel.Blocks(len(sources), width)
+		var parts [][][]float64
+		parts, err = parallel.Map(ctx, cfg.Workers, len(blocks), func(_, b int) ([][]float64, error) {
+			return blockCurves(ctx, g, sources[blocks[b].Start:blocks[b].End], pi, cfg)
+		})
+		if err == nil {
+			curves = make([][]float64, 0, len(sources))
+			for _, p := range parts {
+				curves = append(curves, p...)
+			}
+		}
+	}
 	if err != nil {
 		return nil, fmt.Errorf("measure mixing: %w", err)
 	}
@@ -282,6 +408,34 @@ func sourceCurve(ctx context.Context, g *graph.Graph, src graph.NodeID, pi []flo
 		curve[t] = tvd
 	}
 	return curve, nil
+}
+
+// blockCurves evolves one block of sources through the blocked
+// propagation kernel and returns their TVD trajectories, checking for
+// cancellation between steps like sourceCurve does.
+func blockCurves(ctx context.Context, g *graph.Graph, sources []graph.NodeID, pi []float64, cfg MixingConfig) ([][]float64, error) {
+	wb, err := kernels.NewWalkBlock(g, sources, cfg.Lazy)
+	if err != nil {
+		return nil, fmt.Errorf("sources %v: %w", sources, err)
+	}
+	curves := make([][]float64, len(sources))
+	for i := range curves {
+		curves[i] = make([]float64, cfg.MaxSteps)
+	}
+	dist := make([]float64, len(sources))
+	for t := 0; t < cfg.MaxSteps; t++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		wb.Step()
+		if err := wb.DistancesTo(pi, dist); err != nil {
+			return nil, err
+		}
+		for i, tvd := range dist {
+			curves[i][t] = tvd
+		}
+	}
+	return curves, nil
 }
 
 // SampleSources draws k distinct non-isolated nodes uniformly at random,
