@@ -16,9 +16,11 @@
 //	experiments -workers 4      # bound measurement parallelism
 //	experiments -cpuprofile cpu.pprof -memprofile mem.pprof  # profile any run
 //	experiments bench           # time the parallel fan-out (workers=1 vs N,
-//	                            # out/BENCH_parallel.json) and the batched
+//	                            # out/BENCH_parallel.json), the batched
 //	                            # kernels (naive vs kernel at workers=1,
-//	                            # out/BENCH_kernels.json); exits nonzero if
+//	                            # out/BENCH_kernels.json), and the zero-copy
+//	                            # views (rebuild-per-epoch vs MaskedView,
+//	                            # out/BENCH_views.json); exits nonzero if
 //	                            # any variant pair is not bit-identical
 package main
 
@@ -262,8 +264,39 @@ func runBench(ctx context.Context, opts experiments.Options, out string, workers
 		return err
 	}
 	fmt.Fprintf(w, "wrote %s\n", kpath)
+
+	vres, err := experiments.BenchViews(ctx, opts, repeats)
+	if err != nil {
+		return err
+	}
+	vt := report.NewTable(
+		fmt.Sprintf("bench: rebuild-per-epoch vs zero-copy views (best of %d)", repeats),
+		"Pipeline", "Dataset", "Epochs", "Rebuild (s)", "View (s)", "Speedup", "Identical")
+	for _, e := range vres.Entries {
+		if err := vt.AddRow(e.Name, e.Dataset, report.Int(e.Epochs),
+			report.Float(e.RebuildSeconds, 4), report.Float(e.ViewSeconds, 4),
+			report.Float(e.Speedup, 2), fmt.Sprintf("%v", e.Identical)); err != nil {
+			return err
+		}
+	}
+	if err := vt.Render(w); err != nil {
+		return err
+	}
+	vdata, err := json.MarshalIndent(vres, "", "  ")
+	if err != nil {
+		return err
+	}
+	vpath := filepath.Join(out, "BENCH_views.json")
+	if err := os.WriteFile(vpath, append(vdata, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "wrote %s\n", vpath)
+
 	if !kres.Identical() {
 		return fmt.Errorf("bench: kernel and naive result fingerprints diverged (see %s)", kpath)
+	}
+	if !vres.Identical() {
+		return fmt.Errorf("bench: view and rebuild result fingerprints diverged (see %s)", vpath)
 	}
 	return nil
 }

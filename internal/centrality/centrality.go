@@ -34,7 +34,7 @@ type Config struct {
 // Betweenness computes (exact or pivot-sampled) shortest-path betweenness
 // for every node. Endpoint pairs are excluded, and each unordered pair is
 // counted once, following the standard convention for undirected graphs.
-func Betweenness(ctx context.Context, g *graph.Graph, cfg Config) ([]float64, error) {
+func Betweenness(ctx context.Context, g graph.View, cfg Config) ([]float64, error) {
 	n := g.NumNodes()
 	if n == 0 {
 		return nil, errors.New("centrality: empty graph")
@@ -50,10 +50,10 @@ func Betweenness(ctx context.Context, g *graph.Graph, cfg Config) ([]float64, er
 	states := make([]*brandesState, workers)
 	for s := 0; s < workers; s++ {
 		partials[s] = make([]float64, n)
-		states[s] = newBrandesState(n)
+		states[s] = newBrandesState(g)
 	}
 	err = parallel.ForEach(ctx, workers, len(sources), func(slot, i int) error {
-		states[slot].run(g, sources[i], partials[slot])
+		states[slot].run(sources[i], partials[slot])
 		return nil
 	})
 	if err != nil {
@@ -73,8 +73,10 @@ func Betweenness(ctx context.Context, g *graph.Graph, cfg Config) ([]float64, er
 	return out, nil
 }
 
-// brandesState holds per-worker scratch for Brandes' algorithm.
+// brandesState holds per-worker scratch for Brandes' algorithm, including
+// its own neighbor cursor so concurrent slots never share a view buffer.
 type brandesState struct {
+	nbr   *graph.Adj
 	dist  []int32
 	sigma []float64
 	delta []float64
@@ -82,8 +84,10 @@ type brandesState struct {
 	order []graph.NodeID
 }
 
-func newBrandesState(n int) *brandesState {
+func newBrandesState(g graph.View) *brandesState {
+	n := g.NumNodes()
 	return &brandesState{
+		nbr:   graph.NewAdj(g),
 		dist:  make([]int32, n),
 		sigma: make([]float64, n),
 		delta: make([]float64, n),
@@ -93,7 +97,7 @@ func newBrandesState(n int) *brandesState {
 }
 
 // run accumulates source-dependencies from s into acc.
-func (st *brandesState) run(g *graph.Graph, s graph.NodeID, acc []float64) {
+func (st *brandesState) run(s graph.NodeID, acc []float64) {
 	for i := range st.dist {
 		st.dist[i] = -1
 		st.sigma[i] = 0
@@ -108,7 +112,7 @@ func (st *brandesState) run(g *graph.Graph, s graph.NodeID, acc []float64) {
 	for head := 0; head < len(st.queue); head++ {
 		v := st.queue[head]
 		st.order = append(st.order, v)
-		for _, u := range g.Neighbors(v) {
+		for _, u := range st.nbr.Neighbors(v) {
 			if st.dist[u] < 0 {
 				st.dist[u] = st.dist[v] + 1
 				st.queue = append(st.queue, u)
@@ -121,7 +125,7 @@ func (st *brandesState) run(g *graph.Graph, s graph.NodeID, acc []float64) {
 	// Back-propagate dependencies in reverse BFS order.
 	for i := len(st.order) - 1; i >= 0; i-- {
 		w := st.order[i]
-		for _, v := range g.Neighbors(w) {
+		for _, v := range st.nbr.Neighbors(w) {
 			if st.dist[v] == st.dist[w]-1 {
 				st.delta[v] += st.sigma[v] / st.sigma[w] * (1 + st.delta[w])
 			}
@@ -136,7 +140,7 @@ func (st *brandesState) run(g *graph.Graph, s graph.NodeID, acc []float64) {
 // distances to reachable nodes, scaled by the reachable fraction
 // (the Wasserman–Faust correction) so values are comparable across
 // components. Isolated nodes get 0.
-func Closeness(ctx context.Context, g *graph.Graph, cfg Config) ([]float64, error) {
+func Closeness(ctx context.Context, g graph.View, cfg Config) ([]float64, error) {
 	n := g.NumNodes()
 	if n == 0 {
 		return nil, errors.New("centrality: empty graph")
@@ -177,7 +181,7 @@ func Closeness(ctx context.Context, g *graph.Graph, cfg Config) ([]float64, erro
 }
 
 // pivotSources returns the source set and the betweenness scale factor.
-func pivotSources(g *graph.Graph, pivots int) ([]graph.NodeID, float64, error) {
+func pivotSources(g graph.View, pivots int) ([]graph.NodeID, float64, error) {
 	n := g.NumNodes()
 	if pivots < 0 {
 		return nil, 0, fmt.Errorf("centrality: negative pivot count %d", pivots)

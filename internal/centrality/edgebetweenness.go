@@ -20,7 +20,7 @@ type EdgeScore struct {
 // Attack edges in a Sybil attack are bridges between two well-connected
 // regions, so they acquire anomalously high edge betweenness — the signal
 // the bridge-removal defense (internal/sybil/bridgecut) exploits.
-func EdgeBetweenness(ctx context.Context, g *graph.Graph, cfg Config) (map[graph.Edge]float64, error) {
+func EdgeBetweenness(ctx context.Context, g graph.View, cfg Config) (map[graph.Edge]float64, error) {
 	n := g.NumNodes()
 	if n == 0 {
 		return nil, errors.New("centrality: empty graph")
@@ -35,10 +35,10 @@ func EdgeBetweenness(ctx context.Context, g *graph.Graph, cfg Config) (map[graph
 	states := make([]*brandesState, workers)
 	for s := 0; s < workers; s++ {
 		partials[s] = make(map[graph.Edge]float64, int(g.NumEdges()))
-		states[s] = newBrandesState(n)
+		states[s] = newBrandesState(g)
 	}
 	err = parallel.ForEach(ctx, workers, len(sources), func(slot, i int) error {
-		states[slot].runEdges(g, sources[i], partials[slot])
+		states[slot].runEdges(sources[i], partials[slot])
 		return nil
 	})
 	if err != nil {
@@ -57,7 +57,7 @@ func EdgeBetweenness(ctx context.Context, g *graph.Graph, cfg Config) (map[graph
 }
 
 // runEdges accumulates per-edge dependencies from source s into acc.
-func (st *brandesState) runEdges(g *graph.Graph, s graph.NodeID, acc map[graph.Edge]float64) {
+func (st *brandesState) runEdges(s graph.NodeID, acc map[graph.Edge]float64) {
 	for i := range st.dist {
 		st.dist[i] = -1
 		st.sigma[i] = 0
@@ -72,7 +72,7 @@ func (st *brandesState) runEdges(g *graph.Graph, s graph.NodeID, acc map[graph.E
 	for head := 0; head < len(st.queue); head++ {
 		v := st.queue[head]
 		st.order = append(st.order, v)
-		for _, u := range g.Neighbors(v) {
+		for _, u := range st.nbr.Neighbors(v) {
 			if st.dist[u] < 0 {
 				st.dist[u] = st.dist[v] + 1
 				st.queue = append(st.queue, u)
@@ -84,7 +84,7 @@ func (st *brandesState) runEdges(g *graph.Graph, s graph.NodeID, acc map[graph.E
 	}
 	for i := len(st.order) - 1; i >= 0; i-- {
 		w := st.order[i]
-		for _, v := range g.Neighbors(w) {
+		for _, v := range st.nbr.Neighbors(w) {
 			if st.dist[v] == st.dist[w]-1 {
 				c := st.sigma[v] / st.sigma[w] * (1 + st.delta[w])
 				st.delta[v] += c

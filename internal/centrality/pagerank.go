@@ -63,7 +63,7 @@ func (c *PageRankConfig) fill(n int) error {
 // PageRank computes (optionally personalized) PageRank on the undirected
 // graph. Dangling (isolated) nodes redistribute their mass to the
 // teleport distribution.
-func PageRank(g *graph.Graph, cfg PageRankConfig) ([]float64, error) {
+func PageRank(g graph.View, cfg PageRankConfig) ([]float64, error) {
 	n := g.NumNodes()
 	if n == 0 {
 		return nil, errors.New("centrality: empty graph")
@@ -81,6 +81,7 @@ func PageRank(g *graph.Graph, cfg PageRankConfig) ([]float64, error) {
 	cur := make([]float64, n)
 	copy(cur, teleport)
 	next := make([]float64, n)
+	nbr := graph.NewAdj(g)
 	for iter := 0; iter < cfg.MaxIterations; iter++ {
 		dangling := 0.0
 		for i := range next {
@@ -91,7 +92,7 @@ func PageRank(g *graph.Graph, cfg PageRankConfig) ([]float64, error) {
 			if mass == 0 {
 				continue
 			}
-			ns := g.Neighbors(v)
+			ns := nbr.Neighbors(v)
 			if len(ns) == 0 {
 				dangling += mass
 				continue

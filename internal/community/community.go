@@ -21,7 +21,7 @@ import (
 // its neighbors (ties broken by smallest label) until no label changes or
 // maxIter sweeps pass. Labels are compacted to 0..k-1. Deterministic
 // given the seed.
-func LabelPropagation(g *graph.Graph, maxIter int, seed int64) ([]int, error) {
+func LabelPropagation(g graph.View, maxIter int, seed int64) ([]int, error) {
 	n := g.NumNodes()
 	if n == 0 {
 		return nil, errors.New("community: empty graph")
@@ -39,12 +39,13 @@ func LabelPropagation(g *graph.Graph, maxIter int, seed int64) ([]int, error) {
 	}
 	rng := rand.New(rand.NewSource(seed))
 	counts := make(map[int]int)
+	nbr := graph.NewAdj(g)
 	for iter := 0; iter < maxIter; iter++ {
 		rng.Shuffle(n, func(i, j int) { order[i], order[j] = order[j], order[i] })
 		changed := false
 		for _, vi := range order {
 			v := graph.NodeID(vi)
-			ns := g.Neighbors(v)
+			ns := nbr.Neighbors(v)
 			if len(ns) == 0 {
 				continue
 			}
@@ -102,7 +103,7 @@ func Sizes(labels []int) []int {
 // Modularity returns the Newman modularity Q of the partition: the
 // fraction of edges inside communities minus the expectation under the
 // degree-preserving null model. Q is in [-1/2, 1).
-func Modularity(g *graph.Graph, labels []int) (float64, error) {
+func Modularity(g graph.View, labels []int) (float64, error) {
 	n := g.NumNodes()
 	if len(labels) != n {
 		return 0, fmt.Errorf("community: labels length %d, graph has %d nodes", len(labels), n)
@@ -114,10 +115,11 @@ func Modularity(g *graph.Graph, labels []int) (float64, error) {
 	// Per-community internal edge count and degree volume.
 	internal := make(map[int]float64)
 	volume := make(map[int]float64)
+	nbr := graph.NewAdj(g)
 	for v := graph.NodeID(0); int(v) < n; v++ {
 		lv := labels[v]
 		volume[lv] += float64(g.Degree(v))
-		for _, u := range g.Neighbors(v) {
+		for _, u := range nbr.Neighbors(v) {
 			if u > v && labels[u] == lv {
 				internal[lv]++
 			}
@@ -133,12 +135,13 @@ func Modularity(g *graph.Graph, labels []int) (float64, error) {
 // Conductance returns φ(S) = cut(S, S̄) / min(vol(S), vol(S̄)) for the
 // node set marked true in member. Returns an error when either side has
 // zero volume (the quantity is undefined there).
-func Conductance(g *graph.Graph, member []bool) (float64, error) {
+func Conductance(g graph.View, member []bool) (float64, error) {
 	n := g.NumNodes()
 	if len(member) != n {
 		return 0, fmt.Errorf("community: member length %d, graph has %d nodes", len(member), n)
 	}
 	var cut, volIn, volOut float64
+	nbr := graph.NewAdj(g)
 	for v := graph.NodeID(0); int(v) < n; v++ {
 		d := float64(g.Degree(v))
 		if member[v] {
@@ -149,7 +152,7 @@ func Conductance(g *graph.Graph, member []bool) (float64, error) {
 		if !member[v] {
 			continue
 		}
-		for _, u := range g.Neighbors(v) {
+		for _, u := range nbr.Neighbors(v) {
 			if !member[u] {
 				cut++
 			}
@@ -171,7 +174,7 @@ func Conductance(g *graph.Graph, member []bool) (float64, error) {
 // returns the membership vector of the best prefix and its conductance.
 // This is the ranking-plus-cutoff procedure Viswanath et al. show every
 // random-walk Sybil defense reduces to.
-func SweepCut(g *graph.Graph, score []float64, minSize, maxSize int) ([]bool, float64, error) {
+func SweepCut(g graph.View, score []float64, minSize, maxSize int) ([]bool, float64, error) {
 	n := g.NumNodes()
 	if len(score) != n {
 		return nil, 0, fmt.Errorf("community: score length %d, graph has %d nodes", len(score), n)
@@ -188,6 +191,7 @@ func SweepCut(g *graph.Graph, score []float64, minSize, maxSize int) ([]bool, fl
 
 	totalVol := float64(2 * g.NumEdges())
 	member := make([]bool, n)
+	nbr := graph.NewAdj(g)
 	var cut, volIn float64
 	bestPhi := -1.0
 	bestSize := 0
@@ -195,7 +199,7 @@ func SweepCut(g *graph.Graph, score []float64, minSize, maxSize int) ([]bool, fl
 		// Adding v: edges to current members stop being cut; edges to
 		// non-members start being cut.
 		d := float64(g.Degree(v))
-		for _, u := range g.Neighbors(v) {
+		for _, u := range nbr.Neighbors(v) {
 			if member[u] {
 				cut--
 			} else {

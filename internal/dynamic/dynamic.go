@@ -69,27 +69,29 @@ func (c *GrowthConfig) validate() error {
 	return nil
 }
 
-// Snapshot is the graph after growth reached a given node count.
+// Snapshot is the graph after growth reached a given node count. Graph is
+// a zero-copy graph.PrefixView into one shared graph.GrowthLog — emitting
+// k snapshots costs one CSR build for the final graph, not k.
 type Snapshot struct {
 	Nodes int
-	Graph *graph.Graph
+	Graph graph.View
 }
 
 // Grow runs the evolution and returns one Snapshot per requested size.
 // Snapshots are nested: every edge of an earlier snapshot exists in every
-// later one.
+// later one. All snapshots are prefix views of a single growth log built
+// over the full arrival sequence.
 func Grow(cfg GrowthConfig) ([]Snapshot, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
 	rng := rand.New(rand.NewSource(cfg.Seed))
-	type edge struct{ u, v graph.NodeID }
-	var edges []edge
+	var edges []graph.Edge
 	// repeated holds one entry per half-edge for degree-proportional
 	// sampling, as in gen.BarabasiAlbert.
 	var repeated []graph.NodeID
 	addEdge := func(u, v graph.NodeID) {
-		edges = append(edges, edge{u, v})
+		edges = append(edges, graph.Edge{U: u, V: v})
 		repeated = append(repeated, u, v)
 	}
 	seedSize := cfg.Attach + 1
@@ -98,20 +100,14 @@ func Grow(cfg GrowthConfig) ([]Snapshot, error) {
 			addEdge(graph.NodeID(i), graph.NodeID(j))
 		}
 	}
-	snapshots := make([]Snapshot, 0, len(cfg.Snapshots))
+	// A snapshot is (node count, arrival count at emit time); the views
+	// themselves are cut after the whole sequence is logged.
+	type cut struct{ nodes, arrivals int }
+	cuts := make([]cut, 0, len(cfg.Snapshots))
 	nextSnap := 0
 	targets := make(map[graph.NodeID]struct{}, cfg.Attach)
-	emit := func(size int) {
-		b := graph.NewBuilder(size)
-		for _, e := range edges {
-			if int(e.u) < size && int(e.v) < size {
-				b.AddEdgeSafe(e.u, e.v)
-			}
-		}
-		snapshots = append(snapshots, Snapshot{Nodes: size, Graph: b.Build()})
-	}
 	for nextSnap < len(cfg.Snapshots) && cfg.Snapshots[nextSnap] <= seedSize {
-		emit(cfg.Snapshots[nextSnap])
+		cuts = append(cuts, cut{nodes: cfg.Snapshots[nextSnap], arrivals: len(edges)})
 		nextSnap++
 	}
 	ordered := make([]graph.NodeID, 0, cfg.Attach)
@@ -132,7 +128,8 @@ func Grow(cfg GrowthConfig) ([]Snapshot, error) {
 		}
 		if cfg.DensifyEvery > 0 && (v-seedSize+1)%cfg.DensifyEvery == 0 {
 			// Densification: one degree-proportional edge among existing
-			// nodes (self loops and duplicates deduplicate at build time).
+			// nodes (self loops guarded here, duplicates deduplicated by
+			// the growth log's first-arrival rule).
 			a := repeated[rng.Intn(len(repeated))]
 			b := repeated[rng.Intn(len(repeated))]
 			if a != b {
@@ -140,9 +137,21 @@ func Grow(cfg GrowthConfig) ([]Snapshot, error) {
 			}
 		}
 		if nextSnap < len(cfg.Snapshots) && v+1 == cfg.Snapshots[nextSnap] {
-			emit(v + 1)
+			cuts = append(cuts, cut{nodes: v + 1, arrivals: len(edges)})
 			nextSnap++
 		}
+	}
+	log, err := graph.NewGrowthLog(cfg.FinalNodes, edges)
+	if err != nil {
+		return nil, fmt.Errorf("dynamic: growth log: %w", err)
+	}
+	snapshots := make([]Snapshot, 0, len(cuts))
+	for _, c := range cuts {
+		pv, err := log.Prefix(c.arrivals, c.nodes)
+		if err != nil {
+			return nil, fmt.Errorf("dynamic: snapshot at n=%d: %w", c.nodes, err)
+		}
+		snapshots = append(snapshots, Snapshot{Nodes: c.nodes, Graph: pv})
 	}
 	return snapshots, nil
 }
@@ -205,12 +214,13 @@ func Track(ctx context.Context, snaps []Snapshot, cfg TrackConfig) ([]TrackPoint
 	for _, snap := range snaps {
 		g := snap.Graph
 		if !graph.IsConnected(g) {
-			g, _ = graph.LargestComponent(g)
+			lcv, _ := graph.LargestComponentView(g)
+			g = lcv
 		}
 		pt := TrackPoint{
 			Nodes:         g.NumNodes(),
 			Edges:         g.NumEdges(),
-			AverageDegree: g.AverageDegree(),
+			AverageDegree: graph.AvgDegree(g),
 		}
 		sr, err := spectral.SLEM(g, spectral.Config{Tolerance: 1e-6, Seed: cfg.Seed})
 		if err != nil {

@@ -33,12 +33,13 @@ func TestGrowSnapshotsNested(t *testing.T) {
 	}
 	// Nesting: every edge of snapshot i is in snapshot i+1.
 	for i := 0; i+1 < len(snaps); i++ {
-		next := snaps[i+1].Graph
-		for _, e := range snaps[i].Graph.Edges() {
+		next := graph.Materialize(snaps[i+1].Graph)
+		snaps[i].Graph.VisitEdges(func(e graph.Edge) bool {
 			if !next.HasEdge(e.U, e.V) {
 				t.Fatalf("edge %v of snapshot %d missing from snapshot %d", e, i, i+1)
 			}
-		}
+			return true
+		})
 	}
 }
 
@@ -51,16 +52,16 @@ func TestGrowDensification(t *testing.T) {
 	})
 	// Densified growth must raise average degree over time relative to
 	// plain PA (which keeps it ~2·attach).
-	plainDeg := plain[1].Graph.AverageDegree()
-	denseDeg := dense[1].Graph.AverageDegree()
+	plainDeg := graph.AvgDegree(plain[1].Graph)
+	denseDeg := graph.AvgDegree(dense[1].Graph)
 	if denseDeg <= plainDeg {
 		t.Errorf("densified avg degree %v <= plain %v", denseDeg, plainDeg)
 	}
 	// And the densified graph ages denser: later snapshot denser than
 	// earlier one.
-	if dense[1].Graph.AverageDegree() <= dense[0].Graph.AverageDegree() {
+	if graph.AvgDegree(dense[1].Graph) <= graph.AvgDegree(dense[0].Graph) {
 		t.Errorf("densified graph did not densify: %v -> %v",
-			dense[0].Graph.AverageDegree(), dense[1].Graph.AverageDegree())
+			graph.AvgDegree(dense[0].Graph), graph.AvgDegree(dense[1].Graph))
 	}
 }
 
@@ -83,7 +84,8 @@ func TestGrowValidation(t *testing.T) {
 func TestGrowDeterministic(t *testing.T) {
 	a := grow(t, GrowthConfig{FinalNodes: 200, Attach: 2, Snapshots: []int{200}, Seed: 9})
 	b := grow(t, GrowthConfig{FinalNodes: 200, Attach: 2, Snapshots: []int{200}, Seed: 9})
-	ea, eb := a[0].Graph.Edges(), b[0].Graph.Edges()
+	ea := graph.Materialize(a[0].Graph).Edges()
+	eb := graph.Materialize(b[0].Graph).Edges()
 	if len(ea) != len(eb) {
 		t.Fatalf("edge counts differ: %d vs %d", len(ea), len(eb))
 	}

@@ -52,7 +52,7 @@ type Config struct {
 }
 
 // batchWidth resolves the BFSBatch knob against the graph size.
-func (c Config) batchWidth(g *graph.Graph) (int, error) {
+func (c Config) batchWidth(g graph.View) (int, error) {
 	switch {
 	case c.BFSBatch == 0:
 		if g.NumNodes() >= kernels.MinKernelNodes {
@@ -107,7 +107,12 @@ func (r *Result) VertexExpansion(n int) (float64, bool) {
 // Measure runs the envelope measurement from every configured source
 // (every node when cfg.Sources is nil). The context cancels the run early;
 // a cancelled run returns ctx.Err().
-func Measure(ctx context.Context, g *graph.Graph, cfg Config) (*Result, error) {
+//
+// It accepts any graph.View. Below the kernel cutoff the scalar BFS runs
+// directly over the view; on the bit-parallel kernel path a non-CSR view
+// is materialized once (graph.Materialize, cached by the view) and the
+// copy is amortized across all cores. Results are identical either way.
+func Measure(ctx context.Context, g graph.View, cfg Config) (*Result, error) {
 	n := g.NumNodes()
 	if n == 0 {
 		return nil, fmt.Errorf("expansion: empty graph")
@@ -151,7 +156,7 @@ func Measure(ctx context.Context, g *graph.Graph, cfg Config) (*Result, error) {
 		})
 	} else {
 		blocks := parallel.Blocks(len(sources), width)
-		pool := kernels.NewBFSBatchPool(g)
+		pool := kernels.NewBFSBatchPool(graph.Materialize(g))
 		var parts [][][]int64
 		parts, err = parallel.Map(ctx, cfg.Workers, len(blocks), func(_, b int) ([][]int64, error) {
 			batch := pool.Get()
@@ -196,7 +201,7 @@ func Measure(ctx context.Context, g *graph.Graph, cfg Config) (*Result, error) {
 // seeded sampler (graph.SampleNodes) with walk.SampleSources so both
 // measurements draw comparable source sets from one root seed; BFS cores
 // may be isolated nodes, so no degree filter is applied.
-func SampledSources(g *graph.Graph, k int, seed int64) ([]graph.NodeID, error) {
+func SampledSources(g graph.View, k int, seed int64) ([]graph.NodeID, error) {
 	if g.NumNodes() == 0 {
 		return nil, fmt.Errorf("expansion: empty graph")
 	}

@@ -19,16 +19,19 @@
 //     simulated ticks, so protocols can account timeouts and backoff
 //     in a common simulated-time unit.
 //
-// The schedule (which nodes are down, which edges are lost) is fixed at
-// construction from the seed, so two models built with identical
-// configurations are identical; message-level randomness is a separate
-// seeded stream, so structural determinism is independent of how many
-// messages a protocol sends.
+// The schedule (which nodes are down, which edges are lost) is a pure
+// function of (seed, epoch): two models built with identical
+// configurations are identical, and AdvanceEpoch re-draws the next
+// epoch's schedule from derived seeds, also deterministically.
+// Message-level randomness is a separate seeded stream, so structural
+// determinism is independent of how many messages a protocol sends.
 //
 // Complexity: New builds a model in O(n + m) (one pass over nodes for
-// the churn draw, one over edges for the loss draw) and materializes the
-// degraded graph once; Alive/EdgeUp checks are O(1), and each Deliver
-// costs O(1) RNG draws.
+// the churn draw, one over edges for the loss draw) applied to a
+// graph.MaskedView of the substrate — no degraded-graph rebuild.
+// Advancing an epoch costs the same two passes and allocates O(1);
+// measurements run directly on View(). Alive/EdgeUp checks are O(1) and
+// O(log deg), and each Deliver costs O(1) RNG draws.
 package faults
 
 import (
@@ -79,85 +82,126 @@ func (c Config) validate() error {
 }
 
 // Model is a fault schedule over one graph plus a message-level fault
-// stream. The structural schedule (down nodes, lost edges) is immutable
-// after construction; Deliver consumes the message stream and is
-// therefore not safe for concurrent use — create one model per
-// goroutine.
+// stream. The structural schedule (down nodes, lost edges) is held as a
+// graph.MaskedView over the substrate and is re-drawn per epoch by
+// AdvanceEpoch; between epoch advances it is immutable. Deliver consumes
+// the message stream, and AdvanceEpoch mutates the view, so a model is
+// not safe for concurrent use — create one per goroutine, or fence epoch
+// advances from concurrent measurement.
 type Model struct {
-	cfg      Config
-	g        *graph.Graph
-	down     []bool
-	lost     map[graph.Edge]struct{}
-	degraded *graph.Graph
-	msgRNG   *rand.Rand
+	cfg       Config
+	g         *graph.Graph
+	view      *graph.MaskedView
+	protected []bool
+	epoch     int
+	numLost   int
+	msgRNG    *rand.Rand
+
+	// candidates is the churn-draw scratch, reused across epochs.
+	candidates []graph.NodeID
+	// degraded caches Degraded() per epoch in reusable CSR buffers.
+	degraded      *graph.Graph
+	degradedEpoch int
+	matOff        []int64
+	matAdj        []graph.NodeID
 }
 
-// New builds the fault schedule for g: it samples floor(Churn·n)
+// New builds the epoch-0 fault schedule for g: it samples floor(Churn·n)
 // unprotected nodes to take down and then drops each remaining edge
-// with probability EdgeLoss, all deterministically from cfg.Seed.
+// with probability EdgeLoss, all deterministically from cfg.Seed. The
+// schedule is applied to a zero-copy MaskedView of g; nothing is
+// rebuilt.
 func New(g *graph.Graph, cfg Config) (*Model, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
 	n := g.NumNodes()
 	m := &Model{
-		cfg:    cfg,
-		g:      g,
-		down:   make([]bool, n),
-		lost:   make(map[graph.Edge]struct{}),
-		msgRNG: rand.New(rand.NewSource(cfg.Seed + 2)),
+		cfg:           cfg,
+		g:             g,
+		view:          graph.NewMaskedView(g),
+		protected:     make([]bool, n),
+		msgRNG:        rand.New(rand.NewSource(cfg.Seed + 2)),
+		candidates:    make([]graph.NodeID, 0, n),
+		degradedEpoch: -1,
 	}
-	protected := make(map[graph.NodeID]bool, len(cfg.Protected))
 	for _, v := range cfg.Protected {
 		if !g.Valid(v) {
 			return nil, fmt.Errorf("faults: protected node %d out of range", v)
 		}
-		protected[v] = true
+		m.protected[v] = true
 	}
+	m.drawEpoch(0)
+	return m, nil
+}
 
-	if cfg.Churn > 0 {
-		rng := rand.New(rand.NewSource(cfg.Seed))
-		candidates := make([]graph.NodeID, 0, n)
+// drawEpoch resets the view and draws epoch e's structural schedule.
+// Epoch e's churn stream is seeded with Seed+3e and its edge-loss stream
+// with Seed+3e+1, so epoch 0 reproduces the historical Seed/Seed+1
+// schedule exactly and no structural stream ever collides with the
+// message stream at Seed+2.
+func (m *Model) drawEpoch(e int) {
+	m.view.Reset()
+	m.numLost = 0
+	n := m.g.NumNodes()
+
+	if m.cfg.Churn > 0 {
+		rng := rand.New(rand.NewSource(m.cfg.Seed + 3*int64(e)))
+		candidates := m.candidates[:0]
 		for v := graph.NodeID(0); int(v) < n; v++ {
-			if !protected[v] {
+			if !m.protected[v] {
 				candidates = append(candidates, v)
 			}
 		}
 		rng.Shuffle(len(candidates), func(i, j int) {
 			candidates[i], candidates[j] = candidates[j], candidates[i]
 		})
-		take := int(cfg.Churn * float64(n))
+		take := int(m.cfg.Churn * float64(n))
 		if take > len(candidates) {
 			take = len(candidates)
 		}
 		for _, v := range candidates[:take] {
-			m.down[v] = true
+			m.view.SetAlive(v, false)
 		}
+		m.candidates = candidates
 	}
 
-	if cfg.EdgeLoss > 0 {
-		rng := rand.New(rand.NewSource(cfg.Seed + 1))
+	if m.cfg.EdgeLoss > 0 {
+		rng := rand.New(rand.NewSource(m.cfg.Seed + 3*int64(e) + 1))
 		// Iterate edges in canonical order so the loss set depends only
-		// on the seed and the graph, not on traversal incidentals.
-		for _, e := range g.Edges() {
-			if m.down[e.U] || m.down[e.V] {
-				continue // already gone with its endpoint
+		// on the seed and the graph, not on traversal incidentals. Edges
+		// with a churned endpoint are already gone and draw nothing.
+		m.g.VisitEdges(func(edge graph.Edge) bool {
+			if !m.view.Alive(edge.U) || !m.view.Alive(edge.V) {
+				return true
 			}
-			if rng.Float64() < cfg.EdgeLoss {
-				m.lost[e] = struct{}{}
+			if rng.Float64() < m.cfg.EdgeLoss {
+				m.view.DropEdge(edge.U, edge.V)
+				m.numLost++
 			}
-		}
+			return true
+		})
 	}
-
-	b := graph.NewBuilder(n)
-	for _, e := range g.Edges() {
-		if m.EdgeUp(e.U, e.V) {
-			b.AddEdgeSafe(e.U, e.V)
-		}
-	}
-	m.degraded = b.Build()
-	return m, nil
 }
+
+// Epoch returns the current epoch index, starting at 0.
+func (m *Model) Epoch() int { return m.epoch }
+
+// AdvanceEpoch re-draws the structural schedule for the next epoch: a
+// fresh churn sample and edge-loss draw from the epoch-derived seeds.
+// The message stream keeps running across epochs. Cost is the same
+// O(n + m) two-pass draw as New with O(1) allocation — no graph rebuild
+// — and it invalidates the view's cached materialization; it must not
+// run concurrently with measurements on View().
+func (m *Model) AdvanceEpoch() {
+	m.epoch++
+	m.drawEpoch(m.epoch)
+}
+
+// View returns the degraded graph as a zero-copy graph.MaskedView, the
+// measure-only path: hand it straight to walk/expansion/kcore/... without
+// any per-epoch rebuild. The view is re-drawn in place by AdvanceEpoch.
+func (m *Model) View() *graph.MaskedView { return m.view }
 
 // Config returns the configuration the model was built with.
 func (m *Model) Config() Config { return m.cfg }
@@ -167,38 +211,35 @@ func (m *Model) Graph() *graph.Graph { return m.g }
 
 // Alive reports whether v survived the churn schedule.
 func (m *Model) Alive(v graph.NodeID) bool {
-	return m.g.Valid(v) && !m.down[v]
+	return m.g.Valid(v) && m.view.Alive(v)
 }
 
 // EdgeUp reports whether the edge (u, v) is usable: both endpoints
 // alive and the edge itself not lost.
 func (m *Model) EdgeUp(u, v graph.NodeID) bool {
-	if !m.Alive(u) || !m.Alive(v) {
-		return false
-	}
-	_, gone := m.lost[graph.Edge{U: u, V: v}.Canonical()]
-	return !gone
+	return m.Alive(u) && m.Alive(v) && !m.view.Dropped(u, v)
 }
 
-// Degraded returns the graph as the failure schedule leaves it: same
-// node set (IDs stay dense so honest/sybil bookkeeping holds), with
-// down nodes isolated and lost edges removed. The graph is built once
-// at construction and safe to share.
-func (m *Model) Degraded() *graph.Graph { return m.degraded }
+// Degraded returns the current epoch's degraded graph as a materialized
+// CSR *Graph: same node set (IDs stay dense so honest/sybil bookkeeping
+// holds), with down nodes isolated and lost edges removed. It is built
+// lazily from the view into buffers the model reuses, so after the first
+// call it allocates only a fixed header per epoch. The result is valid
+// until the next AdvanceEpoch; prefer View() for measurement, which
+// needs no materialization at all.
+func (m *Model) Degraded() *graph.Graph {
+	if m.degraded == nil || m.degradedEpoch != m.epoch {
+		m.degraded, m.matOff, m.matAdj = graph.MaterializeInto(m.view, m.matOff, m.matAdj)
+		m.degradedEpoch = m.epoch
+	}
+	return m.degraded
+}
 
 // NumDown returns the number of churned nodes.
-func (m *Model) NumDown() int {
-	c := 0
-	for _, d := range m.down {
-		if d {
-			c++
-		}
-	}
-	return c
-}
+func (m *Model) NumDown() int { return m.g.NumNodes() - m.view.NumAlive() }
 
 // NumLostEdges returns the number of edges lost independently of churn.
-func (m *Model) NumLostEdges() int { return len(m.lost) }
+func (m *Model) NumLostEdges() int { return m.numLost }
 
 // Delivery is the outcome of one simulated message send.
 type Delivery struct {

@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"sync"
 )
 
 // NodeID identifies a vertex. IDs are dense: a graph with N nodes uses
@@ -45,6 +46,15 @@ type Graph struct {
 	// adjacency[offsets[v]:offsets[v+1]], sorted ascending.
 	offsets   []int64
 	adjacency []NodeID
+
+	// stationary caches StationaryDistribution, which is hot under
+	// repeated churn-epoch evaluation. Guarded by once; safe because the
+	// topology is immutable.
+	stationary struct {
+		once sync.Once
+		pi   []float64
+		err  error
+	}
 }
 
 var (
@@ -153,19 +163,31 @@ func (g *Graph) Degrees() []int {
 	return out
 }
 
+// errStationaryEdgeless is the shared stationary-distribution error for
+// graphs and views without edges.
+var errStationaryEdgeless = errors.New("graph: stationary distribution undefined for edgeless graph")
+
 // StationaryDistribution returns π = [deg(v)/2m] for the random walk on a
 // simple graph (§III-C). It returns an error if the graph has no edges,
 // because the walk has no stationary distribution there.
+//
+// The distribution is computed once and cached (it is hot under repeated
+// churn-epoch evaluation); the returned slice is shared and must not be
+// modified.
 func (g *Graph) StationaryDistribution() ([]float64, error) {
-	m2 := float64(2 * g.NumEdges())
-	if m2 == 0 {
-		return nil, errors.New("graph: stationary distribution undefined for edgeless graph")
-	}
-	pi := make([]float64, g.NumNodes())
-	for v := range pi {
-		pi[v] = float64(g.Degree(NodeID(v))) / m2
-	}
-	return pi, nil
+	g.stationary.once.Do(func() {
+		m2 := float64(2 * g.NumEdges())
+		if m2 == 0 {
+			g.stationary.err = errStationaryEdgeless
+			return
+		}
+		pi := make([]float64, g.NumNodes())
+		for v := range pi {
+			pi[v] = float64(g.Degree(NodeID(v))) / m2
+		}
+		g.stationary.pi = pi
+	})
+	return g.stationary.pi, g.stationary.err
 }
 
 // String implements fmt.Stringer with a compact size summary.

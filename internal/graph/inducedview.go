@@ -1,0 +1,159 @@
+package graph
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// InducedView is a zero-copy induced-subgraph view: the subgraph of a base
+// view on a node subset, with stable ID remapping — local IDs are assigned
+// in ascending original-ID order, exactly the mapping InducedSubgraph uses.
+// It backs the k-core and Sybil-region cuts without copying adjacency.
+//
+// The view snapshots the base's degrees at construction; if the base is
+// mutable (a MaskedView), mutating it invalidates the InducedView, which
+// must then be rebuilt. Between mutations it is safe for concurrent
+// readers.
+type InducedView struct {
+	base View
+	// csr is the fast path when the base is CSR-backed.
+	csr *Graph
+	// nodes maps local ID -> original ID, strictly ascending.
+	nodes []NodeID
+	// local maps original ID -> local ID, -1 for nodes outside the subset.
+	local    []int32
+	deg      []int32
+	numEdges int64
+
+	mu  sync.Mutex
+	mat *Graph
+}
+
+// NewInducedView returns the induced-subgraph view of base on nodes. The
+// node list is copied, sorted and deduplicated; out-of-range nodes are an
+// error. Construction is O(|nodes| log |nodes| + vol(nodes)).
+func NewInducedView(base View, nodes []NodeID) (*InducedView, error) {
+	sorted := make([]NodeID, len(nodes))
+	copy(sorted, nodes)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	uniq := sorted[:0]
+	for i, v := range sorted {
+		if !base.Valid(v) {
+			return nil, fmt.Errorf("%w: %d with n=%d", ErrNodeRange, v, base.NumNodes())
+		}
+		if i == 0 || v != sorted[i-1] {
+			uniq = append(uniq, v)
+		}
+	}
+	iv := &InducedView{
+		base:  base,
+		nodes: uniq,
+		local: make([]int32, base.NumNodes()),
+		deg:   make([]int32, len(uniq)),
+	}
+	if g, ok := AsCSR(base); ok {
+		iv.csr = g
+	}
+	for i := range iv.local {
+		iv.local[i] = -1
+	}
+	for i, v := range uniq {
+		iv.local[v] = int32(i)
+	}
+	var buf []NodeID
+	for i, v := range uniq {
+		buf = base.AppendNeighbors(v, buf[:0])
+		d := int32(0)
+		for _, w := range buf {
+			if iv.local[w] >= 0 {
+				d++
+			}
+		}
+		iv.deg[i] = d
+		iv.numEdges += int64(d)
+	}
+	iv.numEdges /= 2
+	return iv, nil
+}
+
+// NumNodes implements View.
+func (iv *InducedView) NumNodes() int { return len(iv.nodes) }
+
+// NumEdges implements View.
+func (iv *InducedView) NumEdges() int64 { return iv.numEdges }
+
+// Valid implements View.
+func (iv *InducedView) Valid(v NodeID) bool { return v >= 0 && int(v) < len(iv.nodes) }
+
+// Degree implements View.
+func (iv *InducedView) Degree(v NodeID) int { return int(iv.deg[v]) }
+
+// OriginalID returns the base-view ID of local node v.
+func (iv *InducedView) OriginalID(v NodeID) NodeID { return iv.nodes[v] }
+
+// LocalID returns the local ID of base-view node v, or false if v is not in
+// the subset.
+func (iv *InducedView) LocalID(v NodeID) (NodeID, bool) {
+	if int(v) >= len(iv.local) || v < 0 || iv.local[v] < 0 {
+		return 0, false
+	}
+	return NodeID(iv.local[v]), true
+}
+
+// Nodes returns the subset as ascending original IDs. The slice is shared
+// and must not be modified.
+func (iv *InducedView) Nodes() []NodeID { return iv.nodes }
+
+// AppendNeighbors implements View. Local IDs ascend with original IDs, so
+// remapping the base's sorted neighbor list in place keeps it sorted.
+func (iv *InducedView) AppendNeighbors(v NodeID, buf []NodeID) []NodeID {
+	orig := iv.nodes[v]
+	if iv.csr != nil {
+		for _, w := range iv.csr.Neighbors(orig) {
+			if l := iv.local[w]; l >= 0 {
+				buf = append(buf, NodeID(l))
+			}
+		}
+		return buf
+	}
+	// Generic base: append original neighbors after the caller's prefix,
+	// then filter+remap that tail in place — no scratch, concurrency-safe.
+	start := len(buf)
+	buf = iv.base.AppendNeighbors(orig, buf)
+	tail := buf[start:]
+	k := 0
+	for _, w := range tail {
+		if l := iv.local[w]; l >= 0 {
+			tail[k] = NodeID(l)
+			k++
+		}
+	}
+	return buf[:start+k]
+}
+
+// VisitEdges implements View. The base yields canonical edges ascending and
+// the remap is monotone, so filtered remapped edges stay canonical and
+// ascending.
+func (iv *InducedView) VisitEdges(visit func(Edge) bool) {
+	iv.base.VisitEdges(func(e Edge) bool {
+		lu, lv := iv.local[e.U], iv.local[e.V]
+		if lu < 0 || lv < 0 {
+			return true
+		}
+		return visit(Edge{U: NodeID(lu), V: NodeID(lv)})
+	})
+}
+
+// Materialize implements Materializer with a cached linear CSR copy. The
+// result must not be modified.
+func (iv *InducedView) Materialize() *Graph {
+	iv.mu.Lock()
+	defer iv.mu.Unlock()
+	if iv.mat == nil {
+		iv.mat = materializeCSR(iv)
+	}
+	return iv.mat
+}
+
+var _ Materializer = (*InducedView)(nil)

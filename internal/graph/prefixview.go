@@ -1,0 +1,212 @@
+package graph
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// GrowthLog indexes a growth sequence — an edge list in arrival order over
+// a final node set — so that any prefix of the growth is a zero-copy
+// PrefixView instead of a per-snapshot CSR rebuild. The final graph's CSR
+// is built once; every adjacency slot is stamped with the arrival index of
+// its edge (first arrival wins for duplicates, matching Builder's
+// deduplication), and a prefix view filters slots by that stamp.
+type GrowthLog struct {
+	g *Graph
+	// when[i] is the arrival index (into the original edge sequence) of
+	// the edge stored at adjacency slot i.
+	when        []int32
+	numArrivals int
+}
+
+// NewGrowthLog builds the index for a growth sequence of edges (arrival
+// order) over n final nodes, validating every edge as FromEdges does.
+func NewGrowthLog(n int, edges []Edge) (*GrowthLog, error) {
+	type rec struct {
+		e Edge
+		t int32
+	}
+	recs := make([]rec, 0, len(edges))
+	for t, e := range edges {
+		if e.U == e.V {
+			return nil, fmt.Errorf("%w: (%d,%d)", ErrSelfLoop, e.U, e.V)
+		}
+		if e.U < 0 || e.V < 0 || int(e.U) >= n || int(e.V) >= n {
+			return nil, fmt.Errorf("%w: (%d,%d) with n=%d", ErrNodeRange, e.U, e.V, n)
+		}
+		recs = append(recs, rec{e: e.Canonical(), t: int32(t)})
+	}
+	// Sort by canonical edge, earliest arrival first, and keep the first
+	// arrival of each edge — the prefix then contains an edge iff its
+	// first occurrence is inside the prefix, which is exactly what a
+	// Builder over the prefix would deduplicate to.
+	sort.Slice(recs, func(i, j int) bool {
+		if recs[i].e.U != recs[j].e.U {
+			return recs[i].e.U < recs[j].e.U
+		}
+		if recs[i].e.V != recs[j].e.V {
+			return recs[i].e.V < recs[j].e.V
+		}
+		return recs[i].t < recs[j].t
+	})
+	uniq := recs[:0]
+	for i, r := range recs {
+		if i == 0 || r.e != recs[i-1].e {
+			uniq = append(uniq, r)
+		}
+	}
+
+	deg := make([]int64, n)
+	for _, r := range uniq {
+		deg[r.e.U]++
+		deg[r.e.V]++
+	}
+	offsets := make([]int64, n+1)
+	for v := 0; v < n; v++ {
+		offsets[v+1] = offsets[v] + deg[v]
+	}
+	adjacency := make([]NodeID, offsets[n])
+	when := make([]int32, offsets[n])
+	cursor := make([]int64, n)
+	copy(cursor, offsets[:n])
+	for _, r := range uniq {
+		adjacency[cursor[r.e.U]] = r.e.V
+		when[cursor[r.e.U]] = r.t
+		cursor[r.e.U]++
+		adjacency[cursor[r.e.V]] = r.e.U
+		when[cursor[r.e.V]] = r.t
+		cursor[r.e.V]++
+	}
+	// The U-side insertions above are sorted by construction, the V-side
+	// ones are not; sort each node's segment by neighbor, carrying the
+	// arrival stamps along.
+	type slot struct {
+		w NodeID
+		t int32
+	}
+	var scratch []slot
+	for v := 0; v < n; v++ {
+		lo, hi := offsets[v], offsets[v+1]
+		scratch = scratch[:0]
+		for i := lo; i < hi; i++ {
+			scratch = append(scratch, slot{w: adjacency[i], t: when[i]})
+		}
+		sort.Slice(scratch, func(i, j int) bool { return scratch[i].w < scratch[j].w })
+		for i, s := range scratch {
+			adjacency[lo+int64(i)] = s.w
+			when[lo+int64(i)] = s.t
+		}
+	}
+	return &GrowthLog{
+		g:           &Graph{offsets: offsets, adjacency: adjacency},
+		when:        when,
+		numArrivals: len(edges),
+	}, nil
+}
+
+// Final returns the full-growth graph. The result must not be modified.
+func (l *GrowthLog) Final() *Graph { return l.g }
+
+// NumArrivals returns the length of the original edge sequence, including
+// duplicates.
+func (l *GrowthLog) NumArrivals() int { return l.numArrivals }
+
+// Prefix returns the view after the first arrivals edges have arrived,
+// restricted to the first nodes node IDs — the state of a growth process
+// that has spawned `nodes` nodes and `arrivals` edge events.
+func (l *GrowthLog) Prefix(arrivals, nodes int) (*PrefixView, error) {
+	if arrivals < 0 || arrivals > l.numArrivals {
+		return nil, fmt.Errorf("graph: prefix arrivals %d outside [0,%d]", arrivals, l.numArrivals)
+	}
+	if nodes < 0 || nodes > l.g.NumNodes() {
+		return nil, fmt.Errorf("graph: prefix nodes %d outside [0,%d]", nodes, l.g.NumNodes())
+	}
+	pv := &PrefixView{
+		log:      l,
+		arrivals: int32(arrivals),
+		n:        nodes,
+		deg:      make([]int32, nodes),
+	}
+	for v := 0; v < nodes; v++ {
+		lo, hi := l.g.offsets[v], l.g.offsets[v+1]
+		d := int32(0)
+		for i := lo; i < hi; i++ {
+			if int(l.g.adjacency[i]) < nodes && l.when[i] < pv.arrivals {
+				d++
+			}
+		}
+		pv.deg[v] = d
+		pv.numEdges += int64(d)
+	}
+	pv.numEdges /= 2
+	return pv, nil
+}
+
+// PrefixView is the zero-copy graph of a growth prefix: the edges whose
+// first arrival index is below the cutoff, among the first n nodes. It is
+// immutable and safe for concurrent readers.
+type PrefixView struct {
+	log      *GrowthLog
+	arrivals int32
+	n        int
+	deg      []int32
+	numEdges int64
+
+	mu  sync.Mutex
+	mat *Graph
+}
+
+// NumNodes implements View.
+func (pv *PrefixView) NumNodes() int { return pv.n }
+
+// NumEdges implements View.
+func (pv *PrefixView) NumEdges() int64 { return pv.numEdges }
+
+// Valid implements View.
+func (pv *PrefixView) Valid(v NodeID) bool { return v >= 0 && int(v) < pv.n }
+
+// Degree implements View.
+func (pv *PrefixView) Degree(v NodeID) int { return int(pv.deg[v]) }
+
+func (pv *PrefixView) keep(i int64) bool {
+	return int(pv.log.g.adjacency[i]) < pv.n && pv.log.when[i] < pv.arrivals
+}
+
+// AppendNeighbors implements View.
+func (pv *PrefixView) AppendNeighbors(v NodeID, buf []NodeID) []NodeID {
+	g := pv.log.g
+	lo, hi := g.offsets[v], g.offsets[v+1]
+	for i := lo; i < hi; i++ {
+		if pv.keep(i) {
+			buf = append(buf, g.adjacency[i])
+		}
+	}
+	return buf
+}
+
+// VisitEdges implements View.
+func (pv *PrefixView) VisitEdges(visit func(Edge) bool) {
+	g := pv.log.g
+	for v := NodeID(0); int(v) < pv.n; v++ {
+		lo, hi := g.offsets[v], g.offsets[v+1]
+		for i := lo; i < hi; i++ {
+			if w := g.adjacency[i]; w > v && pv.keep(i) && !visit(Edge{U: v, V: w}) {
+				return
+			}
+		}
+	}
+}
+
+// Materialize implements Materializer with a cached linear CSR copy. The
+// result must not be modified.
+func (pv *PrefixView) Materialize() *Graph {
+	pv.mu.Lock()
+	defer pv.mu.Unlock()
+	if pv.mat == nil {
+		pv.mat = materializeCSR(pv)
+	}
+	return pv.mat
+}
+
+var _ Materializer = (*PrefixView)(nil)

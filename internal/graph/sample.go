@@ -29,7 +29,7 @@ var ErrNoCandidates = errors.New("graph: no candidate nodes to sample")
 // sources (the walk is undefined on them), not by BFS cores. Candidates
 // are enumerated in node-ID order before shuffling, so the sample is
 // deterministic for a fixed graph.
-func SampleNodes(g *Graph, k int, seed int64, nonIsolated bool) ([]NodeID, error) {
+func SampleNodes(g View, k int, seed int64, nonIsolated bool) ([]NodeID, error) {
 	if k < 1 {
 		return nil, fmt.Errorf("graph: sample size %d must be >= 1", k)
 	}
@@ -64,7 +64,7 @@ type BFSPool struct {
 }
 
 // NewBFSPool returns a pool of BFS workers bound to g.
-func NewBFSPool(g *Graph) *BFSPool {
+func NewBFSPool(g View) *BFSPool {
 	return &BFSPool{pool: sync.Pool{New: func() any { return NewBFSWorker(g) }}}
 }
 

@@ -49,26 +49,29 @@ func (r *BFSResult) Clone() *BFSResult {
 // space. The result aliases that private scratch, which is never reused,
 // so it is safe to retain. For repeated searches over the same graph use
 // a BFSWorker (and Clone any result that must outlive the next Run).
-func BFS(g *Graph, src NodeID) (*BFSResult, error) {
+func BFS(g View, src NodeID) (*BFSResult, error) {
 	w := NewBFSWorker(g)
 	return w.Run(src)
 }
 
 // BFSWorker amortizes BFS scratch allocations across many runs on the same
-// graph. Workers are not safe for concurrent use; make one per goroutine.
+// graph view. Workers are not safe for concurrent use; make one per
+// goroutine.
 type BFSWorker struct {
-	g      *Graph
+	v      View
+	nbr    *Adj
 	dist   []int32
 	queue  []NodeID
 	levels []int64
 }
 
-// NewBFSWorker returns a worker bound to g.
-func NewBFSWorker(g *Graph) *BFSWorker {
+// NewBFSWorker returns a worker bound to v.
+func NewBFSWorker(v View) *BFSWorker {
 	return &BFSWorker{
-		g:     g,
-		dist:  make([]int32, g.NumNodes()),
-		queue: make([]NodeID, 0, g.NumNodes()),
+		v:     v,
+		nbr:   NewAdj(v),
+		dist:  make([]int32, v.NumNodes()),
+		queue: make([]NodeID, 0, v.NumNodes()),
 	}
 }
 
@@ -77,7 +80,7 @@ func NewBFSWorker(g *Graph) *BFSWorker {
 // callers that need the result afterwards (or after a BFSPool.Put) must
 // copy what they keep, e.g. via BFSResult.Clone.
 func (w *BFSWorker) Run(src NodeID) (*BFSResult, error) {
-	if !w.g.Valid(src) {
+	if !w.v.Valid(src) {
 		return nil, fmt.Errorf("%w: bfs source %d", ErrNodeRange, src)
 	}
 	for i := range w.dist {
@@ -94,7 +97,7 @@ func (w *BFSWorker) Run(src NodeID) (*BFSResult, error) {
 		v := w.queue[head]
 		head++
 		dv := w.dist[v]
-		for _, u := range w.g.Neighbors(v) {
+		for _, u := range w.nbr.Neighbors(v) {
 			if w.dist[u] < 0 {
 				w.dist[u] = dv + 1
 				w.queue = append(w.queue, u)
@@ -113,8 +116,9 @@ func (w *BFSWorker) Run(src NodeID) (*BFSResult, error) {
 // ConnectedComponents labels every node with a component index in [0, k)
 // and returns the labels along with the size of each component, largest
 // first component is NOT guaranteed; use LargestComponent for that.
-func ConnectedComponents(g *Graph) (labels []int32, sizes []int64) {
+func ConnectedComponents(g View) (labels []int32, sizes []int64) {
 	n := g.NumNodes()
+	nbr := NewAdj(g)
 	labels = make([]int32, n)
 	for i := range labels {
 		labels[i] = -1
@@ -131,7 +135,7 @@ func ConnectedComponents(g *Graph) (labels []int32, sizes []int64) {
 		for len(queue) > 0 {
 			v := queue[len(queue)-1]
 			queue = queue[:len(queue)-1]
-			for _, u := range g.Neighbors(v) {
+			for _, u := range nbr.Neighbors(v) {
 				if labels[u] < 0 {
 					labels[u] = next
 					size++
@@ -146,21 +150,21 @@ func ConnectedComponents(g *Graph) (labels []int32, sizes []int64) {
 }
 
 // NumComponents returns the number of connected components.
-func NumComponents(g *Graph) int {
+func NumComponents(g View) int {
 	_, sizes := ConnectedComponents(g)
 	return len(sizes)
 }
 
 // IsConnected reports whether the graph is connected. The empty graph is
 // considered connected.
-func IsConnected(g *Graph) bool {
+func IsConnected(g View) bool {
 	return g.NumNodes() == 0 || NumComponents(g) == 1
 }
 
-// LargestComponent returns the induced subgraph of the largest connected
-// component together with the mapping from new IDs to original IDs. Ties
-// break toward the component containing the smallest original node ID.
-func LargestComponent(g *Graph) (*Graph, []NodeID) {
+// largestComponentNodes returns the ascending node IDs of the largest
+// connected component; ties break toward the component containing the
+// smallest node ID.
+func largestComponentNodes(g View) []NodeID {
 	labels, sizes := ConnectedComponents(g)
 	best := int32(0)
 	for i, s := range sizes {
@@ -174,20 +178,41 @@ func LargestComponent(g *Graph) (*Graph, []NodeID) {
 			keep = append(keep, v)
 		}
 	}
-	sub := InducedSubgraph(g, keep)
-	return sub, keep
+	return keep
+}
+
+// LargestComponent returns the induced subgraph of the largest connected
+// component together with the mapping from new IDs to original IDs. Ties
+// break toward the component containing the smallest original node ID.
+func LargestComponent(g View) (*Graph, []NodeID) {
+	keep := largestComponentNodes(g)
+	return InducedSubgraph(g, keep), keep
+}
+
+// LargestComponentView is LargestComponent without the CSR copy: the
+// largest component as a zero-copy InducedView over g, with the same
+// ascending stable remapping.
+func LargestComponentView(g View) (*InducedView, []NodeID) {
+	keep := largestComponentNodes(g)
+	iv, err := NewInducedView(g, keep)
+	if err != nil {
+		// Unreachable: component nodes are valid by construction.
+		panic(err)
+	}
+	return iv, keep
 }
 
 // InducedSubgraph returns the subgraph induced by nodes (which must be
 // distinct and valid), with node i of the result corresponding to nodes[i].
-func InducedSubgraph(g *Graph, nodes []NodeID) *Graph {
+func InducedSubgraph(g View, nodes []NodeID) *Graph {
 	remap := make(map[NodeID]NodeID, len(nodes))
 	for i, v := range nodes {
 		remap[v] = NodeID(i)
 	}
+	nbr := NewAdj(g)
 	b := NewBuilder(len(nodes))
 	for i, v := range nodes {
-		for _, u := range g.Neighbors(v) {
+		for _, u := range nbr.Neighbors(v) {
 			j, ok := remap[u]
 			if ok && NodeID(i) < j {
 				b.AddEdgeSafe(NodeID(i), j)
@@ -201,7 +226,7 @@ func InducedSubgraph(g *Graph, nodes []NodeID) *Graph {
 // BFS from every node. It is O(n·m) and intended for the small and medium
 // graphs used in tests and calibration; the experiments use
 // EstimateDiameter instead.
-func Diameter(g *Graph) (int, error) {
+func Diameter(g View) (int, error) {
 	if g.NumNodes() == 0 {
 		return 0, errors.New("graph: diameter of empty graph")
 	}
@@ -226,7 +251,7 @@ func Diameter(g *Graph) (int, error) {
 // heuristic repeated `sweeps` times from pseudo-deterministic start nodes.
 // On social graphs the bound is usually exact or off by one, which is all
 // the expansion experiments need (they use it to size envelope arrays).
-func EstimateDiameter(g *Graph, sweeps int) (int, error) {
+func EstimateDiameter(g View, sweeps int) (int, error) {
 	n := g.NumNodes()
 	if n == 0 {
 		return 0, errors.New("graph: diameter of empty graph")

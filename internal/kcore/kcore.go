@@ -14,7 +14,7 @@ import (
 
 // Decomposition is the result of the k-core decomposition of a graph.
 type Decomposition struct {
-	g *graph.Graph
+	g graph.View
 	// coreness[v] is the largest k such that v belongs to a k-core.
 	coreness []int
 	// maxCore is the degeneracy of the graph (largest non-empty core).
@@ -24,8 +24,9 @@ type Decomposition struct {
 // Decompose runs the Batagelj–Zaversnik algorithm: repeatedly remove the
 // minimum-degree node, assigning it a coreness equal to its degree at
 // removal time (monotonically clamped). Runs in O(m) using bucketed
-// degree-ordered processing.
-func Decompose(g *graph.Graph) (*Decomposition, error) {
+// degree-ordered processing. It accepts any graph.View and runs directly
+// over it — the single pass never warrants a materialized copy.
+func Decompose(g graph.View) (*Decomposition, error) {
 	n := g.NumNodes()
 	if n == 0 {
 		return nil, errors.New("kcore: empty graph")
@@ -59,12 +60,13 @@ func Decompose(g *graph.Graph) (*Decomposition, error) {
 	core := make([]int, n)
 	copy(core, deg)
 	maxCore := 0
+	nbr := graph.NewAdj(g)
 	for i := 0; i < n; i++ {
 		v := vert[i]
 		if core[v] > maxCore {
 			maxCore = core[v]
 		}
-		for _, u := range g.Neighbors(graph.NodeID(v)) {
+		for _, u := range nbr.Neighbors(graph.NodeID(v)) {
 			if core[u] > core[v] {
 				du := core[u]
 				pu := pos[u]
@@ -121,6 +123,13 @@ func (d *Decomposition) CoreSubgraph(k int) (*graph.Graph, []graph.NodeID) {
 	return graph.InducedSubgraph(d.g, nodes), nodes
 }
 
+// CoreView returns G̃_k as a zero-copy induced view over the decomposed
+// graph, with the same ascending stable remapping CoreSubgraph uses — the
+// per-k allocation drops from a CSR copy to the view's O(|V_k|) index.
+func (d *Decomposition) CoreView(k int) (*graph.InducedView, error) {
+	return graph.NewInducedView(d.g, d.CoreNodes(k))
+}
+
 // LevelStats describes G̃_k (cores under the degree condition only) at one
 // value of k, using the paper's relative-size notation.
 type LevelStats struct {
@@ -148,7 +157,11 @@ func (d *Decomposition) Levels() []LevelStats {
 	m := d.g.NumEdges()
 	out := make([]LevelStats, 0, d.maxCore)
 	for k := 1; k <= d.maxCore; k++ {
-		sub, _ := d.CoreSubgraph(k)
+		sub, err := d.CoreView(k)
+		if err != nil {
+			// Unreachable: CoreNodes only yields valid nodes.
+			panic(err)
+		}
 		ls := LevelStats{
 			K:     k,
 			Nodes: sub.NumNodes(),

@@ -1,0 +1,107 @@
+package kcore
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"github.com/trustnet/trustnet/internal/gen"
+	"github.com/trustnet/trustnet/internal/graph"
+)
+
+// TestEquivalenceViewCorenessMasked checks that the peeling decomposition
+// run directly on a churned MaskedView matches the decomposition of an
+// independently rebuilt CSR of the same topology.
+func TestEquivalenceViewCorenessMasked(t *testing.T) {
+	g, err := gen.BarabasiAlbert(800, 4, 31)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	mv := graph.NewMaskedView(g)
+	for v := graph.NodeID(0); int(v) < g.NumNodes(); v++ {
+		if rng.Float64() < 0.2 {
+			mv.SetAlive(v, false)
+		}
+	}
+	edges := g.Edges()
+	for i := 0; i < len(edges)/10; i++ {
+		e := edges[rng.Intn(len(edges))]
+		mv.DropEdge(e.U, e.V)
+	}
+	b := graph.NewBuilder(g.NumNodes())
+	mv.VisitEdges(func(e graph.Edge) bool {
+		b.AddEdgeSafe(e.U, e.V)
+		return true
+	})
+	rebuilt := b.Build()
+
+	dv, err := Decompose(mv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dr, err := Decompose(rebuilt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(dv.CorenessValues(), dr.CorenessValues()) {
+		t.Fatal("coreness diverges between masked view and rebuilt copy")
+	}
+	if dv.Degeneracy() != dr.Degeneracy() {
+		t.Fatalf("degeneracy %d vs %d", dv.Degeneracy(), dr.Degeneracy())
+	}
+
+	// CoreView must induce the same topology CoreSubgraph rebuilds.
+	k := dr.Degeneracy()
+	cv, err := dv.CoreView(k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub, nodes := dr.CoreSubgraph(k)
+	if !reflect.DeepEqual(cv.Nodes(), nodes) {
+		t.Fatal("core node sets diverge")
+	}
+	if !reflect.DeepEqual(graph.Materialize(cv).Edges(), sub.Edges()) {
+		t.Fatal("core topology diverges between CoreView and CoreSubgraph")
+	}
+}
+
+// TestEquivalenceViewCorenessPrefix checks the decomposition of a growth
+// prefix view against a Builder over the same edge prefix.
+func TestEquivalenceViewCorenessPrefix(t *testing.T) {
+	const n = 300
+	rng := rand.New(rand.NewSource(2))
+	var arrivals []graph.Edge
+	for i := 0; i < 2500; i++ {
+		u, v := graph.NodeID(rng.Intn(n)), graph.NodeID(rng.Intn(n))
+		if u != v {
+			arrivals = append(arrivals, graph.Edge{U: u, V: v})
+		}
+	}
+	log, err := graph.NewGrowthLog(n, arrivals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cutArrivals, cutNodes := len(arrivals)/2, n-40
+	pv, err := log.Prefix(cutArrivals, cutNodes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := graph.NewBuilder(cutNodes)
+	for _, e := range arrivals[:cutArrivals] {
+		if int(e.U) < cutNodes && int(e.V) < cutNodes {
+			b.AddEdgeSafe(e.U, e.V)
+		}
+	}
+	dv, err := Decompose(pv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dr, err := Decompose(b.Build())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(dv.CorenessValues(), dr.CorenessValues()) {
+		t.Fatal("coreness diverges between prefix view and rebuilt prefix")
+	}
+}

@@ -71,16 +71,20 @@ type Result struct {
 }
 
 // SLEM computes the second largest eigenvalue modulus of the transition
-// matrix of the simple random walk on g.
-func SLEM(g *graph.Graph, cfg Config) (*Result, error) {
+// matrix of the simple random walk on g. It accepts any graph.View;
+// because power iteration streams the whole adjacency per iteration,
+// non-CSR views are materialized once up front (graph.Materialize, cached
+// by the view) and the copy is amortized across all iterations.
+func SLEM(v graph.View, cfg Config) (*Result, error) {
 	cfg.fill()
-	n := g.NumNodes()
+	n := v.NumNodes()
 	if n < 2 {
 		return nil, fmt.Errorf("spectral: need >= 2 nodes, got %d", n)
 	}
-	if g.NumEdges() == 0 {
+	if v.NumEdges() == 0 {
 		return nil, errors.New("spectral: graph has no edges")
 	}
+	g := graph.Materialize(v)
 	if !graph.IsConnected(g) {
 		return nil, ErrNotConnected
 	}

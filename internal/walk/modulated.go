@@ -82,7 +82,9 @@ func (c *ModulatedConfig) validate() error {
 // walk. Like Distribution, it is bound to one graph and one source and
 // is not safe for concurrent use.
 type ModulatedDistribution struct {
-	g      *graph.Graph
+	g      graph.View
+	nbr    *graph.Adj
+	n      int
 	cfg    ModulatedConfig
 	origin graph.NodeID
 	cur    []float64
@@ -94,7 +96,7 @@ type ModulatedDistribution struct {
 
 // NewModulatedDistribution returns the modulated distribution
 // concentrated at source.
-func NewModulatedDistribution(g *graph.Graph, source graph.NodeID, cfg ModulatedConfig) (*ModulatedDistribution, error) {
+func NewModulatedDistribution(g graph.View, source graph.NodeID, cfg ModulatedConfig) (*ModulatedDistribution, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
@@ -109,6 +111,8 @@ func NewModulatedDistribution(g *graph.Graph, source graph.NodeID, cfg Modulated
 	}
 	d := &ModulatedDistribution{
 		g:      g,
+		nbr:    graph.NewAdj(g),
+		n:      g.NumNodes(),
 		cfg:    cfg,
 		origin: source,
 		cur:    make([]float64, g.NumNodes()),
@@ -118,7 +122,7 @@ func NewModulatedDistribution(g *graph.Graph, source graph.NodeID, cfg Modulated
 	if cfg.Strategy == StrategyInteractionBiased {
 		d.weightSum = make([]float64, g.NumNodes())
 		for v := graph.NodeID(0); int(v) < g.NumNodes(); v++ {
-			for _, u := range g.Neighbors(v) {
+			for _, u := range d.nbr.Neighbors(v) {
 				w := cfg.Weight(v, u)
 				if w <= 0 || math.IsNaN(w) || math.IsInf(w, 0) {
 					return nil, fmt.Errorf("walk: weight(%d,%d) = %v must be positive and finite", v, u, w)
@@ -136,12 +140,12 @@ func (d *ModulatedDistribution) Step() {
 		d.next[i] = 0
 	}
 	alpha := d.cfg.Alpha
-	for v := graph.NodeID(0); int(v) < d.g.NumNodes(); v++ {
+	for v := graph.NodeID(0); int(v) < d.n; v++ {
 		mass := d.cur[v]
 		if mass == 0 {
 			continue
 		}
-		ns := d.g.Neighbors(v)
+		ns := d.nbr.Neighbors(v)
 		if len(ns) == 0 {
 			d.next[v] += mass
 			continue
@@ -191,7 +195,7 @@ func (d *ModulatedDistribution) DistanceTo(target []float64) (float64, error) {
 // interaction-biased walk: π(v) ∝ Σ_u w(v,u), which reduces to the
 // degree-proportional π when weights are symmetric. The weight function
 // must be symmetric for this to be the true stationary distribution.
-func WeightedStationary(g *graph.Graph, weight EdgeWeight) ([]float64, error) {
+func WeightedStationary(g graph.View, weight EdgeWeight) ([]float64, error) {
 	if g.NumEdges() == 0 {
 		return nil, ErrNoEdges
 	}
@@ -200,8 +204,9 @@ func WeightedStationary(g *graph.Graph, weight EdgeWeight) ([]float64, error) {
 	}
 	pi := make([]float64, g.NumNodes())
 	total := 0.0
+	nbr := graph.NewAdj(g)
 	for v := graph.NodeID(0); int(v) < g.NumNodes(); v++ {
-		for _, u := range g.Neighbors(v) {
+		for _, u := range nbr.Neighbors(v) {
 			w := weight(v, u)
 			if w <= 0 || math.IsNaN(w) || math.IsInf(w, 0) {
 				return nil, fmt.Errorf("walk: weight(%d,%d) = %v must be positive and finite", v, u, w)
@@ -220,7 +225,7 @@ func WeightedStationary(g *graph.Graph, weight EdgeWeight) ([]float64, error) {
 // the TVD trajectory against the given target distribution — the
 // measurement [16] uses to quantify how much each trust modulation slows
 // mixing.
-func ModulatedMixingCurve(g *graph.Graph, source graph.NodeID, cfg ModulatedConfig, target []float64, maxSteps int) ([]float64, error) {
+func ModulatedMixingCurve(g graph.View, source graph.NodeID, cfg ModulatedConfig, target []float64, maxSteps int) ([]float64, error) {
 	if maxSteps < 1 {
 		return nil, fmt.Errorf("walk: maxSteps %d must be >= 1", maxSteps)
 	}

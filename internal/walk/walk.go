@@ -53,7 +53,9 @@ func TotalVariation(p, q []float64) (float64, error) {
 // as it evolves. A Distribution is bound to one graph; Step costs O(m).
 // Distributions are not safe for concurrent use; create one per goroutine.
 type Distribution struct {
-	g    *graph.Graph
+	v    graph.View
+	nbr  *graph.Adj
+	n    int
 	cur  []float64
 	next []float64
 	// Lazy selects the lazy walk P' = (I+P)/2, which is aperiodic on every
@@ -74,8 +76,10 @@ type Distribution struct {
 	mark []bool
 }
 
-// NewDistribution returns the distribution concentrated at source.
-func NewDistribution(g *graph.Graph, source graph.NodeID, lazy bool) (*Distribution, error) {
+// NewDistribution returns the distribution concentrated at source. It
+// accepts any graph.View; on zero-copy views the walk evolves directly
+// over the masked adjacency without materializing a copy.
+func NewDistribution(g graph.View, source graph.NodeID, lazy bool) (*Distribution, error) {
 	if g.NumEdges() == 0 {
 		return nil, ErrNoEdges
 	}
@@ -86,7 +90,9 @@ func NewDistribution(g *graph.Graph, source graph.NodeID, lazy bool) (*Distribut
 		return nil, fmt.Errorf("walk: source %d is isolated", source)
 	}
 	d := &Distribution{
-		g:       g,
+		v:       g,
+		nbr:     graph.NewAdj(g),
+		n:       g.NumNodes(),
 		cur:     make([]float64, g.NumNodes()),
 		next:    make([]float64, g.NumNodes()),
 		lazy:    lazy,
@@ -118,12 +124,12 @@ func (d *Distribution) stepDense() {
 	for i := range d.next {
 		d.next[i] = 0
 	}
-	for v := graph.NodeID(0); int(v) < d.g.NumNodes(); v++ {
+	for v := graph.NodeID(0); int(v) < d.n; v++ {
 		mass := d.cur[v]
 		if mass == 0 {
 			continue
 		}
-		ns := d.g.Neighbors(v)
+		ns := d.nbr.Neighbors(v)
 		if len(ns) == 0 {
 			d.next[v] += mass // isolated nodes hold their (zero-by-construction) mass
 			continue
@@ -151,7 +157,7 @@ func (d *Distribution) stepSparse() {
 		if mass == 0 {
 			continue
 		}
-		ns := d.g.Neighbors(v)
+		ns := d.nbr.Neighbors(v)
 		if len(ns) == 0 {
 			d.next[v] += mass
 			if !d.mark[v] {
@@ -185,7 +191,7 @@ func (d *Distribution) stepSparse() {
 	}
 	d.stale = d.support
 	d.support = touched
-	if len(touched) > d.g.NumNodes()/2 {
+	if len(touched) > d.n/2 {
 		// The support rarely shrinks below half once the walk has spread
 		// this far; the dense scan's straight-line clear is cheaper than
 		// list upkeep from here on.
@@ -247,7 +253,7 @@ func (c MixingConfig) validate() error {
 }
 
 // blockWidth resolves the BlockSize knob against the graph size.
-func (c MixingConfig) blockWidth(g *graph.Graph) int {
+func (c MixingConfig) blockWidth(g graph.View) int {
 	if c.BlockSize != 0 {
 		return c.BlockSize
 	}
@@ -322,11 +328,20 @@ func (r *MixingResult) MeanMixingTime(eps float64) (int, bool) {
 // exact walk distribution from each, and aggregates the TVD-to-stationarity
 // trajectory across sources. Cancellation of ctx is honored between walk
 // steps, so a caller's timeout bounds even slow-mixing measurements.
-func MeasureMixing(ctx context.Context, g *graph.Graph, cfg MixingConfig) (*MixingResult, error) {
+//
+// It accepts any graph.View. Below the kernel cutoff the walks evolve
+// directly over the view; on the blocked-kernel path a non-CSR view is
+// materialized once (graph.Materialize, cached by the view) and the copy
+// is amortized across all sources and steps. Results are bit-identical
+// either way.
+func MeasureMixing(ctx context.Context, g graph.View, cfg MixingConfig) (*MixingResult, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
-	pi, err := g.StationaryDistribution()
+	if g.NumEdges() == 0 {
+		return nil, ErrNoEdges
+	}
+	pi, err := graph.Stationary(g)
 	if err != nil {
 		return nil, fmt.Errorf("measure mixing: %w", err)
 	}
@@ -354,10 +369,11 @@ func MeasureMixing(ctx context.Context, g *graph.Graph, cfg MixingConfig) (*Mixi
 			return sourceCurve(ctx, g, sources[i], pi, cfg)
 		})
 	} else {
+		cg := graph.Materialize(g)
 		blocks := parallel.Blocks(len(sources), width)
 		var parts [][][]float64
 		parts, err = parallel.Map(ctx, cfg.Workers, len(blocks), func(_, b int) ([][]float64, error) {
-			return blockCurves(ctx, g, sources[blocks[b].Start:blocks[b].End], pi, cfg)
+			return blockCurves(ctx, cg, sources[blocks[b].Start:blocks[b].End], pi, cfg)
 		})
 		if err == nil {
 			curves = make([][]float64, 0, len(sources))
@@ -390,7 +406,7 @@ func MeasureMixing(ctx context.Context, g *graph.Graph, cfg MixingConfig) (*Mixi
 // sourceCurve evolves the exact walk distribution from one source and
 // returns its TVD-to-stationarity trajectory, checking for cancellation
 // between steps.
-func sourceCurve(ctx context.Context, g *graph.Graph, src graph.NodeID, pi []float64, cfg MixingConfig) ([]float64, error) {
+func sourceCurve(ctx context.Context, g graph.View, src graph.NodeID, pi []float64, cfg MixingConfig) ([]float64, error) {
 	d, err := NewDistribution(g, src, cfg.Lazy)
 	if err != nil {
 		return nil, fmt.Errorf("source %d: %w", src, err)
@@ -443,7 +459,7 @@ func blockCurves(ctx context.Context, g *graph.Graph, sources []graph.NodeID, pi
 // graph.SampleNodes, the seeded sampler shared with the expansion
 // measurement; walk sources must be non-isolated because the walk is
 // undefined on a degree-0 node.
-func SampleSources(g *graph.Graph, k int, seed int64) ([]graph.NodeID, error) {
+func SampleSources(g graph.View, k int, seed int64) ([]graph.NodeID, error) {
 	out, err := graph.SampleNodes(g, k, seed, true)
 	if errors.Is(err, graph.ErrNoCandidates) {
 		return nil, ErrNoEdges
@@ -458,13 +474,14 @@ func SampleSources(g *graph.Graph, k int, seed int64) ([]graph.NodeID, error) {
 // the Sybil defenses use for their random routes. Walkers are not safe for
 // concurrent use; create one per goroutine.
 type Walker struct {
-	g   *graph.Graph
+	g   graph.View
+	nbr *graph.Adj
 	rng *rand.Rand
 }
 
 // NewWalker returns a walker over g seeded deterministically.
-func NewWalker(g *graph.Graph, seed int64) *Walker {
-	return &Walker{g: g, rng: rand.New(rand.NewSource(seed))}
+func NewWalker(g graph.View, seed int64) *Walker {
+	return &Walker{g: g, nbr: graph.NewAdj(g), rng: rand.New(rand.NewSource(seed))}
 }
 
 // Walk returns a trajectory of `length` steps starting at start (the
@@ -481,7 +498,7 @@ func (w *Walker) Walk(start graph.NodeID, length int) ([]graph.NodeID, error) {
 	out = append(out, start)
 	cur := start
 	for i := 0; i < length; i++ {
-		ns := w.g.Neighbors(cur)
+		ns := w.nbr.Neighbors(cur)
 		if len(ns) == 0 {
 			return nil, fmt.Errorf("walk: node %d is isolated at step %d", cur, i)
 		}
@@ -499,7 +516,7 @@ func (w *Walker) Endpoint(start graph.NodeID, length int) (graph.NodeID, error) 
 	}
 	cur := start
 	for i := 0; i < length; i++ {
-		ns := w.g.Neighbors(cur)
+		ns := w.nbr.Neighbors(cur)
 		if len(ns) == 0 {
 			return 0, fmt.Errorf("walk: node %d is isolated at step %d", cur, i)
 		}
