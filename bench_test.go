@@ -37,7 +37,7 @@ func BenchmarkTableI(b *testing.B) {
 	opts := benchOpts()
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		if _, err := experiments.TableI(opts); err != nil {
+		if _, err := experiments.TableI(context.Background(), opts); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -57,7 +57,7 @@ func BenchmarkFigure2(b *testing.B) {
 	opts := benchOpts()
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		if _, err := experiments.Figure2(opts); err != nil {
+		if _, err := experiments.Figure2(context.Background(), opts); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -99,7 +99,7 @@ func BenchmarkFigure5(b *testing.B) {
 	opts := benchOpts()
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		if _, err := experiments.Figure5(opts); err != nil {
+		if _, err := experiments.Figure5(context.Background(), opts); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -131,7 +131,7 @@ func BenchmarkFutureWorkModulated(b *testing.B) {
 	opts := benchOpts()
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		if _, err := experiments.FutureWorkModulated(opts); err != nil {
+		if _, err := experiments.FutureWorkModulated(context.Background(), opts); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -141,7 +141,7 @@ func BenchmarkAttackerModels(b *testing.B) {
 	opts := benchOpts()
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		if _, err := experiments.AttackerModels(opts); err != nil {
+		if _, err := experiments.AttackerModels(context.Background(), opts); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -15,6 +15,12 @@
 //	experiments -timeout 2m     # bound each job
 //	experiments -workers 4      # bound measurement parallelism
 //	experiments -cpuprofile cpu.pprof -memprofile mem.pprof  # profile any run
+//	experiments -metrics-addr :8080  # live metrics snapshots over HTTP
+//
+// Every run writes out/METRICS.json: per-job wall time, allocation and
+// heap figures, and the observability counters/timers/spans the job
+// produced (see internal/obs).
+//
 //	experiments bench           # time the parallel fan-out (workers=1 vs N,
 //	                            # out/BENCH_parallel.json), the batched
 //	                            # kernels (naive vs kernel at workers=1,
@@ -27,6 +33,7 @@ package main
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -39,6 +46,7 @@ import (
 	"time"
 
 	"github.com/trustnet/trustnet/internal/experiments"
+	"github.com/trustnet/trustnet/internal/obs"
 	"github.com/trustnet/trustnet/internal/report"
 )
 
@@ -69,18 +77,23 @@ func run(args []string) error {
 	}
 	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
 	var (
-		only       = fs.String("run", "", "run one experiment: tableI | figure1 | figure2 | tableII | figure3 | figure4 | figure5 | cross | dynamic | modulated | attacker | betweenness | sweep | churn")
-		quick      = fs.Bool("quick", false, "reduced sampling for a fast smoke run")
-		seed       = fs.Int64("seed", 1, "measurement seed")
-		out        = fs.String("out", "out", "output directory")
-		timeout    = fs.Duration("timeout", 0, "per-job timeout (0 = none)")
-		keepGoing  = fs.Bool("keep-going", true, "run remaining jobs after a failure and summarize at the end")
-		workers    = fs.Int("workers", 0, "measurement parallelism; 0 = GOMAXPROCS")
-		repeats    = fs.Int("bench-repeats", 3, "bench mode: timed repetitions per variant (best kept)")
-		cpuprofile = fs.String("cpuprofile", "", "write a CPU profile to this file (any mode)")
-		memprofile = fs.String("memprofile", "", "write a heap profile to this file at exit (any mode)")
+		only        = fs.String("run", "", "run one experiment: tableI | figure1 | figure2 | tableII | figure3 | figure4 | figure5 | cross | dynamic | modulated | attacker | betweenness | sweep | churn")
+		quick       = fs.Bool("quick", false, "reduced sampling for a fast smoke run")
+		seed        = fs.Int64("seed", 1, "measurement seed")
+		out         = fs.String("out", "out", "output directory")
+		timeout     = fs.Duration("timeout", 0, "per-job timeout (0 = none)")
+		keepGoing   = fs.Bool("keep-going", true, "run remaining jobs after a failure and summarize at the end")
+		workers     = fs.Int("workers", 0, "measurement parallelism; 0 = GOMAXPROCS")
+		repeats     = fs.Int("bench-repeats", 3, "bench mode: timed repetitions per variant (best kept)")
+		cpuprofile  = fs.String("cpuprofile", "", "write a CPU profile to this file (any mode)")
+		memprofile  = fs.String("memprofile", "", "write a heap profile to this file at exit (any mode)")
+		metricsAddr = fs.String("metrics-addr", "", "serve live metrics snapshots over HTTP on this address (e.g. :8080)")
 	)
 	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			// -h is a successful interaction: usage was printed, exit 0.
+			return nil
+		}
 		return err
 	}
 	if *cpuprofile != "" {
@@ -108,23 +121,45 @@ func run(args []string) error {
 			}
 		}()
 	}
+	reg := obs.Default()
+	if *metricsAddr != "" {
+		srv, addr, err := serveMetrics(*metricsAddr, reg)
+		if err != nil {
+			return err
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "experiments: metrics at http://%s/metrics\n", addr)
+	}
+	mc := newMetricsCollector(reg, *quick, *seed, *workers)
+
 	opts := experiments.Options{Quick: *quick, Seed: *seed, Workers: *workers}
 	if bench {
-		return runBench(context.Background(), opts, *out, *workers, *repeats, os.Stdout)
+		before := mc.beforeJob()
+		start := time.Now()
+		err := runBench(context.Background(), opts, *out, *workers, *repeats, os.Stdout)
+		mc.afterJob("bench", err, time.Since(start), before)
+		if path, werr := mc.write(*out); werr != nil {
+			if err == nil {
+				err = werr
+			}
+		} else {
+			fmt.Printf("wrote %s\n", path)
+		}
+		return err
 	}
 
 	jobs := []job{
-		{"tableI", func(ctx context.Context) error { return runTableI(opts, *out) }},
+		{"tableI", func(ctx context.Context) error { return runTableI(ctx, opts, *out) }},
 		{"figure1", func(ctx context.Context) error { return runFigure1(ctx, opts, *out) }},
-		{"figure2", func(ctx context.Context) error { return runFigure2(opts, *out) }},
+		{"figure2", func(ctx context.Context) error { return runFigure2(ctx, opts, *out) }},
 		{"tableII", func(ctx context.Context) error { return runTableII(ctx, opts, *out) }},
 		{"figure3", func(ctx context.Context) error { return runFigure3(ctx, opts, *out) }},
 		{"figure4", func(ctx context.Context) error { return runFigure4(ctx, opts, *out) }},
-		{"figure5", func(ctx context.Context) error { return runFigure5(opts, *out) }},
+		{"figure5", func(ctx context.Context) error { return runFigure5(ctx, opts, *out) }},
 		{"cross", func(ctx context.Context) error { return runCross(ctx, opts, *out) }},
 		{"dynamic", func(ctx context.Context) error { return runDynamic(ctx, opts, *out) }},
-		{"modulated", func(ctx context.Context) error { return runModulated(opts, *out) }},
-		{"attacker", func(ctx context.Context) error { return runAttacker(opts, *out) }},
+		{"modulated", func(ctx context.Context) error { return runModulated(ctx, opts, *out) }},
+		{"attacker", func(ctx context.Context) error { return runAttacker(ctx, opts, *out) }},
 		{"betweenness", func(ctx context.Context) error { return runBetweenness(ctx, opts, *out) }},
 		{"sweep", func(ctx context.Context) error { return runSweep(ctx, opts, *out) }},
 		{"churn", func(ctx context.Context) error { return runChurn(ctx, opts, *out) }},
@@ -138,19 +173,35 @@ func run(args []string) error {
 	if len(selected) == 0 {
 		return fmt.Errorf("unknown experiment %q", *only)
 	}
-	return runJobs(context.Background(), selected, *timeout, *keepGoing, os.Stdout)
+	err := runJobs(context.Background(), selected, *timeout, *keepGoing, mc, os.Stdout)
+	if path, werr := mc.write(*out); werr != nil {
+		if err == nil {
+			err = werr
+		}
+	} else {
+		fmt.Printf("wrote %s\n", path)
+	}
+	return err
 }
 
 // runJobs executes jobs sequentially with per-job timeout and panic
 // recovery. With keepGoing, a failed job is recorded and the remaining
 // jobs still run; the failures are summarized on w and returned as a
-// single error so the process exits nonzero.
-func runJobs(ctx context.Context, jobs []job, timeout time.Duration, keepGoing bool, w io.Writer) error {
+// single error so the process exits nonzero. When mc is non-nil, each
+// job's wall time, allocator deltas, and metrics window are collected.
+func runJobs(ctx context.Context, jobs []job, timeout time.Duration, keepGoing bool, mc *metricsCollector, w io.Writer) error {
 	var failures []jobFailure
 	for _, j := range jobs {
 		start := time.Now()
 		fmt.Fprintf(w, "== %s ==\n", j.name)
+		var before runtime.MemStats
+		if mc != nil {
+			before = mc.beforeJob()
+		}
 		err := runOne(ctx, j, timeout)
+		if mc != nil {
+			mc.afterJob(j.name, err, time.Since(start), before)
+		}
 		if err != nil {
 			failures = append(failures, jobFailure{name: j.name, err: err})
 			fmt.Fprintf(w, "FAILED %s after %v: %v\n\n", j.name, time.Since(start).Round(time.Millisecond), err)
@@ -180,7 +231,8 @@ func runJobs(ctx context.Context, jobs []job, timeout time.Duration, keepGoing b
 // reported failure. The job runs in its own goroutine so a job that
 // ignores its context cannot stall the runner past the deadline; such a
 // goroutine is abandoned (it holds no locks the runner needs) and the
-// leak lasts at most until process exit.
+// leak lasts at most until process exit. The goroutine carries the
+// "experiment" pprof label so CPU profile samples attribute to the job.
 func runOne(parent context.Context, j job, timeout time.Duration) (err error) {
 	ctx := parent
 	if timeout > 0 {
@@ -189,13 +241,16 @@ func runOne(parent context.Context, j job, timeout time.Duration) (err error) {
 		defer cancel()
 	}
 	done := make(chan error, 1)
+	jctx := obs.WithExperiment(ctx, j.name)
 	go func() {
 		defer func() {
 			if r := recover(); r != nil {
 				done <- fmt.Errorf("panic: %v\n%s", r, debug.Stack())
 			}
 		}()
-		done <- j.run(ctx)
+		pprof.Do(jctx, pprof.Labels(), func(jctx context.Context) {
+			done <- j.run(jctx)
+		})
 	}()
 	select {
 	case err = <-done:
@@ -301,8 +356,8 @@ func runBench(ctx context.Context, opts experiments.Options, out string, workers
 	return nil
 }
 
-func runTableI(opts experiments.Options, out string) error {
-	res, err := experiments.TableI(opts)
+func runTableI(ctx context.Context, opts experiments.Options, out string) error {
+	res, err := experiments.TableI(ctx, opts)
 	if err != nil {
 		return err
 	}
@@ -339,8 +394,8 @@ func runFigure1(ctx context.Context, opts experiments.Options, out string) error
 	return t.Render(os.Stdout)
 }
 
-func runFigure2(opts experiments.Options, out string) error {
-	res, err := experiments.Figure2(opts)
+func runFigure2(ctx context.Context, opts experiments.Options, out string) error {
+	res, err := experiments.Figure2(ctx, opts)
 	if err != nil {
 		return err
 	}
@@ -409,8 +464,8 @@ func runFigure4(ctx context.Context, opts experiments.Options, out string) error
 	return t.Render(os.Stdout)
 }
 
-func runFigure5(opts experiments.Options, out string) error {
-	res, err := experiments.Figure5(opts)
+func runFigure5(ctx context.Context, opts experiments.Options, out string) error {
+	res, err := experiments.Figure5(ctx, opts)
 	if err != nil {
 		return err
 	}
@@ -446,8 +501,8 @@ func runDynamic(ctx context.Context, opts experiments.Options, out string) error
 		[]report.Series{res.SLEM, res.Mixing, res.MinAlpha, res.AvgDegree})
 }
 
-func runModulated(opts experiments.Options, out string) error {
-	res, err := experiments.FutureWorkModulated(opts)
+func runModulated(ctx context.Context, opts experiments.Options, out string) error {
+	res, err := experiments.FutureWorkModulated(ctx, opts)
 	if err != nil {
 		return err
 	}
@@ -464,8 +519,8 @@ func runModulated(opts experiments.Options, out string) error {
 	return report.SaveCSV(filepath.Join(out, "modulated.csv"), res.Curves)
 }
 
-func runAttacker(opts experiments.Options, out string) error {
-	res, err := experiments.AttackerModels(opts)
+func runAttacker(ctx context.Context, opts experiments.Options, out string) error {
+	res, err := experiments.AttackerModels(ctx, opts)
 	if err != nil {
 		return err
 	}

@@ -2,14 +2,19 @@ package main
 
 import (
 	"bytes"
-	"encoding/json"
 	"context"
+	"encoding/json"
 	"errors"
+	"net/http"
 	"os"
 	"path/filepath"
 	"strings"
+	"sync"
 	"testing"
 	"time"
+
+	"github.com/trustnet/trustnet/internal/experiments"
+	"github.com/trustnet/trustnet/internal/obs"
 )
 
 func TestRunSingleExperiments(t *testing.T) {
@@ -99,7 +104,7 @@ func TestRunJobsKeepGoingAfterFailure(t *testing.T) {
 		{"after", func(ctx context.Context) error { ran = append(ran, "after"); return nil }},
 	}
 	var buf bytes.Buffer
-	err := runJobs(context.Background(), jobs, 0, true, &buf)
+	err := runJobs(context.Background(), jobs, 0, true, nil, &buf)
 	if err == nil {
 		t.Fatal("runJobs with a failing job: want error (nonzero exit)")
 	}
@@ -119,7 +124,7 @@ func TestRunJobsPanicIsReportedFailure(t *testing.T) {
 		{"survivor", func(ctx context.Context) error { ran = append(ran, "survivor"); return nil }},
 	}
 	var buf bytes.Buffer
-	err := runJobs(context.Background(), jobs, 0, true, &buf)
+	err := runJobs(context.Background(), jobs, 0, true, nil, &buf)
 	if err == nil {
 		t.Fatal("runJobs with a panicking job: want error")
 	}
@@ -148,7 +153,7 @@ func TestRunJobsTimeout(t *testing.T) {
 	}
 	var buf bytes.Buffer
 	start := time.Now()
-	err := runJobs(context.Background(), jobs, 50*time.Millisecond, true, &buf)
+	err := runJobs(context.Background(), jobs, 50*time.Millisecond, true, nil, &buf)
 	if err == nil {
 		t.Fatal("runJobs with a timed-out job: want error")
 	}
@@ -169,7 +174,7 @@ func TestRunJobsIgnoredContextStillTimesOut(t *testing.T) {
 	defer close(block)
 	jobs := []job{{"stuck", func(ctx context.Context) error { <-block; return nil }}}
 	var buf bytes.Buffer
-	if err := runJobs(context.Background(), jobs, 50*time.Millisecond, true, &buf); err == nil {
+	if err := runJobs(context.Background(), jobs, 50*time.Millisecond, true, nil, &buf); err == nil {
 		t.Fatal("runJobs with a stuck job: want error")
 	}
 }
@@ -181,7 +186,7 @@ func TestRunJobsStopsWithoutKeepGoing(t *testing.T) {
 		{"after", func(ctx context.Context) error { ran = append(ran, "after"); return nil }},
 	}
 	var buf bytes.Buffer
-	if err := runJobs(context.Background(), jobs, 0, false, &buf); err == nil {
+	if err := runJobs(context.Background(), jobs, 0, false, nil, &buf); err == nil {
 		t.Fatal("want error")
 	}
 	if len(ran) != 0 {
@@ -216,5 +221,147 @@ func TestRunBenchMode(t *testing.T) {
 		if !e.Identical {
 			t.Errorf("%s: workers=1 vs 4 results differ", e.Name)
 		}
+	}
+}
+
+// Regression: -h used to propagate flag.ErrHelp out of run, so asking
+// for usage exited 1.
+func TestRunHelpExitsZero(t *testing.T) {
+	if err := run([]string{"-h"}); err != nil {
+		t.Fatalf("run(-h) = %v, want nil", err)
+	}
+}
+
+// syncWriter serializes writes so an abandoned job goroutine racing the
+// test's final read cannot trip the race detector.
+type syncWriter struct {
+	mu sync.Mutex
+	b  bytes.Buffer
+}
+
+func (w *syncWriter) Write(p []byte) (int, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.b.Write(p)
+}
+
+func (w *syncWriter) String() string {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.b.String()
+}
+
+// Regression: the tableI job discarded its context, so after a timeout
+// the abandoned goroutine finished the measurement anyway and rendered
+// its table into the middle of later jobs' output.
+func TestRunJobsCanceledTableIWritesNothing(t *testing.T) {
+	out := &syncWriter{}
+	jobs := []job{{"tableI", func(ctx context.Context) error {
+		res, err := experiments.TableI(ctx, experiments.Options{Quick: true, Seed: 1})
+		if err != nil {
+			return err
+		}
+		tb, err := res.Table()
+		if err != nil {
+			return err
+		}
+		return tb.Render(out)
+	}}}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := runJobs(ctx, jobs, 0, true, nil, out); err == nil {
+		t.Fatal("canceled run: want error")
+	}
+	// Grace period for a ctx-ignoring job to misbehave before we look.
+	time.Sleep(100 * time.Millisecond)
+	if s := out.String(); strings.Contains(s, "Table I:") {
+		t.Errorf("job rendered its table after cancellation:\n%s", s)
+	}
+}
+
+// Every run writes METRICS.json with the per-job resource and metrics
+// window next to the experiment artifacts.
+func TestRunWritesMetrics(t *testing.T) {
+	dir := t.TempDir()
+	if err := run([]string{"-quick", "-run", "tableI", "-out", dir}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "METRICS.json"))
+	if err != nil {
+		t.Fatalf("METRICS.json not written: %v", err)
+	}
+	var doc struct {
+		Schema string `json:"schema"`
+		Jobs   []struct {
+			Name        string  `json:"name"`
+			Status      string  `json:"status"`
+			WallSeconds float64 `json:"wall_seconds"`
+			Allocs      uint64  `json:"allocs"`
+			Metrics     struct {
+				Counters map[string]int64 `json:"counters"`
+				Timers   map[string]struct {
+					Count int64 `json:"count"`
+				} `json:"timers"`
+				Spans []struct {
+					Stage string `json:"stage"`
+				} `json:"spans"`
+			} `json:"metrics"`
+		} `json:"jobs"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatalf("invalid METRICS.json: %v", err)
+	}
+	if doc.Schema != "trustnet/metrics/v1" {
+		t.Errorf("schema = %q", doc.Schema)
+	}
+	if len(doc.Jobs) != 1 || doc.Jobs[0].Name != "tableI" || doc.Jobs[0].Status != "ok" {
+		t.Fatalf("jobs = %+v, want one ok tableI entry", doc.Jobs)
+	}
+	j := doc.Jobs[0]
+	if j.WallSeconds <= 0 || j.Allocs == 0 {
+		t.Errorf("wall=%v allocs=%d, want both positive", j.WallSeconds, j.Allocs)
+	}
+	if j.Metrics.Counters["spectral.slem.iterations"] == 0 {
+		t.Errorf("no SLEM iterations attributed to tableI: %v", j.Metrics.Counters)
+	}
+	if j.Metrics.Timers["spectral.slem"].Count == 0 {
+		t.Error("no spectral.slem timer observations")
+	}
+	found := false
+	for _, s := range j.Metrics.Spans {
+		if s.Stage == "spectral.slem" {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("no spectral.slem span in the job window")
+	}
+}
+
+// The -metrics-addr endpoint serves registry snapshots as JSON.
+func TestServeMetrics(t *testing.T) {
+	reg := obs.NewRegistry()
+	reg.Counter("cmd.test.metric").Add(3)
+	srv, addr, err := serveMetrics("127.0.0.1:0", reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	resp, err := http.Get("http://" + addr + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	var snap struct {
+		Counters map[string]int64 `json:"counters"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		t.Fatal(err)
+	}
+	if snap.Counters["cmd.test.metric"] != 3 {
+		t.Errorf("counters = %v", snap.Counters)
 	}
 }

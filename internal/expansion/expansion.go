@@ -30,8 +30,20 @@ import (
 
 	"github.com/trustnet/trustnet/internal/graph"
 	"github.com/trustnet/trustnet/internal/kernels"
+	"github.com/trustnet/trustnet/internal/obs"
 	"github.com/trustnet/trustnet/internal/parallel"
 	"github.com/trustnet/trustnet/internal/stats"
+)
+
+// Observability instruments for the expansion measurement, resolved once
+// at init. Counting happens per core / per batch / per Measure call, not
+// inside the BFS inner loops, so the kernels are untouched and results
+// stay bit-identical with metrics enabled.
+var (
+	obsScalarSources = obs.Default().Counter("expansion.bfs.scalar_sources")
+	obsBatches       = obs.Default().Counter("expansion.bfs.batches")
+	obsPoolHits      = obs.Default().Counter("expansion.pool.hits")
+	obsPoolMisses    = obs.Default().Counter("expansion.pool.misses")
 )
 
 // Config controls a measurement run.
@@ -140,9 +152,13 @@ func Measure(ctx context.Context, g graph.View, cfg Config) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	ctx, span := obs.StartSpan(ctx, "expansion.measure")
+	defer span.End()
 	var levels [][]int64
 	if width <= 1 {
 		pool := graph.NewBFSPool(g)
+		defer recordPoolStats(pool.Stats)
+		obsScalarSources.Add(int64(len(sources)))
 		levels, err = parallel.Map(ctx, cfg.Workers, len(sources), func(_, i int) ([]int64, error) {
 			bfs := pool.Get()
 			defer pool.Put(bfs)
@@ -157,6 +173,8 @@ func Measure(ctx context.Context, g graph.View, cfg Config) (*Result, error) {
 	} else {
 		blocks := parallel.Blocks(len(sources), width)
 		pool := kernels.NewBFSBatchPool(graph.Materialize(g))
+		defer recordPoolStats(pool.Stats)
+		obsBatches.Add(int64(len(blocks)))
 		var parts [][][]int64
 		parts, err = parallel.Map(ctx, cfg.Workers, len(blocks), func(_, b int) ([][]int64, error) {
 			batch := pool.Get()
@@ -194,6 +212,14 @@ func Measure(ctx context.Context, g graph.View, cfg Config) (*Result, error) {
 		}
 	}
 	return res, nil
+}
+
+// recordPoolStats folds one pool's get/new counts into the shared hit
+// and miss counters; both BFS pools expose the same Stats signature.
+func recordPoolStats(stats func() (gets, news int64)) {
+	gets, news := stats()
+	obsPoolHits.Add(gets - news)
+	obsPoolMisses.Add(news)
 }
 
 // SampledSources returns k seeded uniform distinct sources for large

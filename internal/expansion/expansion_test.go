@@ -251,4 +251,3 @@ func TestMeasureWorkerCountsAgree(t *testing.T) {
 		}
 	}
 }
-

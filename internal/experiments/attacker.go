@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"github.com/trustnet/trustnet/internal/graph"
@@ -66,7 +67,8 @@ func (r *AttackerResult) Table() (*report.Table, error) {
 // placement models on a fast-mixing dataset, holding everything but the
 // placement fixed. Both defenses always run with full parameters — the
 // runs are cheap and the placement contrast needs the statistics.
-func AttackerModels(opts Options) (*AttackerResult, error) {
+// Cancellation of ctx is honored between placements.
+func AttackerModels(ctx context.Context, opts Options) (*AttackerResult, error) {
 	opts.fill()
 	const dataset = "epinion"
 	g, err := opts.graphFor(dataset)
@@ -80,6 +82,9 @@ func AttackerModels(opts Options) (*AttackerResult, error) {
 	}
 	res := &AttackerResult{Dataset: dataset, AttackEdges: attackEdges}
 	for _, placement := range []sybil.Placement{sybil.PlaceRandom, sybil.PlaceHubs, sybil.PlacePeriphery} {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("experiments: attacker: %w", err)
+		}
 		a, err := sybil.Inject(g, sybil.AttackConfig{
 			SybilNodes:  n / 5,
 			AttackEdges: attackEdges,

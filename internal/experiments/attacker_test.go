@@ -1,13 +1,14 @@
 package experiments
 
 import (
+	"context"
 	"testing"
 
 	"github.com/trustnet/trustnet/internal/sybil"
 )
 
 func TestAttackerModelsQuick(t *testing.T) {
-	res, err := AttackerModels(sharedOpts())
+	res, err := AttackerModels(context.Background(), sharedOpts())
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"context"
+	"errors"
 	"strings"
 	"testing"
 
@@ -14,7 +15,7 @@ func sharedOpts() Options {
 }
 
 func TestTableIQuick(t *testing.T) {
-	res, err := TableI(sharedOpts())
+	res, err := TableI(context.Background(), sharedOpts())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -100,7 +101,7 @@ func TestFigure1Quick(t *testing.T) {
 }
 
 func TestFigure2Quick(t *testing.T) {
-	res, err := Figure2(sharedOpts())
+	res, err := Figure2(context.Background(), sharedOpts())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -226,7 +227,7 @@ func TestFigure4Quick(t *testing.T) {
 }
 
 func TestFigure5Quick(t *testing.T) {
-	res, err := Figure5(sharedOpts())
+	res, err := Figure5(context.Background(), sharedOpts())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -307,5 +308,30 @@ func TestSharedCacheReused(t *testing.T) {
 	}
 	if _, err := opts.graphFor("nope"); err == nil {
 		t.Error("graphFor(nope): want error")
+	}
+}
+
+// Regression: TableI, Figure2, Figure5, FutureWorkModulated, and
+// AttackerModels used to ignore cancellation entirely, so a timed-out
+// runner job kept measuring (and later printing) in its abandoned
+// goroutine.
+func TestRunnersHonorCanceledContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	opts := sharedOpts()
+	if _, err := TableI(ctx, opts); !errors.Is(err, context.Canceled) {
+		t.Errorf("TableI: %v, want context.Canceled", err)
+	}
+	if _, err := Figure2(ctx, opts); !errors.Is(err, context.Canceled) {
+		t.Errorf("Figure2: %v, want context.Canceled", err)
+	}
+	if _, err := Figure5(ctx, opts); !errors.Is(err, context.Canceled) {
+		t.Errorf("Figure5: %v, want context.Canceled", err)
+	}
+	if _, err := FutureWorkModulated(ctx, opts); !errors.Is(err, context.Canceled) {
+		t.Errorf("FutureWorkModulated: %v, want context.Canceled", err)
+	}
+	if _, err := AttackerModels(ctx, opts); !errors.Is(err, context.Canceled) {
+		t.Errorf("AttackerModels: %v, want context.Canceled", err)
 	}
 }

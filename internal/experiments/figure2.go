@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"github.com/trustnet/trustnet/internal/datasets"
@@ -18,12 +19,16 @@ type Figure2Result struct {
 	Degeneracy map[string]int
 }
 
-// Figure2 computes the coreness ECDF of every dataset.
-func Figure2(opts Options) (*Figure2Result, error) {
+// Figure2 computes the coreness ECDF of every dataset. Cancellation of
+// ctx is honored between datasets.
+func Figure2(ctx context.Context, opts Options) (*Figure2Result, error) {
 	opts.fill()
 	res := &Figure2Result{Degeneracy: make(map[string]int)}
 	run := func(specs []datasets.Spec, panel *[]report.Series) error {
 		for _, spec := range specs {
+			if err := ctx.Err(); err != nil {
+				return fmt.Errorf("experiments: figure 2: %w", err)
+			}
 			g, err := opts.graphFor(spec.Name)
 			if err != nil {
 				return err

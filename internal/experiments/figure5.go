@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"github.com/trustnet/trustnet/internal/kcore"
@@ -34,8 +35,9 @@ type Figure5Result struct {
 	Panels []Figure5Panel
 }
 
-// Figure5 computes the per-k core statistics.
-func Figure5(opts Options) (*Figure5Result, error) {
+// Figure5 computes the per-k core statistics. Cancellation of ctx is
+// honored between datasets.
+func Figure5(ctx context.Context, opts Options) (*Figure5Result, error) {
 	opts.fill()
 	names := figure5Datasets
 	if opts.Quick {
@@ -43,6 +45,9 @@ func Figure5(opts Options) (*Figure5Result, error) {
 	}
 	res := &Figure5Result{}
 	for _, name := range names {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("experiments: figure 5: %w", err)
+		}
 		g, err := opts.graphFor(name)
 		if err != nil {
 			return nil, err

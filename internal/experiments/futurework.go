@@ -124,9 +124,13 @@ func (r *ModulatedResult) Table() (*report.Table, error) {
 }
 
 // FutureWorkModulated measures the mixing cost of each trust modulation
-// on the wiki-vote stand-in.
-func FutureWorkModulated(opts Options) (*ModulatedResult, error) {
+// on the wiki-vote stand-in. Cancellation of ctx is honored before the
+// graph build and between strategy variants.
+func FutureWorkModulated(ctx context.Context, opts Options) (*ModulatedResult, error) {
 	opts.fill()
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("experiments: modulated: %w", err)
+	}
 	g, err := opts.graphFor("wiki-vote")
 	if err != nil {
 		return nil, err
@@ -154,6 +158,9 @@ func FutureWorkModulated(opts Options) (*ModulatedResult, error) {
 		StepsTo01: make(map[string]int, len(variants)),
 	}
 	for _, v := range variants {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("experiments: modulated: %w", err)
+		}
 		curve, err := walk.ModulatedMixingCurve(g, source[0], v.cfg, pi, steps)
 		if err != nil {
 			return nil, fmt.Errorf("experiments: modulated %s: %w", v.name, err)

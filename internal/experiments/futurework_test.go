@@ -50,7 +50,7 @@ func TestFutureWorkDynamicQuick(t *testing.T) {
 }
 
 func TestFutureWorkModulatedQuick(t *testing.T) {
-	res, err := FutureWorkModulated(sharedOpts())
+	res, err := FutureWorkModulated(context.Background(), sharedOpts())
 	if err != nil {
 		t.Fatal(err)
 	}

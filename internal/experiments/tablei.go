@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"github.com/trustnet/trustnet/internal/datasets"
@@ -50,8 +51,10 @@ func (r *TableIResult) Table() (*report.Table, error) {
 }
 
 // TableI measures every registry dataset's size and SLEM — the Table I
-// reproduction.
-func TableI(opts Options) (*TableIResult, error) {
+// reproduction. Cancellation of ctx is honored between datasets, so a
+// timed-out run stops measuring (and its caller stops printing) instead
+// of finishing the table in the background.
+func TableI(ctx context.Context, opts Options) (*TableIResult, error) {
 	opts.fill()
 	specs := datasets.All()
 	if opts.Quick {
@@ -59,6 +62,9 @@ func TableI(opts Options) (*TableIResult, error) {
 	}
 	res := &TableIResult{Rows: make([]TableIRow, 0, len(specs))}
 	for _, spec := range specs {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("experiments: table I: %w", err)
+		}
 		g, err := opts.graphFor(spec.Name)
 		if err != nil {
 			return nil, err

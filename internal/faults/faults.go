@@ -39,6 +39,16 @@ import (
 	"math/rand"
 
 	"github.com/trustnet/trustnet/internal/graph"
+	"github.com/trustnet/trustnet/internal/obs"
+)
+
+// Observability instruments for the fault schedule, resolved once at
+// init and written once per epoch draw — the draw's RNG streams are
+// untouched, so schedules stay bit-identical with metrics enabled.
+var (
+	obsEpochDraws  = obs.Default().Counter("faults.epoch.draws")
+	obsNodesMasked = obs.Default().Counter("faults.epoch.nodes_masked")
+	obsEdgesMasked = obs.Default().Counter("faults.epoch.edges_masked")
 )
 
 // Config parameterizes a fault model.
@@ -182,6 +192,10 @@ func (m *Model) drawEpoch(e int) {
 			return true
 		})
 	}
+
+	obsEpochDraws.Inc()
+	obsNodesMasked.Add(int64(n - m.view.NumAlive()))
+	obsEdgesMasked.Add(int64(m.numLost))
 }
 
 // Epoch returns the current epoch index, starting at 0.

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math/rand"
 	"sync"
+	"sync/atomic"
 )
 
 // ErrNoCandidates is returned by SampleNodes when the candidate set the
@@ -61,15 +62,33 @@ func SampleNodes(g View, k int, seed int64, nonIsolated bool) ([]NodeID, error) 
 // call chain, and idle scratch is reclaimable by the GC.
 type BFSPool struct {
 	pool sync.Pool
+	gets atomic.Int64
+	news atomic.Int64
 }
 
 // NewBFSPool returns a pool of BFS workers bound to g.
 func NewBFSPool(g View) *BFSPool {
-	return &BFSPool{pool: sync.Pool{New: func() any { return NewBFSWorker(g) }}}
+	p := &BFSPool{}
+	p.pool.New = func() any {
+		p.news.Add(1)
+		return NewBFSWorker(g)
+	}
+	return p
 }
 
 // Get returns a BFS worker for exclusive use until Put.
-func (p *BFSPool) Get() *BFSWorker { return p.pool.Get().(*BFSWorker) }
+func (p *BFSPool) Get() *BFSWorker {
+	p.gets.Add(1)
+	return p.pool.Get().(*BFSWorker)
+}
+
+// Stats reports how many Gets the pool has served and how many of them
+// had to build a fresh worker; gets - news is the number of scratch
+// reuses ("pool hits"), the quantity the observability layer tracks to
+// confirm the fan-out amortizes its O(n) buffers.
+func (p *BFSPool) Stats() (gets, news int64) {
+	return p.gets.Load(), p.news.Load()
+}
 
 // Put returns a worker to the pool. The worker's last BFSResult (whose
 // Dist and LevelSizes slices alias worker scratch) must not be read

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math/bits"
 	"sync"
+	"sync/atomic"
 
 	"github.com/trustnet/trustnet/internal/graph"
 )
@@ -132,15 +133,32 @@ func (b *BFSBatch) Run(sources []graph.NodeID) ([][]int64, error) {
 // returned to the pool.
 type BFSBatchPool struct {
 	pool sync.Pool
+	gets atomic.Int64
+	news atomic.Int64
 }
 
 // NewBFSBatchPool returns a pool of batch runners bound to g.
 func NewBFSBatchPool(g *graph.Graph) *BFSBatchPool {
-	return &BFSBatchPool{pool: sync.Pool{New: func() any { return NewBFSBatch(g) }}}
+	p := &BFSBatchPool{}
+	p.pool.New = func() any {
+		p.news.Add(1)
+		return NewBFSBatch(g)
+	}
+	return p
 }
 
 // Get returns a batch runner for exclusive use until Put.
-func (p *BFSBatchPool) Get() *BFSBatch { return p.pool.Get().(*BFSBatch) }
+func (p *BFSBatchPool) Get() *BFSBatch {
+	p.gets.Add(1)
+	return p.pool.Get().(*BFSBatch)
+}
+
+// Stats reports how many Gets the pool has served and how many built a
+// fresh runner; gets - news is the number of scratch reuses ("pool
+// hits") the observability layer tracks, mirroring graph.BFSPool.Stats.
+func (p *BFSBatchPool) Stats() (gets, news int64) {
+	return p.gets.Load(), p.news.Load()
+}
 
 // Put returns a batch runner to the pool.
 func (p *BFSBatchPool) Put(b *BFSBatch) { p.pool.Put(b) }

@@ -97,6 +97,10 @@ func (wb *WalkBlock) Width() int { return wb.width }
 // StepCount returns the number of steps taken so far.
 func (wb *WalkBlock) StepCount() int { return wb.step }
 
+// Dense reports whether the block has handed over from the
+// sparse-frontier fast path to the permanent dense scan.
+func (wb *WalkBlock) Dense() bool { return wb.support == nil }
+
 // Step advances every column one walk step: p ← pP, or p ← p(I+P)/2 for
 // the lazy walk.
 func (wb *WalkBlock) Step() {

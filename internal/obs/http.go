@@ -1,0 +1,22 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http"
+)
+
+// Handler returns an expvar-style HTTP handler that serves the
+// registry's current Snapshot as indented JSON. cmd/experiments mounts
+// it when -metrics-addr is set, so long runs can be inspected with
+// `curl host:port/metrics` while jobs are still executing. The snapshot
+// is taken per request; serving never blocks the hot paths beyond the
+// registry mutex held for the copy.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		// Encoding errors mean the client went away; nothing to do.
+		_ = enc.Encode(r.Snapshot())
+	})
+}

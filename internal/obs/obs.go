@@ -1,0 +1,276 @@
+// Package obs is the observability layer of the measurement engine: a
+// lightweight metrics registry (counters, gauges, timers, stage spans)
+// that the hot paths — walk.MeasureMixing, expansion.Measure,
+// spectral.SLEM, faults.AdvanceEpoch, and the experiment runner — report
+// into, and that cmd/experiments snapshots to out/METRICS.json per run
+// (or serves over HTTP with -metrics-addr for long runs).
+//
+// Design constraints, in order:
+//
+//   - Allocation-free on the hot path. Counter.Add, Gauge.Set, and
+//     Timer.Observe are single atomic operations on pointers the
+//     instrumented packages resolve once at init; no map lookup, no
+//     lock, no allocation per observation (guarded by an AllocsPerRun
+//     test). Registration (Registry.Counter, ...) locks and may
+//     allocate, so callers hoist it out of their loops.
+//   - Deterministic measurements. The registry only ever observes —
+//     it never seeds, reorders, or schedules anything — so every
+//     TestEquivalence* suite runs bit-identical with the registry
+//     active. The metrics themselves (timings, pool hits) may differ
+//     run to run; the measurement results may not.
+//   - Attribution. Spans carry an (experiment, stage) pair: the stage
+//     names the instrumented call (e.g. "walk.mixing"), the experiment
+//     is read from the context via WithExperiment, which also attaches
+//     a pprof label so CPU profiles slice the same way. The parallel
+//     fan-out adds a per-slot "worker" pprof label, completing the
+//     (experiment, stage, worker) triple on every profile sample.
+//
+// Cost model: one observation is one uncontended atomic RMW (~ns);
+// spans add two time.Now calls and one mutex-guarded append per
+// instrumented call (not per item). The span buffer is bounded
+// (MaxSpans); overflow drops the oldest records and is itself counted.
+package obs
+
+import (
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing int64. The zero value is ready
+// to use; obtain shared instances from Registry.Counter.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Add increments the counter by n. Allocation-free.
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Inc increments the counter by one. Allocation-free.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is a last-value-wins float64. The zero value is ready to use.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set records the gauge's current value. Allocation-free.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Value returns the most recently set value (0 before the first Set).
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// Timer accumulates a count and total duration of observations. The
+// zero value is ready to use.
+type Timer struct {
+	count atomic.Int64
+	ns    atomic.Int64
+}
+
+// Observe folds one duration into the timer. Allocation-free.
+func (t *Timer) Observe(d time.Duration) {
+	t.count.Add(1)
+	t.ns.Add(int64(d))
+}
+
+// Count returns the number of observations.
+func (t *Timer) Count() int64 { return t.count.Load() }
+
+// Total returns the summed observed duration.
+func (t *Timer) Total() time.Duration { return time.Duration(t.ns.Load()) }
+
+// MaxSpans bounds the span records a registry retains; older records are
+// dropped (and counted in Snapshot.SpansDropped) once the buffer is full.
+const MaxSpans = 8192
+
+// Registry holds named metrics and completed span records. Metric
+// instances are get-or-create and stable: the pointer returned for a
+// name never changes, so instrumented packages resolve their metrics
+// once and hit only atomics afterwards. All methods are safe for
+// concurrent use.
+type Registry struct {
+	mu           sync.Mutex
+	counters     map[string]*Counter
+	gauges       map[string]*Gauge
+	timers       map[string]*Timer
+	spans        []SpanRecord
+	spansTotal   uint64
+	spansDropped uint64
+	base         time.Time
+}
+
+// NewRegistry returns an empty registry whose span clock starts now.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: make(map[string]*Counter),
+		gauges:   make(map[string]*Gauge),
+		timers:   make(map[string]*Timer),
+		base:     time.Now(),
+	}
+}
+
+var defaultRegistry = NewRegistry()
+
+// Default returns the process-wide registry every instrumented package
+// reports into.
+func Default() *Registry { return defaultRegistry }
+
+// Counter returns the counter registered under name, creating it on
+// first use. The returned pointer is stable for the registry's life.
+func (r *Registry) Counter(name string) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the gauge registered under name, creating it on first
+// use.
+func (r *Registry) Gauge(name string) *Gauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Timer returns the timer registered under name, creating it on first
+// use.
+func (r *Registry) Timer(name string) *Timer {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	t, ok := r.timers[name]
+	if !ok {
+		t = &Timer{}
+		r.timers[name] = t
+	}
+	return t
+}
+
+// TimerSnapshot is one timer's aggregate in a snapshot.
+type TimerSnapshot struct {
+	Count        int64   `json:"count"`
+	TotalSeconds float64 `json:"total_seconds"`
+}
+
+// Snapshot is a point-in-time copy of a registry, ready for JSON
+// encoding (out/METRICS.json, the -metrics-addr handler) or diffing.
+type Snapshot struct {
+	Counters map[string]int64         `json:"counters"`
+	Gauges   map[string]float64       `json:"gauges"`
+	Timers   map[string]TimerSnapshot `json:"timers"`
+	// Spans are the retained span records, oldest first.
+	Spans []SpanRecord `json:"spans,omitempty"`
+	// SpansTotal counts every span ever recorded; SpansDropped counts
+	// those no longer retained because the buffer overflowed.
+	SpansTotal   uint64 `json:"spans_total"`
+	SpansDropped uint64 `json:"spans_dropped,omitempty"`
+}
+
+// Snapshot copies the registry's current state.
+func (r *Registry) Snapshot() Snapshot {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s := Snapshot{
+		Counters:     make(map[string]int64, len(r.counters)),
+		Gauges:       make(map[string]float64, len(r.gauges)),
+		Timers:       make(map[string]TimerSnapshot, len(r.timers)),
+		Spans:        append([]SpanRecord(nil), r.spans...),
+		SpansTotal:   r.spansTotal,
+		SpansDropped: r.spansDropped,
+	}
+	for name, c := range r.counters {
+		s.Counters[name] = c.Value()
+	}
+	for name, g := range r.gauges {
+		s.Gauges[name] = g.Value()
+	}
+	for name, t := range r.timers {
+		s.Timers[name] = TimerSnapshot{Count: t.Count(), TotalSeconds: t.Total().Seconds()}
+	}
+	return s
+}
+
+// DiffSince returns the change from prev to s: counter and timer deltas
+// (zero-delta entries omitted), current gauge values, and the spans
+// recorded after prev was taken. Both snapshots must come from the same
+// registry, prev first.
+func (s Snapshot) DiffSince(prev Snapshot) Snapshot {
+	d := Snapshot{
+		Counters:     make(map[string]int64),
+		Gauges:       s.Gauges,
+		Timers:       make(map[string]TimerSnapshot),
+		SpansTotal:   s.SpansTotal - prev.SpansTotal,
+		SpansDropped: s.SpansDropped - prev.SpansDropped,
+	}
+	for name, v := range s.Counters {
+		if delta := v - prev.Counters[name]; delta != 0 {
+			d.Counters[name] = delta
+		}
+	}
+	for name, t := range s.Timers {
+		p := prev.Timers[name]
+		if t.Count != p.Count || t.TotalSeconds != p.TotalSeconds {
+			d.Timers[name] = TimerSnapshot{
+				Count:        t.Count - p.Count,
+				TotalSeconds: t.TotalSeconds - p.TotalSeconds,
+			}
+		}
+	}
+	// Spans recorded since prev: the retained buffer's suffix of length
+	// (total delta), clamped to what is still retained.
+	fresh := int(s.SpansTotal - prev.SpansTotal)
+	if fresh > len(s.Spans) {
+		fresh = len(s.Spans)
+	}
+	if fresh > 0 {
+		d.Spans = append([]SpanRecord(nil), s.Spans[len(s.Spans)-fresh:]...)
+	}
+	return d
+}
+
+// CounterNames returns the sorted names of all registered counters, for
+// deterministic report rendering.
+func (s Snapshot) CounterNames() []string {
+	names := make([]string, 0, len(s.Counters))
+	for name := range s.Counters {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Reset zeroes every registered metric in place (pointers held by
+// instrumented packages stay valid) and clears the span buffer. It is
+// meant for tests; concurrent observers will see the zeroing as a reset,
+// never a torn value.
+func (r *Registry) Reset() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, c := range r.counters {
+		c.v.Store(0)
+	}
+	for _, g := range r.gauges {
+		g.bits.Store(0)
+	}
+	for _, t := range r.timers {
+		t.count.Store(0)
+		t.ns.Store(0)
+	}
+	r.spans = nil
+	r.spansTotal = 0
+	r.spansDropped = 0
+	r.base = time.Now()
+}

@@ -1,0 +1,190 @@
+package obs
+
+import (
+	"context"
+	"encoding/json"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterGaugeTimer(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c")
+	c.Inc()
+	c.Add(4)
+	if got := c.Value(); got != 5 {
+		t.Errorf("counter = %d, want 5", got)
+	}
+	if r.Counter("c") != c {
+		t.Error("Counter is not get-or-create stable")
+	}
+	g := r.Gauge("g")
+	g.Set(2.5)
+	if got := g.Value(); got != 2.5 {
+		t.Errorf("gauge = %v, want 2.5", got)
+	}
+	tm := r.Timer("t")
+	tm.Observe(250 * time.Millisecond)
+	tm.Observe(750 * time.Millisecond)
+	if tm.Count() != 2 || tm.Total() != time.Second {
+		t.Errorf("timer = (%d, %v), want (2, 1s)", tm.Count(), tm.Total())
+	}
+}
+
+func TestSnapshotAndDiff(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("jobs")
+	c.Add(3)
+	r.Gauge("residual").Set(0.5)
+	prev := r.Snapshot()
+	if prev.Counters["jobs"] != 3 {
+		t.Fatalf("snapshot counter = %d, want 3", prev.Counters["jobs"])
+	}
+
+	c.Add(2)
+	r.Counter("other").Inc()
+	r.Gauge("residual").Set(0.25)
+	r.Timer("stage").Observe(time.Second)
+	_, span := r.StartSpan(context.Background(), "stage")
+	span.End()
+
+	diff := r.Snapshot().DiffSince(prev)
+	if diff.Counters["jobs"] != 2 || diff.Counters["other"] != 1 {
+		t.Errorf("counter deltas = %v", diff.Counters)
+	}
+	if diff.Gauges["residual"] != 0.25 {
+		t.Errorf("gauge in diff = %v, want latest value 0.25", diff.Gauges["residual"])
+	}
+	if ts := diff.Timers["stage"]; ts.Count != 2 { // Observe + span End
+		t.Errorf("timer delta count = %d, want 2", ts.Count)
+	}
+	if len(diff.Spans) != 1 || diff.Spans[0].Stage != "stage" {
+		t.Errorf("spans in diff = %+v, want the one fresh span", diff.Spans)
+	}
+	if names := diff.CounterNames(); len(names) != 2 || names[0] != "jobs" || names[1] != "other" {
+		t.Errorf("CounterNames = %v, want sorted [jobs other]", names)
+	}
+}
+
+func TestSpanAttribution(t *testing.T) {
+	r := NewRegistry()
+	ctx := WithExperiment(context.Background(), "figure1")
+	if got := ExperimentFrom(ctx); got != "figure1" {
+		t.Fatalf("ExperimentFrom = %q", got)
+	}
+	_, span := r.StartSpan(ctx, "walk.mixing")
+	span.End()
+	span.End() // idempotent
+
+	s := r.Snapshot()
+	if len(s.Spans) != 1 {
+		t.Fatalf("got %d spans, want 1 (End must be idempotent)", len(s.Spans))
+	}
+	rec := s.Spans[0]
+	if rec.Experiment != "figure1" || rec.Stage != "walk.mixing" {
+		t.Errorf("span = %+v", rec)
+	}
+	if rec.DurationSeconds < 0 {
+		t.Errorf("negative duration %v", rec.DurationSeconds)
+	}
+	if r.Timer("walk.mixing").Count() != 1 {
+		t.Error("span did not feed its stage timer")
+	}
+}
+
+func TestSpanOverflowDropsOldest(t *testing.T) {
+	r := NewRegistry()
+	for i := 0; i < MaxSpans+10; i++ {
+		_, span := r.StartSpan(context.Background(), "s")
+		span.End()
+	}
+	s := r.Snapshot()
+	if s.SpansTotal != MaxSpans+10 {
+		t.Errorf("SpansTotal = %d, want %d", s.SpansTotal, MaxSpans+10)
+	}
+	if s.SpansDropped == 0 {
+		t.Error("overflow did not count dropped spans")
+	}
+	if len(s.Spans)+int(s.SpansDropped) != int(s.SpansTotal) {
+		t.Errorf("retained %d + dropped %d != total %d", len(s.Spans), s.SpansDropped, s.SpansTotal)
+	}
+}
+
+func TestResetKeepsPointersValid(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c")
+	c.Add(7)
+	_, span := r.StartSpan(context.Background(), "s")
+	span.End()
+	r.Reset()
+	if c.Value() != 0 {
+		t.Errorf("counter after Reset = %d", c.Value())
+	}
+	c.Inc() // old pointer must still feed the registry
+	if r.Snapshot().Counters["c"] != 1 {
+		t.Error("pre-Reset pointer detached from registry")
+	}
+	if s := r.Snapshot(); len(s.Spans) != 0 || s.SpansTotal != 0 {
+		t.Error("Reset did not clear spans")
+	}
+}
+
+// TestHotPathDoesNotAllocate is the allocation-free contract: one
+// observation on a registered counter, gauge, or timer must not allocate.
+func TestHotPathDoesNotAllocate(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c")
+	g := r.Gauge("g")
+	tm := r.Timer("t")
+	allocs := testing.AllocsPerRun(1000, func() {
+		c.Inc()
+		c.Add(3)
+		g.Set(1.5)
+		tm.Observe(time.Microsecond)
+	})
+	if allocs != 0 {
+		t.Errorf("hot-path observations allocate %v times per run, want 0", allocs)
+	}
+}
+
+func TestRegistryConcurrency(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c := r.Counter("shared")
+			for i := 0; i < 1000; i++ {
+				c.Inc()
+			}
+			_, span := r.StartSpan(context.Background(), "stage")
+			span.End()
+			_ = r.Snapshot()
+		}()
+	}
+	wg.Wait()
+	if got := r.Counter("shared").Value(); got != 8000 {
+		t.Errorf("shared counter = %d, want 8000", got)
+	}
+}
+
+func TestHandlerServesSnapshot(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("hits").Add(42)
+	req := httptest.NewRequest("GET", "/metrics", nil)
+	w := httptest.NewRecorder()
+	r.Handler().ServeHTTP(w, req)
+	if w.Code != 200 {
+		t.Fatalf("status = %d", w.Code)
+	}
+	var snap Snapshot
+	if err := json.Unmarshal(w.Body.Bytes(), &snap); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, w.Body.String())
+	}
+	if snap.Counters["hits"] != 42 {
+		t.Errorf("served counters = %v", snap.Counters)
+	}
+}

@@ -1,0 +1,109 @@
+package obs
+
+import (
+	"context"
+	"runtime/pprof"
+	"time"
+)
+
+// SpanRecord is one completed stage span: a named phase of a measurement
+// (the stage) attributed to the experiment that ran it, with its start
+// offset from the registry's base clock and its duration. Records are
+// what METRICS.json lists per job.
+type SpanRecord struct {
+	Experiment      string  `json:"experiment,omitempty"`
+	Stage           string  `json:"stage"`
+	StartSeconds    float64 `json:"start_seconds"`
+	DurationSeconds float64 `json:"duration_seconds"`
+}
+
+// Span is an in-flight stage span started by StartSpan; End completes it.
+type Span struct {
+	r          *Registry
+	experiment string
+	stage      string
+	start      time.Time
+	prevLabels context.Context
+	done       bool
+}
+
+type experimentKey struct{}
+
+// WithExperiment tags ctx with the experiment name that owns the work
+// under it — the runner calls it once per job. Spans started under the
+// returned context carry the name, and it is also attached as the
+// "experiment" pprof label so CPU profiles attribute samples the same
+// way (goroutines must adopt the label set via pprof.Do or
+// pprof.SetGoroutineLabels; parallel.ForEach does this for its workers).
+func WithExperiment(ctx context.Context, name string) context.Context {
+	ctx = context.WithValue(ctx, experimentKey{}, name)
+	return pprof.WithLabels(ctx, pprof.Labels("experiment", name))
+}
+
+// ExperimentFrom returns the experiment name ctx was tagged with, or "".
+func ExperimentFrom(ctx context.Context) string {
+	name, _ := ctx.Value(experimentKey{}).(string)
+	return name
+}
+
+// StartSpan opens a stage span on the registry and returns a context
+// carrying a "stage" pprof label for the span's extent. The caller must
+// End the span on the same goroutine it started it on (the usual
+// `defer span.End()`), which restores the goroutine's previous label
+// set; the returned context hands the (experiment, stage) labels to any
+// fan-out spawned under the span.
+//
+// A span costs two time.Now calls and one bounded append at End — it is
+// per measurement call, never per item, so it is not subject to the
+// allocation-free hot-path rule.
+func (r *Registry) StartSpan(ctx context.Context, stage string) (context.Context, *Span) {
+	s := &Span{
+		r:          r,
+		experiment: ExperimentFrom(ctx),
+		stage:      stage,
+		prevLabels: ctx,
+	}
+	ctx = pprof.WithLabels(ctx, pprof.Labels("stage", stage))
+	pprof.SetGoroutineLabels(ctx)
+	s.start = time.Now()
+	return ctx, s
+}
+
+// StartSpan opens a stage span on the default registry.
+func StartSpan(ctx context.Context, stage string) (context.Context, *Span) {
+	return defaultRegistry.StartSpan(ctx, stage)
+}
+
+// End completes the span: it restores the goroutine's pprof labels,
+// records a SpanRecord on the registry, and folds the duration into the
+// Timer named after the stage. End is idempotent; only the first call
+// records.
+func (s *Span) End() {
+	if s == nil || s.done {
+		return
+	}
+	s.done = true
+	d := time.Since(s.start)
+	pprof.SetGoroutineLabels(s.prevLabels)
+	s.r.Timer(s.stage).Observe(d)
+
+	s.r.mu.Lock()
+	rec := SpanRecord{
+		Experiment:      s.experiment,
+		Stage:           s.stage,
+		StartSeconds:    s.start.Sub(s.r.base).Seconds(),
+		DurationSeconds: d.Seconds(),
+	}
+	if len(s.r.spans) >= MaxSpans {
+		// Drop the oldest half in one copy so overflow stays O(1)
+		// amortized instead of a per-record shift.
+		keep := MaxSpans / 2
+		dropped := len(s.r.spans) - keep
+		copy(s.r.spans, s.r.spans[dropped:])
+		s.r.spans = s.r.spans[:keep]
+		s.r.spansDropped += uint64(dropped)
+	}
+	s.r.spans = append(s.r.spans, rec)
+	s.r.spansTotal++
+	s.r.mu.Unlock()
+}

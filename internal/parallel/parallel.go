@@ -27,8 +27,28 @@ package parallel
 import (
 	"context"
 	"runtime"
+	"runtime/pprof"
+	"strconv"
 	"sync"
 )
+
+// workerLabels caches the pprof label values for small slot indices so
+// labeling a fan-out does not allocate per worker on the common path.
+var workerLabels = func() [64]string {
+	var ls [64]string
+	for i := range ls {
+		ls[i] = strconv.Itoa(i)
+	}
+	return ls
+}()
+
+// workerLabel returns the string form of a worker slot index.
+func workerLabel(slot int) string {
+	if slot < len(workerLabels) {
+		return workerLabels[slot]
+	}
+	return strconv.Itoa(slot)
+}
 
 // Workers normalizes a requested worker count: values <= 0 become
 // GOMAXPROCS, and the result is capped at items (never below 1) so callers
@@ -63,7 +83,10 @@ func ForEach(ctx context.Context, workers, n int, fn func(slot, i int) error) er
 	workers = Workers(workers, n)
 	if workers == 1 {
 		// Run inline: keeps single-worker stacks shallow and makes the
-		// sequential path trivially identical to the parallel one.
+		// sequential path trivially identical to the parallel one. The
+		// calling goroutine's pprof labels (experiment, stage) already
+		// apply; re-labeling here would cost an allocation per call on
+		// per-iteration fan-outs like the spectral mat-vec.
 		for i := 0; i < n; i++ {
 			if err := ctx.Err(); err != nil {
 				return err
@@ -88,16 +111,25 @@ func ForEach(ctx context.Context, workers, n int, fn func(slot, i int) error) er
 		wg.Add(1)
 		go func(slot int) {
 			defer wg.Done()
-			for i := slot; i < n; i += workers {
-				if err := ctx.Err(); err != nil {
-					fails[slot] = failure{index: i, err: err}
-					return
+			// Each worker task carries a "worker" pprof label merged
+			// with whatever the caller's context already carries (the
+			// "experiment" and "stage" labels from obs.WithExperiment /
+			// obs.StartSpan), so CPU profiles attribute every sample to
+			// the (experiment, stage, worker) triple. One label set per
+			// spawned goroutine — amortized over the slot's whole strided
+			// item range, never per item.
+			pprof.Do(ctx, pprof.Labels("worker", workerLabel(slot)), func(ctx context.Context) {
+				for i := slot; i < n; i += workers {
+					if err := ctx.Err(); err != nil {
+						fails[slot] = failure{index: i, err: err}
+						return
+					}
+					if err := fn(slot, i); err != nil {
+						fails[slot] = failure{index: i, err: err}
+						return
+					}
 				}
-				if err := fn(slot, i); err != nil {
-					fails[slot] = failure{index: i, err: err}
-					return
-				}
-			}
+			})
 		}(w)
 	}
 	wg.Wait()

@@ -11,6 +11,7 @@ import (
 	"path/filepath"
 	"strconv"
 	"strings"
+	"unicode/utf8"
 )
 
 // Table is a simple column-aligned ASCII table.
@@ -40,16 +41,19 @@ func (t *Table) AddRow(cells ...string) error {
 // NumRows returns the number of data rows.
 func (t *Table) NumRows() int { return len(t.rows) }
 
-// Render writes the table to w.
+// Render writes the table to w. Column widths are measured in runes,
+// not bytes, so multibyte cells (ν̃_k, α, § in the paper's headers) stay
+// aligned, and the final cell of each line is not padded, so rendered
+// tables carry no trailing spaces.
 func (t *Table) Render(w io.Writer) error {
 	widths := make([]int, len(t.headers))
 	for i, h := range t.headers {
-		widths[i] = len(h)
+		widths[i] = utf8.RuneCountInString(h)
 	}
 	for _, row := range t.rows {
 		for i, c := range row {
-			if len(c) > widths[i] {
-				widths[i] = len(c)
+			if n := utf8.RuneCountInString(c); n > widths[i] {
+				widths[i] = n
 			}
 		}
 	}
@@ -64,7 +68,9 @@ func (t *Table) Render(w io.Writer) error {
 				b.WriteString("  ")
 			}
 			b.WriteString(c)
-			b.WriteString(strings.Repeat(" ", widths[i]-len(c)))
+			if i < len(cells)-1 {
+				b.WriteString(strings.Repeat(" ", widths[i]-utf8.RuneCountInString(c)))
+			}
 		}
 		b.WriteByte('\n')
 	}

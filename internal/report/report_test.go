@@ -121,3 +121,30 @@ func TestSaveCSVAndTable(t *testing.T) {
 		t.Errorf("table content = %q", data)
 	}
 }
+
+// Regression: Render measured widths in bytes, so multibyte cells (the
+// paper's ν̃_k, α headers) over-padded their columns, and the final
+// column was padded too, leaving trailing spaces on every line.
+func TestTableRenderMultibyteGolden(t *testing.T) {
+	tab := NewTable("", "metric", "ν̃_k")
+	if err := tab.AddRow("α", "0.5"); err != nil {
+		t.Fatal(err)
+	}
+	if err := tab.AddRow("degree", "12"); err != nil {
+		t.Fatal(err)
+	}
+	got := tab.String()
+	want := "" +
+		"metric  ν̃_k\n" +
+		"-------------\n" +
+		"α       0.5\n" +
+		"degree  12\n"
+	if got != want {
+		t.Errorf("rendered table = %q, want %q", got, want)
+	}
+	for _, line := range strings.Split(strings.TrimSuffix(got, "\n"), "\n") {
+		if strings.HasSuffix(line, " ") {
+			t.Errorf("trailing space on line %q", line)
+		}
+	}
+}

@@ -28,7 +28,18 @@ import (
 	"math/rand"
 
 	"github.com/trustnet/trustnet/internal/graph"
+	"github.com/trustnet/trustnet/internal/obs"
 	"github.com/trustnet/trustnet/internal/parallel"
+)
+
+// Observability instruments for the SLEM measurement, resolved once at
+// init. The iteration counter and residual gauge are written once per
+// SLEM call — never inside the power iteration — so the mat-vec stays
+// untouched and results are bit-identical with metrics enabled.
+var (
+	obsSLEMIterations = obs.Default().Counter("spectral.slem.iterations")
+	obsSLEMConverged  = obs.Default().Counter("spectral.slem.converged")
+	obsSLEMResidual   = obs.Default().Gauge("spectral.slem.residual")
 )
 
 // Config controls the power iteration.
@@ -77,6 +88,8 @@ type Result struct {
 // by the view) and the copy is amortized across all iterations.
 func SLEM(v graph.View, cfg Config) (*Result, error) {
 	cfg.fill()
+	_, span := obs.StartSpan(context.Background(), "spectral.slem")
+	defer span.End()
 	n := v.NumNodes()
 	if n < 2 {
 		return nil, fmt.Errorf("spectral: need >= 2 nodes, got %d", n)
@@ -152,13 +165,22 @@ func SLEM(v graph.View, cfg Config) (*Result, error) {
 
 	prev := math.Inf(1)
 	res := &Result{}
+	resid := math.Inf(1)
+	defer func() {
+		obsSLEMIterations.Add(int64(res.Iterations))
+		obsSLEMResidual.Set(resid)
+		if res.Converged {
+			obsSLEMConverged.Inc()
+		}
+	}()
 	for it := 0; it < cfg.MaxIterations; it++ {
 		res.Iterations = it + 1
 		matVec(x, y)
 		deflate(y, phi)
 		lambda := normalize(y)
 		x, y = y, x
-		if math.Abs(lambda-prev) < cfg.Tolerance {
+		resid = math.Abs(lambda - prev)
+		if resid < cfg.Tolerance {
 			res.SLEM = lambda
 			res.Converged = true
 			return res, nil

@@ -215,10 +215,11 @@ func (k *KeyedSummary) Len() int { return len(k.groups) }
 
 // Histogram counts samples into uniform-width bins over [lo, hi].
 type Histogram struct {
-	lo, hi float64
-	counts []int64
-	under  int64
-	over   int64
+	lo, hi  float64
+	counts  []int64
+	under   int64
+	over    int64
+	invalid int64
 }
 
 // NewHistogram creates a histogram with the given bounds and bin count.
@@ -232,9 +233,15 @@ func NewHistogram(lo, hi float64, bins int) (*Histogram, error) {
 	return &Histogram{lo: lo, hi: hi, counts: make([]int64, bins)}, nil
 }
 
-// Add records one sample.
+// Add records one sample. NaN samples — reachable from any measurement
+// that feeds a Pearson correlation through, which documents a NaN
+// return on zero variance — fall into a separate invalid bucket instead
+// of panicking: NaN fails both range comparisons, and converting it to a
+// bin index would produce an out-of-range value.
 func (h *Histogram) Add(x float64) {
 	switch {
+	case math.IsNaN(x):
+		h.invalid++
 	case x < h.lo:
 		h.under++
 	case x >= h.hi:
@@ -256,7 +263,12 @@ func (h *Histogram) Counts() []int64 {
 }
 
 // Outliers returns the number of samples below lo and at-or-above hi.
+// NaN samples are counted separately; see Invalid.
 func (h *Histogram) Outliers() (under, over int64) { return h.under, h.over }
+
+// Invalid returns the number of NaN samples recorded, which belong to no
+// bin and neither outlier side.
+func (h *Histogram) Invalid() int64 { return h.invalid }
 
 // BinCenter returns the midpoint of bin i.
 func (h *Histogram) BinCenter(i int) float64 {

@@ -326,3 +326,36 @@ func TestSummaryMergeQuick(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// Regression: Add(NaN) used to panic — NaN fails both range comparisons,
+// so the bin-index conversion produced a huge negative index. Property:
+// every sample in a mix of finite and NaN values is accounted for exactly
+// once across bins, outliers, and the invalid bucket.
+func TestHistogramNaNQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		h, err := NewHistogram(-5, 5, 1+rng.Intn(10))
+		if err != nil {
+			return false
+		}
+		n := 1 + rng.Intn(200)
+		var nan int64
+		for i := 0; i < n; i++ {
+			x := rng.NormFloat64() * 5
+			if rng.Intn(4) == 0 {
+				x = math.NaN()
+				nan++
+			}
+			h.Add(x)
+		}
+		var binned int64
+		for _, c := range h.Counts() {
+			binned += c
+		}
+		under, over := h.Outliers()
+		return h.Invalid() == nan && binned+under+over+h.Invalid() == int64(n)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -29,7 +29,20 @@ import (
 
 	"github.com/trustnet/trustnet/internal/graph"
 	"github.com/trustnet/trustnet/internal/kernels"
+	"github.com/trustnet/trustnet/internal/obs"
 	"github.com/trustnet/trustnet/internal/parallel"
+)
+
+// Observability instruments for the mixing measurement, resolved once so
+// the per-curve bookkeeping is a handful of atomic adds — never a map
+// lookup or allocation on the measurement path. Counting happens per
+// source curve / per block, not per walk step, so the walk inner loops
+// are untouched and stay bit-identical with metrics enabled.
+var (
+	obsMixSteps        = obs.Default().Counter("walk.mixing.steps")
+	obsMixDenseSources = obs.Default().Counter("walk.mixing.dense_sources")
+	obsMixKernelBlocks = obs.Default().Counter("walk.mixing.kernel_blocks")
+	obsMixHandovers    = obs.Default().Counter("walk.mixing.sparse_to_dense")
 )
 
 // ErrNoEdges is returned when the random walk is undefined because the
@@ -203,6 +216,10 @@ func (d *Distribution) stepSparse() {
 // StepCount returns the number of steps taken so far.
 func (d *Distribution) StepCount() int { return d.step }
 
+// Dense reports whether the distribution has handed over from the
+// sparse-frontier fast path to the permanent dense scan.
+func (d *Distribution) Dense() bool { return d.support == nil }
+
 // Probabilities returns the current distribution. The slice aliases
 // internal state and is only valid until the next Step.
 func (d *Distribution) Probabilities() []float64 { return d.cur }
@@ -341,6 +358,8 @@ func MeasureMixing(ctx context.Context, g graph.View, cfg MixingConfig) (*Mixing
 	if g.NumEdges() == 0 {
 		return nil, ErrNoEdges
 	}
+	ctx, span := obs.StartSpan(ctx, "walk.mixing")
+	defer span.End()
 	pi, err := graph.Stationary(g)
 	if err != nil {
 		return nil, fmt.Errorf("measure mixing: %w", err)
@@ -365,12 +384,14 @@ func MeasureMixing(ctx context.Context, g graph.View, cfg MixingConfig) (*Mixing
 	// identical at any worker count and block width.
 	var curves [][]float64
 	if width := cfg.blockWidth(g); width <= 1 {
+		obsMixDenseSources.Add(int64(len(sources)))
 		curves, err = parallel.Map(ctx, cfg.Workers, len(sources), func(_, i int) ([]float64, error) {
 			return sourceCurve(ctx, g, sources[i], pi, cfg)
 		})
 	} else {
 		cg := graph.Materialize(g)
 		blocks := parallel.Blocks(len(sources), width)
+		obsMixKernelBlocks.Add(int64(len(blocks)))
 		var parts [][][]float64
 		parts, err = parallel.Map(ctx, cfg.Workers, len(blocks), func(_, b int) ([][]float64, error) {
 			return blockCurves(ctx, cg, sources[blocks[b].Start:blocks[b].End], pi, cfg)
@@ -423,6 +444,10 @@ func sourceCurve(ctx context.Context, g graph.View, src graph.NodeID, pi []float
 		}
 		curve[t] = tvd
 	}
+	obsMixSteps.Add(int64(d.StepCount()))
+	if d.Dense() {
+		obsMixHandovers.Inc()
+	}
 	return curve, nil
 }
 
@@ -450,6 +475,10 @@ func blockCurves(ctx context.Context, g *graph.Graph, sources []graph.NodeID, pi
 		for i, tvd := range dist {
 			curves[i][t] = tvd
 		}
+	}
+	obsMixSteps.Add(int64(wb.StepCount()) * int64(len(sources)))
+	if wb.Dense() {
+		obsMixHandovers.Inc()
 	}
 	return curves, nil
 }
