@@ -5,7 +5,12 @@
 // The runner is fault tolerant: a job that fails, panics, or exceeds
 // its -timeout is reported as a failed job while the remaining jobs
 // still run (disable with -keep-going=false), and any failure makes the
-// process exit nonzero with a summary table.
+// process exit nonzero with a summary table (panic stacks included).
+// Transient failures are retried with seeded-jitter exponential backoff
+// (-max-retries, -retry-base); every job checkpoints its completion —
+// and, with -best-effort, its partial progress — under <out>/ckpt, so a
+// crashed or killed run continues where it left off when rerun with
+// -resume, producing bit-identical artifacts.
 //
 // Usage:
 //
@@ -14,6 +19,9 @@
 //	experiments -quick          # reduced sampling, seconds
 //	experiments -timeout 2m     # bound each job
 //	experiments -workers 4      # bound measurement parallelism
+//	experiments -best-effort    # salvage partial results at the deadline
+//	experiments -resume         # skip/continue from out/ckpt checkpoints
+//	experiments -max-retries 3 -retry-base 200ms  # transient-failure retries
 //	experiments -cpuprofile cpu.pprof -memprofile mem.pprof  # profile any run
 //	experiments -metrics-addr :8080  # live metrics snapshots over HTTP
 //
@@ -48,6 +56,7 @@ import (
 	"github.com/trustnet/trustnet/internal/experiments"
 	"github.com/trustnet/trustnet/internal/obs"
 	"github.com/trustnet/trustnet/internal/report"
+	"github.com/trustnet/trustnet/internal/resilience"
 )
 
 func main() {
@@ -66,8 +75,28 @@ type job struct {
 
 // jobFailure records one failed job for the summary.
 type jobFailure struct {
-	name string
-	err  error
+	name     string
+	err      error
+	class    resilience.Class
+	attempts int
+}
+
+// runnerConfig bundles the fault-tolerance knobs runJobs runs under.
+type runnerConfig struct {
+	timeout   time.Duration
+	keepGoing bool
+	// policy retries transient job failures; MaxAttempts <= 1 disables
+	// retrying.
+	policy resilience.Policy
+	// store persists per-job done markers (and receives the experiments'
+	// own per-dataset checkpoints via experiments.Options.Ckpt); nil
+	// disables job checkpointing.
+	store *resilience.Store
+	// resume skips jobs whose done checkpoint matches fingerprint.
+	resume bool
+	// fingerprint ties job checkpoints to the run configuration
+	// (quick/seed/workers); a changed configuration invalidates them.
+	fingerprint string
 }
 
 func run(args []string) error {
@@ -85,6 +114,11 @@ func run(args []string) error {
 		keepGoing   = fs.Bool("keep-going", true, "run remaining jobs after a failure and summarize at the end")
 		workers     = fs.Int("workers", 0, "measurement parallelism; 0 = GOMAXPROCS")
 		repeats     = fs.Int("bench-repeats", 3, "bench mode: timed repetitions per variant (best kept)")
+		resume      = fs.Bool("resume", false, "skip jobs and datasets already completed in -ckpt-dir; continue interrupted ones")
+		maxRetries  = fs.Int("max-retries", 2, "retries per job after a transient failure (0 = no retries)")
+		retryBase   = fs.Duration("retry-base", 100*time.Millisecond, "base delay of the exponential retry backoff")
+		bestEffort  = fs.Bool("best-effort", false, "return partial results with coverage annotations when a job hits its -timeout")
+		ckptDir     = fs.String("ckpt-dir", "", "checkpoint directory (default <out>/ckpt)")
 		cpuprofile  = fs.String("cpuprofile", "", "write a CPU profile to this file (any mode)")
 		memprofile  = fs.String("memprofile", "", "write a heap profile to this file at exit (any mode)")
 		metricsAddr = fs.String("metrics-addr", "", "serve live metrics snapshots over HTTP on this address (e.g. :8080)")
@@ -132,12 +166,19 @@ func run(args []string) error {
 	}
 	mc := newMetricsCollector(reg, *quick, *seed, *workers)
 
-	opts := experiments.Options{Quick: *quick, Seed: *seed, Workers: *workers}
+	if *ckptDir == "" {
+		*ckptDir = filepath.Join(*out, "ckpt")
+	}
+	store := resilience.NewStore(*ckptDir)
+	opts := experiments.Options{
+		Quick: *quick, Seed: *seed, Workers: *workers,
+		BestEffort: *bestEffort, Ckpt: store, Resume: *resume,
+	}
 	if bench {
 		before := mc.beforeJob()
 		start := time.Now()
 		err := runBench(context.Background(), opts, *out, *workers, *repeats, os.Stdout)
-		mc.afterJob("bench", err, time.Since(start), before)
+		mc.afterJob("bench", err, time.Since(start), before, 1)
 		if path, werr := mc.write(*out); werr != nil {
 			if err == nil {
 				err = werr
@@ -173,7 +214,20 @@ func run(args []string) error {
 	if len(selected) == 0 {
 		return fmt.Errorf("unknown experiment %q", *only)
 	}
-	err := runJobs(context.Background(), selected, *timeout, *keepGoing, mc, os.Stdout)
+	rc := runnerConfig{
+		timeout:   *timeout,
+		keepGoing: *keepGoing,
+		policy: resilience.Policy{
+			MaxAttempts: *maxRetries + 1,
+			BaseDelay:   *retryBase,
+			Jitter:      0.25,
+			Seed:        *seed,
+		},
+		store:       store,
+		resume:      *resume,
+		fingerprint: resilience.Fingerprint("job", *quick, *seed, *workers),
+	}
+	err := runJobs(context.Background(), selected, rc, mc, os.Stdout)
 	if path, werr := mc.write(*out); werr != nil {
 		if err == nil {
 			err = werr
@@ -184,55 +238,97 @@ func run(args []string) error {
 	return err
 }
 
-// runJobs executes jobs sequentially with per-job timeout and panic
-// recovery. With keepGoing, a failed job is recorded and the remaining
-// jobs still run; the failures are summarized on w and returned as a
-// single error so the process exits nonzero. When mc is non-nil, each
-// job's wall time, allocator deltas, and metrics window are collected.
-func runJobs(ctx context.Context, jobs []job, timeout time.Duration, keepGoing bool, mc *metricsCollector, w io.Writer) error {
+// runJobs executes jobs sequentially with per-job timeout, panic
+// recovery, transient-failure retries, and checkpoint-based resume.
+// With keepGoing, a failed job is recorded and the remaining jobs still
+// run; the failures are summarized on w (with the recovered stack for
+// panics) and returned as a single error so the process exits nonzero.
+// When mc is non-nil, each job's wall time, allocator deltas, attempt
+// count, and metrics window are collected.
+func runJobs(ctx context.Context, jobs []job, rc runnerConfig, mc *metricsCollector, w io.Writer) error {
 	var failures []jobFailure
 	for _, j := range jobs {
+		if rc.resume && rc.store != nil {
+			c, err := rc.store.Load("job-"+j.name, rc.fingerprint)
+			if err != nil {
+				return err
+			}
+			if c != nil && c.Status == resilience.StatusDone {
+				fmt.Fprintf(w, "== %s ==\nSKIP %s (done checkpoint from an earlier run)\n\n", j.name, j.name)
+				if mc != nil {
+					mc.skipJob(j.name)
+				}
+				continue
+			}
+		}
 		start := time.Now()
 		fmt.Fprintf(w, "== %s ==\n", j.name)
 		var before runtime.MemStats
 		if mc != nil {
 			before = mc.beforeJob()
 		}
-		err := runOne(ctx, j, timeout)
+		pol := rc.policy
+		pol.OnRetry = func(attempt int, err error, class resilience.Class, backoff time.Duration) {
+			fmt.Fprintf(w, "RETRY %s (attempt %d failed %s: %v; next in %v)\n",
+				j.name, attempt, class, err, backoff.Round(time.Millisecond))
+		}
+		outcome, err := pol.Run(ctx, func(ctx context.Context, _ int) error {
+			return runOne(ctx, j, rc.timeout)
+		})
 		if mc != nil {
-			mc.afterJob(j.name, err, time.Since(start), before)
+			mc.afterJob(j.name, err, time.Since(start), before, outcome.Attempts)
 		}
 		if err != nil {
-			failures = append(failures, jobFailure{name: j.name, err: err})
+			failures = append(failures, jobFailure{name: j.name, err: err, class: outcome.Class, attempts: outcome.Attempts})
 			fmt.Fprintf(w, "FAILED %s after %v: %v\n\n", j.name, time.Since(start).Round(time.Millisecond), err)
-			if !keepGoing {
+			if !rc.keepGoing {
 				break
 			}
 			continue
+		}
+		if rc.store != nil {
+			c := &resilience.Checkpoint{Job: "job-" + j.name, Fingerprint: rc.fingerprint, Status: resilience.StatusDone, Attempts: outcome.Attempts}
+			if err := rc.store.Save(c); err != nil {
+				return err
+			}
 		}
 		fmt.Fprintf(w, "(%s in %v)\n\n", j.name, time.Since(start).Round(time.Millisecond))
 	}
 	if len(failures) == 0 {
 		return nil
 	}
-	t := report.NewTable(fmt.Sprintf("%d of %d jobs failed", len(failures), len(jobs)), "Job", "Error")
+	t := report.NewTable(fmt.Sprintf("%d of %d jobs failed", len(failures), len(jobs)),
+		"Job", "Class", "Attempts", "Error")
 	for _, f := range failures {
-		if err := t.AddRow(f.name, f.err.Error()); err != nil {
+		if err := t.AddRow(f.name, f.class.String(), fmt.Sprintf("%d", f.attempts), f.err.Error()); err != nil {
 			return err
 		}
 	}
 	if err := t.Render(w); err != nil {
 		return err
 	}
+	// Panic stacks are too wide for a table cell; print them after the
+	// summary so the failing frame is on record.
+	for _, f := range failures {
+		if pe, ok := resilience.AsPanic(f.err); ok {
+			fmt.Fprintf(w, "\npanic stack for %s:\n%s", f.name, pe.Stack)
+		}
+	}
 	return fmt.Errorf("%d job(s) failed (first: %s: %v)", len(failures), failures[0].name, failures[0].err)
 }
 
 // runOne runs a single job under its timeout, converting a panic into a
-// reported failure. The job runs in its own goroutine so a job that
-// ignores its context cannot stall the runner past the deadline; such a
-// goroutine is abandoned (it holds no locks the runner needs) and the
-// leak lasts at most until process exit. The goroutine carries the
-// "experiment" pprof label so CPU profile samples attribute to the job.
+// reported failure carrying the recovered stack (resilience.PanicError,
+// classified transient so the retry policy may re-run it). The job runs
+// in its own goroutine so a job that ignores its context cannot stall
+// the runner past the deadline; such a goroutine is abandoned (it holds
+// no locks the runner needs) and the leak lasts at most until process
+// exit. The goroutine carries the "experiment" pprof label so CPU
+// profile samples attribute to the job.
+//
+// When the deadline fires, the runner grants a short grace period for a
+// cooperative best-effort job to salvage its partial results: a job that
+// returns nil within the grace window counts as a success.
 func runOne(parent context.Context, j job, timeout time.Duration) (err error) {
 	ctx := parent
 	if timeout > 0 {
@@ -245,7 +341,7 @@ func runOne(parent context.Context, j job, timeout time.Duration) (err error) {
 	go func() {
 		defer func() {
 			if r := recover(); r != nil {
-				done <- fmt.Errorf("panic: %v\n%s", r, debug.Stack())
+				done <- &resilience.PanicError{Value: r, Stack: debug.Stack()}
 			}
 		}()
 		pprof.Do(jctx, pprof.Labels(), func(jctx context.Context) {
@@ -256,8 +352,33 @@ func runOne(parent context.Context, j job, timeout time.Duration) (err error) {
 	case err = <-done:
 		return err
 	case <-ctx.Done():
-		return fmt.Errorf("timed out after %v: %w", timeout, ctx.Err())
+		select {
+		case err = <-done:
+			if err == nil {
+				return nil // best-effort salvage beat the grace period
+			}
+			if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+				return fmt.Errorf("timed out after %v: %w", timeout, err)
+			}
+			return err
+		case <-time.After(graceFor(timeout)):
+			return fmt.Errorf("timed out after %v: %w", timeout, ctx.Err())
+		}
 	}
+}
+
+// graceFor is how long a deadline-hit job gets to return its salvaged
+// partial result before the runner abandons it: a fifth of the timeout,
+// clamped to [100ms, 2s].
+func graceFor(timeout time.Duration) time.Duration {
+	g := timeout / 5
+	if g < 100*time.Millisecond {
+		g = 100 * time.Millisecond
+	}
+	if g > 2*time.Second {
+		g = 2 * time.Second
+	}
+	return g
 }
 
 // runBench times the parallel measurement kernels at workers=1 vs N and
@@ -288,7 +409,7 @@ func runBench(ctx context.Context, opts experiments.Options, out string, workers
 		return err
 	}
 	path := filepath.Join(out, "BENCH_parallel.json")
-	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+	if err := resilience.WriteFileAtomic(path, append(data, '\n'), 0o644); err != nil {
 		return err
 	}
 	fmt.Fprintf(w, "wrote %s\n", path)
@@ -315,7 +436,7 @@ func runBench(ctx context.Context, opts experiments.Options, out string, workers
 		return err
 	}
 	kpath := filepath.Join(out, "BENCH_kernels.json")
-	if err := os.WriteFile(kpath, append(kdata, '\n'), 0o644); err != nil {
+	if err := resilience.WriteFileAtomic(kpath, append(kdata, '\n'), 0o644); err != nil {
 		return err
 	}
 	fmt.Fprintf(w, "wrote %s\n", kpath)
@@ -342,7 +463,7 @@ func runBench(ctx context.Context, opts experiments.Options, out string, workers
 		return err
 	}
 	vpath := filepath.Join(out, "BENCH_views.json")
-	if err := os.WriteFile(vpath, append(vdata, '\n'), 0o644); err != nil {
+	if err := resilience.WriteFileAtomic(vpath, append(vdata, '\n'), 0o644); err != nil {
 		return err
 	}
 	fmt.Fprintf(w, "wrote %s\n", vpath)
@@ -354,6 +475,19 @@ func runBench(ctx context.Context, opts experiments.Options, out string, workers
 		return fmt.Errorf("bench: view and rebuild result fingerprints diverged (see %s)", vpath)
 	}
 	return nil
+}
+
+// partialErr is the failure a best-effort job reports after salvaging
+// and writing its partial artifacts: the deadline (not the job) is the
+// cause, so it carries the context error — classified ClassDeadline,
+// never retried — and the run still exits nonzero so the operator knows
+// to rerun with -resume.
+func partialErr(ctx context.Context, name string) error {
+	cause := ctx.Err()
+	if cause == nil {
+		cause = context.DeadlineExceeded
+	}
+	return fmt.Errorf("%s: partial results written (rerun with -resume to continue): %w", name, cause)
 }
 
 func runTableI(ctx context.Context, opts experiments.Options, out string) error {
@@ -368,7 +502,13 @@ func runTableI(ctx context.Context, opts experiments.Options, out string) error 
 	if err := t.Render(os.Stdout); err != nil {
 		return err
 	}
-	return report.SaveTable(filepath.Join(out, "tableI.txt"), t)
+	if err := report.SaveTable(filepath.Join(out, "tableI.txt"), t); err != nil {
+		return err
+	}
+	if res.Partial {
+		return partialErr(ctx, "tableI")
+	}
+	return nil
 }
 
 func runFigure1(ctx context.Context, opts experiments.Options, out string) error {
@@ -390,8 +530,20 @@ func runFigure1(ctx context.Context, opts experiments.Options, out string) error
 		if err := t.AddRow(s.Name, report.Int(res.MixingTimes[s.Name])); err != nil {
 			return err
 		}
+		if cov := res.Coverage[s.Name]; cov < 1 {
+			t.AddNote(fmt.Sprintf("PARTIAL: %s covers %.0f%% of its sampled sources", s.Name, cov*100))
+		}
 	}
-	return t.Render(os.Stdout)
+	if res.Partial {
+		t.AddNote("PARTIAL: the run was cut short; later datasets are missing (rerun with -resume to continue)")
+	}
+	if err := t.Render(os.Stdout); err != nil {
+		return err
+	}
+	if res.Partial {
+		return partialErr(ctx, "figure1")
+	}
+	return nil
 }
 
 func runFigure2(ctx context.Context, opts experiments.Options, out string) error {

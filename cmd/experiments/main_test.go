@@ -104,7 +104,7 @@ func TestRunJobsKeepGoingAfterFailure(t *testing.T) {
 		{"after", func(ctx context.Context) error { ran = append(ran, "after"); return nil }},
 	}
 	var buf bytes.Buffer
-	err := runJobs(context.Background(), jobs, 0, true, nil, &buf)
+	err := runJobs(context.Background(), jobs, testRunnerConfig(0, true), nil, &buf)
 	if err == nil {
 		t.Fatal("runJobs with a failing job: want error (nonzero exit)")
 	}
@@ -124,7 +124,7 @@ func TestRunJobsPanicIsReportedFailure(t *testing.T) {
 		{"survivor", func(ctx context.Context) error { ran = append(ran, "survivor"); return nil }},
 	}
 	var buf bytes.Buffer
-	err := runJobs(context.Background(), jobs, 0, true, nil, &buf)
+	err := runJobs(context.Background(), jobs, testRunnerConfig(0, true), nil, &buf)
 	if err == nil {
 		t.Fatal("runJobs with a panicking job: want error")
 	}
@@ -153,7 +153,7 @@ func TestRunJobsTimeout(t *testing.T) {
 	}
 	var buf bytes.Buffer
 	start := time.Now()
-	err := runJobs(context.Background(), jobs, 50*time.Millisecond, true, nil, &buf)
+	err := runJobs(context.Background(), jobs, testRunnerConfig(50*time.Millisecond, true), nil, &buf)
 	if err == nil {
 		t.Fatal("runJobs with a timed-out job: want error")
 	}
@@ -174,7 +174,7 @@ func TestRunJobsIgnoredContextStillTimesOut(t *testing.T) {
 	defer close(block)
 	jobs := []job{{"stuck", func(ctx context.Context) error { <-block; return nil }}}
 	var buf bytes.Buffer
-	if err := runJobs(context.Background(), jobs, 50*time.Millisecond, true, nil, &buf); err == nil {
+	if err := runJobs(context.Background(), jobs, testRunnerConfig(50*time.Millisecond, true), nil, &buf); err == nil {
 		t.Fatal("runJobs with a stuck job: want error")
 	}
 }
@@ -186,7 +186,7 @@ func TestRunJobsStopsWithoutKeepGoing(t *testing.T) {
 		{"after", func(ctx context.Context) error { ran = append(ran, "after"); return nil }},
 	}
 	var buf bytes.Buffer
-	if err := runJobs(context.Background(), jobs, 0, false, nil, &buf); err == nil {
+	if err := runJobs(context.Background(), jobs, testRunnerConfig(0, false), nil, &buf); err == nil {
 		t.Fatal("want error")
 	}
 	if len(ran) != 0 {
@@ -269,7 +269,7 @@ func TestRunJobsCanceledTableIWritesNothing(t *testing.T) {
 	}}}
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
-	if err := runJobs(ctx, jobs, 0, true, nil, out); err == nil {
+	if err := runJobs(ctx, jobs, testRunnerConfig(0, true), nil, out); err == nil {
 		t.Fatal("canceled run: want error")
 	}
 	// Grace period for a ctx-ignoring job to misbehave before we look.

@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"github.com/trustnet/trustnet/internal/obs"
+	"github.com/trustnet/trustnet/internal/resilience"
 )
 
 // metricsSchema versions the METRICS.json layout so downstream tooling
@@ -23,9 +24,12 @@ const metricsSchema = "trustnet/metrics/v1"
 // run sequentially, so diffing the shared registry snapshot around each
 // job attributes every metric unambiguously.
 type jobMetrics struct {
-	Name        string  `json:"name"`
-	Status      string  `json:"status"` // "ok" or "failed"
-	Error       string  `json:"error,omitempty"`
+	Name   string `json:"name"`
+	Status string `json:"status"` // "ok", "failed", or "skipped" (resumed from a done checkpoint)
+	Error  string `json:"error,omitempty"`
+	// Attempts counts how many times the job ran, > 1 when the retry
+	// policy re-ran a transient failure. 0 for skipped jobs.
+	Attempts    int     `json:"attempts,omitempty"`
 	WallSeconds float64 `json:"wall_seconds"`
 	// Allocs and AllocBytes are deltas of the runtime's cumulative
 	// malloc count and allocated bytes across the job.
@@ -85,13 +89,14 @@ func (c *metricsCollector) beforeJob() runtime.MemStats {
 
 // afterJob closes the job's window: allocator deltas, heap state, and
 // the registry diff since the previous job.
-func (c *metricsCollector) afterJob(name string, jobErr error, wall time.Duration, before runtime.MemStats) {
+func (c *metricsCollector) afterJob(name string, jobErr error, wall time.Duration, before runtime.MemStats, attempts int) {
 	var after runtime.MemStats
 	runtime.ReadMemStats(&after)
 	snap := c.reg.Snapshot()
 	jm := jobMetrics{
 		Name:           name,
 		Status:         "ok",
+		Attempts:       attempts,
 		WallSeconds:    wall.Seconds(),
 		Allocs:         after.Mallocs - before.Mallocs,
 		AllocBytes:     after.TotalAlloc - before.TotalAlloc,
@@ -108,6 +113,14 @@ func (c *metricsCollector) afterJob(name string, jobErr error, wall time.Duratio
 	c.doc.Jobs = append(c.doc.Jobs, jm)
 }
 
+// skipJob records a job that a resumed run reused from its done
+// checkpoint without re-running. The registry snapshot still advances so
+// the next job's window stays unpolluted.
+func (c *metricsCollector) skipJob(name string) {
+	c.prev = c.reg.Snapshot()
+	c.doc.Jobs = append(c.doc.Jobs, jobMetrics{Name: name, Status: "skipped"})
+}
+
 // write finalizes totals and writes METRICS.json under dir, returning
 // the path written.
 func (c *metricsCollector) write(dir string) (string, error) {
@@ -120,7 +133,9 @@ func (c *metricsCollector) write(dir string) (string, error) {
 		return "", fmt.Errorf("metrics: %w", err)
 	}
 	path := filepath.Join(dir, "METRICS.json")
-	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+	// Atomic so a crash mid-write (the exact scenario the checkpoint
+	// store exists for) never leaves a truncated METRICS.json behind.
+	if err := resilience.WriteFileAtomic(path, append(data, '\n'), 0o644); err != nil {
 		return "", fmt.Errorf("metrics: %w", err)
 	}
 	return path, nil

@@ -1,0 +1,176 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/trustnet/trustnet/internal/resilience"
+)
+
+// testRunnerConfig is the legacy runner behavior — no retries, no
+// checkpoint store — used by tests that exercise timeout/panic/keep-going
+// handling in isolation.
+func testRunnerConfig(timeout time.Duration, keepGoing bool) runnerConfig {
+	return runnerConfig{
+		timeout:   timeout,
+		keepGoing: keepGoing,
+		policy:    resilience.Policy{MaxAttempts: 1},
+	}
+}
+
+// The failure summary must include the recovered panic stack so the
+// crashing frame survives into logs.
+func TestRunJobsPanicStackInSummary(t *testing.T) {
+	jobs := []job{
+		{"detonator", func(ctx context.Context) error { panic("boom with stack") }},
+	}
+	var buf bytes.Buffer
+	err := runJobs(context.Background(), jobs, testRunnerConfig(0, true), nil, &buf)
+	if err == nil {
+		t.Fatal("panicking job: want error")
+	}
+	out := buf.String()
+	if !strings.Contains(out, "panic stack for detonator") {
+		t.Fatalf("summary does not include the panic stack header:\n%s", out)
+	}
+	if !strings.Contains(out, "goroutine ") {
+		t.Fatalf("no goroutine stack in output:\n%s", out)
+	}
+	// The stack must name the panicking function, not just the runner.
+	if !strings.Contains(out, "TestRunJobsPanicStackInSummary") {
+		t.Fatalf("stack does not reach the panicking frame:\n%s", out)
+	}
+	if !strings.Contains(out, "transient") {
+		t.Fatalf("summary table does not classify the panic:\n%s", out)
+	}
+}
+
+func TestRunJobsRetriesTransient(t *testing.T) {
+	calls := 0
+	jobs := []job{
+		{"flaky", func(ctx context.Context) error {
+			calls++
+			if calls < 3 {
+				return resilience.MarkTransient(errors.New("injected"))
+			}
+			return nil
+		}},
+	}
+	rc := testRunnerConfig(0, true)
+	rc.policy = resilience.Policy{MaxAttempts: 3, BaseDelay: time.Millisecond, Seed: 1}
+	var buf bytes.Buffer
+	if err := runJobs(context.Background(), jobs, rc, nil, &buf); err != nil {
+		t.Fatalf("transient failures within budget: %v", err)
+	}
+	if calls != 3 {
+		t.Fatalf("job ran %d times, want 3", calls)
+	}
+	if got := strings.Count(buf.String(), "RETRY flaky"); got != 2 {
+		t.Fatalf("RETRY logged %d times, want 2:\n%s", got, buf.String())
+	}
+}
+
+func TestRunJobsFatalNotRetried(t *testing.T) {
+	calls := 0
+	jobs := []job{
+		{"broken", func(ctx context.Context) error { calls++; return errors.New("deterministic") }},
+	}
+	rc := testRunnerConfig(0, true)
+	rc.policy = resilience.Policy{MaxAttempts: 4, BaseDelay: time.Millisecond, Seed: 1}
+	var buf bytes.Buffer
+	if err := runJobs(context.Background(), jobs, rc, nil, &buf); err == nil {
+		t.Fatal("fatal job: want error")
+	}
+	if calls != 1 {
+		t.Fatalf("fatal job ran %d times, want 1", calls)
+	}
+	if !strings.Contains(buf.String(), "fatal") {
+		t.Fatalf("summary does not classify the failure:\n%s", buf.String())
+	}
+}
+
+func TestRunJobsResumeSkipsDone(t *testing.T) {
+	store := resilience.NewStore(t.TempDir())
+	fp := resilience.Fingerprint("job", true, int64(1), 0)
+	if err := store.Save(&resilience.Checkpoint{Job: "job-a", Fingerprint: fp, Status: resilience.StatusDone}); err != nil {
+		t.Fatal(err)
+	}
+	ranB := false
+	jobs := []job{
+		{"a", func(ctx context.Context) error { return errors.New("must not run") }},
+		{"b", func(ctx context.Context) error { ranB = true; return nil }},
+	}
+	rc := testRunnerConfig(0, true)
+	rc.store, rc.resume, rc.fingerprint = store, true, fp
+	var buf bytes.Buffer
+	if err := runJobs(context.Background(), jobs, rc, nil, &buf); err != nil {
+		t.Fatalf("resumed run: %v", err)
+	}
+	if !strings.Contains(buf.String(), "SKIP a") {
+		t.Fatalf("done job not skipped:\n%s", buf.String())
+	}
+	if !ranB {
+		t.Fatal("unfinished job did not run")
+	}
+	// b succeeded, so the rerun now holds a done checkpoint for it too.
+	if c, err := store.Load("job-b", fp); err != nil || c == nil || c.Status != resilience.StatusDone {
+		t.Fatalf("job-b checkpoint = %v, %v", c, err)
+	}
+}
+
+// A stale fingerprint (changed seed/quick/workers) must re-run the job
+// rather than resume another configuration's checkpoint.
+func TestRunJobsResumeIgnoresStaleFingerprint(t *testing.T) {
+	store := resilience.NewStore(t.TempDir())
+	if err := store.Save(&resilience.Checkpoint{
+		Job: "job-a", Fingerprint: resilience.Fingerprint("job", true, int64(99), 0), Status: resilience.StatusDone,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	ran := false
+	jobs := []job{{"a", func(ctx context.Context) error { ran = true; return nil }}}
+	rc := testRunnerConfig(0, true)
+	rc.store, rc.resume = store, true
+	rc.fingerprint = resilience.Fingerprint("job", true, int64(1), 0)
+	var buf bytes.Buffer
+	if err := runJobs(context.Background(), jobs, rc, nil, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !ran {
+		t.Fatal("job with stale checkpoint was skipped")
+	}
+}
+
+// A cooperative best-effort job that returns nil shortly after its
+// deadline fires is a success: the grace window exists precisely so
+// partial results can be salvaged and written.
+func TestRunOneGraceSalvagesBestEffort(t *testing.T) {
+	j := job{"salvage", func(ctx context.Context) error {
+		<-ctx.Done()
+		time.Sleep(10 * time.Millisecond) // simulate writing partial artifacts
+		return nil
+	}}
+	if err := runOne(context.Background(), j, 30*time.Millisecond); err != nil {
+		t.Fatalf("salvaged job = %v, want nil", err)
+	}
+}
+
+// A job that responds to its deadline with the context error (no
+// salvage) still fails with a timeout.
+func TestRunOneGraceStillTimesOut(t *testing.T) {
+	j := job{"stubborn", func(ctx context.Context) error {
+		<-ctx.Done()
+		return ctx.Err()
+	}}
+	err := runOne(context.Background(), j, 30*time.Millisecond)
+	if err == nil || !strings.Contains(err.Error(), "timed out") {
+		t.Fatalf("err = %v, want timeout", err)
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want DeadlineExceeded in the chain", err)
+	}
+}

@@ -26,6 +26,7 @@ package expansion
 
 import (
 	"context"
+	"errors"
 	"fmt"
 
 	"github.com/trustnet/trustnet/internal/graph"
@@ -44,6 +45,8 @@ var (
 	obsBatches       = obs.Default().Counter("expansion.bfs.batches")
 	obsPoolHits      = obs.Default().Counter("expansion.pool.hits")
 	obsPoolMisses    = obs.Default().Counter("expansion.pool.misses")
+	obsPartial       = obs.Default().Counter("expansion.partial")
+	obsResumed       = obs.Default().Counter("expansion.resumed_sources")
 )
 
 // Config controls a measurement run.
@@ -61,6 +64,42 @@ type Config struct {
 	// forces the scalar loop; values in [2, 64] force that batch width.
 	// Every setting produces identical integer results.
 	BFSBatch int
+	// BestEffort salvages a deadline-hit measurement: when ctx is
+	// canceled or times out mid-run, Measure aggregates the cores
+	// completed so far (Result.Partial true, Coverage < 1) instead of
+	// returning the context error, as long as at least one core
+	// finished. BFS is integer, so every completed core's levels are
+	// identical to the uninterrupted run's.
+	BestEffort bool
+	// Resume seeds the measurement with level sequences completed by an
+	// earlier (interrupted) run over the *same* source list: cores whose
+	// checkpoint entry is non-nil are not re-measured. A checkpoint
+	// whose sources differ from this run's is stale state and an error.
+	Resume *Checkpoint
+}
+
+// Checkpoint is the resumable progress of an expansion measurement: the
+// BFS cores and, per core, the completed level-size sequence (nil for
+// cores not yet measured). BFS levels are integers, so the JSON round
+// trip through internal/resilience's store is exact and a resumed run
+// reproduces the uninterrupted result bit-for-bit.
+type Checkpoint struct {
+	Sources []graph.NodeID `json:"sources"`
+	Levels  [][]int64      `json:"levels"`
+}
+
+// matches reports whether the checkpoint belongs to a measurement over
+// these sources.
+func (c *Checkpoint) matches(sources []graph.NodeID) bool {
+	if len(c.Sources) != len(sources) || len(c.Levels) != len(sources) {
+		return false
+	}
+	for i, s := range c.Sources {
+		if s != sources[i] {
+			return false
+		}
+	}
+	return true
 }
 
 // batchWidth resolves the BFSBatch knob against the graph size.
@@ -87,11 +126,36 @@ type Result struct {
 	// FactorBySetSize maps envelope size to the summary of expansion
 	// factors α — the Figure 4 curve uses its means.
 	FactorBySetSize *stats.KeyedSummary
-	// Sources is the number of BFS cores measured.
+	// Sources is the number of configured BFS cores.
 	Sources int
+	// Completed counts the cores whose BFS finished; it equals Sources
+	// on a complete run.
+	Completed int
+	// Partial reports that a best-effort run was cut short: the
+	// aggregates cover only Completed of Sources cores.
+	Partial bool
 	// MaxEccentricity is the largest BFS depth observed (a diameter lower
 	// bound when all nodes are used as sources).
 	MaxEccentricity int
+
+	// sourceList and levels retain the per-core state Checkpoint needs.
+	sourceList []graph.NodeID
+	levels     [][]int64
+}
+
+// Coverage is the fraction of configured cores with a completed BFS —
+// 1 for a complete measurement, in (0, 1) for a salvaged partial one.
+func (r *Result) Coverage() float64 {
+	if r.Sources == 0 {
+		return 0
+	}
+	return float64(r.Completed) / float64(r.Sources)
+}
+
+// Checkpoint returns the result's resumable state. The checkpoint
+// aliases the result's internal slices — serialize it before reuse.
+func (r *Result) Checkpoint() *Checkpoint {
+	return &Checkpoint{Sources: r.sourceList, Levels: r.levels}
 }
 
 // VertexExpansion returns the minimum observed expansion factor over every
@@ -154,50 +218,92 @@ func Measure(ctx context.Context, g graph.View, cfg Config) (*Result, error) {
 	}
 	ctx, span := obs.StartSpan(ctx, "expansion.measure")
 	defer span.End()
-	var levels [][]int64
-	if width <= 1 {
-		pool := graph.NewBFSPool(g)
-		defer recordPoolStats(pool.Stats)
-		obsScalarSources.Add(int64(len(sources)))
-		levels, err = parallel.Map(ctx, cfg.Workers, len(sources), func(_, i int) ([]int64, error) {
-			bfs := pool.Get()
-			defer pool.Put(bfs)
-			r, err := bfs.Run(sources[i])
-			if err != nil {
-				return nil, err
-			}
-			// r aliases pooled scratch (see BFSWorker.Run); keep only a
-			// copy of the level sizes, which is all the fold reads.
-			return append([]int64(nil), r.LevelSizes...), nil
-		})
-	} else {
-		blocks := parallel.Blocks(len(sources), width)
-		pool := kernels.NewBFSBatchPool(graph.Materialize(g))
-		defer recordPoolStats(pool.Stats)
-		obsBatches.Add(int64(len(blocks)))
-		var parts [][][]int64
-		parts, err = parallel.Map(ctx, cfg.Workers, len(blocks), func(_, b int) ([][]int64, error) {
-			batch := pool.Get()
-			defer pool.Put(batch)
-			return batch.Run(sources[blocks[b].Start:blocks[b].End])
-		})
-		if err == nil {
-			levels = make([][]int64, 0, len(sources))
-			for _, p := range parts {
-				levels = append(levels, p...)
+
+	// levels[i] belongs to sources[i]; resumed cores are merged up front
+	// and todo holds the indices still to measure. Each worker task owns
+	// distinct level slots, and parallel.ForEach joins every worker
+	// before returning, so the post-fan-out read is race-free even when
+	// a deadline stops the run mid-flight.
+	levels := make([][]int64, len(sources))
+	if cfg.Resume != nil {
+		if !cfg.Resume.matches(sources) {
+			return nil, fmt.Errorf("expansion: resume checkpoint does not match this source list")
+		}
+		copy(levels, cfg.Resume.Levels)
+		for _, ls := range levels {
+			if ls != nil {
+				obsResumed.Inc()
 			}
 		}
 	}
-	if err != nil {
-		return nil, fmt.Errorf("expansion: %w", err)
+	todo := make([]int, 0, len(sources))
+	for i, ls := range levels {
+		if ls == nil {
+			todo = append(todo, i)
+		}
+	}
+
+	var runErr error
+	if width <= 1 {
+		pool := graph.NewBFSPool(g)
+		defer recordPoolStats(pool.Stats)
+		obsScalarSources.Add(int64(len(todo)))
+		runErr = parallel.ForEach(ctx, cfg.Workers, len(todo), func(_, k int) error {
+			bfs := pool.Get()
+			defer pool.Put(bfs)
+			r, err := bfs.Run(sources[todo[k]])
+			if err != nil {
+				return err
+			}
+			// r aliases pooled scratch (see BFSWorker.Run); keep only a
+			// copy of the level sizes, which is all the fold reads.
+			levels[todo[k]] = append([]int64(nil), r.LevelSizes...)
+			return nil
+		})
+	} else if len(todo) > 0 {
+		todoSources := make([]graph.NodeID, len(todo))
+		for k, i := range todo {
+			todoSources[k] = sources[i]
+		}
+		blocks := parallel.Blocks(len(todo), width)
+		pool := kernels.NewBFSBatchPool(graph.Materialize(g))
+		defer recordPoolStats(pool.Stats)
+		obsBatches.Add(int64(len(blocks)))
+		runErr = parallel.ForEach(ctx, cfg.Workers, len(blocks), func(_, b int) error {
+			batch := pool.Get()
+			defer pool.Put(batch)
+			part, err := batch.Run(todoSources[blocks[b].Start:blocks[b].End])
+			if err != nil {
+				return err
+			}
+			for j, ls := range part {
+				levels[todo[blocks[b].Start+j]] = ls
+			}
+			return nil
+		})
 	}
 
 	res := &Result{
 		NeighborsBySetSize: stats.NewKeyedSummary(),
 		FactorBySetSize:    stats.NewKeyedSummary(),
 		Sources:            len(sources),
+		sourceList:         sources,
+		levels:             levels,
+	}
+	if runErr != nil {
+		if !cfg.BestEffort || !isInterrupt(runErr) {
+			return nil, fmt.Errorf("expansion: %w", runErr)
+		}
+		// Deadline or cancellation in best-effort mode: salvage whatever
+		// completed. Zero coverage has nothing to salvage.
+		obsPartial.Inc()
+		res.Partial = true
 	}
 	for _, ls := range levels {
+		if ls == nil {
+			continue
+		}
+		res.Completed++
 		if ecc := len(ls) - 1; ecc > res.MaxEccentricity {
 			res.MaxEccentricity = ecc
 		}
@@ -211,7 +317,20 @@ func Measure(ctx context.Context, g graph.View, cfg Config) (*Result, error) {
 			res.FactorBySetSize.Add(envelope, float64(next)/float64(envelope))
 		}
 	}
+	if res.Completed == 0 {
+		if runErr != nil {
+			return nil, fmt.Errorf("expansion: %w", runErr)
+		}
+		return nil, fmt.Errorf("expansion: no cores measured")
+	}
 	return res, nil
+}
+
+// isInterrupt reports whether err is a context cancellation or deadline
+// — the two failure classes best-effort mode may salvage a partial
+// result from.
+func isInterrupt(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
 }
 
 // recordPoolStats folds one pool's get/new counts into the shared hit

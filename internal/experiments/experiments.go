@@ -15,6 +15,7 @@ import (
 
 	"github.com/trustnet/trustnet/internal/datasets"
 	"github.com/trustnet/trustnet/internal/graph"
+	"github.com/trustnet/trustnet/internal/resilience"
 )
 
 // Options configures every experiment runner.
@@ -28,6 +29,19 @@ type Options struct {
 	Seed int64
 	// Workers bounds parallelism; <= 0 uses GOMAXPROCS.
 	Workers int
+	// BestEffort lets deadline-hit measurements return partial results
+	// (tagged with their coverage) instead of failing outright.
+	BestEffort bool
+	// Ckpt, when non-nil, is where runners persist per-dataset progress:
+	// done datasets as reusable results, interrupted ones as resumable
+	// measurement state. Checkpoints are fingerprinted against the full
+	// measurement configuration.
+	Ckpt *resilience.Store
+	// Resume makes runners consult Ckpt before measuring: datasets with
+	// a done checkpoint are reused, partial ones continue from their
+	// saved state. The combined result is bit-identical to an
+	// uninterrupted run.
+	Resume bool
 }
 
 func (o *Options) fill() {

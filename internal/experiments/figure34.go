@@ -39,7 +39,7 @@ type Figure4Result struct {
 // measureExpansion runs the envelope measurement for one dataset with
 // option-scaled sampling.
 func measureExpansion(ctx context.Context, opts Options, g *graph.Graph) (*expansion.Result, error) {
-	cfg := expansion.Config{Workers: opts.Workers}
+	cfg := expansion.Config{Workers: opts.Workers, BestEffort: opts.BestEffort}
 	if opts.Quick {
 		srcs, err := expansion.SampledSources(g, 60, opts.Seed)
 		if err != nil {

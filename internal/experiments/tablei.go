@@ -6,6 +6,7 @@ import (
 
 	"github.com/trustnet/trustnet/internal/datasets"
 	"github.com/trustnet/trustnet/internal/report"
+	"github.com/trustnet/trustnet/internal/resilience"
 	"github.com/trustnet/trustnet/internal/spectral"
 )
 
@@ -22,13 +23,20 @@ type TableIRow struct {
 	// Converged reports whether the power iteration converged within its
 	// budget; when false SLEM is the last (still monotone) estimate.
 	Converged bool
-	Class     datasets.Class
+	// Partial reports a best-effort deadline cut the power iteration
+	// short; SLEM is the running estimate after Coverage of the budget.
+	Partial  bool
+	Coverage float64
+	Class    datasets.Class
 }
 
 // TableIResult is the Table I reproduction: every dataset with its size
 // and second largest eigenvalue of the transition matrix.
 type TableIResult struct {
 	Rows []TableIRow
+	// Partial reports that a best-effort run was cut short: the last row
+	// carries a running SLEM estimate and later datasets are missing.
+	Partial bool
 }
 
 // Table renders the result in the paper's column layout.
@@ -46,6 +54,13 @@ func (r *TableIResult) Table() (*report.Table, error) {
 		); err != nil {
 			return nil, err
 		}
+		if row.Partial {
+			t.AddNote(fmt.Sprintf("PARTIAL: %s mu is a running estimate at %.0f%% of the iteration budget",
+				row.Name, row.Coverage*100))
+		}
+	}
+	if r.Partial {
+		t.AddNote("PARTIAL: the run was cut short; later datasets are missing (rerun with -resume to continue)")
 	}
 	return t, nil
 }
@@ -62,26 +77,55 @@ func TableI(ctx context.Context, opts Options) (*TableIResult, error) {
 	}
 	res := &TableIResult{Rows: make([]TableIRow, 0, len(specs))}
 	for _, spec := range specs {
-		if err := ctx.Err(); err != nil {
+		scfg := spectral.Config{
+			Tolerance:     1e-7,
+			MaxIterations: opts.pick(3000, 20000),
+			Seed:          opts.Seed,
+			Workers:       opts.Workers,
+			BestEffort:    opts.BestEffort,
+		}
+		if opts.Quick {
+			scfg.Tolerance = 1e-5
+		}
+		key := "tableI-" + spec.Name
+		fp := resilience.Fingerprint("tableI", spec.Name, opts.Quick, opts.Seed, scfg.MaxIterations, scfg.Tolerance)
+		if opts.Ckpt != nil && opts.Resume {
+			c, err := opts.Ckpt.Load(key, fp)
+			if err != nil {
+				return nil, fmt.Errorf("experiments: table I: %w", err)
+			}
+			switch {
+			case c != nil && c.Status == resilience.StatusDone:
+				// The dataset finished in an earlier run: reuse its row
+				// verbatim, no measurement needed.
+				var row TableIRow
+				if err := c.DecodePayload(&row); err != nil {
+					return nil, fmt.Errorf("experiments: table I: %w", err)
+				}
+				res.Rows = append(res.Rows, row)
+				continue
+			case c != nil:
+				// Interrupted mid-iteration: warm-start the power iteration
+				// from the checkpointed eigenvector.
+				var sck spectral.Checkpoint
+				if err := c.DecodePayload(&sck); err != nil {
+					return nil, fmt.Errorf("experiments: table I: %w", err)
+				}
+				scfg.Resume = &sck
+			}
+		}
+		if err := ctx.Err(); err != nil && !opts.BestEffort {
 			return nil, fmt.Errorf("experiments: table I: %w", err)
 		}
 		g, err := opts.graphFor(spec.Name)
 		if err != nil {
 			return nil, err
 		}
-		scfg := spectral.Config{
-			Tolerance:     1e-7,
-			MaxIterations: opts.pick(3000, 20000),
-			Seed:          opts.Seed,
-		}
-		if opts.Quick {
-			scfg.Tolerance = 1e-5
-		}
-		sr, err := spectral.SLEM(g, scfg)
+		sr, err := spectral.SLEMContext(ctx, g, scfg)
 		if err != nil {
 			return nil, fmt.Errorf("experiments: table I slem of %s: %w", spec.Name, err)
 		}
-		res.Rows = append(res.Rows, TableIRow{
+		row := TableIRow{
 			Name:       spec.Name,
 			PaperNodes: spec.PaperNodes,
 			PaperEdges: spec.PaperEdges,
@@ -89,8 +133,30 @@ func TableI(ctx context.Context, opts Options) (*TableIResult, error) {
 			Edges:      g.NumEdges(),
 			SLEM:       sr.SLEM,
 			Converged:  sr.Converged,
+			Partial:    sr.Partial,
+			Coverage:   sr.Coverage,
 			Class:      spec.Class,
-		})
+		}
+		if opts.Ckpt != nil {
+			c := &resilience.Checkpoint{Job: key, Fingerprint: fp, Status: resilience.StatusDone}
+			if sr.Partial {
+				c.Status = resilience.StatusPartial
+				err = c.SetPayload(sr.Checkpoint())
+			} else {
+				err = c.SetPayload(row)
+			}
+			if err != nil {
+				return nil, err
+			}
+			if err := opts.Ckpt.Save(c); err != nil {
+				return nil, fmt.Errorf("experiments: table I: %w", err)
+			}
+		}
+		res.Rows = append(res.Rows, row)
+		if sr.Partial {
+			res.Partial = true
+			break // the deadline already hit; later datasets stay unmeasured
+		}
 	}
 	return res, nil
 }

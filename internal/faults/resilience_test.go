@@ -1,0 +1,126 @@
+package faults
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"github.com/trustnet/trustnet/internal/resilience"
+)
+
+// SetEpoch(e) must land on exactly the schedule e AdvanceEpoch calls
+// reach, so a resumed sweep can jump straight to the crashed epoch.
+func TestSetEpochMatchesAdvance(t *testing.T) {
+	g := testGraph(t)
+	cfg := Config{Churn: 0.25, EdgeLoss: 0.1, Seed: 19}
+	walked, err := New(g, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want []uint64
+	want = append(want, walked.ScheduleFingerprint())
+	for e := 1; e <= 5; e++ {
+		walked.AdvanceEpoch()
+		want = append(want, walked.ScheduleFingerprint())
+	}
+
+	jumped, err := New(g, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := jumped.SetEpoch(5); err != nil {
+		t.Fatal(err)
+	}
+	if jumped.Epoch() != 5 {
+		t.Fatalf("Epoch() = %d after SetEpoch(5)", jumped.Epoch())
+	}
+	if got := jumped.ScheduleFingerprint(); got != want[5] {
+		t.Fatalf("SetEpoch(5) fingerprint %x != advanced fingerprint %x", got, want[5])
+	}
+	// Jumping backward works too: the draw is a pure function of epoch.
+	if err := jumped.SetEpoch(2); err != nil {
+		t.Fatal(err)
+	}
+	if got := jumped.ScheduleFingerprint(); got != want[2] {
+		t.Fatalf("SetEpoch(2) fingerprint %x != advanced fingerprint %x", got, want[2])
+	}
+	if err := jumped.SetEpoch(-1); err == nil {
+		t.Fatal("SetEpoch(-1): want error")
+	}
+}
+
+// Distinct epochs should (overwhelmingly) have distinct fingerprints —
+// the digest actually sees the schedule, not just its size.
+func TestScheduleFingerprintDistinguishesEpochs(t *testing.T) {
+	g := testGraph(t)
+	m, err := New(g, Config{Churn: 0.25, EdgeLoss: 0.1, Seed: 19})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[uint64]int{m.ScheduleFingerprint(): 0}
+	for e := 1; e <= 8; e++ {
+		m.AdvanceEpoch()
+		fp := m.ScheduleFingerprint()
+		if prev, dup := seen[fp]; dup {
+			t.Fatalf("epochs %d and %d share fingerprint %x", prev, e, fp)
+		}
+		seen[fp] = e
+	}
+}
+
+// An epoch sweep whose per-epoch measurement fails transiently and is
+// re-run by the retry policy must still walk the exact schedule sequence
+// of a failure-free sweep: retries consume no structural randomness.
+func TestEpochSweepWithRetriesBitIdentical(t *testing.T) {
+	g := testGraph(t)
+	cfg := Config{Churn: 0.3, EdgeLoss: 0.15, MsgDrop: 0.1, LatencyMean: 2, Seed: 7}
+	const epochs = 6
+
+	clean, err := New(g, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want []uint64
+	for e := 0; e < epochs; e++ {
+		if e > 0 {
+			clean.AdvanceEpoch()
+		}
+		want = append(want, clean.ScheduleFingerprint())
+	}
+
+	m, err := New(g, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pol := resilience.Policy{MaxAttempts: 3, BaseDelay: time.Microsecond, Seed: 1}
+	injected := errors.New("injected measurement failure")
+	var got []uint64
+	for e := 0; e < epochs; e++ {
+		if e > 0 {
+			m.AdvanceEpoch()
+		}
+		failures := 0
+		_, err := pol.Run(context.Background(), func(context.Context, int) error {
+			// The "measurement": read the schedule and exercise the
+			// message stream, then fail transiently on the first two
+			// attempts of every epoch.
+			m.View().NumAlive()
+			m.Deliver(0, 1)
+			if failures < 2 {
+				failures++
+				return resilience.MarkTransient(injected)
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("epoch %d: retried measurement failed: %v", e, err)
+		}
+		got = append(got, m.ScheduleFingerprint())
+	}
+	for e := range want {
+		if got[e] != want[e] {
+			t.Fatalf("epoch %d: fingerprint %x after retries, want %x (schedule perturbed)", e, got[e], want[e])
+		}
+	}
+}

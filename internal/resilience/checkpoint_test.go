@@ -1,0 +1,168 @@
+package resilience
+
+import (
+	"math"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestCheckpointRoundTrip(t *testing.T) {
+	s := NewStore(filepath.Join(t.TempDir(), "ckpt"))
+	type payload struct {
+		Sources []int32     `json:"sources"`
+		Curves  [][]float64 `json:"curves"`
+	}
+	// Awkward floats: exact round-trip is the whole point.
+	want := payload{
+		Sources: []int32{3, 1, 4},
+		Curves: [][]float64{
+			{0.1, 1.0 / 3.0, math.Nextafter(0.5, 1)},
+			nil,
+			{math.SmallestNonzeroFloat64, 1e300, -0.0},
+		},
+	}
+	fp := Fingerprint("mixing", "wiki-vote", 1, true)
+	c := &Checkpoint{Job: "figure1-wiki-vote", Fingerprint: fp, Status: StatusPartial, Attempts: 2}
+	if err := c.SetPayload(want); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Save(c); err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.Load("figure1-wiki-vote", fp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got == nil || got.Status != StatusPartial || got.Attempts != 2 {
+		t.Fatalf("loaded = %+v", got)
+	}
+	var p payload
+	if err := got.DecodePayload(&p); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(p.Sources, want.Sources) {
+		t.Fatalf("sources = %v", p.Sources)
+	}
+	for i := range want.Curves {
+		for j := range want.Curves[i] {
+			if math.Float64bits(p.Curves[i][j]) != math.Float64bits(want.Curves[i][j]) {
+				t.Fatalf("curve[%d][%d] = %x, want %x (bit-exact)", i, j,
+					math.Float64bits(p.Curves[i][j]), math.Float64bits(want.Curves[i][j]))
+			}
+		}
+	}
+}
+
+func TestCheckpointMissing(t *testing.T) {
+	s := NewStore(t.TempDir())
+	c, err := s.Load("nope", "fp")
+	if c != nil || err != nil {
+		t.Fatalf("missing checkpoint: %v, %v, want nil, nil", c, err)
+	}
+}
+
+// A fingerprint mismatch is stale state from another configuration:
+// ignored, not resumed, not an error.
+func TestCheckpointStaleFingerprintIgnored(t *testing.T) {
+	s := NewStore(t.TempDir())
+	c := &Checkpoint{Job: "j", Fingerprint: Fingerprint("seed", 1), Status: StatusDone}
+	if err := s.Save(c); err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.Load("j", Fingerprint("seed", 2))
+	if got != nil || err != nil {
+		t.Fatalf("stale checkpoint: %v, %v, want nil, nil", got, err)
+	}
+	// The matching fingerprint still loads.
+	if got, err = s.Load("j", Fingerprint("seed", 1)); err != nil || got == nil {
+		t.Fatalf("matching checkpoint: %v, %v", got, err)
+	}
+}
+
+func TestCheckpointCorruptIsError(t *testing.T) {
+	dir := t.TempDir()
+	s := NewStore(dir)
+	if err := os.WriteFile(s.Path("bad"), []byte(`{"schema": "trustnet/checkpo`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Load("bad", ""); err == nil {
+		t.Fatal("corrupt checkpoint loaded without error")
+	}
+	if err := os.WriteFile(s.Path("old"), []byte(`{"schema":"other/v9","job":"old","status":"done"}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Load("old", ""); err == nil {
+		t.Fatal("wrong-schema checkpoint loaded without error")
+	}
+}
+
+func TestCheckpointRemove(t *testing.T) {
+	s := NewStore(t.TempDir())
+	if err := s.Remove("never-existed"); err != nil {
+		t.Fatalf("removing a missing checkpoint: %v", err)
+	}
+	c := &Checkpoint{Job: "j", Status: StatusDone}
+	if err := s.Save(c); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Remove("j"); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := s.Load("j", ""); got != nil {
+		t.Fatal("checkpoint survived Remove")
+	}
+}
+
+// Job keys may carry separators ("figure1/wiki-vote"); they must map to
+// files inside the store directory.
+func TestCheckpointPathSanitized(t *testing.T) {
+	s := NewStore("/tmp/ckpt")
+	p := s.Path("../../etc/passwd")
+	if filepath.Dir(p) != "/tmp/ckpt" || strings.ContainsAny(filepath.Base(p), "/\\") {
+		t.Fatalf("Path escaped the store: %s", p)
+	}
+}
+
+func TestWriteFileAtomicReplacesAndLeavesNoTemp(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "artifact.json")
+	if err := WriteFileAtomic(path, []byte("old"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteFileAtomic(path, []byte("new"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil || string(data) != "new" {
+		t.Fatalf("content = %q, %v", data, err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 {
+		names := make([]string, len(entries))
+		for i, e := range entries {
+			names[i] = e.Name()
+		}
+		t.Fatalf("temp files left behind: %v", names)
+	}
+}
+
+func TestFingerprintDistinguishesParts(t *testing.T) {
+	a := Fingerprint("tableI", "wiki-vote", 1, true)
+	b := Fingerprint("tableI", "wiki-vote", 1, false)
+	c := Fingerprint("tableI", "wiki-vote", 1, true)
+	if a == b {
+		t.Fatal("different parts fingerprint identically")
+	}
+	if a != c {
+		t.Fatal("identical parts fingerprint differently")
+	}
+	if len(a) != 16 {
+		t.Fatalf("fingerprint %q not 16 hex chars", a)
+	}
+}

@@ -1,0 +1,166 @@
+// Package resilience is the job-execution layer that keeps long
+// measurement runs alive through the failure classes the distributed
+// formulations of the paper's properties assume (node crashes, lost
+// work, deadline storms): error classification, bounded retry with
+// seeded-jitter exponential backoff, and atomic checkpoint/resume
+// state. The experiment runner (cmd/experiments) wraps every job in it,
+// and the measurement packages (walk, expansion, spectral) produce the
+// partial-progress payloads its checkpoint store persists.
+//
+// The contract, in order of importance:
+//
+//   - Determinism survives failure. A retried or resumed computation
+//     must produce bit-identical results to an uninterrupted one:
+//     checkpoints carry exact float64 state (encoding/json round-trips
+//     float64 exactly via the shortest-representation formatter), retry
+//     jitter is drawn from a seeded stream so schedules are
+//     reproducible, and nothing in this package reorders or reseeds the
+//     measurement itself.
+//   - Failures are classified, not guessed at. Classify distinguishes
+//     ClassCanceled (caller intent — never retried), ClassDeadline
+//     (budget exhausted — not retried by default, since a deterministic
+//     job will exhaust it again; best-effort partial results are the
+//     right response), ClassTransient (worth retrying: marked
+//     transient, or a recovered panic, which in this system comes from
+//     injected faults and flaky state), and ClassFatal (everything
+//     else — retrying a deterministic bug wastes the budget).
+//   - Crash-safe artifacts. WriteFileAtomic (temp file + fsync +
+//     rename) backs every checkpoint and metrics/bench artifact write,
+//     so a killed run never leaves truncated JSON behind.
+//
+// Cost model: Classify is a handful of errors.Is/As walks; a retry
+// sleeps under the caller's context; Save marshals the payload once and
+// costs one temp-file write + rename. Nothing here runs on a
+// measurement hot path.
+package resilience
+
+import (
+	"context"
+	"errors"
+	"fmt"
+)
+
+// Class is the failure class of a job error, driving the retry and
+// checkpoint decisions of the runner.
+type Class int
+
+const (
+	// ClassOK classifies a nil error.
+	ClassOK Class = iota
+	// ClassTransient failures (marked errors, recovered panics) may
+	// succeed on retry.
+	ClassTransient
+	// ClassDeadline failures exhausted a time budget
+	// (context.DeadlineExceeded). Retrying a deterministic job against
+	// the same budget just loses again, so the default policy does not
+	// retry them; salvage a partial result instead.
+	ClassDeadline
+	// ClassCanceled failures are caller intent (context.Canceled) and
+	// are never retried.
+	ClassCanceled
+	// ClassFatal failures are deterministic errors retry cannot fix.
+	ClassFatal
+)
+
+// String names the class for failure summaries and metrics.
+func (c Class) String() string {
+	switch c {
+	case ClassOK:
+		return "ok"
+	case ClassTransient:
+		return "transient"
+	case ClassDeadline:
+		return "deadline"
+	case ClassCanceled:
+		return "canceled"
+	case ClassFatal:
+		return "fatal"
+	}
+	return fmt.Sprintf("class(%d)", int(c))
+}
+
+// transienter is the marker interface Classify honors: any error in the
+// chain may declare itself transient (or explicitly non-transient).
+type transienter interface {
+	Transient() bool
+}
+
+// Classify maps an error to its failure class. Context errors win over
+// markers (a canceled run is canceled no matter what it wrapped), then
+// the innermost Transient() marker or PanicError decides, and anything
+// unclaimed is fatal.
+func Classify(err error) Class {
+	if err == nil {
+		return ClassOK
+	}
+	if errors.Is(err, context.Canceled) {
+		return ClassCanceled
+	}
+	if errors.Is(err, context.DeadlineExceeded) {
+		return ClassDeadline
+	}
+	var t transienter
+	if errors.As(err, &t) {
+		if t.Transient() {
+			return ClassTransient
+		}
+		return ClassFatal
+	}
+	return ClassFatal
+}
+
+// marked wraps an error with an explicit transience verdict.
+type marked struct {
+	err       error
+	transient bool
+}
+
+func (m *marked) Error() string   { return m.err.Error() }
+func (m *marked) Unwrap() error   { return m.err }
+func (m *marked) Transient() bool { return m.transient }
+
+// MarkTransient marks err as worth retrying. A nil err stays nil.
+func MarkTransient(err error) error {
+	if err == nil {
+		return nil
+	}
+	return &marked{err: err, transient: true}
+}
+
+// MarkFatal marks err as not worth retrying, overriding any transient
+// marker deeper in the chain. A nil err stays nil.
+func MarkFatal(err error) error {
+	if err == nil {
+		return nil
+	}
+	return &marked{err: err, transient: false}
+}
+
+// PanicError is a recovered panic converted into an error: the runner's
+// panic recovery produces one so the failure summary can report the
+// recovered stack trace, not only the panic value. Panics classify as
+// transient — in this system they come from injected faults and flaky
+// state, and the retry budget bounds the damage when they do not.
+type PanicError struct {
+	// Value is the value the goroutine panicked with.
+	Value any
+	// Stack is the panicking goroutine's stack trace (debug.Stack),
+	// captured inside the recovering deferred call.
+	Stack []byte
+}
+
+// Error reports the panic value; the stack is kept structured so
+// reporting layers can choose where to render it.
+func (e *PanicError) Error() string { return fmt.Sprintf("panic: %v", e.Value) }
+
+// Transient marks recovered panics retryable.
+func (e *PanicError) Transient() bool { return true }
+
+// AsPanic extracts a PanicError from err's chain.
+func AsPanic(err error) (*PanicError, bool) {
+	var pe *PanicError
+	if errors.As(err, &pe) {
+		return pe, true
+	}
+	return nil, false
+}

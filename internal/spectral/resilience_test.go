@@ -1,0 +1,187 @@
+package spectral
+
+import (
+	"context"
+	"encoding/json"
+	"math"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"github.com/trustnet/trustnet/internal/gen"
+)
+
+// countCtx is a context whose Err() flips to DeadlineExceeded after a
+// fixed number of calls. SLEMContext consults Err() exactly once per
+// power iteration, so the interruption lands at the same iteration on
+// every run — unlike a wall-clock deadline.
+type countCtx struct {
+	context.Context
+	calls   atomic.Int64
+	budget  int64
+	expired atomic.Bool
+}
+
+func newCountCtx(budget int64) *countCtx {
+	return &countCtx{Context: context.Background(), budget: budget}
+}
+
+func (c *countCtx) Err() error {
+	if c.calls.Add(1) > c.budget || c.expired.Load() {
+		c.expired.Store(true)
+		return context.DeadlineExceeded
+	}
+	return nil
+}
+
+func (c *countCtx) Deadline() (time.Time, bool) { return time.Time{}, false }
+
+func TestSLEMContextBestEffortPartial(t *testing.T) {
+	g, err := gen.BarabasiAlbert(200, 3, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{Seed: 5, Workers: 1, MaxIterations: 500, Tolerance: 1e-300}
+	cfg.BestEffort = true
+	r, err := SLEMContext(newCountCtx(40), g, cfg)
+	if err != nil {
+		t.Fatalf("best-effort run returned error: %v", err)
+	}
+	if !r.Partial || r.Converged {
+		t.Fatalf("interrupted run: Partial=%v Converged=%v", r.Partial, r.Converged)
+	}
+	if r.Iterations != 40 {
+		t.Fatalf("Iterations = %d, want exactly 40 (one Err() check per iteration)", r.Iterations)
+	}
+	if cov := r.Coverage; cov <= 0 || cov >= 1 {
+		t.Fatalf("Coverage = %v, want in (0, 1)", cov)
+	}
+	if math.IsInf(r.SLEM, 0) || math.IsNaN(r.SLEM) {
+		t.Fatalf("salvaged SLEM estimate = %v", r.SLEM)
+	}
+	if ckpt := r.Checkpoint(); ckpt == nil || ckpt.Iterations != 40 || len(ckpt.Vector) != 200 {
+		t.Fatalf("Checkpoint() = %+v", ckpt)
+	}
+
+	// Without BestEffort the same interruption is an error.
+	cfg.BestEffort = false
+	if _, err := SLEMContext(newCountCtx(40), g, cfg); err == nil {
+		t.Fatal("without BestEffort, interrupted run returned no error")
+	}
+
+	// Zero completed iterations has nothing to salvage.
+	cfg.BestEffort = true
+	if _, err := SLEMContext(newCountCtx(0), g, cfg); err == nil {
+		t.Fatal("zero-iteration best-effort run returned no error")
+	}
+}
+
+// The resilience contract: interrupt the power iteration, checkpoint the
+// iterate through a JSON round-trip (as internal/resilience would),
+// resume, and the final eigenvalue is bit-identical to the
+// never-interrupted computation.
+func TestSLEMContextResumeBitIdentical(t *testing.T) {
+	g, err := gen.BarabasiAlbert(200, 3, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{Seed: 5, Workers: 1, MaxIterations: 2000}
+	ref, err := SLEM(g, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cut := cfg
+	cut.BestEffort = true
+	partial, err := SLEMContext(newCountCtx(25), g, cut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !partial.Partial {
+		t.Fatal("setup: expected a partial result")
+	}
+
+	data, err := json.Marshal(partial.Checkpoint())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ckpt Checkpoint
+	if err := json.Unmarshal(data, &ckpt); err != nil {
+		t.Fatal(err)
+	}
+
+	resumed := cfg
+	resumed.Resume = &ckpt
+	got, err := SLEMContext(context.Background(), g, resumed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Partial || !got.Converged || got.Coverage != 1 {
+		t.Fatalf("resumed run: %+v", got)
+	}
+	if math.Float64bits(got.SLEM) != math.Float64bits(ref.SLEM) {
+		t.Fatalf("resumed SLEM %x differs from uninterrupted %x",
+			math.Float64bits(got.SLEM), math.Float64bits(ref.SLEM))
+	}
+	if got.Iterations != ref.Iterations {
+		t.Fatalf("resumed total iterations %d, uninterrupted %d", got.Iterations, ref.Iterations)
+	}
+	if got.Checkpoint() != nil {
+		t.Fatal("complete result produced a checkpoint")
+	}
+}
+
+// A partial result can itself be resumed and cut again; chaining partial
+// runs still lands on the exact uninterrupted trajectory.
+func TestSLEMContextResumeChained(t *testing.T) {
+	g, err := gen.BarabasiAlbert(150, 3, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{Seed: 2, Workers: 1, MaxIterations: 2000}
+	ref, err := SLEM(g, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cut := cfg
+	cut.BestEffort = true
+	r, err := SLEMContext(newCountCtx(10), g, cut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for hops := 0; r.Partial; hops++ {
+		if hops > 50 {
+			t.Fatal("resume chain did not terminate")
+		}
+		next := cut
+		next.Resume = r.Checkpoint()
+		// Each hop advances at most 100 iterations (one Err() call each).
+		if r, err = SLEMContext(newCountCtx(100), g, next); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if math.Float64bits(r.SLEM) != math.Float64bits(ref.SLEM) || r.Iterations != ref.Iterations {
+		t.Fatalf("chained resume: SLEM %v after %d iterations, want %v after %d",
+			r.SLEM, r.Iterations, ref.SLEM, ref.Iterations)
+	}
+}
+
+func TestSLEMContextResumeMalformedRejected(t *testing.T) {
+	g, err := gen.BarabasiAlbert(100, 3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{Workers: 1}
+	cfg.Resume = &Checkpoint{Vector: make([]float64, 7), Prev: 0.5, Iterations: 3}
+	if _, err := SLEMContext(context.Background(), g, cfg); err == nil {
+		t.Fatal("wrong-size resume vector accepted")
+	}
+	cfg.Resume = &Checkpoint{Vector: make([]float64, 100), Prev: 0.5, Iterations: 0}
+	if _, err := SLEMContext(context.Background(), g, cfg); err == nil {
+		t.Fatal("zero-iteration resume checkpoint accepted")
+	}
+	cfg.Resume = &Checkpoint{Vector: make([]float64, 100), Prev: math.Inf(1), Iterations: 3}
+	if _, err := SLEMContext(context.Background(), g, cfg); err == nil {
+		t.Fatal("infinite Prev in resume checkpoint accepted")
+	}
+}

@@ -39,6 +39,8 @@ import (
 var (
 	obsSLEMIterations = obs.Default().Counter("spectral.slem.iterations")
 	obsSLEMConverged  = obs.Default().Counter("spectral.slem.converged")
+	obsSLEMPartial    = obs.Default().Counter("spectral.slem.partial")
+	obsSLEMResumed    = obs.Default().Counter("spectral.slem.resumed_iterations")
 	obsSLEMResidual   = obs.Default().Gauge("spectral.slem.residual")
 )
 
@@ -54,6 +56,28 @@ type Config struct {
 	// Workers bounds the row-partitioned mat-vec parallelism; <= 0 uses
 	// GOMAXPROCS. The SLEM is bit-for-bit identical at any worker count.
 	Workers int
+	// BestEffort salvages a deadline-hit run: when ctx is canceled or
+	// times out mid-iteration, SLEMContext returns the current estimate
+	// (Result.Partial true, Coverage < 1) instead of the context error,
+	// as long as at least one iteration completed.
+	BestEffort bool
+	// Resume warm-starts the power iteration from a checkpoint taken by
+	// an earlier (interrupted) run of the *same* graph and configuration.
+	// The checkpointed vector is used verbatim — already deflated and
+	// normalized — so the resumed trajectory is bit-identical to the
+	// uninterrupted one.
+	Resume *Checkpoint
+}
+
+// Checkpoint is the resumable state of a power iteration: the iterate
+// after Iterations completed steps (deflated, unit-norm) and the last
+// eigenvalue estimate. It is only produced after at least one iteration,
+// so Prev is always finite and the state survives a JSON round trip
+// through internal/resilience's store bit-for-bit.
+type Checkpoint struct {
+	Vector     []float64 `json:"vector"`
+	Prev       float64   `json:"prev"`
+	Iterations int       `json:"iterations"`
 }
 
 func (c *Config) fill() {
@@ -74,11 +98,33 @@ var ErrNotConnected = errors.New("spectral: graph is not connected")
 type Result struct {
 	// SLEM is μ, the second largest eigenvalue modulus of P.
 	SLEM float64
-	// Iterations is the number of power iterations performed.
+	// Iterations is the number of power iterations performed, including
+	// any resumed from a checkpoint.
 	Iterations int
 	// Converged reports whether successive estimates got within Tolerance
 	// before MaxIterations.
 	Converged bool
+	// Partial reports that a best-effort run was cut short: SLEM is the
+	// estimate after Iterations of the configured budget.
+	Partial bool
+	// Coverage is the fraction of the iteration budget spent — 1 on a
+	// complete (converged or budget-exhausted) run, in (0, 1) on a
+	// salvaged partial one.
+	Coverage float64
+
+	// vector and prev retain the iterate Checkpoint needs; set only on
+	// partial results.
+	vector []float64
+	prev   float64
+}
+
+// Checkpoint returns the resumable state of a partial result, or nil for
+// a complete run (which has nothing left to resume).
+func (r *Result) Checkpoint() *Checkpoint {
+	if r.vector == nil {
+		return nil
+	}
+	return &Checkpoint{Vector: r.vector, Prev: r.prev, Iterations: r.Iterations}
 }
 
 // SLEM computes the second largest eigenvalue modulus of the transition
@@ -87,8 +133,18 @@ type Result struct {
 // non-CSR views are materialized once up front (graph.Materialize, cached
 // by the view) and the copy is amortized across all iterations.
 func SLEM(v graph.View, cfg Config) (*Result, error) {
+	return SLEMContext(context.Background(), v, cfg)
+}
+
+// SLEMContext is SLEM under a context: cancellation is honored between
+// power iterations, and with cfg.BestEffort a deadline-hit run returns
+// its current estimate as a resumable partial result instead of an
+// error. Resuming from the checkpoint of an interrupted run continues
+// the exact trajectory: the final estimate is bit-identical to the
+// uninterrupted computation.
+func SLEMContext(ctx context.Context, v graph.View, cfg Config) (*Result, error) {
 	cfg.fill()
-	_, span := obs.StartSpan(context.Background(), "spectral.slem")
+	ctx, span := obs.StartSpan(ctx, "spectral.slem")
 	defer span.End()
 	n := v.NumNodes()
 	if n < 2 {
@@ -114,14 +170,33 @@ func SLEM(v graph.View, cfg Config) (*Result, error) {
 		phi[v] /= norm
 	}
 
-	rng := rand.New(rand.NewSource(cfg.Seed))
+	// The iterate: a fresh seeded random vector deflated against φ, or —
+	// when resuming — the checkpointed vector VERBATIM. The checkpoint
+	// was taken after deflation and normalization; re-applying either
+	// would perturb the floats and break bit-identical resume.
 	x := make([]float64, n)
-	for v := range x {
-		x[v] = rng.NormFloat64()
-	}
-	deflate(x, phi)
-	if normalize(x) == 0 {
-		return nil, errors.New("spectral: degenerate starting vector")
+	startIt := 0
+	prev := math.Inf(1)
+	if cfg.Resume != nil {
+		if len(cfg.Resume.Vector) != n {
+			return nil, fmt.Errorf("spectral: resume checkpoint has %d entries, graph has %d nodes", len(cfg.Resume.Vector), n)
+		}
+		if cfg.Resume.Iterations < 1 || !(math.Abs(cfg.Resume.Prev) < math.Inf(1)) {
+			return nil, fmt.Errorf("spectral: resume checkpoint is malformed (iterations %d, prev %v)", cfg.Resume.Iterations, cfg.Resume.Prev)
+		}
+		copy(x, cfg.Resume.Vector)
+		startIt = cfg.Resume.Iterations
+		prev = cfg.Resume.Prev
+		obsSLEMResumed.Add(int64(startIt))
+	} else {
+		rng := rand.New(rand.NewSource(cfg.Seed))
+		for v := range x {
+			x[v] = rng.NormFloat64()
+		}
+		deflate(x, phi)
+		if normalize(x) == 0 {
+			return nil, errors.New("spectral: degenerate starting vector")
+		}
 	}
 
 	y := make([]float64, n)
@@ -163,17 +238,30 @@ func SLEM(v graph.View, cfg Config) (*Result, error) {
 		})
 	}
 
-	prev := math.Inf(1)
-	res := &Result{}
+	res := &Result{Iterations: startIt, Coverage: 1}
 	resid := math.Inf(1)
 	defer func() {
-		obsSLEMIterations.Add(int64(res.Iterations))
+		obsSLEMIterations.Add(int64(res.Iterations - startIt))
 		obsSLEMResidual.Set(resid)
 		if res.Converged {
 			obsSLEMConverged.Inc()
 		}
 	}()
-	for it := 0; it < cfg.MaxIterations; it++ {
+	for it := startIt; it < cfg.MaxIterations; it++ {
+		if err := ctx.Err(); err != nil {
+			if !cfg.BestEffort || res.Iterations == 0 {
+				return nil, fmt.Errorf("spectral: %w", err)
+			}
+			// Salvage the running estimate and the iterate so the caller
+			// can checkpoint and later resume the exact trajectory.
+			obsSLEMPartial.Inc()
+			res.SLEM = prev
+			res.Partial = true
+			res.Coverage = float64(res.Iterations) / float64(cfg.MaxIterations)
+			res.vector = append([]float64(nil), x...)
+			res.prev = prev
+			return res, nil
+		}
 		res.Iterations = it + 1
 		matVec(x, y)
 		deflate(y, phi)

@@ -43,6 +43,8 @@ var (
 	obsMixDenseSources = obs.Default().Counter("walk.mixing.dense_sources")
 	obsMixKernelBlocks = obs.Default().Counter("walk.mixing.kernel_blocks")
 	obsMixHandovers    = obs.Default().Counter("walk.mixing.sparse_to_dense")
+	obsMixPartial      = obs.Default().Counter("walk.mixing.partial")
+	obsMixResumed      = obs.Default().Counter("walk.mixing.resumed_sources")
 )
 
 // ErrNoEdges is returned when the random walk is undefined because the
@@ -254,6 +256,20 @@ type MixingConfig struct {
 	// setting produces bit-identical results — the knob only trades
 	// adjacency-scan amortization against fan-out granularity.
 	BlockSize int
+	// BestEffort salvages a deadline-hit measurement: when ctx is
+	// canceled or times out mid-run, MeasureMixing returns the curves of
+	// the sources completed so far (Result.Partial true, Coverage < 1)
+	// instead of the context error, as long as at least one source
+	// finished. Each completed curve is bit-identical to what the
+	// uninterrupted run would have produced, so partial results compose
+	// with Resume into exact continuations.
+	BestEffort bool
+	// Resume seeds the measurement with curves completed by an earlier
+	// (interrupted) run of the *same* configuration: sources whose
+	// checkpoint curve is non-nil are not re-measured. The checkpoint's
+	// source list must match this run's sampled sources exactly —
+	// anything else is stale state and an error.
+	Resume *MixingCheckpoint
 }
 
 func (c MixingConfig) validate() error {
@@ -280,6 +296,37 @@ func (c MixingConfig) blockWidth(g graph.View) int {
 	return 1
 }
 
+// MixingCheckpoint is the resumable progress of a mixing measurement:
+// the sampled sources and, per source, the completed TVD curve (nil for
+// sources not yet measured). Because each curve is a pure function of
+// (graph, source, config), merging a checkpoint into a resumed run
+// reproduces the uninterrupted measurement bit-for-bit. The JSON
+// encoding round-trips float64 exactly, so a checkpoint that passed
+// through internal/resilience's store resumes losslessly.
+type MixingCheckpoint struct {
+	Sources []graph.NodeID `json:"sources"`
+	Curves  [][]float64    `json:"curves"`
+}
+
+// matches reports whether the checkpoint belongs to a measurement with
+// these sources and step budget.
+func (c *MixingCheckpoint) matches(sources []graph.NodeID, maxSteps int) bool {
+	if len(c.Sources) != len(sources) || len(c.Curves) != len(sources) {
+		return false
+	}
+	for i, s := range c.Sources {
+		if s != sources[i] {
+			return false
+		}
+	}
+	for _, curve := range c.Curves {
+		if curve != nil && len(curve) != maxSteps {
+			return false
+		}
+	}
+	return true
+}
+
 // MixingResult is the outcome of the sampling-method measurement.
 type MixingResult struct {
 	// MeanTVD[t] is the mean total variation distance to stationarity
@@ -295,8 +342,32 @@ type MixingResult struct {
 	// Curves[i] is source i's full TVD trajectory — retained because the
 	// paper's methodology (§III-C) is precisely to look at the
 	// *distribution* of mixing across sources, not only the worst case
-	// the eigenvalue bound captures.
+	// the eigenvalue bound captures. In a partial (best-effort) result,
+	// sources the deadline cut off have a nil curve and are excluded
+	// from every aggregate.
 	Curves [][]float64
+	// Completed counts the sources with a finished curve; it equals
+	// len(Sources) on a complete run.
+	Completed int
+	// Partial reports that a best-effort run was cut short: the
+	// aggregates cover only Completed of len(Sources) sources.
+	Partial bool
+}
+
+// Coverage is the fraction of sampled sources with a completed curve —
+// 1 for a complete measurement, in (0, 1) for a salvaged partial one.
+func (r *MixingResult) Coverage() float64 {
+	if len(r.Sources) == 0 {
+		return 0
+	}
+	return float64(r.Completed) / float64(len(r.Sources))
+}
+
+// Checkpoint returns the result's resumable state. The checkpoint
+// aliases the result's Sources and Curves slices — serialize it before
+// mutating the result.
+func (r *MixingResult) Checkpoint() *MixingCheckpoint {
+	return &MixingCheckpoint{Sources: r.Sources, Curves: r.Curves}
 }
 
 // SourceMixingTimes returns, for each sampled source, the smallest walk
@@ -378,35 +449,78 @@ func MeasureMixing(ctx context.Context, g graph.View, cfg MixingConfig) (*Mixing
 		res.MinTVD[t] = math.Inf(1)
 	}
 
+	// curves[i] belongs to sources[i]; resumed curves are merged up
+	// front and todo holds the indices still to measure. Each worker
+	// task owns distinct curve slots, and parallel.ForEach joins every
+	// worker before returning, so the post-fan-out read is race-free
+	// even when a deadline stops the run mid-flight.
+	curves := make([][]float64, len(sources))
+	if cfg.Resume != nil {
+		if !cfg.Resume.matches(sources, cfg.MaxSteps) {
+			return nil, fmt.Errorf("measure mixing: resume checkpoint does not match this configuration (sources or step budget differ)")
+		}
+		copy(curves, cfg.Resume.Curves)
+		for _, c := range curves {
+			if c != nil {
+				obsMixResumed.Inc()
+			}
+		}
+	}
+	todo := make([]int, 0, len(sources))
+	for i, c := range curves {
+		if c == nil {
+			todo = append(todo, i)
+		}
+	}
+
 	// One worker task per source (dense path) or per block of sources
 	// (kernel path), each with its own propagation buffers; the fold
 	// below runs in source order so the aggregate is bit-for-bit
 	// identical at any worker count and block width.
-	var curves [][]float64
+	var runErr error
 	if width := cfg.blockWidth(g); width <= 1 {
-		obsMixDenseSources.Add(int64(len(sources)))
-		curves, err = parallel.Map(ctx, cfg.Workers, len(sources), func(_, i int) ([]float64, error) {
-			return sourceCurve(ctx, g, sources[i], pi, cfg)
-		})
-	} else {
-		cg := graph.Materialize(g)
-		blocks := parallel.Blocks(len(sources), width)
-		obsMixKernelBlocks.Add(int64(len(blocks)))
-		var parts [][][]float64
-		parts, err = parallel.Map(ctx, cfg.Workers, len(blocks), func(_, b int) ([][]float64, error) {
-			return blockCurves(ctx, cg, sources[blocks[b].Start:blocks[b].End], pi, cfg)
-		})
-		if err == nil {
-			curves = make([][]float64, 0, len(sources))
-			for _, p := range parts {
-				curves = append(curves, p...)
+		obsMixDenseSources.Add(int64(len(todo)))
+		runErr = parallel.ForEach(ctx, cfg.Workers, len(todo), func(_, k int) error {
+			curve, err := sourceCurve(ctx, g, sources[todo[k]], pi, cfg)
+			if err != nil {
+				return err
 			}
+			curves[todo[k]] = curve
+			return nil
+		})
+	} else if len(todo) > 0 {
+		cg := graph.Materialize(g)
+		todoSources := make([]graph.NodeID, len(todo))
+		for k, i := range todo {
+			todoSources[k] = sources[i]
 		}
+		blocks := parallel.Blocks(len(todo), width)
+		obsMixKernelBlocks.Add(int64(len(blocks)))
+		runErr = parallel.ForEach(ctx, cfg.Workers, len(blocks), func(_, b int) error {
+			part, err := blockCurves(ctx, cg, todoSources[blocks[b].Start:blocks[b].End], pi, cfg)
+			if err != nil {
+				return err
+			}
+			for j, curve := range part {
+				curves[todo[blocks[b].Start+j]] = curve
+			}
+			return nil
+		})
 	}
-	if err != nil {
-		return nil, fmt.Errorf("measure mixing: %w", err)
+	if runErr != nil {
+		if !cfg.BestEffort || !isInterrupt(runErr) {
+			return nil, fmt.Errorf("measure mixing: %w", runErr)
+		}
+		// Deadline or cancellation in best-effort mode: salvage whatever
+		// completed. Zero coverage has nothing to salvage.
+		obsMixPartial.Inc()
+		res.Partial = true
 	}
 	for _, curve := range curves {
+		if curve == nil {
+			continue
+		}
+		res.Completed++
 		for t, tvd := range curve {
 			res.MeanTVD[t] += tvd
 			if tvd > res.MaxTVD[t] {
@@ -417,11 +531,24 @@ func MeasureMixing(ctx context.Context, g graph.View, cfg MixingConfig) (*Mixing
 			}
 		}
 	}
+	if res.Completed == 0 {
+		if runErr != nil {
+			return nil, fmt.Errorf("measure mixing: %w", runErr)
+		}
+		return nil, fmt.Errorf("measure mixing: no sources measured")
+	}
 	for t := range res.MeanTVD {
-		res.MeanTVD[t] /= float64(len(sources))
+		res.MeanTVD[t] /= float64(res.Completed)
 	}
 	res.Curves = curves
 	return res, nil
+}
+
+// isInterrupt reports whether err is a context cancellation or deadline
+// — the two failure classes best-effort mode may salvage a partial
+// result from.
+func isInterrupt(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
 }
 
 // sourceCurve evolves the exact walk distribution from one source and
