@@ -22,6 +22,7 @@
 //	experiments -best-effort    # salvage partial results at the deadline
 //	experiments -resume         # skip/continue from out/ckpt checkpoints
 //	experiments -max-retries 3 -retry-base 200ms  # transient-failure retries
+//	experiments -run epochs -incremental  # epoch sweep via internal/incremental
 //	experiments -cpuprofile cpu.pprof -memprofile mem.pprof  # profile any run
 //	experiments -metrics-addr :8080  # live metrics snapshots over HTTP
 //
@@ -32,10 +33,12 @@
 //	experiments bench           # time the parallel fan-out (workers=1 vs N,
 //	                            # out/BENCH_parallel.json), the batched
 //	                            # kernels (naive vs kernel at workers=1,
-//	                            # out/BENCH_kernels.json), and the zero-copy
+//	                            # out/BENCH_kernels.json), the zero-copy
 //	                            # views (rebuild-per-epoch vs MaskedView,
-//	                            # out/BENCH_views.json); exits nonzero if
-//	                            # any variant pair is not bit-identical
+//	                            # out/BENCH_views.json), and the incremental
+//	                            # epoch sweep (full recompute vs maintainers,
+//	                            # out/BENCH_incremental.json); exits nonzero
+//	                            # if any variant pair diverges
 package main
 
 import (
@@ -106,7 +109,7 @@ func run(args []string) error {
 	}
 	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
 	var (
-		only        = fs.String("run", "", "run one experiment: tableI | figure1 | figure2 | tableII | figure3 | figure4 | figure5 | cross | dynamic | modulated | attacker | betweenness | sweep | churn")
+		only        = fs.String("run", "", "run one experiment: tableI | figure1 | figure2 | tableII | figure3 | figure4 | figure5 | cross | dynamic | modulated | attacker | betweenness | sweep | churn | epochs")
 		quick       = fs.Bool("quick", false, "reduced sampling for a fast smoke run")
 		seed        = fs.Int64("seed", 1, "measurement seed")
 		out         = fs.String("out", "out", "output directory")
@@ -118,6 +121,7 @@ func run(args []string) error {
 		maxRetries  = fs.Int("max-retries", 2, "retries per job after a transient failure (0 = no retries)")
 		retryBase   = fs.Duration("retry-base", 100*time.Millisecond, "base delay of the exponential retry backoff")
 		bestEffort  = fs.Bool("best-effort", false, "return partial results with coverage annotations when a job hits its -timeout")
+		incr        = fs.Bool("incremental", false, "route epoch-sweep measurements through the incremental maintainers (delta-repaired cores and BFS, warm-started SLEM)")
 		ckptDir     = fs.String("ckpt-dir", "", "checkpoint directory (default <out>/ckpt)")
 		cpuprofile  = fs.String("cpuprofile", "", "write a CPU profile to this file (any mode)")
 		memprofile  = fs.String("memprofile", "", "write a heap profile to this file at exit (any mode)")
@@ -173,6 +177,7 @@ func run(args []string) error {
 	opts := experiments.Options{
 		Quick: *quick, Seed: *seed, Workers: *workers,
 		BestEffort: *bestEffort, Ckpt: store, Resume: *resume,
+		Incremental: *incr,
 	}
 	if bench {
 		before := mc.beforeJob()
@@ -204,6 +209,7 @@ func run(args []string) error {
 		{"betweenness", func(ctx context.Context) error { return runBetweenness(ctx, opts, *out) }},
 		{"sweep", func(ctx context.Context) error { return runSweep(ctx, opts, *out) }},
 		{"churn", func(ctx context.Context) error { return runChurn(ctx, opts, *out) }},
+		{"epochs", func(ctx context.Context) error { return runEpochs(ctx, opts, *out) }},
 	}
 	selected := jobs[:0:0]
 	for _, j := range jobs {
@@ -468,11 +474,42 @@ func runBench(ctx context.Context, opts experiments.Options, out string, workers
 	}
 	fmt.Fprintf(w, "wrote %s\n", vpath)
 
+	ires, err := experiments.BenchIncremental(ctx, opts, repeats)
+	if err != nil {
+		return err
+	}
+	it := report.NewTable(
+		fmt.Sprintf("bench: full-per-epoch vs incremental maintainers (best of %d)", repeats),
+		"Pipeline", "Dataset", "Epochs", "Sources", "Full (s)", "Incremental (s)", "Speedup", "Identical", "Max SLEM diff")
+	for _, e := range ires.Entries {
+		if err := it.AddRow(e.Name, e.Dataset, report.Int(e.Epochs), report.Int(e.Sources),
+			report.Float(e.FullSeconds, 4), report.Float(e.IncrementalSeconds, 4),
+			report.Float(e.Speedup, 2), fmt.Sprintf("%v", e.Identical),
+			fmt.Sprintf("%.2g", e.MaxSLEMDiff)); err != nil {
+			return err
+		}
+	}
+	if err := it.Render(w); err != nil {
+		return err
+	}
+	idata, err := json.MarshalIndent(ires, "", "  ")
+	if err != nil {
+		return err
+	}
+	ipath := filepath.Join(out, "BENCH_incremental.json")
+	if err := resilience.WriteFileAtomic(ipath, append(idata, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "wrote %s\n", ipath)
+
 	if !kres.Identical() {
 		return fmt.Errorf("bench: kernel and naive result fingerprints diverged (see %s)", kpath)
 	}
 	if !vres.Identical() {
 		return fmt.Errorf("bench: view and rebuild result fingerprints diverged (see %s)", vpath)
+	}
+	if !ires.Equivalent() {
+		return fmt.Errorf("bench: incremental and full results diverged (see %s)", ipath)
 	}
 	return nil
 }
@@ -735,6 +772,21 @@ func runChurn(ctx context.Context, opts experiments.Options, out string) error {
 		return err
 	}
 	return report.SaveCSV(filepath.Join(out, "churn.csv"), res.Series())
+}
+
+func runEpochs(ctx context.Context, opts experiments.Options, out string) error {
+	res, err := experiments.EpochSweep(ctx, opts)
+	if err != nil {
+		return err
+	}
+	t, err := res.Table()
+	if err != nil {
+		return err
+	}
+	if err := t.Render(os.Stdout); err != nil {
+		return err
+	}
+	return report.SaveTable(filepath.Join(out, "epochs.txt"), t)
 }
 
 func runCross(ctx context.Context, opts experiments.Options, out string) error {

@@ -42,6 +42,12 @@ type Options struct {
 	// saved state. The combined result is bit-identical to an
 	// uninterrupted run.
 	Resume bool
+	// Incremental routes epoch-sweep measurements through the
+	// internal/incremental maintainers (delta-repaired cores and BFS,
+	// warm-started SLEM) instead of recomputing every epoch from
+	// scratch. Integer results are bit-identical either way; SLEM agrees
+	// within its convergence tolerance.
+	Incremental bool
 }
 
 func (o *Options) fill() {

@@ -26,6 +26,15 @@
 // Message-level randomness is a separate seeded stream, so structural
 // determinism is independent of how many messages a protocol sends.
 //
+// With Config.Drift > 0 epochs stop being independent redraws and
+// become a birth–death evolution of the previous epoch's schedule:
+// each node and edge flips state with a small per-epoch probability
+// chosen so the stationary marginals stay Churn and EdgeLoss. That
+// makes consecutive epochs differ by O(Drift·(Churn·n + EdgeLoss·m))
+// elements — the regime the incremental measurement pipelines
+// (internal/incremental) exploit — and AdvanceEpochDelta reports the
+// exact live-topology difference of each advance as an EpochDelta.
+//
 // Complexity: New builds a model in O(n + m) (one pass over nodes for
 // the churn draw, one over edges for the loss draw) applied to a
 // graph.MaskedView of the substrate — no degraded-graph rebuild.
@@ -47,6 +56,7 @@ import (
 // untouched, so schedules stay bit-identical with metrics enabled.
 var (
 	obsEpochDraws  = obs.Default().Counter("faults.epoch.draws")
+	obsEpochDrifts = obs.Default().Counter("faults.epoch.drifts")
 	obsNodesMasked = obs.Default().Counter("faults.epoch.nodes_masked")
 	obsEdgesMasked = obs.Default().Counter("faults.epoch.edges_masked")
 )
@@ -66,6 +76,17 @@ type Config struct {
 	// in ticks; each delivery costs 1 + Exp(LatencyMean) ticks. 0 means
 	// every delivery costs exactly 1 tick.
 	LatencyMean float64
+	// Drift, when positive, evolves the epoch-0 schedule instead of
+	// redrawing each epoch independently. On every AdvanceEpoch each
+	// down node revives with probability Drift and each up unprotected
+	// node churns with probability Drift·Churn/(1−Churn); each dropped
+	// edge is restored with probability Drift and each present edge
+	// drops with probability Drift·EdgeLoss/(1−EdgeLoss). Those rates
+	// make Churn and EdgeLoss the stationary marginals of the chain
+	// while consecutive epochs differ only by O(Drift·(Churn·n +
+	// EdgeLoss·m)) elements. In [0, 1]; 0 keeps the historical
+	// independent-redraw behavior.
+	Drift float64
 	// Seed makes the fault schedule and the message stream
 	// deterministic.
 	Seed int64
@@ -88,6 +109,9 @@ func (c Config) validate() error {
 	if c.LatencyMean < 0 {
 		return fmt.Errorf("faults: latency mean %v must be >= 0", c.LatencyMean)
 	}
+	if c.Drift < 0 || c.Drift > 1 {
+		return fmt.Errorf("faults: drift %v out of [0,1]", c.Drift)
+	}
 	return nil
 }
 
@@ -109,6 +133,9 @@ type Model struct {
 
 	// candidates is the churn-draw scratch, reused across epochs.
 	candidates []graph.NodeID
+	// prevSnap is the AdvanceEpochDelta scratch: the mask state of the
+	// epoch being left, reused across advances.
+	prevSnap *graph.MaskSnapshot
 	// degraded caches Degraded() per epoch in reusable CSR buffers.
 	degraded      *graph.Graph
 	degradedEpoch int
@@ -198,31 +225,144 @@ func (m *Model) drawEpoch(e int) {
 	obsEdgesMasked.Add(int64(m.numLost))
 }
 
+// driftEpoch evolves the current schedule into epoch e's by the
+// birth–death chain described on Config.Drift, drawing node transitions
+// from the Seed+3e stream and edge transitions from the Seed+3e+1
+// stream — the same per-epoch seed derivation drawEpoch uses, so drift
+// and redraw schedules never share a stream. Every unprotected node and
+// every substrate edge consumes exactly one uniform draw regardless of
+// its state, which keeps the streams aligned under replay. Cost is one
+// pass over nodes and one over edges with O(flips·deg) mask updates.
+func (m *Model) driftEpoch(e int) {
+	n := m.g.NumNodes()
+
+	pRevive := m.cfg.Drift
+	pChurn := 0.0
+	if m.cfg.Churn > 0 {
+		pChurn = m.cfg.Drift * m.cfg.Churn / (1 - m.cfg.Churn)
+	}
+	rng := rand.New(rand.NewSource(m.cfg.Seed + 3*int64(e)))
+	for v := graph.NodeID(0); int(v) < n; v++ {
+		if m.protected[v] {
+			continue
+		}
+		u := rng.Float64()
+		if m.view.Alive(v) {
+			if u < pChurn {
+				m.view.SetAlive(v, false)
+			}
+		} else if u < pRevive {
+			m.view.SetAlive(v, true)
+		}
+	}
+
+	pRestore := m.cfg.Drift
+	pDrop := 0.0
+	if m.cfg.EdgeLoss > 0 {
+		pDrop = m.cfg.Drift * m.cfg.EdgeLoss / (1 - m.cfg.EdgeLoss)
+	}
+	erng := rand.New(rand.NewSource(m.cfg.Seed + 3*int64(e) + 1))
+	m.g.VisitEdges(func(edge graph.Edge) bool {
+		u := erng.Float64()
+		if m.view.Dropped(edge.U, edge.V) {
+			if u < pRestore {
+				m.view.RestoreEdge(edge.U, edge.V)
+				m.numLost--
+			}
+		} else if u < pDrop {
+			m.view.DropEdge(edge.U, edge.V)
+			m.numLost++
+		}
+		return true
+	})
+
+	obsEpochDrifts.Inc()
+	obsNodesMasked.Add(int64(n - m.view.NumAlive()))
+	obsEdgesMasked.Add(int64(m.numLost))
+}
+
+// redraw produces epoch e's schedule: a fresh independent draw, or —
+// under drift, for e > 0 — one evolution step from the current state.
+// Drift callers must therefore already hold epoch e−1's schedule, which
+// AdvanceEpoch guarantees and SetEpoch reconstructs by replay.
+func (m *Model) redraw(e int) {
+	if m.cfg.Drift > 0 && e > 0 {
+		m.driftEpoch(e)
+	} else {
+		m.drawEpoch(e)
+	}
+}
+
 // Epoch returns the current epoch index, starting at 0.
 func (m *Model) Epoch() int { return m.epoch }
 
-// AdvanceEpoch re-draws the structural schedule for the next epoch: a
-// fresh churn sample and edge-loss draw from the epoch-derived seeds.
-// The message stream keeps running across epochs. Cost is the same
-// O(n + m) two-pass draw as New with O(1) allocation — no graph rebuild
-// — and it invalidates the view's cached materialization; it must not
-// run concurrently with measurements on View().
+// AdvanceEpoch moves the structural schedule to the next epoch: a
+// fresh churn sample and edge-loss draw from the epoch-derived seeds,
+// or — with Config.Drift set — one birth–death evolution step of the
+// current schedule. The message stream keeps running across epochs.
+// Cost is an O(n + m) two-pass draw (or drift sweep) with O(1)
+// allocation — no graph rebuild — and it invalidates the view's cached
+// materialization; it must not run concurrently with measurements on
+// View().
 func (m *Model) AdvanceEpoch() {
 	m.epoch++
-	m.drawEpoch(m.epoch)
+	m.redraw(m.epoch)
 }
 
-// SetEpoch jumps the structural schedule directly to epoch e without
-// drawing the intermediate epochs. Each epoch's schedule is a pure
-// function of (seed, epoch), so SetEpoch(e) produces the same degraded
-// topology as e successive AdvanceEpoch calls on a fresh model — which
-// is what lets a resumed sweep re-enter at the epoch it crashed in. The
+// EpochDelta is the live-topology difference one AdvanceEpochDelta call
+// observed: which nodes went down or came up and which edges stopped or
+// started being live, in the graph.MaskDelta sense (an edge counts as
+// lost whether it was dropped outright or lost an endpoint to churn).
+// It is the contract between the fault schedule and the incremental
+// measurement pipelines.
+type EpochDelta struct {
+	// Epoch is the epoch the delta leads into: the delta transforms
+	// epoch Epoch−1's live topology into epoch Epoch's.
+	Epoch int
+	// MaskDelta holds the sorted, duplicate-free change sets.
+	graph.MaskDelta
+}
+
+// AdvanceEpochDelta is AdvanceEpoch plus delta reporting: it snapshots
+// the current schedule, advances one epoch, and returns the exact
+// live-topology difference between the two, appending into d's slices
+// when non-nil (allocating otherwise). The snapshot scratch lives in
+// the model, so steady-state advances allocate nothing beyond delta
+// growth. Note that without Config.Drift consecutive epochs are
+// independent draws and the delta is typically O(Churn·n + EdgeLoss·m)
+// — set Drift to make deltas small enough for incremental measurement
+// to win.
+func (m *Model) AdvanceEpochDelta(d *EpochDelta) *EpochDelta {
+	if d == nil {
+		d = &EpochDelta{}
+	}
+	m.prevSnap = m.view.Snapshot(m.prevSnap)
+	m.AdvanceEpoch()
+	m.view.DiffSnapshot(m.prevSnap, &d.MaskDelta)
+	d.Epoch = m.epoch
+	return d
+}
+
+// SetEpoch jumps the structural schedule directly to epoch e. Each
+// epoch's schedule is a pure function of (seed, epoch), so SetEpoch(e)
+// produces the same degraded topology as e successive AdvanceEpoch
+// calls on a fresh model — which is what lets a resumed sweep re-enter
+// at the epoch it crashed in. Without drift that is a single O(n + m)
+// draw; with Config.Drift set the schedule is a chain, so SetEpoch
+// replays it deterministically from epoch 0 in O(e·(n + m)). The
 // message stream is untouched. e must be >= 0.
 func (m *Model) SetEpoch(e int) error {
 	if e < 0 {
 		return fmt.Errorf("faults: epoch %d must be >= 0", e)
 	}
 	m.epoch = e
+	if m.cfg.Drift > 0 {
+		m.drawEpoch(0)
+		for k := 1; k <= e; k++ {
+			m.driftEpoch(k)
+		}
+		return nil
+	}
 	m.drawEpoch(e)
 	return nil
 }
@@ -302,7 +442,10 @@ func (m *Model) Degraded() *graph.Graph {
 // NumDown returns the number of churned nodes.
 func (m *Model) NumDown() int { return m.g.NumNodes() - m.view.NumAlive() }
 
-// NumLostEdges returns the number of edges lost independently of churn.
+// NumLostEdges returns the number of substrate edges currently
+// drop-masked independently of churn. Under drift an edge can carry a
+// drop mask while an endpoint is down (the masks evolve separately),
+// so this may exceed the count of live edges removed by loss alone.
 func (m *Model) NumLostEdges() int { return m.numLost }
 
 // Delivery is the outcome of one simulated message send.

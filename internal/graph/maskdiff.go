@@ -1,0 +1,194 @@
+package graph
+
+import (
+	"math/bits"
+	"sort"
+)
+
+// MaskSnapshot is a frozen copy of a MaskedView's structural state — the
+// alive-node and dropped-slot bitmaps — taken with Snapshot. Diffing a
+// snapshot against the view's current state (DiffSnapshot) yields the
+// exact live-topology delta between two fault epochs, which is what the
+// incremental measurement pipelines consume. A snapshot is O(n/64 + m/32)
+// words and is reused across epochs by passing it back to Snapshot.
+type MaskSnapshot struct {
+	alive []uint64
+	drop  []uint64
+	valid bool
+}
+
+// Valid reports whether the snapshot holds a state captured by Snapshot.
+func (s *MaskSnapshot) Valid() bool { return s != nil && s.valid }
+
+// Snapshot copies the view's current alive/drop bitmaps into s, reusing
+// its buffers when they fit, and returns s (allocating a MaskSnapshot
+// when s is nil). The snapshot is immutable from the view's side: later
+// mutations of the view do not affect it.
+func (mv *MaskedView) Snapshot(s *MaskSnapshot) *MaskSnapshot {
+	if s == nil {
+		s = &MaskSnapshot{}
+	}
+	s.alive = append(s.alive[:0], mv.alive...)
+	s.drop = append(s.drop[:0], mv.drop...)
+	s.valid = true
+	return s
+}
+
+// MaskDelta is the live-topology difference between a MaskSnapshot (the
+// "old" epoch) and a MaskedView's current state (the "new" epoch), as
+// computed by DiffSnapshot. Edge deltas are over the LIVE topology: an
+// edge counts as lost whether it was explicitly dropped or lost an
+// endpoint to churn, and as gained whether it was restored or had an
+// endpoint revive. All four slices are sorted (nodes ascending, edges in
+// canonical ascending (U, V) order) and free of duplicates.
+type MaskDelta struct {
+	// NodesDown are nodes alive in the old state and down in the new.
+	NodesDown []NodeID
+	// NodesUp are nodes down in the old state and alive in the new.
+	NodesUp []NodeID
+	// EdgesLost are edges live in the old state and not live in the new.
+	EdgesLost []Edge
+	// EdgesGained are edges live in the new state and not live in the old.
+	EdgesGained []Edge
+}
+
+// Empty reports whether the delta carries no change.
+func (d *MaskDelta) Empty() bool {
+	return len(d.NodesDown) == 0 && len(d.NodesUp) == 0 &&
+		len(d.EdgesLost) == 0 && len(d.EdgesGained) == 0
+}
+
+// Touched returns the sorted, deduplicated set of nodes incident to any
+// change in the delta: flipped nodes plus every endpoint of a lost or
+// gained edge. This is the "dirty" set the invalidation rules of the
+// incremental pipelines start from.
+func (d *MaskDelta) Touched() []NodeID {
+	out := make([]NodeID, 0, len(d.NodesDown)+len(d.NodesUp)+2*(len(d.EdgesLost)+len(d.EdgesGained)))
+	out = append(out, d.NodesDown...)
+	out = append(out, d.NodesUp...)
+	for _, e := range d.EdgesLost {
+		out = append(out, e.U, e.V)
+	}
+	for _, e := range d.EdgesGained {
+		out = append(out, e.U, e.V)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	w := 0
+	for i, v := range out {
+		if i == 0 || v != out[w-1] {
+			out[w] = v
+			w++
+		}
+	}
+	return out[:w]
+}
+
+// snapAlive reads node v's aliveness out of the snapshot bitmap.
+func (s *MaskSnapshot) snapAlive(v NodeID) bool {
+	return s.alive[uint32(v)>>6]&(1<<(uint32(v)&63)) != 0
+}
+
+// snapDropped reads adjacency slot i's drop bit out of the snapshot.
+func (s *MaskSnapshot) snapDropped(slot int64) bool {
+	return s.drop[slot>>6]&(1<<(uint64(slot)&63)) != 0
+}
+
+// DiffSnapshot computes the live-topology delta from the snapshot state
+// to the view's current state, appending into d's slices (allocating d
+// when nil) and returning it. The cost is one word-wise scan of both
+// bitmaps plus work proportional to the change: O(n/64 + m/64 +
+// Δ·(deg + log deg)). prev must have been taken from this view (same
+// substrate); passing a snapshot of another view corrupts the result.
+func (mv *MaskedView) DiffSnapshot(prev *MaskSnapshot, d *MaskDelta) *MaskDelta {
+	if d == nil {
+		d = &MaskDelta{}
+	}
+	d.NodesDown = d.NodesDown[:0]
+	d.NodesUp = d.NodesUp[:0]
+	d.EdgesLost = d.EdgesLost[:0]
+	d.EdgesGained = d.EdgesGained[:0]
+
+	// Candidate edges, packed canonically as u<<32|v with u < v. A live
+	// edge can only change state through an endpoint aliveness flip or a
+	// drop-bit flip, so scanning those two XOR streams covers every
+	// possible change.
+	var cand []uint64
+	pack := func(u, v NodeID) uint64 {
+		if u > v {
+			u, v = v, u
+		}
+		return uint64(u)<<32 | uint64(v)
+	}
+
+	// Node flips (ascending by construction of the word scan).
+	for w := range mv.alive {
+		x := mv.alive[w] ^ prev.alive[w]
+		for x != 0 {
+			b := x & (-x)
+			v := NodeID(w<<6 + bits.TrailingZeros64(b))
+			if mv.Alive(v) {
+				d.NodesUp = append(d.NodesUp, v)
+			} else {
+				d.NodesDown = append(d.NodesDown, v)
+			}
+			lo, hi := mv.g.offsets[v], mv.g.offsets[v+1]
+			for i := lo; i < hi; i++ {
+				cand = append(cand, pack(v, mv.g.adjacency[i]))
+			}
+			x ^= b
+		}
+	}
+
+	// Drop-bit flips: map the adjacency slot back to its owning row via a
+	// binary search over the offsets array.
+	for w := range mv.drop {
+		x := mv.drop[w] ^ prev.drop[w]
+		for x != 0 {
+			b := x & (-x)
+			slot := int64(w<<6 + bits.TrailingZeros64(b))
+			u := rowOfSlot(mv.g.offsets, slot)
+			cand = append(cand, pack(u, mv.g.adjacency[slot]))
+			x ^= b
+		}
+	}
+
+	sort.Slice(cand, func(i, j int) bool { return cand[i] < cand[j] })
+	var last uint64
+	for i, c := range cand {
+		if i > 0 && c == last {
+			continue
+		}
+		last = c
+		u, v := NodeID(c>>32), NodeID(c&0xffffffff)
+		slot, ok := mv.slotOf(u, v)
+		if !ok {
+			continue // unreachable: candidates come from the adjacency itself
+		}
+		liveOld := prev.snapAlive(u) && prev.snapAlive(v) && !prev.snapDropped(slot)
+		liveNew := mv.Alive(u) && mv.Alive(v) && !mv.dropped(slot)
+		switch {
+		case liveOld && !liveNew:
+			d.EdgesLost = append(d.EdgesLost, Edge{U: u, V: v})
+		case !liveOld && liveNew:
+			d.EdgesGained = append(d.EdgesGained, Edge{U: u, V: v})
+		}
+	}
+	return d
+}
+
+// rowOfSlot returns the node whose CSR segment contains adjacency slot i:
+// the largest u with offsets[u] <= i.
+func rowOfSlot(offsets []int64, slot int64) NodeID {
+	// offsets has n+1 entries; find the first offset > slot, row is one
+	// before it.
+	lo, hi := 0, len(offsets)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if offsets[mid+1] > slot {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	return NodeID(lo)
+}

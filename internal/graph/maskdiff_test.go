@@ -1,0 +1,177 @@
+package graph
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// liveEdgeSet collects the live canonical edges of a view as a packed set.
+func liveEdgeSet(v View) map[uint64]bool {
+	out := map[uint64]bool{}
+	v.VisitEdges(func(e Edge) bool {
+		out[uint64(e.U)<<32|uint64(e.V)] = true
+		return true
+	})
+	return out
+}
+
+// bruteDelta computes the expected MaskDelta from two live-edge sets and
+// two alive sets.
+func bruteDelta(oldAlive, newAlive []bool, oldEdges, newEdges map[uint64]bool) *MaskDelta {
+	d := &MaskDelta{}
+	for v := range oldAlive {
+		switch {
+		case oldAlive[v] && !newAlive[v]:
+			d.NodesDown = append(d.NodesDown, NodeID(v))
+		case !oldAlive[v] && newAlive[v]:
+			d.NodesUp = append(d.NodesUp, NodeID(v))
+		}
+	}
+	for e := range oldEdges {
+		if !newEdges[e] {
+			d.EdgesLost = append(d.EdgesLost, Edge{U: NodeID(e >> 32), V: NodeID(e & 0xffffffff)})
+		}
+	}
+	for e := range newEdges {
+		if !oldEdges[e] {
+			d.EdgesGained = append(d.EdgesGained, Edge{U: NodeID(e >> 32), V: NodeID(e & 0xffffffff)})
+		}
+	}
+	sortEdges := func(es []Edge) {
+		sort.Slice(es, func(i, j int) bool {
+			if es[i].U != es[j].U {
+				return es[i].U < es[j].U
+			}
+			return es[i].V < es[j].V
+		})
+	}
+	sortEdges(d.EdgesLost)
+	sortEdges(d.EdgesGained)
+	return d
+}
+
+func aliveSlice(mv *MaskedView) []bool {
+	out := make([]bool, mv.NumNodes())
+	for v := range out {
+		out[v] = mv.Alive(NodeID(v))
+	}
+	return out
+}
+
+func edgesEqual(a, b []Edge) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func nodesEqual(a, b []NodeID) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestMaskDiffSnapshotEquivalence drives a MaskedView through random
+// mutation rounds (kills, revivals, drops, restores) and checks that
+// DiffSnapshot reports exactly the brute-force live-topology difference
+// every round.
+func TestMaskDiffSnapshotEquivalence(t *testing.T) {
+	g := randomGraph(t, 200, 0.05, 7)
+	mv := NewMaskedView(g)
+	rng := rand.New(rand.NewSource(11))
+
+	var snap *MaskSnapshot
+	var delta *MaskDelta
+	var edges []Edge
+	g.VisitEdges(func(e Edge) bool { edges = append(edges, e); return true })
+
+	for round := 0; round < 25; round++ {
+		oldAlive := aliveSlice(mv)
+		oldEdges := liveEdgeSet(mv)
+		snap = mv.Snapshot(snap)
+
+		// Random mutation batch: flip some nodes, drop/restore some edges.
+		for i := 0; i < 10; i++ {
+			v := NodeID(rng.Intn(g.NumNodes()))
+			mv.SetAlive(v, !mv.Alive(v))
+		}
+		for i := 0; i < 20; i++ {
+			e := edges[rng.Intn(len(edges))]
+			if rng.Intn(2) == 0 {
+				mv.DropEdge(e.U, e.V)
+			} else {
+				mv.RestoreEdge(e.U, e.V)
+			}
+		}
+
+		delta = mv.DiffSnapshot(snap, delta)
+		want := bruteDelta(oldAlive, aliveSlice(mv), oldEdges, liveEdgeSet(mv))
+		if !nodesEqual(delta.NodesDown, want.NodesDown) {
+			t.Fatalf("round %d: NodesDown = %v, want %v", round, delta.NodesDown, want.NodesDown)
+		}
+		if !nodesEqual(delta.NodesUp, want.NodesUp) {
+			t.Fatalf("round %d: NodesUp = %v, want %v", round, delta.NodesUp, want.NodesUp)
+		}
+		if !edgesEqual(delta.EdgesLost, want.EdgesLost) {
+			t.Fatalf("round %d: EdgesLost = %v, want %v", round, delta.EdgesLost, want.EdgesLost)
+		}
+		if !edgesEqual(delta.EdgesGained, want.EdgesGained) {
+			t.Fatalf("round %d: EdgesGained = %v, want %v", round, delta.EdgesGained, want.EdgesGained)
+		}
+	}
+}
+
+// TestMaskRestoreEdge checks the RestoreEdge bookkeeping: degrees, edge
+// counts, and idempotence, including around down endpoints.
+func TestMaskRestoreEdge(t *testing.T) {
+	g := randomGraph(t, 50, 0.2, 3)
+	mv := NewMaskedView(g)
+	var e Edge
+	g.VisitEdges(func(x Edge) bool { e = x; return false })
+
+	if mv.RestoreEdge(e.U, e.V) {
+		t.Fatal("restoring a present edge should be a no-op")
+	}
+	wantEdges := mv.NumEdges()
+	degU, degV := mv.Degree(e.U), mv.Degree(e.V)
+	if !mv.DropEdge(e.U, e.V) {
+		t.Fatal("drop failed")
+	}
+	if !mv.RestoreEdge(e.U, e.V) {
+		t.Fatal("restore failed")
+	}
+	if mv.NumEdges() != wantEdges || mv.Degree(e.U) != degU || mv.Degree(e.V) != degV {
+		t.Fatalf("drop+restore not an identity: edges %d want %d, deg %d/%d want %d/%d",
+			mv.NumEdges(), wantEdges, mv.Degree(e.U), mv.Degree(e.V), degU, degV)
+	}
+	if !mv.HasEdge(e.U, e.V) {
+		t.Fatal("restored edge missing")
+	}
+
+	// Restoring an edge with a down endpoint flips only the drop bit.
+	mv.DropEdge(e.U, e.V)
+	mv.SetAlive(e.U, false)
+	edges := mv.NumEdges()
+	if !mv.RestoreEdge(e.U, e.V) {
+		t.Fatal("restore with down endpoint failed")
+	}
+	if mv.NumEdges() != edges {
+		t.Fatal("restore with down endpoint must not change the live edge count")
+	}
+	mv.SetAlive(e.U, true)
+	if !mv.HasEdge(e.U, e.V) {
+		t.Fatal("edge should be live after endpoint revival")
+	}
+}

@@ -225,6 +225,35 @@ func (mv *MaskedView) DropEdge(u, v NodeID) bool {
 	return true
 }
 
+// RestoreEdge undoes a DropEdge: the substrate edge (u, v) becomes
+// present again in both directions, O(log deg) per endpoint. It reports
+// whether the edge existed and was dropped; restoring a present or
+// missing edge is a no-op. Degrees and the live-edge count update only
+// when both endpoints are alive, mirroring DropEdge.
+func (mv *MaskedView) RestoreEdge(u, v NodeID) bool {
+	if !mv.g.Valid(u) || !mv.g.Valid(v) || u == v {
+		return false
+	}
+	su, ok := mv.slotOf(u, v)
+	if !ok || !mv.dropped(su) {
+		return false
+	}
+	sv, ok := mv.slotOf(v, u)
+	if !ok {
+		// Unreachable on a well-formed symmetric CSR.
+		panic(fmt.Sprintf("graph: asymmetric adjacency for edge (%d,%d)", u, v))
+	}
+	mv.drop[su>>6] &^= 1 << (uint64(su) & 63)
+	mv.drop[sv>>6] &^= 1 << (uint64(sv) & 63)
+	if mv.Alive(u) && mv.Alive(v) {
+		mv.deg[u]++
+		mv.deg[v]++
+		mv.numEdges++
+	}
+	mv.invalidate()
+	return true
+}
+
 func (mv *MaskedView) invalidate() {
 	mv.mu.Lock()
 	mv.mat = nil

@@ -1,0 +1,336 @@
+package incremental
+
+import (
+	"fmt"
+
+	"github.com/trustnet/trustnet/internal/faults"
+	"github.com/trustnet/trustnet/internal/graph"
+	"github.com/trustnet/trustnet/internal/kcore"
+	"github.com/trustnet/trustnet/internal/obs"
+)
+
+// Observability instruments for the incremental core maintenance,
+// resolved once at init. Counters are bumped per Apply, outside the
+// repair loops, so maintained cores stay bit-identical with metrics on.
+var (
+	obsCoreApplies = obs.Default().Counter("incremental.core.applies")
+	obsCoreFull    = obs.Default().Counter("incremental.core.full_recomputes")
+	obsCoreDirty   = obs.Default().Counter("incremental.core.reevaluated_nodes")
+)
+
+// CoreMaintainer keeps the per-node coreness of a fault model's masked
+// view current across epoch deltas. Removals are handled by a monotone
+// h-operator descent seeded at the endpoints of lost edges: coreness is
+// the largest fixpoint of the operator H(x)(v) = max k such that v has
+// at least k neighbors u with x(u) >= k, the old coreness is a pointwise
+// upper bound after deletions, and iterating x <- min(x, H(x)) from any
+// upper bound converges exactly to the new coreness (Batagelj–Zaveršnik
+// generalized cores). Insertions are then applied one gained edge at a
+// time with the subcore traversal rule: only nodes of coreness
+// k = min(core(u), core(v)) reachable from the edge through coreness-k
+// nodes can rise, each by at most one, and they rise exactly when they
+// survive a peel at threshold k+1 inside that candidate set.
+//
+// The maintainer is exact: after every Apply, Cores equals what
+// kcore.Decompose would return on the current view, value for value.
+// When a delta's repair work exceeds the work budget it falls back to
+// that full decomposition instead (see Apply). Not safe for concurrent
+// use.
+type CoreMaintainer struct {
+	view  *graph.MaskedView
+	cores []int
+
+	// pending masks gained edges not yet applied, so traversals during
+	// the removal phase and the one-at-a-time insertion phase see the
+	// exact intermediate topology (old minus losses, then each gain in
+	// canonical order).
+	pending map[uint64]bool
+	queue   []graph.NodeID
+	inQ     []bool
+	cnt     []int
+	nbuf    []graph.NodeID
+	cand    []graph.NodeID
+	inCand  []bool
+	cd      []int
+	work    int
+	dirty   int64
+}
+
+// packEdge packs a canonical (min, max) node pair into one map key.
+func packEdge(u, v graph.NodeID) uint64 {
+	if u > v {
+		u, v = v, u
+	}
+	return uint64(u)<<32 | uint64(v)
+}
+
+// NewCoreMaintainer decomposes the view's current topology and returns
+// a maintainer positioned at it.
+func NewCoreMaintainer(view *graph.MaskedView) (*CoreMaintainer, error) {
+	dec, err := kcore.Decompose(view)
+	if err != nil {
+		return nil, fmt.Errorf("incremental: %w", err)
+	}
+	n := view.NumNodes()
+	return &CoreMaintainer{
+		view:    view,
+		cores:   dec.CorenessValues(),
+		pending: make(map[uint64]bool),
+		inQ:     make([]bool, n),
+		cnt:     make([]int, n+1),
+		inCand:  make([]bool, n),
+		cd:      make([]int, n),
+	}, nil
+}
+
+// Cores returns the maintained coreness array, indexed by node ID. The
+// slice is owned by the maintainer and must not be modified; it is
+// valid until the next Apply.
+func (cm *CoreMaintainer) Cores() []int { return cm.cores }
+
+// Degeneracy returns the largest maintained coreness.
+func (cm *CoreMaintainer) Degeneracy() int {
+	max := 0
+	for _, c := range cm.cores {
+		if c > max {
+			max = c
+		}
+	}
+	return max
+}
+
+// budget is the repair-work ceiling. A full decomposition touches
+// every node and both endpoints of every live edge, so n + 2m is its
+// work in the same units the repair loops count (neighbor-list entries
+// scanned); repairs are allowed up to half that before falling back.
+func (cm *CoreMaintainer) budget() int {
+	return (cm.view.NumNodes() + 2*int(cm.view.NumEdges())) / 2
+}
+
+// Apply repairs the maintained coreness across one epoch delta. The
+// view must already hold the post-advance topology (the normal order:
+// AdvanceEpochDelta, then Apply). It reports whether the repair ran
+// incrementally; false means the delta blew the work budget and the
+// cores were recomputed from scratch — either way the maintained state
+// is exact afterward.
+func (cm *CoreMaintainer) Apply(d *faults.EpochDelta) bool {
+	obsCoreApplies.Inc()
+	cm.work = 0
+	cm.dirty = 0
+	defer func() { obsCoreDirty.Add(cm.dirty) }()
+	budget := cm.budget()
+	// A delta touching a large fraction of the edges is a redraw in
+	// disguise; skip straight to the full decomposition.
+	if 4*(len(d.EdgesLost)+len(d.EdgesGained)) > budget {
+		cm.full()
+		return false
+	}
+
+	for _, e := range d.EdgesGained {
+		cm.pending[packEdge(e.U, e.V)] = true
+	}
+
+	// Removal phase: the view minus pending gains is exactly the old
+	// topology minus the losses, where the old coreness is a pointwise
+	// upper bound. Descend to the fixpoint from the endpoints of every
+	// loss (a node that went down has all its previously-live edges in
+	// EdgesLost, so it is seeded here and descends to zero).
+	for _, e := range d.EdgesLost {
+		cm.push(e.U)
+		cm.push(e.V)
+	}
+	for _, v := range d.NodesDown {
+		cm.push(v)
+	}
+	for len(cm.queue) > 0 {
+		v := cm.queue[0]
+		cm.queue = cm.queue[1:]
+		cm.inQ[v] = false
+		h := cm.hval(v)
+		if h < cm.cores[v] {
+			cm.cores[v] = h
+			cm.dirty++
+			for _, u := range cm.nbuf {
+				if cm.cores[u] > h {
+					cm.push(u)
+				}
+			}
+		}
+		if cm.work > budget {
+			cm.drainAndFull()
+			return false
+		}
+	}
+
+	// Insertion phase: apply each gained edge in canonical order,
+	// unmasking it and lifting its subcore. Every intermediate state is
+	// an exact decomposition, so the per-edge rule composes.
+	for _, e := range d.EdgesGained {
+		delete(cm.pending, packEdge(e.U, e.V))
+		cm.insertEdge(e.U, e.V)
+		if cm.work > budget {
+			cm.drainAndFull()
+			return false
+		}
+	}
+	return true
+}
+
+// push enqueues v for h-descent re-evaluation once.
+func (cm *CoreMaintainer) push(v graph.NodeID) {
+	if !cm.inQ[v] {
+		cm.inQ[v] = true
+		cm.queue = append(cm.queue, v)
+	}
+}
+
+// neighbors lists v's live neighbors minus pending gains — the exact
+// adjacency of the intermediate topology — into cm.nbuf.
+func (cm *CoreMaintainer) neighbors(v graph.NodeID) []graph.NodeID {
+	cm.nbuf = cm.view.AppendNeighbors(v, cm.nbuf[:0])
+	cm.work += len(cm.nbuf) + 1
+	if len(cm.pending) == 0 {
+		return cm.nbuf
+	}
+	w := 0
+	for _, u := range cm.nbuf {
+		if !cm.pending[packEdge(v, u)] {
+			cm.nbuf[w] = u
+			w++
+		}
+	}
+	cm.nbuf = cm.nbuf[:w]
+	return cm.nbuf
+}
+
+// hval evaluates min(cores[v], H(cores)(v)) on the intermediate
+// topology: the largest k <= cores[v] with at least k neighbors of
+// coreness >= k. Clamping at the current value is exactly the descent
+// update, so the counting array never needs more than cores[v]+1 slots.
+func (cm *CoreMaintainer) hval(v graph.NodeID) int {
+	ns := cm.neighbors(v)
+	cap := cm.cores[v]
+	if cap == 0 {
+		return 0
+	}
+	cnt := cm.cnt[:cap+1]
+	for i := range cnt {
+		cnt[i] = 0
+	}
+	for _, u := range ns {
+		c := cm.cores[u]
+		if c > cap {
+			c = cap
+		}
+		cnt[c]++
+	}
+	sum := 0
+	for k := cap; k >= 1; k-- {
+		sum += cnt[k]
+		if sum >= k {
+			return k
+		}
+	}
+	return 0
+}
+
+// insertEdge lifts the subcore the edge (u, v) lands in: collect the
+// coreness-k nodes reachable from the min-coreness endpoint through
+// coreness-k paths, peel the set at threshold k+1, and promote the
+// survivors. The edge must already be unmasked.
+func (cm *CoreMaintainer) insertEdge(u, v graph.NodeID) {
+	k := cm.cores[u]
+	root := u
+	if cm.cores[v] < k {
+		k = cm.cores[v]
+		root = v
+	}
+
+	// Candidate traversal. The inserted edge itself is live, so when
+	// both endpoints sit at coreness k the walk from one reaches the
+	// other through it.
+	cm.cand = cm.cand[:0]
+	cm.cand = append(cm.cand, root)
+	cm.inCand[root] = true
+	for i := 0; i < len(cm.cand); i++ {
+		for _, x := range cm.neighbors(cm.cand[i]) {
+			if cm.cores[x] == k && !cm.inCand[x] {
+				cm.inCand[x] = true
+				cm.cand = append(cm.cand, x)
+			}
+		}
+	}
+
+	// cd(w) counts the neighbors that could support w at level k+1:
+	// anything already above k, plus fellow candidates.
+	for _, w := range cm.cand {
+		c := 0
+		for _, x := range cm.neighbors(w) {
+			if cm.cores[x] > k || cm.inCand[x] {
+				c++
+			}
+		}
+		cm.cd[w] = c
+	}
+
+	// Peel: drop candidates that cannot reach k+1 support, cascading
+	// through the set; cm.queue doubles as the removal queue.
+	cm.queue = cm.queue[:0]
+	for _, w := range cm.cand {
+		if cm.cd[w] <= k {
+			cm.queue = append(cm.queue, w)
+			cm.inCand[w] = false
+		}
+	}
+	for len(cm.queue) > 0 {
+		w := cm.queue[0]
+		cm.queue = cm.queue[1:]
+		for _, x := range cm.neighbors(w) {
+			if cm.inCand[x] {
+				cm.cd[x]--
+				if cm.cd[x] == k {
+					cm.inCand[x] = false
+					cm.queue = append(cm.queue, x)
+				}
+			}
+		}
+	}
+
+	for _, w := range cm.cand {
+		if cm.inCand[w] {
+			cm.cores[w] = k + 1
+			cm.dirty++
+			cm.inCand[w] = false
+		}
+	}
+}
+
+// drainAndFull clears mid-repair worklist state and recomputes from
+// scratch — the budget-blowout path.
+func (cm *CoreMaintainer) drainAndFull() {
+	for _, v := range cm.queue {
+		cm.inQ[v] = false
+	}
+	cm.queue = cm.queue[:0]
+	for _, w := range cm.cand {
+		cm.inCand[w] = false
+	}
+	cm.cand = cm.cand[:0]
+	cm.full()
+}
+
+// full recomputes the maintained cores with kcore.Decompose on the
+// current view and clears the pending-gain mask.
+func (cm *CoreMaintainer) full() {
+	obsCoreFull.Inc()
+	dec, err := kcore.Decompose(cm.view)
+	if err != nil {
+		// Unreachable: the constructor already decomposed a view with
+		// the same (nonzero) node count.
+		panic(fmt.Sprintf("incremental: full recompute: %v", err))
+	}
+	copy(cm.cores, dec.CorenessValues())
+	for k := range cm.pending {
+		delete(cm.pending, k)
+	}
+}

@@ -1,0 +1,179 @@
+package incremental
+
+import (
+	"testing"
+
+	"github.com/trustnet/trustnet/internal/faults"
+	"github.com/trustnet/trustnet/internal/gen"
+	"github.com/trustnet/trustnet/internal/graph"
+	"github.com/trustnet/trustnet/internal/kcore"
+)
+
+func sweepGraph(t *testing.T) *graph.Graph {
+	t.Helper()
+	g, err := gen.BarabasiAlbert(3000, 6, 41)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func checkCoresExact(t *testing.T, epoch int, cm *CoreMaintainer, view *graph.MaskedView) {
+	t.Helper()
+	dec, err := kcore.Decompose(view)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := dec.CorenessValues()
+	got := cm.Cores()
+	for v := range want {
+		if got[v] != want[v] {
+			t.Fatalf("epoch %d: core(%d) = %d, full recompute says %d", epoch, v, got[v], want[v])
+		}
+	}
+}
+
+// TestEquivalenceCoreMaintainerDriftSweep drives a drifting fault model
+// for several epochs and checks the maintained cores are bit-identical
+// to a full Batagelj–Zaveršnik decomposition at every epoch.
+func TestEquivalenceCoreMaintainerDriftSweep(t *testing.T) {
+	g := sweepGraph(t)
+	m, err := faults.New(g, faults.Config{Churn: 0.1, EdgeLoss: 0.05, Drift: 0.02, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cm, err := NewCoreMaintainer(m.View())
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkCoresExact(t, 0, cm, m.View())
+
+	var d *faults.EpochDelta
+	incremental := 0
+	for e := 1; e <= 8; e++ {
+		d = m.AdvanceEpochDelta(d)
+		if cm.Apply(d) {
+			incremental++
+		}
+		checkCoresExact(t, e, cm, m.View())
+	}
+	// A BA graph is one giant max-core plateau, so insertions may
+	// legitimately blow the subcore budget and fall back — exactness at
+	// every epoch is the invariant, the path taken is informational.
+	t.Logf("%d/8 epochs repaired incrementally", incremental)
+}
+
+// cliqueChain builds a graph whose coreness is spread out: count
+// cliques with sizes cycling 4..12 (coreness 3..11), linked into a
+// chain by single bridge edges (coreness 1). Insertion subcores stay
+// clique-sized — a tiny fraction of the graph — so the incremental
+// path must hold without falling back.
+func cliqueChain(t *testing.T, count int) *graph.Graph {
+	t.Helper()
+	size := func(i int) int { return 4 + i%9 }
+	n := 0
+	for i := 0; i < count; i++ {
+		n += size(i)
+	}
+	b := graph.NewBuilder(n)
+	base := 0
+	prev := -1
+	for c := 0; c < count; c++ {
+		s := size(c)
+		for i := 0; i < s; i++ {
+			for j := i + 1; j < s; j++ {
+				b.AddEdgeSafe(graph.NodeID(base+i), graph.NodeID(base+j))
+			}
+		}
+		if prev >= 0 {
+			b.AddEdgeSafe(graph.NodeID(prev), graph.NodeID(base))
+		}
+		prev = base
+		base += s
+	}
+	return b.Build()
+}
+
+// TestEquivalenceCoreMaintainerDiverseCores sweeps a drifting model
+// over a coreness-diverse graph where every delta's subcores are small,
+// and requires the incremental path to carry every epoch.
+func TestEquivalenceCoreMaintainerDiverseCores(t *testing.T) {
+	g := cliqueChain(t, 400)
+	m, err := faults.New(g, faults.Config{Churn: 0.05, EdgeLoss: 0.03, Drift: 0.01, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cm, err := NewCoreMaintainer(m.View())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var d *faults.EpochDelta
+	incremental := 0
+	for e := 1; e <= 10; e++ {
+		d = m.AdvanceEpochDelta(d)
+		if cm.Apply(d) {
+			incremental++
+		}
+		checkCoresExact(t, e, cm, m.View())
+	}
+	if incremental < 8 {
+		t.Fatalf("only %d/10 epochs repaired incrementally on a subcore-friendly graph", incremental)
+	}
+}
+
+// TestEquivalenceCoreMaintainerRedrawFallsBack checks that without
+// drift — where consecutive epochs are independent redraws — Apply
+// detects the oversized delta, falls back to a full recompute, and
+// still lands on the exact decomposition.
+func TestEquivalenceCoreMaintainerRedrawFallsBack(t *testing.T) {
+	g := sweepGraph(t)
+	m, err := faults.New(g, faults.Config{Churn: 0.2, EdgeLoss: 0.1, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cm, err := NewCoreMaintainer(m.View())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var d *faults.EpochDelta
+	for e := 1; e <= 3; e++ {
+		d = m.AdvanceEpochDelta(d)
+		cm.Apply(d)
+		checkCoresExact(t, e, cm, m.View())
+	}
+}
+
+// TestEquivalenceCoreMaintainerEdgeCases exercises targeted deltas —
+// single edge loss, single edge gain, node down, node revival — against
+// full recomputes.
+func TestEquivalenceCoreMaintainerEdgeCases(t *testing.T) {
+	g := sweepGraph(t)
+	mv := graph.NewMaskedView(g)
+	cm, err := NewCoreMaintainer(mv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap *graph.MaskSnapshot
+	var delta faults.EpochDelta
+	step := func(name string, mutate func()) {
+		t.Helper()
+		snap = mv.Snapshot(snap)
+		mutate()
+		mv.DiffSnapshot(snap, &delta.MaskDelta)
+		cm.Apply(&delta)
+		checkCoresExact(t, -1, cm, mv)
+	}
+
+	var e0 graph.Edge
+	g.VisitEdges(func(e graph.Edge) bool { e0 = e; return false })
+	step("drop edge", func() { mv.DropEdge(e0.U, e0.V) })
+	step("restore edge", func() { mv.RestoreEdge(e0.U, e0.V) })
+	step("node down", func() { mv.SetAlive(42, false) })
+	step("node revive", func() { mv.SetAlive(42, true) })
+	step("mixed", func() {
+		mv.SetAlive(7, false)
+		mv.SetAlive(9, false)
+		mv.DropEdge(e0.U, e0.V)
+		mv.SetAlive(7, true)
+	})
+}

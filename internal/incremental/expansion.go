@@ -1,0 +1,521 @@
+package incremental
+
+import (
+	"context"
+	"fmt"
+	"math"
+
+	"github.com/trustnet/trustnet/internal/expansion"
+	"github.com/trustnet/trustnet/internal/faults"
+	"github.com/trustnet/trustnet/internal/graph"
+	"github.com/trustnet/trustnet/internal/obs"
+)
+
+// Observability instruments for the incremental expansion maintenance,
+// written once per Apply outside the repair loops.
+var (
+	obsExpApplies  = obs.Default().Counter("incremental.expansion.applies")
+	obsExpRepaired = obs.Default().Counter("incremental.expansion.repaired_sources")
+	obsExpRebuilt  = obs.Default().Counter("incremental.expansion.rebuilt_sources")
+	obsExpOrphans  = obs.Default().Counter("incremental.expansion.orphaned_nodes")
+)
+
+// infDist is the tentative-distance sentinel during repair sweeps.
+const infDist = int32(math.MaxInt32)
+
+// ExpansionMaintainer keeps per-source BFS distance fields and level
+// counts current across epoch deltas, so the §III-D envelope
+// measurement never re-runs an untouched BFS. Each Apply repairs every
+// source with a batched unit-weight Ramalingam–Reps pass: deletions
+// first on the intermediate topology (old minus losses — equal to the
+// new view with gained edges masked out), by orphaning nodes whose
+// every shortest-path parent died and re-leveling them from the clean
+// boundary; then insertions on the new topology as a bucketed
+// multi-source relaxation seeded at the gained edges. Distances only
+// grow in the first phase and only shrink in the second, which is what
+// makes both sweeps linear in the size of the affected region rather
+// than the graph.
+//
+// The maintained state is exact: after every Apply, each source's
+// level counts are bit-identical to a fresh BFS on the current view,
+// and Measure folds them through expansion.Measure's resume path so
+// the aggregate Result is bit-identical to the from-scratch
+// measurement. Memory is O(len(sources) · n) for the distance fields.
+// Not safe for concurrent use.
+type ExpansionMaintainer struct {
+	view    *graph.MaskedView
+	sources []graph.NodeID
+	dist    [][]int32
+	levels  [][]int64
+
+	pending map[uint64]bool
+	srcFlip map[graph.NodeID]bool
+	orphan  []bool
+	fixed   []bool
+	tent    []int32
+	orphans []graph.NodeID
+	touched []graph.NodeID
+	buckets [][]graph.NodeID
+	nbuf    []graph.NodeID
+	queue   []graph.NodeID
+
+	// Flat adjacency snapshots shared by every source's repair within
+	// one Apply: the repairs scan the same frozen topology up to a
+	// thousand times (once per source), so one O(n+m) materialization
+	// replaces per-edge alive/drop bitmap checks and pending-map
+	// filters with plain slice walks. ioff/iadj hold the intermediate
+	// topology (view minus pending gains), noff/nadj the new view.
+	ioff, noff []int32
+	iadj, nadj []graph.NodeID
+
+	// pendTouch marks nodes incident to a pending gained edge, so the
+	// hot neighbor scans skip the pending-map filter for the vast
+	// majority of nodes the delta never touched.
+	pendTouch []bool
+	// nsup memoizes each node's surviving shortest-path parent count
+	// during one repairDeletions pass (valid iff supStamp matches
+	// stampGen); proc marks orphans whose children have been visited.
+	// Together they make the orphan cascade O(region·deg): each touched
+	// node is scanned once, later parent deaths are O(1) decrements.
+	nsup     []int32
+	supStamp []int32
+	stampGen int32
+	proc     []bool
+
+	repaired, rebuilt, orphaned int64
+}
+
+// NewExpansionMaintainer runs the initial BFS for every source on the
+// view's current topology and returns a maintainer positioned at it.
+func NewExpansionMaintainer(view *graph.MaskedView, sources []graph.NodeID) (*ExpansionMaintainer, error) {
+	if len(sources) == 0 {
+		return nil, fmt.Errorf("incremental: expansion needs at least one source")
+	}
+	n := view.NumNodes()
+	em := &ExpansionMaintainer{
+		view:    view,
+		sources: append([]graph.NodeID(nil), sources...),
+		dist:    make([][]int32, len(sources)),
+		levels:  make([][]int64, len(sources)),
+		pending: make(map[uint64]bool),
+		srcFlip: make(map[graph.NodeID]bool),
+		orphan:  make([]bool, n),
+		fixed:   make([]bool, n),
+		tent:    make([]int32, n),
+
+		pendTouch: make([]bool, n),
+		nsup:      make([]int32, n),
+		supStamp:  make([]int32, n),
+		proc:      make([]bool, n),
+	}
+	for v := range em.tent {
+		em.tent[v] = infDist
+	}
+	em.buildAdjacency()
+	for i, s := range sources {
+		if !view.Valid(s) {
+			return nil, fmt.Errorf("incremental: expansion source %d out of range", s)
+		}
+		em.dist[i] = make([]int32, n)
+		em.rebuild(i)
+	}
+	return em, nil
+}
+
+// buildAdjacency materializes the two per-Apply topology snapshots
+// from the view's current masks: nadj is the live adjacency as the
+// view reports it, iadj the same minus pending gained edges.
+func (em *ExpansionMaintainer) buildAdjacency() {
+	n := em.view.NumNodes()
+	em.ioff = append(em.ioff[:0], 0)
+	em.noff = append(em.noff[:0], 0)
+	em.iadj = em.iadj[:0]
+	em.nadj = em.nadj[:0]
+	for v := graph.NodeID(0); int(v) < n; v++ {
+		em.nbuf = em.view.AppendNeighbors(v, em.nbuf[:0])
+		filter := len(em.pending) != 0 && em.pendTouch[v]
+		for _, u := range em.nbuf {
+			em.nadj = append(em.nadj, u)
+			if !filter || !em.pending[packEdge(v, u)] {
+				em.iadj = append(em.iadj, u)
+			}
+		}
+		em.ioff = append(em.ioff, int32(len(em.iadj)))
+		em.noff = append(em.noff, int32(len(em.nadj)))
+	}
+}
+
+// Sources returns the maintained source list (owned by the maintainer).
+func (em *ExpansionMaintainer) Sources() []graph.NodeID { return em.sources }
+
+// Levels returns source i's maintained BFS level counts, valid until
+// the next Apply and not to be modified.
+func (em *ExpansionMaintainer) Levels(i int) []int64 { return em.levels[i] }
+
+// neighborsI lists v's neighbors in the intermediate topology (the
+// view minus pending gained edges), as a read-only slice of the
+// per-Apply snapshot.
+func (em *ExpansionMaintainer) neighborsI(v graph.NodeID) []graph.NodeID {
+	return em.iadj[em.ioff[v]:em.ioff[v+1]]
+}
+
+// neighborsN lists v's neighbors in the new topology, as a read-only
+// slice of the per-Apply snapshot.
+func (em *ExpansionMaintainer) neighborsN(v graph.NodeID) []graph.NodeID {
+	return em.nadj[em.noff[v]:em.noff[v+1]]
+}
+
+// rebuild re-runs source i's BFS from scratch on the intermediate
+// topology, mirroring graph.BFSWorker.Run exactly (a down source keeps
+// distance 0 and a single level of size 1).
+func (em *ExpansionMaintainer) rebuild(i int) {
+	dist := em.dist[i]
+	for v := range dist {
+		dist[v] = -1
+	}
+	src := em.sources[i]
+	dist[src] = 0
+	levels := append(em.levels[i][:0], 1)
+	em.queue = append(em.queue[:0], src)
+	for head := 0; head < len(em.queue); head++ {
+		v := em.queue[head]
+		dv := dist[v]
+		for _, u := range em.neighborsI(v) {
+			if dist[u] < 0 {
+				dist[u] = dv + 1
+				em.queue = append(em.queue, u)
+				if int(dv+1) == len(levels) {
+					levels = append(levels, 0)
+				}
+				levels[dv+1]++
+			}
+		}
+	}
+	em.queue = em.queue[:0]
+	em.levels[i] = levels
+}
+
+// Apply repairs every source's distance field and level counts across
+// one epoch delta. The view must already hold the post-advance
+// topology (AdvanceEpochDelta, then Apply).
+func (em *ExpansionMaintainer) Apply(d *faults.EpochDelta) {
+	obsExpApplies.Inc()
+	em.repaired, em.rebuilt, em.orphaned = 0, 0, 0
+	defer func() {
+		obsExpRepaired.Add(em.repaired)
+		obsExpRebuilt.Add(em.rebuilt)
+		obsExpOrphans.Add(em.orphaned)
+	}()
+
+	for _, e := range d.EdgesGained {
+		em.pending[packEdge(e.U, e.V)] = true
+		em.pendTouch[e.U], em.pendTouch[e.V] = true, true
+	}
+	for _, v := range d.NodesDown {
+		em.srcFlip[v] = true
+	}
+	for _, v := range d.NodesUp {
+		em.srcFlip[v] = true
+	}
+	em.buildAdjacency()
+
+	for i := range em.sources {
+		em.repairDeletions(i, d)
+	}
+	for _, e := range d.EdgesGained {
+		em.pendTouch[e.U], em.pendTouch[e.V] = false, false
+	}
+	for k := range em.pending {
+		delete(em.pending, k)
+	}
+	for i := range em.sources {
+		em.applyInsertions(i, d)
+	}
+	for k := range em.srcFlip {
+		delete(em.srcFlip, k)
+	}
+}
+
+// supportCount returns how many shortest-path parents v retains in the
+// intermediate topology: neighbors one level closer that are either
+// non-orphaned or marked orphans whose children have not been visited
+// yet (those still decrement the memoized count exactly once when they
+// are). The first call per repair pass scans v's neighbors; later
+// calls are O(1).
+func (em *ExpansionMaintainer) supportCount(v graph.NodeID, dist []int32) int32 {
+	if em.supStamp[v] == em.stampGen {
+		return em.nsup[v]
+	}
+	em.supStamp[v] = em.stampGen
+	dv := dist[v]
+	cnt := int32(0)
+	for _, x := range em.neighborsI(v) {
+		if dist[x] == dv-1 && (!em.orphan[x] || !em.proc[x]) {
+			cnt++
+		}
+	}
+	em.nsup[v] = cnt
+	return cnt
+}
+
+// markOrphan flags v and queues it for cascade processing.
+func (em *ExpansionMaintainer) markOrphan(v graph.NodeID) {
+	em.orphan[v] = true
+	em.orphans = append(em.orphans, v)
+	em.queue = append(em.queue, v)
+}
+
+// repairDeletions brings source i from the old topology to the
+// intermediate one (losses applied, gains still masked): orphan every
+// node whose shortest-path tree support died, then re-level the orphan
+// region from its clean boundary with a bucketed unit-weight sweep.
+func (em *ExpansionMaintainer) repairDeletions(i int, d *faults.EpochDelta) {
+	src := em.sources[i]
+	if em.srcFlip[src] {
+		// The source's own aliveness flipped — its whole tree appears or
+		// collapses; the plain BFS is the cheap and exact answer.
+		em.rebuild(i)
+		em.rebuilt++
+		return
+	}
+	dist := em.dist[i]
+	em.stampGen++
+	if em.stampGen == math.MaxInt32 {
+		for v := range em.supStamp {
+			em.supStamp[v] = 0
+		}
+		em.stampGen = 1
+	}
+
+	// Seed orphans from lost edges: the farther endpoint of a
+	// parent-child edge that has no surviving parent.
+	em.orphans = em.orphans[:0]
+	em.queue = em.queue[:0]
+	for _, e := range d.EdgesLost {
+		u, v := e.U, e.V
+		for r := 0; r < 2; r++ {
+			if dist[u] >= 0 && dist[v] == dist[u]+1 && !em.orphan[v] && em.supportCount(v, dist) == 0 {
+				em.markOrphan(v)
+			}
+			u, v = v, u
+		}
+	}
+	// Cascade: an orphaned node may have been its children's only
+	// support. Visiting each orphan's children once is sound because a
+	// child's memoized count still includes every marked-but-unvisited
+	// orphan parent, and each such parent decrements it exactly once
+	// when its own children are visited (proc set first, so the child's
+	// first-touch scan never counts the current orphan and then gets
+	// decremented for it too).
+	for head := 0; head < len(em.queue); head++ {
+		o := em.queue[head]
+		em.proc[o] = true
+		do := dist[o]
+		for _, c := range em.neighborsI(o) {
+			if em.orphan[c] || dist[c] != do+1 {
+				continue
+			}
+			if em.supStamp[c] == em.stampGen {
+				if em.nsup[c]--; em.nsup[c] == 0 {
+					em.markOrphan(c)
+				}
+			} else if em.supportCount(c, dist) == 0 {
+				em.markOrphan(c)
+			}
+		}
+	}
+	em.queue = em.queue[:0]
+	if len(em.orphans) == 0 {
+		return
+	}
+	em.repaired++
+	em.orphaned += int64(len(em.orphans))
+	levels := em.levels[i]
+
+	// Re-level the orphans from the clean boundary: tentative distance
+	// is one past the best non-orphan neighbor, then a bucket sweep
+	// fixes nodes in increasing distance and relaxes orphan neighbors.
+	// Deletions never shrink a distance, so the sweep starts at the
+	// smallest tentative and every fix is final.
+	dmin, dmax := infDist, int32(0)
+	for _, o := range em.orphans {
+		t := infDist
+		for _, x := range em.neighborsI(o) {
+			if !em.orphan[x] && dist[x] >= 0 && dist[x]+1 < t {
+				t = dist[x] + 1
+			}
+		}
+		em.tent[o] = t
+		if t < dmin {
+			dmin = t
+		}
+	}
+	remaining := len(em.orphans)
+	if dmin < infDist {
+		for _, o := range em.orphans {
+			if em.tent[o] < infDist {
+				em.bucketPush(em.tent[o], o)
+				if em.tent[o] > dmax {
+					dmax = em.tent[o]
+				}
+			}
+		}
+		for di := dmin; di <= dmax && remaining > 0; di++ {
+			if int(di) >= len(em.buckets) {
+				break
+			}
+			for bi := 0; bi < len(em.buckets[di]); bi++ {
+				o := em.buckets[di][bi]
+				if em.fixed[o] || em.tent[o] != di {
+					continue
+				}
+				em.fixed[o] = true
+				remaining--
+				levels[dist[o]]--
+				for int(di) >= len(levels) {
+					levels = append(levels, 0)
+				}
+				levels[di]++
+				dist[o] = di
+				for _, w := range em.neighborsI(o) {
+					if em.orphan[w] && !em.fixed[w] && em.tent[w] > di+1 {
+						em.tent[w] = di + 1
+						em.bucketPush(di+1, w)
+						if di+1 > dmax {
+							dmax = di + 1
+						}
+					}
+				}
+			}
+		}
+		for di := dmin; di <= dmax && int(di) < len(em.buckets); di++ {
+			em.buckets[di] = em.buckets[di][:0]
+		}
+	}
+	// Orphans with no path back are unreachable now.
+	for _, o := range em.orphans {
+		if !em.fixed[o] {
+			levels[dist[o]]--
+			dist[o] = -1
+		}
+		em.orphan[o] = false
+		em.fixed[o] = false
+		em.proc[o] = false
+		em.tent[o] = infDist
+	}
+	em.orphans = em.orphans[:0]
+	for len(levels) > 1 && levels[len(levels)-1] == 0 {
+		levels = levels[:len(levels)-1]
+	}
+	em.levels[i] = levels
+}
+
+// bucketPush appends v to the distance-d bucket, growing the bucket
+// list as needed.
+func (em *ExpansionMaintainer) bucketPush(d int32, v graph.NodeID) {
+	for int(d) >= len(em.buckets) {
+		em.buckets = append(em.buckets, nil)
+	}
+	em.buckets[d] = append(em.buckets[d], v)
+}
+
+// applyInsertions brings source i from the intermediate topology to
+// the new one: a bucketed multi-source relaxation seeded at the gained
+// edges. Insertions only shrink distances, so each improvement is
+// processed at most once per level it lands on.
+func (em *ExpansionMaintainer) applyInsertions(i int, d *faults.EpochDelta) {
+	dist := em.dist[i]
+	em.touched = em.touched[:0]
+	dmin, dmax := infDist, int32(0)
+	seed := func(u, v graph.NodeID) {
+		if dist[u] < 0 {
+			return
+		}
+		nd := dist[u] + 1
+		if (dist[v] < 0 || dist[v] > nd) && em.tent[v] > nd {
+			if em.tent[v] == infDist {
+				em.touched = append(em.touched, v)
+			}
+			em.tent[v] = nd
+			em.bucketPush(nd, v)
+			if nd < dmin {
+				dmin = nd
+			}
+			if nd > dmax {
+				dmax = nd
+			}
+		}
+	}
+	for _, e := range d.EdgesGained {
+		seed(e.U, e.V)
+		seed(e.V, e.U)
+	}
+	if dmin == infDist {
+		return
+	}
+	em.repaired++
+	levels := em.levels[i]
+	for di := dmin; di <= dmax; di++ {
+		if int(di) >= len(em.buckets) {
+			break
+		}
+		for bi := 0; bi < len(em.buckets[di]); bi++ {
+			v := em.buckets[di][bi]
+			if em.tent[v] != di || (dist[v] >= 0 && dist[v] <= di) {
+				continue
+			}
+			if dist[v] >= 0 {
+				levels[dist[v]]--
+			}
+			for int(di) >= len(levels) {
+				levels = append(levels, 0)
+			}
+			levels[di]++
+			dist[v] = di
+			for _, w := range em.neighborsN(v) {
+				nd := di + 1
+				if (dist[w] < 0 || dist[w] > nd) && em.tent[w] > nd {
+					if em.tent[w] == infDist {
+						em.touched = append(em.touched, w)
+					}
+					em.tent[w] = nd
+					em.bucketPush(nd, w)
+					if nd > dmax {
+						dmax = nd
+					}
+				}
+			}
+		}
+	}
+	for di := dmin; di <= dmax && int(di) < len(em.buckets); di++ {
+		em.buckets[di] = em.buckets[di][:0]
+	}
+	for _, v := range em.touched {
+		em.tent[v] = infDist
+	}
+	em.touched = em.touched[:0]
+	for len(levels) > 1 && levels[len(levels)-1] == 0 {
+		levels = levels[:len(levels)-1]
+	}
+	em.levels[i] = levels
+}
+
+// Measure folds the maintained level counts into the standard
+// expansion aggregates by running expansion.Measure with a fully
+// populated resume checkpoint: every source is already measured, so
+// the call is a pure fold and the Result is bit-identical to a
+// from-scratch measurement on the current view.
+func (em *ExpansionMaintainer) Measure(ctx context.Context, workers int) (*expansion.Result, error) {
+	ck := &expansion.Checkpoint{
+		Sources: em.sources,
+		Levels:  make([][]int64, len(em.levels)),
+	}
+	for i, ls := range em.levels {
+		ck.Levels[i] = append([]int64(nil), ls...)
+	}
+	return expansion.Measure(ctx, em.view, expansion.Config{
+		Sources: em.sources,
+		Workers: workers,
+		Resume:  ck,
+	})
+}

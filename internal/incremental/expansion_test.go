@@ -1,0 +1,138 @@
+package incremental
+
+import (
+	"context"
+	"testing"
+
+	"github.com/trustnet/trustnet/internal/expansion"
+	"github.com/trustnet/trustnet/internal/faults"
+	"github.com/trustnet/trustnet/internal/graph"
+)
+
+func expansionSources(t *testing.T, g *graph.Graph, k int) []graph.NodeID {
+	t.Helper()
+	srcs, err := expansion.SampledSources(g, k, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return srcs
+}
+
+// checkExpansionExact compares the maintainer's folded Result against a
+// from-scratch expansion.Measure on the same view: per-source level
+// counts bit-identical, and the derived aggregates equal.
+func checkExpansionExact(t *testing.T, epoch int, em *ExpansionMaintainer, view *graph.MaskedView) {
+	t.Helper()
+	ctx := context.Background()
+	got, err := em.Measure(ctx, 1)
+	if err != nil {
+		t.Fatalf("epoch %d: incremental measure: %v", epoch, err)
+	}
+	want, err := expansion.Measure(ctx, view, expansion.Config{Sources: em.Sources(), Workers: 1})
+	if err != nil {
+		t.Fatalf("epoch %d: full measure: %v", epoch, err)
+	}
+	gl, wl := got.Checkpoint().Levels, want.Checkpoint().Levels
+	for i := range wl {
+		if len(gl[i]) != len(wl[i]) {
+			t.Fatalf("epoch %d source %d: %d levels maintained, full BFS says %d (maintained %v, want %v)",
+				epoch, em.Sources()[i], len(gl[i]), len(wl[i]), gl[i], wl[i])
+		}
+		for d := range wl[i] {
+			if gl[i][d] != wl[i][d] {
+				t.Fatalf("epoch %d source %d level %d: %d maintained, full BFS says %d",
+					epoch, em.Sources()[i], d, gl[i][d], wl[i][d])
+			}
+		}
+	}
+	if got.MaxEccentricity != want.MaxEccentricity {
+		t.Fatalf("epoch %d: MaxEccentricity %d != %d", epoch, got.MaxEccentricity, want.MaxEccentricity)
+	}
+	if got.Completed != want.Completed || got.Sources != want.Sources {
+		t.Fatalf("epoch %d: completed %d/%d != %d/%d",
+			epoch, got.Completed, got.Sources, want.Completed, want.Sources)
+	}
+}
+
+// TestEquivalenceExpansionMaintainerDriftSweep drives a drifting fault
+// model and checks the maintained BFS state folds to a Result
+// bit-identical to a from-scratch measurement at every epoch.
+func TestEquivalenceExpansionMaintainerDriftSweep(t *testing.T) {
+	g := sweepGraph(t)
+	srcs := expansionSources(t, g, 16)
+	m, err := faults.New(g, faults.Config{Churn: 0.1, EdgeLoss: 0.05, Drift: 0.02, Seed: 13})
+	if err != nil {
+		t.Fatal(err)
+	}
+	em, err := NewExpansionMaintainer(m.View(), srcs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkExpansionExact(t, 0, em, m.View())
+	var d *faults.EpochDelta
+	for e := 1; e <= 8; e++ {
+		d = m.AdvanceEpochDelta(d)
+		em.Apply(d)
+		checkExpansionExact(t, e, em, m.View())
+	}
+}
+
+// TestEquivalenceExpansionMaintainerRedrawSweep runs without drift, so
+// consecutive epochs are independent redraws and the deltas are huge —
+// a stress test of the orphan cascade and re-level sweep. The repair
+// has no fallback budget; it must stay exact at any delta size.
+func TestEquivalenceExpansionMaintainerRedrawSweep(t *testing.T) {
+	g := sweepGraph(t)
+	srcs := expansionSources(t, g, 8)
+	m, err := faults.New(g, faults.Config{Churn: 0.2, EdgeLoss: 0.1, Seed: 29})
+	if err != nil {
+		t.Fatal(err)
+	}
+	em, err := NewExpansionMaintainer(m.View(), srcs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var d *faults.EpochDelta
+	for e := 1; e <= 3; e++ {
+		d = m.AdvanceEpochDelta(d)
+		em.Apply(d)
+		checkExpansionExact(t, e, em, m.View())
+	}
+}
+
+// TestEquivalenceExpansionMaintainerEdgeCases exercises targeted deltas
+// including a source going down and coming back.
+func TestEquivalenceExpansionMaintainerEdgeCases(t *testing.T) {
+	g := sweepGraph(t)
+	srcs := expansionSources(t, g, 6)
+	mv := graph.NewMaskedView(g)
+	em, err := NewExpansionMaintainer(mv, srcs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap *graph.MaskSnapshot
+	var delta faults.EpochDelta
+	step := func(mutate func()) {
+		t.Helper()
+		snap = mv.Snapshot(snap)
+		mutate()
+		mv.DiffSnapshot(snap, &delta.MaskDelta)
+		em.Apply(&delta)
+		checkExpansionExact(t, -1, em, mv)
+	}
+
+	var e0 graph.Edge
+	g.VisitEdges(func(e graph.Edge) bool { e0 = e; return false })
+	step(func() { mv.DropEdge(e0.U, e0.V) })
+	step(func() { mv.RestoreEdge(e0.U, e0.V) })
+	step(func() { mv.SetAlive(srcs[0], false) })
+	step(func() { mv.SetAlive(srcs[0], true) })
+	step(func() { mv.SetAlive(42, false) })
+	step(func() { mv.SetAlive(42, true) })
+	step(func() {
+		mv.SetAlive(7, false)
+		mv.SetAlive(9, false)
+		mv.DropEdge(e0.U, e0.V)
+		mv.SetAlive(7, true)
+	})
+}

@@ -1,0 +1,26 @@
+// Package incremental maintains the paper's three structural
+// measurements — k-core decomposition (§III-B), BFS expansion envelopes
+// (§III-D), and the SLEM/mixing bound (§III-C) — across fault-schedule
+// epochs without recomputing them from scratch. The fault model reports
+// each epoch advance as a faults.EpochDelta (the exact live-topology
+// symmetric difference); the maintainers in this package consume that
+// delta and repair only the state the delta actually invalidates:
+//
+//   - CoreMaintainer re-evaluates coreness only inside the affected
+//     subcores, per the Batagelj–Zaveršnik generalized-core update
+//     rules: a monotone h-operator descent for removals and a per-edge
+//     subcore traversal for insertions.
+//   - ExpansionMaintainer repairs each BFS source's distance field with
+//     a batched Ramalingam–Reps pass (deletions first, then insertions
+//     as a multi-source relaxation), keeping per-level counts exact.
+//   - SLEMMaintainer warm-starts the power iteration with the previous
+//     epoch's eigenvector, carried across the delta by original node ID.
+//
+// Every maintainer produces results equal to its from-scratch
+// counterpart — bit-identical for the integer measurements (cores,
+// expansion level counts), tolerance-equal for the SLEM — and falls
+// back to the full recomputation when a delta is too large for the
+// repair to be cheaper (the budgets are documented per maintainer).
+// Deltas are only small when the fault schedule evolves rather than
+// redraws, so pair these with faults.Config.Drift.
+package incremental

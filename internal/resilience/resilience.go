@@ -115,8 +115,13 @@ type marked struct {
 	transient bool
 }
 
-func (m *marked) Error() string   { return m.err.Error() }
-func (m *marked) Unwrap() error   { return m.err }
+// Error returns the wrapped error's message unchanged.
+func (m *marked) Error() string { return m.err.Error() }
+
+// Unwrap exposes the wrapped error to errors.Is/As chains.
+func (m *marked) Unwrap() error { return m.err }
+
+// Transient reports the marked verdict; Classify consults it first.
 func (m *marked) Transient() bool { return m.transient }
 
 // MarkTransient marks err as worth retrying. A nil err stays nil.

@@ -41,6 +41,8 @@ var (
 	obsSLEMConverged  = obs.Default().Counter("spectral.slem.converged")
 	obsSLEMPartial    = obs.Default().Counter("spectral.slem.partial")
 	obsSLEMResumed    = obs.Default().Counter("spectral.slem.resumed_iterations")
+	obsSLEMWarm       = obs.Default().Counter("spectral.slem.warm_starts")
+	obsSLEMWarmFallbk = obs.Default().Counter("spectral.slem.warm_fallbacks")
 	obsSLEMResidual   = obs.Default().Gauge("spectral.slem.residual")
 )
 
@@ -67,6 +69,21 @@ type Config struct {
 	// normalized — so the resumed trajectory is bit-identical to the
 	// uninterrupted one.
 	Resume *Checkpoint
+	// Warm seeds the starting vector with an approximate eigenvector —
+	// typically the previous epoch's, carried across a small topology
+	// delta — instead of a random draw. Unlike Resume it is only a hint:
+	// the vector is deflated against the current graph's φ and
+	// re-normalized, the iteration count starts at zero, and convergence
+	// is judged by the usual successive-estimate test, so the result
+	// meets the same Tolerance as a cold start (eigenvalue error is
+	// quadratic in eigenvector error, which is what makes a good warm
+	// vector converge in a handful of iterations). A degenerate warm
+	// vector (wrong length, or ~0 norm after deflation) falls back to
+	// the seeded random start. Ignored when Resume is set.
+	Warm []float64
+	// KeepVector retains the final iterate on the Result so callers can
+	// feed it back as the next epoch's Warm vector via Eigenvector().
+	KeepVector bool
 }
 
 // Checkpoint is the resumable state of a power iteration: the iterate
@@ -116,6 +133,8 @@ type Result struct {
 	// partial results.
 	vector []float64
 	prev   float64
+	// eigvec retains the final iterate when Config.KeepVector is set.
+	eigvec []float64
 }
 
 // Checkpoint returns the resumable state of a partial result, or nil for
@@ -126,6 +145,12 @@ func (r *Result) Checkpoint() *Checkpoint {
 	}
 	return &Checkpoint{Vector: r.vector, Prev: r.prev, Iterations: r.Iterations}
 }
+
+// Eigenvector returns the final power-iteration iterate — an
+// approximation of the eigenvector behind the SLEM — when the run was
+// configured with KeepVector, and nil otherwise. The slice is owned by
+// the Result and must not be modified; copy it before reuse.
+func (r *Result) Eigenvector() []float64 { return r.eigvec }
 
 // SLEM computes the second largest eigenvalue modulus of the transition
 // matrix of the simple random walk on g. It accepts any graph.View;
@@ -189,13 +214,38 @@ func SLEMContext(ctx context.Context, v graph.View, cfg Config) (*Result, error)
 		prev = cfg.Resume.Prev
 		obsSLEMResumed.Add(int64(startIt))
 	} else {
-		rng := rand.New(rand.NewSource(cfg.Seed))
-		for v := range x {
-			x[v] = rng.NormFloat64()
+		warmed := false
+		if cfg.Warm != nil && len(cfg.Warm) == n {
+			// A warm vector is a hint, not a trajectory: deflate against
+			// the CURRENT graph's φ and re-normalize, then converge by the
+			// ordinary tolerance test. Degeneracy is judged relative to
+			// the incoming norm — a nearly-φ-parallel vector deflates to
+			// pure rounding noise, which carries no second-eigenvector
+			// signal and would start the iteration from garbage.
+			copy(x, cfg.Warm)
+			in := 0.0
+			for _, e := range x {
+				in += e * e
+			}
+			deflate(x, phi)
+			if out := normalize(x); out > 1e-8*math.Sqrt(in) && out > 0 {
+				warmed = true
+				obsSLEMWarm.Inc()
+			} else {
+				obsSLEMWarmFallbk.Inc()
+			}
+		} else if cfg.Warm != nil {
+			obsSLEMWarmFallbk.Inc()
 		}
-		deflate(x, phi)
-		if normalize(x) == 0 {
-			return nil, errors.New("spectral: degenerate starting vector")
+		if !warmed {
+			rng := rand.New(rand.NewSource(cfg.Seed))
+			for v := range x {
+				x[v] = rng.NormFloat64()
+			}
+			deflate(x, phi)
+			if normalize(x) == 0 {
+				return nil, errors.New("spectral: degenerate starting vector")
+			}
 		}
 	}
 
@@ -260,6 +310,9 @@ func SLEMContext(ctx context.Context, v graph.View, cfg Config) (*Result, error)
 			res.Coverage = float64(res.Iterations) / float64(cfg.MaxIterations)
 			res.vector = append([]float64(nil), x...)
 			res.prev = prev
+			if cfg.KeepVector {
+				res.eigvec = res.vector
+			}
 			return res, nil
 		}
 		res.Iterations = it + 1
@@ -271,11 +324,17 @@ func SLEMContext(ctx context.Context, v graph.View, cfg Config) (*Result, error)
 		if resid < cfg.Tolerance {
 			res.SLEM = lambda
 			res.Converged = true
+			if cfg.KeepVector {
+				res.eigvec = append([]float64(nil), x...)
+			}
 			return res, nil
 		}
 		prev = lambda
 	}
 	res.SLEM = prev
+	if cfg.KeepVector {
+		res.eigvec = append([]float64(nil), x...)
+	}
 	return res, nil
 }
 

@@ -38,3 +38,10 @@ if [ -n "$viewbad" ]; then
     exit 1
 fi
 echo "doclint: measurement entry points accept graph.View"
+
+# Godoc lint: every exported identifier in the packages whose exported
+# surface other layers program against must carry a doc comment
+# (scripts/godoclint, an AST-level check; the package-comment lint above
+# only guarantees the package clause).
+go run ./scripts/godoclint internal/incremental internal/resilience internal/obs
+echo "doclint: exported identifiers documented (incremental, resilience, obs)"
