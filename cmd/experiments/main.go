@@ -37,8 +37,10 @@
 //	                            # views (rebuild-per-epoch vs MaskedView,
 //	                            # out/BENCH_views.json), and the incremental
 //	                            # epoch sweep (full recompute vs maintainers,
-//	                            # out/BENCH_incremental.json); exits nonzero
-//	                            # if any variant pair diverges
+//	                            # out/BENCH_incremental.json), and the scale
+//	                            # substrate (streamed TNG2 + mmap, monolithic
+//	                            # vs sharded, out/BENCH_scale.json); exits
+//	                            # nonzero if any variant pair diverges
 package main
 
 import (
@@ -502,6 +504,36 @@ func runBench(ctx context.Context, opts experiments.Options, out string, workers
 	}
 	fmt.Fprintf(w, "wrote %s\n", ipath)
 
+	sres, err := experiments.BenchScale(ctx, opts, 4, out)
+	if err != nil {
+		return err
+	}
+	stt := report.NewTable(
+		fmt.Sprintf("bench: mmap-backed substrate, monolithic vs %d shards (n=%d, m=%d)",
+			sres.Shards, sres.Nodes, sres.Edges),
+		"Kernel", "Mono (s)", "Sharded (s)", "Ratio", "Identical")
+	for _, e := range sres.Entries {
+		if err := stt.AddRow(e.Name,
+			report.Float(e.MonoSeconds, 4), report.Float(e.ShardedSeconds, 4),
+			report.Float(e.Ratio, 2), fmt.Sprintf("%v", e.Identical)); err != nil {
+			return err
+		}
+	}
+	stt.AddNote(fmt.Sprintf("generated in %.2fs (%d spill runs), mapped in %.4fs, file %d bytes, peak RSS %d MiB",
+		sres.GenerateSeconds, sres.SpillRuns, sres.OpenMappedSeconds, sres.FileBytes, sres.PeakRSSBytes>>20))
+	if err := stt.Render(w); err != nil {
+		return err
+	}
+	sdata, err := json.MarshalIndent(sres, "", "  ")
+	if err != nil {
+		return err
+	}
+	spath := filepath.Join(out, "BENCH_scale.json")
+	if err := resilience.WriteFileAtomic(spath, append(sdata, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "wrote %s\n", spath)
+
 	if !kres.Identical() {
 		return fmt.Errorf("bench: kernel and naive result fingerprints diverged (see %s)", kpath)
 	}
@@ -510,6 +542,9 @@ func runBench(ctx context.Context, opts experiments.Options, out string, workers
 	}
 	if !ires.Equivalent() {
 		return fmt.Errorf("bench: incremental and full results diverged (see %s)", ipath)
+	}
+	if !sres.Identical() {
+		return fmt.Errorf("bench: sharded and monolithic results diverged (see %s)", spath)
 	}
 	return nil
 }

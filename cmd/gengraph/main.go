@@ -1,19 +1,24 @@
 // Command gengraph generates synthetic social graphs — either a named
 // dataset stand-in from the Table I registry or a raw model — and writes
-// them as edge-list text files.
+// them as edge-list text, TNG1 binary, or TNG2 CSR files. Large graphs
+// can be streamed straight to TNG2 in bounded memory, and the convert
+// subcommand translates between the three formats.
 //
 // Usage:
 //
 //	gengraph -dataset wiki-vote -out wiki-vote.txt
 //	gengraph -model ba -n 5000 -param 8 -seed 42 -out ba.txt
+//	gengraph -model ba -n 1000000 -param 8 -stream -out ba.tng2
+//	gengraph convert -in ba.bin -out ba.tng2
 //	gengraph -list
 package main
 
 import (
+	"bufio"
 	"flag"
 	"fmt"
 	"os"
-	"strings"
+	"path/filepath"
 
 	"github.com/trustnet/trustnet/internal/datasets"
 	"github.com/trustnet/trustnet/internal/gen"
@@ -28,6 +33,9 @@ func main() {
 }
 
 func run(args []string) error {
+	if len(args) > 0 && args[0] == "convert" {
+		return runConvert(args[1:])
+	}
 	fs := flag.NewFlagSet("gengraph", flag.ContinueOnError)
 	var (
 		list    = fs.Bool("list", false, "list registry datasets and exit")
@@ -39,7 +47,9 @@ func run(args []string) error {
 		comms   = fs.Int("communities", 8, "communities (sbm, clustered)")
 		bridges = fs.Int("bridges", 2, "bridges per community pair (clustered)")
 		seed    = fs.Int64("seed", 1, "generator seed")
-		out     = fs.String("out", "", "output edge-list path (default stdout)")
+		out     = fs.String("out", "", "output path (default stdout, text only)")
+		format  = fs.String("format", "", "output format: text | tng1 | tng2 (default inferred from -out extension)")
+		stream  = fs.Bool("stream", false, "stream the generator through the bounded-memory CSR writer (ba, rmat, sbm, clustered; implies tng2, requires -out)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -53,23 +63,234 @@ func run(args []string) error {
 		return nil
 	}
 
+	if *stream {
+		if *out == "" {
+			return fmt.Errorf("-stream requires -out")
+		}
+		if *format != "" && *format != "tng2" {
+			return fmt.Errorf("-stream writes tng2, not %q", *format)
+		}
+		es, err := buildStream(*dataset, *model, *n, *param, *comms, *bridges, *seed)
+		if err != nil {
+			return err
+		}
+		st, err := streamToFile(es, *out)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s: %d nodes, %d edges (%d spill runs, %d spilled bytes)\n",
+			*out, st.Nodes, st.Edges, st.Runs, st.SpilledBytes)
+		return nil
+	}
+
 	g, err := buildGraph(*dataset, *model, *n, *param, *beta, *comms, *bridges, *seed)
 	if err != nil {
 		return err
 	}
+	f, err := resolveFormat(*format, *out)
+	if err != nil {
+		return err
+	}
 	if *out == "" {
+		if f != "text" {
+			return fmt.Errorf("format %s requires -out", f)
+		}
 		return graph.WriteEdgeList(os.Stdout, g)
 	}
-	// A .bin suffix selects the compact binary format.
-	save := graph.SaveEdgeList
-	if strings.HasSuffix(*out, ".bin") {
+	var save func(string, *graph.Graph) error
+	switch f {
+	case "text":
+		save = graph.SaveEdgeList
+	case "tng1":
 		save = graph.SaveBinary
+	case "tng2":
+		save = func(path string, g *graph.Graph) error { return graph.SaveCSR(path, g) }
 	}
 	if err := save(*out, g); err != nil {
 		return err
 	}
 	fmt.Printf("wrote %s: %d nodes, %d edges\n", *out, g.NumNodes(), g.NumEdges())
 	return nil
+}
+
+// resolveFormat picks the output format: an explicit -format wins, then
+// the path extension (.bin/.tng1 binary, .tng2 CSR), then text.
+func resolveFormat(format, path string) (string, error) {
+	switch format {
+	case "text", "tng1", "tng2":
+		return format, nil
+	case "":
+	default:
+		return "", fmt.Errorf("unknown format %q (want text, tng1, or tng2)", format)
+	}
+	switch filepath.Ext(path) {
+	case ".bin", ".tng1":
+		return "tng1", nil
+	case ".tng2":
+		return "tng2", nil
+	}
+	return "text", nil
+}
+
+// streamToFile drains es through the bounded-memory CSR writer into a
+// TNG2 file, spilling sort runs next to the output.
+func streamToFile(es gen.EdgeStream, path string) (graph.CSRStats, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return graph.CSRStats{}, err
+	}
+	bw := bufio.NewWriterSize(f, 1<<20)
+	st, err := gen.StreamCSR(es, bw, graph.CSRWriterConfig{TempDir: filepath.Dir(path)})
+	if err != nil {
+		f.Close()
+		os.Remove(path)
+		return graph.CSRStats{}, err
+	}
+	if err := bw.Flush(); err != nil {
+		f.Close()
+		os.Remove(path)
+		return graph.CSRStats{}, err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(path)
+		return graph.CSRStats{}, err
+	}
+	return st, nil
+}
+
+// buildStream resolves the streaming counterpart of buildGraph's models.
+func buildStream(dataset, model string, n int, param float64, comms, bridges int, seed int64) (gen.EdgeStream, error) {
+	if dataset != "" {
+		return nil, fmt.Errorf("-stream works with -model, not -dataset")
+	}
+	switch model {
+	case "ba":
+		return gen.StreamBA(n, int(param), seed)
+	case "rmat":
+		scale := 0
+		for 1<<scale < n {
+			scale++
+		}
+		return gen.StreamRMAT(gen.RMATConfig{
+			Scale: scale, Edges: int64(param),
+			A: 0.57, B: 0.19, C: 0.19, Noise: 0.1, Seed: seed,
+		})
+	case "sbm":
+		sizes := make([]int, comms)
+		for i := range sizes {
+			sizes[i] = n / comms
+		}
+		return gen.StreamSBM(gen.SBMConfig{BlockSizes: sizes, PIn: param, POut: param / 50, Seed: seed})
+	case "clustered":
+		return gen.StreamClusteredPA(gen.ClusteredPAConfig{
+			Communities:   comms,
+			CommunitySize: n / comms,
+			Attach:        int(param),
+			Bridges:       bridges,
+			Seed:          seed,
+		})
+	case "":
+		return nil, fmt.Errorf("-stream requires -model")
+	default:
+		return nil, fmt.Errorf("model %q has no streaming generator (want ba, rmat, sbm, or clustered)", model)
+	}
+}
+
+// runConvert translates a graph file between text, TNG1 and TNG2. The
+// TNG1 -> TNG2 direction streams through the CSR writer in bounded
+// memory (one checksum-validating pass for the node count, one for the
+// edges); every other direction loads the graph once.
+func runConvert(args []string) error {
+	fs := flag.NewFlagSet("gengraph convert", flag.ContinueOnError)
+	var (
+		in   = fs.String("in", "", "input graph file")
+		out  = fs.String("out", "", "output graph file")
+		from = fs.String("from", "", "input format override: text | tng1 | tng2")
+		to   = fs.String("to", "", "output format override: text | tng1 | tng2")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *in == "" || *out == "" {
+		return fmt.Errorf("convert requires -in and -out")
+	}
+	src, err := resolveFormat(*from, *in)
+	if err != nil {
+		return err
+	}
+	dst, err := resolveFormat(*to, *out)
+	if err != nil {
+		return err
+	}
+
+	if src == "tng1" && dst == "tng2" {
+		st, err := convertBinaryStreamed(*in, *out)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s: %d nodes, %d edges (streamed)\n", *out, st.Nodes, st.Edges)
+		return nil
+	}
+
+	var g *graph.Graph
+	switch src {
+	case "text":
+		g, err = graph.LoadEdgeList(*in)
+	case "tng1":
+		g, err = graph.LoadBinary(*in)
+	case "tng2":
+		g, err = graph.LoadCSR(*in)
+	}
+	if err != nil {
+		return err
+	}
+	switch dst {
+	case "text":
+		err = graph.SaveEdgeList(*out, g)
+	case "tng1":
+		err = graph.SaveBinary(*out, g)
+	case "tng2":
+		err = graph.SaveCSR(*out, g)
+	}
+	if err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s: %d nodes, %d edges\n", *out, g.NumNodes(), g.NumEdges())
+	return nil
+}
+
+// tng1Stream adapts a TNG1 file to gen.EdgeStream for the streamed
+// conversion. The node count comes from a first full scan, which also
+// verifies the checksum before any output exists.
+type tng1Stream struct {
+	path string
+	n    int
+}
+
+func (s *tng1Stream) NumNodes() int { return s.n }
+
+func (s *tng1Stream) Edges(yield func(u, v graph.NodeID) error) error {
+	f, err := os.Open(s.path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	_, _, err = graph.ScanBinaryEdges(bufio.NewReaderSize(f, 1<<20), yield)
+	return err
+}
+
+func convertBinaryStreamed(in, out string) (graph.CSRStats, error) {
+	f, err := os.Open(in)
+	if err != nil {
+		return graph.CSRStats{}, err
+	}
+	n, _, err := graph.ScanBinaryEdges(bufio.NewReaderSize(f, 1<<20),
+		func(u, v graph.NodeID) error { return nil })
+	f.Close()
+	if err != nil {
+		return graph.CSRStats{}, err
+	}
+	return streamToFile(&tng1Stream{path: in, n: n}, out)
 }
 
 func buildGraph(dataset, model string, n int, param, beta float64, comms, bridges int, seed int64) (*graph.Graph, error) {

@@ -6,6 +6,7 @@ import (
 	"strings"
 	"testing"
 
+	"github.com/trustnet/trustnet/internal/gen"
 	"github.com/trustnet/trustnet/internal/graph"
 )
 
@@ -107,5 +108,122 @@ func TestRunBinaryOutput(t *testing.T) {
 	}
 	if g.NumNodes() != 80 {
 		t.Errorf("nodes = %d, want 80", g.NumNodes())
+	}
+}
+
+func TestRunFormatOutputs(t *testing.T) {
+	dir := t.TempDir()
+	// Extension-inferred TNG2.
+	tng2 := filepath.Join(dir, "g.tng2")
+	if err := run([]string{"-model", "ba", "-n", "90", "-param", "3", "-out", tng2}); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := graph.LoadCSR(tng2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.NumNodes() != 90 {
+		t.Errorf("tng2 nodes = %d, want 90", g2.NumNodes())
+	}
+	// Explicit -format overrides the extension.
+	dat := filepath.Join(dir, "g.dat")
+	if err := run([]string{"-model", "ba", "-n", "90", "-param", "3", "-format", "tng1", "-out", dat}); err != nil {
+		t.Fatal(err)
+	}
+	g1, err := graph.LoadBinary(dat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g1.NumNodes() != 90 {
+		t.Errorf("tng1 nodes = %d, want 90", g1.NumNodes())
+	}
+	// Binary formats cannot go to stdout.
+	if err := run([]string{"-model", "ba", "-n", "20", "-param", "2", "-format", "tng2"}); err == nil {
+		t.Error("tng2 to stdout: want error")
+	}
+	if err := run([]string{"-model", "ba", "-n", "20", "-param", "2", "-format", "nope", "-out", filepath.Join(dir, "x")}); err == nil {
+		t.Error("unknown format: want error")
+	}
+}
+
+func TestRunStreamed(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "ba.tng2")
+	if err := run([]string{"-model", "ba", "-n", "400", "-param", "3", "-seed", "9", "-stream", "-out", out}); err != nil {
+		t.Fatal(err)
+	}
+	got, err := graph.LoadCSR(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := gen.BarabasiAlbert(400, 3, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumNodes() != want.NumNodes() || got.NumEdges() != want.NumEdges() {
+		t.Fatalf("streamed graph (%d, %d) != eager (%d, %d)",
+			got.NumNodes(), got.NumEdges(), want.NumNodes(), want.NumEdges())
+	}
+	// Streaming constraints.
+	for _, args := range [][]string{
+		{"-model", "ba", "-n", "50", "-param", "3", "-stream"},
+		{"-model", "ba", "-n", "50", "-param", "3", "-stream", "-format", "tng1", "-out", out},
+		{"-model", "gnp", "-n", "50", "-param", "0.1", "-stream", "-out", out},
+		{"-dataset", "rice-grad", "-stream", "-out", out},
+		{"-stream", "-out", out},
+	} {
+		if err := run(args); err == nil {
+			t.Errorf("run(%v): want error", args)
+		}
+	}
+}
+
+func TestRunConvert(t *testing.T) {
+	dir := t.TempDir()
+	txt := filepath.Join(dir, "g.txt")
+	if err := run([]string{"-model", "ba", "-n", "120", "-param", "3", "-seed", "6", "-out", txt}); err != nil {
+		t.Fatal(err)
+	}
+	orig, err := graph.LoadEdgeList(txt)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// text -> tng1 -> tng2 (streamed) -> text round trip.
+	bin := filepath.Join(dir, "g.bin")
+	if err := run([]string{"convert", "-in", txt, "-out", bin}); err != nil {
+		t.Fatal(err)
+	}
+	tng2 := filepath.Join(dir, "g.tng2")
+	if err := run([]string{"convert", "-in", bin, "-out", tng2}); err != nil {
+		t.Fatal(err)
+	}
+	back := filepath.Join(dir, "back.txt")
+	if err := run([]string{"convert", "-in", tng2, "-out", back}); err != nil {
+		t.Fatal(err)
+	}
+	got, err := graph.LoadEdgeList(back)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumNodes() != orig.NumNodes() || got.NumEdges() != orig.NumEdges() {
+		t.Fatalf("round trip (%d, %d) != original (%d, %d)",
+			got.NumNodes(), got.NumEdges(), orig.NumNodes(), orig.NumEdges())
+	}
+	gotEdges, origEdges := got.Edges(), orig.Edges()
+	for i := range origEdges {
+		if gotEdges[i] != origEdges[i] {
+			t.Fatalf("edge %d: %v != %v", i, gotEdges[i], origEdges[i])
+		}
+	}
+
+	for _, args := range [][]string{
+		{"convert"},
+		{"convert", "-in", txt},
+		{"convert", "-in", filepath.Join(dir, "missing.txt"), "-out", back},
+		{"convert", "-in", txt, "-out", back, "-from", "nope"},
+	} {
+		if err := run(args); err == nil {
+			t.Errorf("run(%v): want error", args)
+		}
 	}
 }

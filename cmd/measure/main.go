@@ -41,7 +41,9 @@ func run(args []string) error {
 		sources = fs.Int("sources", 50, "sampled walk sources for the mixing measurement")
 		steps   = fs.Int("steps", 200, "max walk length for the mixing measurement")
 		expSrc  = fs.Int("expansion-sources", 0, "sampled BFS cores for expansion (0 = all nodes)")
+		specTol = fs.Float64("spectral-tol", 0, "SLEM power-iteration tolerance (default 1e-7)")
 		seed    = fs.Int64("seed", 1, "measurement seed")
+		shards  = fs.Int("shards", 1, "measure over a node-range-sharded view (results are identical at any shard count)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -56,18 +58,30 @@ func run(args []string) error {
 		return err
 	}
 	if !graph.IsConnected(g) {
-		var kept []graph.NodeID
-		g, kept = graph.LargestComponent(g)
+		total := g.NumNodes()
+		lcc, kept := graph.LargestComponent(g)
+		g = lcc
 		fmt.Printf("note: graph disconnected; measuring largest component (%d of %d nodes)\n",
-			len(kept), len(kept))
+			len(kept), total)
+	}
+	if *shards < 1 {
+		return fmt.Errorf("-shards must be >= 1, got %d", *shards)
+	}
+	if *shards > 1 {
+		sg, err := graph.NewSharded(g, *shards)
+		if err != nil {
+			return err
+		}
+		g = sg
 	}
 
 	rep, err := core.Measure(context.Background(), name, g, core.Config{
-		MixingSources:    *sources,
-		MixingMaxSteps:   *steps,
-		Epsilon:          *eps,
-		ExpansionSources: *expSrc,
-		Seed:             *seed,
+		MixingSources:     *sources,
+		MixingMaxSteps:    *steps,
+		Epsilon:           *eps,
+		ExpansionSources:  *expSrc,
+		SpectralTolerance: *specTol,
+		Seed:              *seed,
 	})
 	if err != nil {
 		return err
@@ -120,12 +134,12 @@ func run(args []string) error {
 			rep.Expansion.MinAlpha, rep.Expansion.MeanAlphaSmallSets, rep.Expansion.Result.Sources)
 	}
 	if show["centrality"] {
-		if err := printCentrality(g); err != nil {
+		if err := printCentrality(graph.Materialize(g)); err != nil {
 			return err
 		}
 	}
 	if show["community"] {
-		if err := printCommunity(g, *seed); err != nil {
+		if err := printCommunity(graph.Materialize(g), *seed); err != nil {
 			return err
 		}
 	}
@@ -189,12 +203,19 @@ func printCommunity(g *graph.Graph, seed int64) error {
 	return nil
 }
 
-func loadGraph(in, dataset string) (*graph.Graph, string, error) {
+// loadGraph resolves the input: a registry dataset, or a file whose
+// format follows its extension — .tng2 is opened as a zero-copy mmap
+// view, .bin/.tng1 as TNG1 binary, anything else as edge-list text.
+func loadGraph(in, dataset string) (graph.View, string, error) {
 	switch {
 	case in != "" && dataset != "":
 		return nil, "", fmt.Errorf("use either -in or -dataset, not both")
 	case in != "":
-		if strings.HasSuffix(in, ".bin") {
+		if strings.HasSuffix(in, ".tng2") {
+			g, err := graph.OpenMapped(in)
+			return g, in, err
+		}
+		if strings.HasSuffix(in, ".bin") || strings.HasSuffix(in, ".tng1") {
 			g, err := graph.LoadBinary(in)
 			return g, in, err
 		}

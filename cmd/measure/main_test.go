@@ -78,3 +78,39 @@ func TestRunBinaryInput(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestRunMappedInput(t *testing.T) {
+	g, err := gen.BarabasiAlbert(180, 3, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "g.tng2")
+	if err := graph.SaveCSR(path, g); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-in", path, "-sources", "5", "-steps", "20", "cores"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRunSharded measures the same mmap-backed graph at 1 and 3 shards;
+// both must succeed (the report identity itself is covered by the
+// TestEquivalenceSharded* suites).
+func TestRunSharded(t *testing.T) {
+	g, err := gen.BarabasiAlbert(250, 3, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "g.tng2")
+	if err := graph.SaveCSR(path, g); err != nil {
+		t.Fatal(err)
+	}
+	for _, shards := range []string{"1", "3"} {
+		if err := run([]string{"-in", path, "-shards", shards, "-sources", "5", "-steps", "20", "all"}); err != nil {
+			t.Fatalf("shards=%s: %v", shards, err)
+		}
+	}
+	if err := run([]string{"-in", path, "-shards", "0", "cores"}); err == nil {
+		t.Error("-shards 0: want error")
+	}
+}

@@ -118,8 +118,11 @@ type Report struct {
 }
 
 // Measure runs the full suite on g. The graph must be connected (use
-// graph.LargestComponent first, as every measurement study does).
-func Measure(ctx context.Context, name string, g *graph.Graph, cfg Config) (*Report, error) {
+// graph.LargestComponent first, as every measurement study does). It
+// accepts any graph.View — including an mmap-backed graph.Mapped or a
+// graph.ShardedGraph, which routes every kernel through its per-shard
+// path — and the report is bit-identical across substrates.
+func Measure(ctx context.Context, name string, g graph.View, cfg Config) (*Report, error) {
 	n := g.NumNodes()
 	if n < 3 {
 		return nil, fmt.Errorf("core: graph %q too small (%d nodes)", name, n)

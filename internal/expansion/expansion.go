@@ -266,21 +266,39 @@ func Measure(ctx context.Context, g graph.View, cfg Config) (*Result, error) {
 			todoSources[k] = sources[i]
 		}
 		blocks := parallel.Blocks(len(todo), width)
-		pool := kernels.NewBFSBatchPool(graph.Materialize(g))
-		defer recordPoolStats(pool.Stats)
 		obsBatches.Add(int64(len(blocks)))
-		runErr = parallel.ForEach(ctx, cfg.Workers, len(blocks), func(_, b int) error {
-			batch := pool.Get()
-			defer pool.Put(batch)
-			part, err := batch.Run(todoSources[blocks[b].Start:blocks[b].End])
-			if err != nil {
-				return err
-			}
-			for j, ls := range part {
-				levels[todo[blocks[b].Start+j]] = ls
-			}
-			return nil
-		})
+		if sg, ok := graph.AsSharded(g); ok {
+			// Sharded substrate: parallelism moves inside each batch (one
+			// worker per shard per BFS superstep), so the outer batch loop
+			// runs inline and no Materialize flattens the shards. Levels
+			// are integers, so the fold below sees identical values.
+			batch := kernels.NewShardedBFSBatch(sg)
+			runErr = parallel.ForEach(ctx, 1, len(blocks), func(_, b int) error {
+				part, err := batch.Run(ctx, todoSources[blocks[b].Start:blocks[b].End], cfg.Workers)
+				if err != nil {
+					return err
+				}
+				for j, ls := range part {
+					levels[todo[blocks[b].Start+j]] = ls
+				}
+				return nil
+			})
+		} else {
+			pool := kernels.NewBFSBatchPool(graph.Materialize(g))
+			defer recordPoolStats(pool.Stats)
+			runErr = parallel.ForEach(ctx, cfg.Workers, len(blocks), func(_, b int) error {
+				batch := pool.Get()
+				defer pool.Put(batch)
+				part, err := batch.Run(todoSources[blocks[b].Start:blocks[b].End])
+				if err != nil {
+					return err
+				}
+				for j, ls := range part {
+					levels[todo[blocks[b].Start+j]] = ls
+				}
+				return nil
+			})
+		}
 	}
 
 	res := &Result{

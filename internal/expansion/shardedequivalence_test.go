@@ -1,0 +1,70 @@
+package expansion
+
+import (
+	"reflect"
+	"testing"
+
+	"github.com/trustnet/trustnet/internal/gen"
+	"github.com/trustnet/trustnet/internal/graph"
+)
+
+// TestEquivalenceShardedExpansion measures BFS envelopes on a ShardedGraph
+// at 1, 2 and 7 shards and requires results identical to the monolithic
+// measurement — on the bit-parallel batch path (which routes through
+// kernels.ShardedBFSBatch) and the scalar pooled path.
+func TestEquivalenceShardedExpansion(t *testing.T) {
+	for _, tc := range []struct {
+		name     string
+		g        *graph.Graph
+		bfsBatch int
+	}{
+		// BFSBatch 64 forces the batch kernel even on a small graph.
+		{"ba-batch", mustBA(t, 600, 3, 51), 64},
+		// BFSBatch 1 forces the scalar path over the sharded view.
+		{"ba-scalar", mustBA(t, 250, 3, 52), 1},
+		{"clustered-batch", mustClusteredPA(t, 3, 90, 3, 1, 53), 64},
+	} {
+		srcs, err := SampledSources(tc.g, 96, 9)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, shards := range []int{1, 2, 7} {
+			sg, err := graph.NewSharded(tc.g, shards)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Source sampling is degree-driven and must not see the shards.
+			srcsSharded, err := SampledSources(sg, 96, 9)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(srcs, srcsSharded) {
+				t.Fatalf("%s shards=%d: sampled sources diverge", tc.name, shards)
+			}
+			t.Run(tc.name, func(t *testing.T) {
+				checkExpansionIdentical(t, sg, tc.g,
+					Config{Sources: srcs, Workers: 4, BFSBatch: tc.bfsBatch})
+			})
+		}
+	}
+}
+
+func mustBA(t *testing.T, n, attach int, seed int64) *graph.Graph {
+	t.Helper()
+	g, err := gen.BarabasiAlbert(n, attach, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func mustClusteredPA(t *testing.T, comms, size, attach, bridges int, seed int64) *graph.Graph {
+	t.Helper()
+	g, _, err := gen.ClusteredPA(gen.ClusteredPAConfig{
+		Communities: comms, CommunitySize: size, Attach: attach, Bridges: bridges, Seed: seed,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}

@@ -1,0 +1,59 @@
+package experiments
+
+import (
+	"context"
+	"encoding/json"
+	"testing"
+)
+
+// TestBenchScaleQuick streams the quick-mode (10⁵-node) graph through the
+// whole substrate pipeline — external-sort writer, mmap load, all four
+// kernels monolithic and sharded — and requires every fingerprint pair to
+// agree.
+func TestBenchScaleQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("scale bench streams a 10^5-node graph")
+	}
+	res, err := BenchScale(context.Background(), Options{Quick: true, Seed: 1}, 2, t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Nodes != 100_000 {
+		t.Fatalf("quick mode nodes = %d, want 100000", res.Nodes)
+	}
+	if res.Edges <= 0 || res.FileBytes <= 0 {
+		t.Fatalf("degenerate stream: %d edges, %d file bytes", res.Edges, res.FileBytes)
+	}
+	if res.GenerateSeconds <= 0 || res.OpenMappedSeconds <= 0 {
+		t.Fatalf("non-positive timings: gen %v, open %v",
+			res.GenerateSeconds, res.OpenMappedSeconds)
+	}
+	want := []string{"mixing", "expansion", "spectral", "kcore"}
+	if len(res.Entries) != len(want) {
+		t.Fatalf("got %d entries, want %d", len(res.Entries), len(want))
+	}
+	for i, e := range res.Entries {
+		if e.Name != want[i] {
+			t.Fatalf("entry %d is %q, want %q", i, e.Name, want[i])
+		}
+		if e.MonoSeconds <= 0 || e.ShardedSeconds <= 0 {
+			t.Fatalf("%s: non-positive timings: mono %v, sharded %v",
+				e.Name, e.MonoSeconds, e.ShardedSeconds)
+		}
+		if !e.Identical {
+			t.Fatalf("%s: sharded fingerprint diverged from monolithic", e.Name)
+		}
+		if e.Fingerprint == "" {
+			t.Fatalf("%s: empty fingerprint", e.Name)
+		}
+	}
+	if !res.ReferenceIdentical {
+		t.Fatal("reference graph fingerprints diverged")
+	}
+	if !res.Identical() {
+		t.Fatal("Identical() is false with all entries identical")
+	}
+	if _, err := json.Marshal(res); err != nil {
+		t.Fatalf("result not JSON-serializable: %v", err)
+	}
+}

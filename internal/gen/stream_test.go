@@ -1,0 +1,159 @@
+package gen
+
+import (
+	"bytes"
+	"testing"
+
+	"github.com/trustnet/trustnet/internal/graph"
+)
+
+// sameTopology fails unless a and b have identical node sets and edge sets.
+func sameTopology(t *testing.T, a, b *graph.Graph, label string) {
+	t.Helper()
+	if a.NumNodes() != b.NumNodes() || a.NumEdges() != b.NumEdges() {
+		t.Fatalf("%s: n/m mismatch: (%d,%d) vs (%d,%d)",
+			label, a.NumNodes(), a.NumEdges(), b.NumNodes(), b.NumEdges())
+	}
+	ae, be := a.Edges(), b.Edges()
+	for i := range ae {
+		if ae[i] != be[i] {
+			t.Fatalf("%s: edge %d differs: %v vs %v", label, i, ae[i], be[i])
+		}
+	}
+}
+
+func TestStreamBAMatchesEager(t *testing.T) {
+	eager, err := BarabasiAlbert(500, 4, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	es, err := StreamBA(500, 4, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	streamed, err := Build(es)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameTopology(t, eager, streamed, "ba")
+	// Replays must be deterministic.
+	again, err := Build(es)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameTopology(t, streamed, again, "ba replay")
+}
+
+func TestStreamRMATMatchesEager(t *testing.T) {
+	cfg := RMATConfig{Scale: 9, Edges: 4000, A: 0.57, B: 0.19, C: 0.19, Noise: 0.1, Seed: 7}
+	eager, err := RMAT(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	es, err := StreamRMAT(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	streamed, err := Build(es)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameTopology(t, eager, streamed, "rmat")
+}
+
+func TestStreamSBMMatchesEager(t *testing.T) {
+	cfg := SBMConfig{BlockSizes: []int{120, 80, 200}, PIn: 0.08, POut: 0.004, Seed: 11}
+	eager, _, err := SBM(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	es, err := StreamSBM(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	streamed, err := Build(es)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameTopology(t, eager, streamed, "sbm")
+}
+
+func TestStreamSBMDensePIn(t *testing.T) {
+	cfg := SBMConfig{BlockSizes: []int{30, 20}, PIn: 1, POut: 0.5, Seed: 3}
+	eager, _, err := SBM(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	es, err := StreamSBM(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	streamed, err := Build(es)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameTopology(t, eager, streamed, "sbm dense")
+}
+
+func TestStreamClusteredPAMatchesEager(t *testing.T) {
+	cfg := ClusteredPAConfig{Communities: 4, CommunitySize: 120, Attach: 3, Bridges: 2, Seed: 21}
+	eager, _, err := ClusteredPA(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	es, err := StreamClusteredPA(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	streamed, err := Build(es)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameTopology(t, eager, streamed, "clustered-pa")
+}
+
+// TestStreamCSRRoundTrip drives the whole bounded-memory path: stream a
+// generator through the external-sort writer with a tiny buffer (forcing
+// spills), read the TNG2 image back, and compare against the eager build.
+func TestStreamCSRRoundTrip(t *testing.T) {
+	eager, err := BarabasiAlbert(300, 3, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	es, err := StreamBA(300, 3, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	st, err := StreamCSR(es, &buf, graph.CSRWriterConfig{TempDir: t.TempDir(), BufferArcs: 128})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Runs == 0 {
+		t.Fatalf("expected spill runs with BufferArcs=128, got none")
+	}
+	got, err := graph.ReadTNG2(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Nodes != eager.NumNodes() || st.Edges != eager.NumEdges() {
+		t.Fatalf("stats (%d,%d) disagree with eager (%d,%d)",
+			st.Nodes, st.Edges, eager.NumNodes(), eager.NumEdges())
+	}
+	sameTopology(t, eager, got, "stream-csr")
+}
+
+func TestStreamConstructorValidation(t *testing.T) {
+	if _, err := StreamBA(3, 3, 1); err == nil {
+		t.Error("StreamBA accepted n <= attach")
+	}
+	if _, err := StreamRMAT(RMATConfig{Scale: 0, Edges: 1}); err == nil {
+		t.Error("StreamRMAT accepted scale 0")
+	}
+	if _, err := StreamSBM(SBMConfig{}); err == nil {
+		t.Error("StreamSBM accepted empty blocks")
+	}
+	if _, err := StreamClusteredPA(ClusteredPAConfig{Communities: 1, Bridges: 1}); err == nil {
+		t.Error("StreamClusteredPA accepted one community")
+	}
+}

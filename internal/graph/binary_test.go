@@ -85,6 +85,62 @@ func TestBinaryCorruption(t *testing.T) {
 	if _, err := ReadBinary(bytes.NewReader(nil)); !errors.Is(err, ErrBadFormat) {
 		t.Errorf("empty: %v, want ErrBadFormat", err)
 	}
+	// Bit flip in the edge payload: caught by the CRC footer even when the
+	// damaged varints still decode to plausible edges.
+	for i := 6; i < len(data)-4; i++ {
+		bad := bytes.Clone(data)
+		bad[i] ^= 0x04
+		if _, err := ReadBinary(bytes.NewReader(bad)); !errors.Is(err, ErrBadFormat) {
+			t.Errorf("bit flip at %d: %v, want ErrBadFormat", i, err)
+		}
+	}
+	// Bit flip in the footer itself.
+	bad = bytes.Clone(data)
+	bad[len(data)-3] ^= 0x80
+	if _, err := ReadBinary(bytes.NewReader(bad)); !errors.Is(err, ErrBadFormat) {
+		t.Errorf("footer flip: %v, want ErrBadFormat", err)
+	}
+}
+
+// TestScanBinaryEdges drives the streaming scanner directly: it must
+// yield the canonical edge sequence without materializing a graph, and
+// propagate yield errors verbatim.
+func TestScanBinaryEdges(t *testing.T) {
+	g := cliqueGraph(t, 6)
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+
+	var got []Edge
+	n, m, err := ScanBinaryEdges(bytes.NewReader(data), func(u, v NodeID) error {
+		got = append(got, Edge{U: u, V: v})
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != g.NumNodes() || m != g.NumEdges() {
+		t.Fatalf("scan n/m = (%d,%d), want (%d,%d)", n, m, g.NumNodes(), g.NumEdges())
+	}
+	want := g.Edges()
+	if len(got) != len(want) {
+		t.Fatalf("scanned %d edges, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("edge %d = %v, want %v", i, got[i], want[i])
+		}
+	}
+
+	// Yield errors abort the scan and surface unchanged.
+	sentinel := errors.New("stop")
+	if _, _, err := ScanBinaryEdges(bytes.NewReader(data), func(u, v NodeID) error {
+		return sentinel
+	}); !errors.Is(err, sentinel) {
+		t.Errorf("yield error: %v, want sentinel", err)
+	}
 }
 
 func TestBinarySaveLoad(t *testing.T) {

@@ -1,0 +1,155 @@
+package graph
+
+import (
+	"bytes"
+	"math/rand"
+	"path/filepath"
+	"testing"
+)
+
+// csrWriterGraph pushes the same random edge stream (with duplicates and
+// self loops) through a CSRWriter and a Builder and returns both results.
+func csrWriterGraph(t *testing.T, n, tries, bufArcs int, seed int64) (*Graph, *Graph, CSRStats) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	w, err := NewCSRWriter(n, CSRWriterConfig{TempDir: t.TempDir(), BufferArcs: bufArcs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	b := NewBuilder(n)
+	for i := 0; i < tries; i++ {
+		u, v := NodeID(rng.Intn(n)), NodeID(rng.Intn(n))
+		b.AddEdgeSafe(u, v)
+		if err := w.AddEdge(u, v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var buf bytes.Buffer
+	st, err := w.Finish(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadTNG2(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b.Build(), got, st
+}
+
+func TestCSRWriterMatchesBuilder(t *testing.T) {
+	want, got, st := csrWriterGraph(t, 150, 2000, 1<<21, 1)
+	graphsEqual(t, want, got, "in-memory")
+	if st.Runs != 0 || st.SpilledBytes != 0 {
+		t.Errorf("unexpected spills for in-memory build: %+v", st)
+	}
+	if st.Nodes != want.NumNodes() || st.Edges != want.NumEdges() {
+		t.Errorf("stats %+v disagree with builder (%d,%d)", st, want.NumNodes(), want.NumEdges())
+	}
+}
+
+func TestCSRWriterSpillsMatchBuilder(t *testing.T) {
+	// A 64-arc buffer forces dozens of sorted runs plus a residual buffer;
+	// the k-way merge with global dedup must still reproduce Builder output.
+	want, got, st := csrWriterGraph(t, 120, 3000, 64, 7)
+	graphsEqual(t, want, got, "spilled")
+	if st.Runs < 2 {
+		t.Errorf("expected >= 2 spill runs, got %+v", st)
+	}
+	if st.SpilledBytes == 0 {
+		t.Error("expected nonzero spilled bytes")
+	}
+}
+
+func TestCSRWriterEmptyAndIsolated(t *testing.T) {
+	w, err := NewCSRWriter(9, CSRWriterConfig{TempDir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	// Self loops only: dropped, so the graph is edgeless.
+	for i := NodeID(0); i < 9; i++ {
+		if err := w.AddEdge(i, i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var buf bytes.Buffer
+	st, err := w.Finish(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Nodes != 9 || st.Edges != 0 {
+		t.Errorf("stats = %+v, want n=9 m=0", st)
+	}
+	g, err := ReadTNG2(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumNodes() != 9 || g.NumEdges() != 0 {
+		t.Errorf("graph = %v, want n=9 m=0", g)
+	}
+}
+
+func TestCSRWriterErrors(t *testing.T) {
+	w, err := NewCSRWriter(4, CSRWriterConfig{TempDir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	if err := w.AddEdge(0, 4); err == nil {
+		t.Error("AddEdge(0,4) with n=4: want range error")
+	}
+	if err := w.AddEdge(-1, 0); err == nil {
+		t.Error("AddEdge(-1,0): want range error")
+	}
+	var buf bytes.Buffer
+	if _, err := w.Finish(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.Finish(&buf); err == nil {
+		t.Error("second Finish: want error")
+	}
+	if err := w.AddEdge(0, 1); err == nil {
+		t.Error("AddEdge after Finish: want error")
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+
+	if _, err := NewCSRWriter(-1, CSRWriterConfig{}); err == nil {
+		t.Error("NewCSRWriter(-1): want error")
+	}
+	if _, err := NewCSRWriter(4, CSRWriterConfig{BufferArcs: 1}); err == nil {
+		t.Error("BufferArcs=1: want error")
+	}
+}
+
+func TestCSRWriterFinishFileOpensMapped(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	w, err := NewCSRWriter(80, CSRWriterConfig{TempDir: t.TempDir(), BufferArcs: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	b := NewBuilder(80)
+	for i := 0; i < 600; i++ {
+		u, v := NodeID(rng.Intn(80)), NodeID(rng.Intn(80))
+		b.AddEdgeSafe(u, v)
+		if err := w.AddEdge(u, v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	path := filepath.Join(t.TempDir(), "g.tng2")
+	if _, err := w.FinishFile(path); err != nil {
+		t.Fatal(err)
+	}
+	mg, err := OpenMapped(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mg.Close()
+	graphsEqual(t, b.Build(), mg, "finishfile-mapped")
+}

@@ -1,0 +1,16 @@
+//go:build !unix
+
+package graph
+
+import (
+	"errors"
+	"os"
+)
+
+// errNoMmap makes OpenMapped fall back to the verified copy-load on
+// platforms without a memory-mapping syscall shim.
+var errNoMmap = errors.New("graph: mmap unsupported on this platform")
+
+func mmapFile(*os.File, int) ([]byte, error) { return nil, errNoMmap }
+
+func munmapFile([]byte) error { return nil }

@@ -1,0 +1,20 @@
+//go:build unix
+
+package graph
+
+import (
+	"os"
+	"syscall"
+)
+
+// mmapFile maps size bytes of f read-only and shared, so the page cache
+// backs every mapping of the same file with one physical copy. The
+// mapping outlives the file descriptor.
+func mmapFile(f *os.File, size int) ([]byte, error) {
+	return syscall.Mmap(int(f.Fd()), 0, size, syscall.PROT_READ, syscall.MAP_SHARED)
+}
+
+// munmapFile releases a mapping returned by mmapFile.
+func munmapFile(data []byte) error {
+	return syscall.Munmap(data)
+}

@@ -1,0 +1,166 @@
+package graph
+
+import (
+	"math/rand"
+	"path/filepath"
+	"testing"
+)
+
+var shardCounts = []int{1, 2, 7}
+
+// TestEquivalenceShardedView checks that a ShardedGraph is observationally
+// identical to its substrate through every View method, at 1, 2 and 7
+// shards (7 exceeds some components' natural split, forcing empty and
+// tiny shards).
+func TestEquivalenceShardedView(t *testing.T) {
+	graphs := map[string]*Graph{
+		"random":   randomGraph(t, 163, 0.07, 5),
+		"path":     pathGraph(t, 40),
+		"isolated": NewBuilder(13).Build(),
+		"tiny":     cliqueGraph(t, 3),
+	}
+	for name, g := range graphs {
+		for _, shards := range shardCounts {
+			sg, err := NewSharded(g, shards)
+			if err != nil {
+				t.Fatal(err)
+			}
+			label := name
+			if sg.NumShards() != shards {
+				t.Fatalf("%s: NumShards = %d, want %d", label, sg.NumShards(), shards)
+			}
+			graphsEqual(t, g, sg, label)
+			for v := NodeID(0); int(v) < g.NumNodes(); v++ {
+				if sg.Degree(v) != g.Degree(v) {
+					t.Fatalf("%s: degree(%d) = %d, want %d", label, v, sg.Degree(v), g.Degree(v))
+				}
+				ns, want := sg.Neighbors(v), g.Neighbors(v)
+				if len(ns) != len(want) {
+					t.Fatalf("%s: neighbors(%d) length %d, want %d", label, v, len(ns), len(want))
+				}
+				for i := range want {
+					if ns[i] != want[i] {
+						t.Fatalf("%s: neighbors(%d)[%d] = %d, want %d", label, v, i, ns[i], want[i])
+					}
+				}
+				s := sg.ShardOf(v)
+				lo, hi := sg.Range(s)
+				if v < lo || v >= hi {
+					t.Fatalf("%s: ShardOf(%d) = %d with range [%d,%d)", label, v, s, lo, hi)
+				}
+			}
+			// Edge enumeration in canonical order.
+			want := g.Edges()
+			i := 0
+			sg.VisitEdges(func(e Edge) bool {
+				if i >= len(want) || e != want[i] {
+					t.Fatalf("%s: VisitEdges[%d] = %v", label, i, e)
+				}
+				i++
+				return true
+			})
+			if i != len(want) {
+				t.Fatalf("%s: VisitEdges yielded %d edges, want %d", label, i, len(want))
+			}
+		}
+	}
+}
+
+// TestEquivalenceShardedRanges checks the partition is contiguous, covers
+// [0, n) exactly, and that every shard's arc span matches its node range.
+func TestEquivalenceShardedRanges(t *testing.T) {
+	g := randomGraph(t, 211, 0.06, 8)
+	for _, shards := range shardCounts {
+		sg, err := NewSharded(g, shards)
+		if err != nil {
+			t.Fatal(err)
+		}
+		prev := NodeID(0)
+		for s := 0; s < sg.NumShards(); s++ {
+			lo, hi := sg.Range(s)
+			if lo != prev || hi < lo {
+				t.Fatalf("shards=%d: range %d = [%d,%d), prev end %d", shards, s, lo, hi, prev)
+			}
+			prev = hi
+		}
+		if int(prev) != g.NumNodes() {
+			t.Fatalf("shards=%d: ranges end at %d, want %d", shards, prev, g.NumNodes())
+		}
+	}
+}
+
+// TestEquivalenceShardedOverMapped runs the sharded view over an
+// mmap-backed substrate: the shard adjacency must alias the mapping
+// (zero-copy) and still agree with the original graph.
+func TestEquivalenceShardedOverMapped(t *testing.T) {
+	g := randomGraph(t, 120, 0.08, 12)
+	path := filepath.Join(t.TempDir(), "g.tng2")
+	if err := SaveCSR(path, g); err != nil {
+		t.Fatal(err)
+	}
+	mg, err := OpenMapped(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mg.Close()
+	for _, shards := range shardCounts {
+		sg, err := NewSharded(mg, shards)
+		if err != nil {
+			t.Fatal(err)
+		}
+		graphsEqual(t, g, sg, "mapped-sharded")
+	}
+	// Zero-copy: shard 0's adjacency must point into the mapped arrays.
+	sg, err := NewSharded(mg, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := mg.CSR().adjacency
+	if len(base) > 0 {
+		adj := sg.shards[0].adj
+		if len(adj) == 0 || &adj[0] != &base[0] {
+			t.Error("shard 0 adjacency does not alias the mapped CSR")
+		}
+	}
+}
+
+// TestEquivalenceShardedNonCSRSubstrate shards a masked view (no CSR
+// backing), exercising the materialize-per-shard path.
+func TestEquivalenceShardedNonCSRSubstrate(t *testing.T) {
+	g := randomGraph(t, 90, 0.1, 3)
+	mv := NewMaskedView(g)
+	rng := rand.New(rand.NewSource(4))
+	for i := 0; i < 15; i++ {
+		mv.SetAlive(NodeID(rng.Intn(90)), false)
+	}
+	want := mv.Materialize()
+	for _, shards := range shardCounts {
+		sg, err := NewSharded(mv, shards)
+		if err != nil {
+			t.Fatal(err)
+		}
+		graphsEqual(t, want, sg, "masked-sharded")
+	}
+}
+
+func TestShardedErrors(t *testing.T) {
+	g := cliqueGraph(t, 4)
+	if _, err := NewSharded(g, 0); err == nil {
+		t.Error("NewSharded(g, 0): want error")
+	}
+	if _, ok := AsSharded(g); ok {
+		t.Error("AsSharded(*Graph): want false")
+	}
+	sg, err := NewSharded(g, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, ok := AsSharded(sg); !ok || got != sg {
+		t.Error("AsSharded(sharded): want itself")
+	}
+	// ShardedGraph must NOT flatten back to CSR via AsCSR: dispatch sites
+	// rely on that to take the per-shard paths.
+	if _, ok := AsCSR(sg); ok {
+		t.Error("AsCSR(sharded): want false")
+	}
+}

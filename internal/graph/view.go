@@ -44,6 +44,19 @@ type CSRSource interface {
 	CSR() *Graph
 }
 
+// NeighborSlicer is implemented by views that can return an aliased,
+// allocation-free neighbor slice — *Graph, Mapped and ShardedGraph. The
+// slice must be sorted ascending, must not be modified, and is only
+// guaranteed valid until the next call on the same view. Traversal
+// helpers (Adj, and through it BFS, k-core peeling, connectivity) use it
+// as a generic fast path, so mapped and sharded graphs traverse at CSR
+// speed without implementing CSRSource.
+type NeighborSlicer interface {
+	View
+	// Neighbors returns the sorted neighbor list of v without copying.
+	Neighbors(v NodeID) []NodeID
+}
+
 // Materializer is implemented by views that cache their own CSR
 // materialization. Materialize prefers it over rebuilding.
 type Materializer interface {
@@ -170,15 +183,15 @@ func Stationary(v View) ([]float64, error) {
 // nothing either way. An Adj must not be shared between goroutines, and a
 // returned slice is only valid until the next Neighbors call.
 type Adj struct {
-	csr *Graph
+	sl  NeighborSlicer
 	v   View
 	buf []NodeID
 }
 
 // NewAdj returns a cursor for v.
 func NewAdj(v View) *Adj {
-	if g, ok := AsCSR(v); ok {
-		return &Adj{csr: g}
+	if s, ok := v.(NeighborSlicer); ok {
+		return &Adj{sl: s}
 	}
 	return &Adj{v: v}
 }
@@ -186,16 +199,17 @@ func NewAdj(v View) *Adj {
 // Neighbors returns the sorted neighbor list of u, valid until the next
 // call. The slice must not be modified.
 func (a *Adj) Neighbors(u NodeID) []NodeID {
-	if a.csr != nil {
-		return a.csr.Neighbors(u)
+	if a.sl != nil {
+		return a.sl.Neighbors(u)
 	}
 	a.buf = a.v.AppendNeighbors(u, a.buf[:0])
 	return a.buf
 }
 
 var (
-	_ CSRSource = (*Graph)(nil)
-	_ View      = (*Graph)(nil)
+	_ CSRSource      = (*Graph)(nil)
+	_ View           = (*Graph)(nil)
+	_ NeighborSlicer = (*Graph)(nil)
 )
 
 // AvgDegree returns 2m/n for a view (Graph.AverageDegree generalized), or

@@ -1,0 +1,68 @@
+package kcore
+
+import (
+	"reflect"
+	"testing"
+
+	"github.com/trustnet/trustnet/internal/gen"
+	"github.com/trustnet/trustnet/internal/graph"
+)
+
+// TestEquivalenceShardedCoreness peels a ShardedGraph at 1, 2 and 7
+// shards and requires the decomposition to match the monolithic graph's:
+// Decompose traverses via graph.Adj, whose NeighborSlicer fast path the
+// sharded view serves shard by shard.
+func TestEquivalenceShardedCoreness(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		g    *graph.Graph
+	}{
+		{"ba", mustBA(t, 800, 4, 71)},
+		{"clustered", mustClusteredPA(t, 4, 80, 3, 1, 72)},
+	} {
+		ref, err := Decompose(tc.g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, shards := range []int{1, 2, 7} {
+			sg, err := graph.NewSharded(tc.g, shards)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := Decompose(sg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(got.CorenessValues(), ref.CorenessValues()) {
+				t.Fatalf("%s shards=%d: coreness diverges from monolithic", tc.name, shards)
+			}
+			if got.Degeneracy() != ref.Degeneracy() {
+				t.Fatalf("%s shards=%d: degeneracy %d != %d",
+					tc.name, shards, got.Degeneracy(), ref.Degeneracy())
+			}
+			if !reflect.DeepEqual(got.Levels(), ref.Levels()) {
+				t.Fatalf("%s shards=%d: level stats diverge", tc.name, shards)
+			}
+		}
+	}
+}
+
+func mustBA(t *testing.T, n, attach int, seed int64) *graph.Graph {
+	t.Helper()
+	g, err := gen.BarabasiAlbert(n, attach, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func mustClusteredPA(t *testing.T, comms, size, attach, bridges int, seed int64) *graph.Graph {
+	t.Helper()
+	g, _, err := gen.ClusteredPA(gen.ClusteredPAConfig{
+		Communities: comms, CommunitySize: size, Attach: attach, Bridges: bridges, Seed: seed,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}

@@ -1,0 +1,223 @@
+package kernels
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+
+	"github.com/trustnet/trustnet/internal/gen"
+	"github.com/trustnet/trustnet/internal/graph"
+)
+
+var shardCounts = []int{1, 2, 7}
+
+// TestEquivalenceShardedWalk requires ShardedWalkBlock to be bit-for-bit
+// identical to WalkBlock — every column, every step, every TV distance —
+// at 1, 2 and 7 shards, lazy and non-lazy, across graph shapes that
+// include isolated nodes and bridges.
+func TestEquivalenceShardedWalk(t *testing.T) {
+	ctx := context.Background()
+	for _, tc := range []struct {
+		name string
+		g    *graph.Graph
+	}{
+		{"ba", mustBA(t, 400, 3, 7)},
+		{"clustered", mustClustered(t, 4, 60, 3, 1, 11)},
+		{"withIsolated", withIsolated(t, mustBA(t, 150, 2, 3), 9)},
+	} {
+		g := tc.g
+		rng := rand.New(rand.NewSource(5))
+		sources := make([]graph.NodeID, 0, 10)
+		for len(sources) < 10 {
+			s := graph.NodeID(rng.Intn(g.NumNodes()))
+			if g.Degree(s) > 0 {
+				sources = append(sources, s)
+			}
+		}
+		target, err := g.StationaryDistribution()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, lazy := range []bool{true, false} {
+			ref, err := NewWalkBlock(g, sources, lazy)
+			if err != nil {
+				t.Fatal(err)
+			}
+			refDist := make([][]float64, 0, 6)
+			for step := 0; step < 6; step++ {
+				ref.Step()
+				d := make([]float64, len(sources))
+				if err := ref.DistancesTo(target, d); err != nil {
+					t.Fatal(err)
+				}
+				refDist = append(refDist, d)
+			}
+			refCols := make([][]float64, len(sources))
+			for j := range sources {
+				refCols[j] = ref.Column(j, nil)
+			}
+
+			for _, shards := range shardCounts {
+				for _, workers := range []int{1, 3} {
+					sg, err := graph.NewSharded(g, shards)
+					if err != nil {
+						t.Fatal(err)
+					}
+					wb, err := NewShardedWalkBlock(sg, sources, lazy)
+					if err != nil {
+						t.Fatal(err)
+					}
+					for step := 0; step < 6; step++ {
+						if err := wb.Step(ctx, workers); err != nil {
+							t.Fatal(err)
+						}
+						d := make([]float64, len(sources))
+						if err := wb.DistancesTo(target, d); err != nil {
+							t.Fatal(err)
+						}
+						for j := range d {
+							if d[j] != refDist[step][j] {
+								t.Fatalf("%s lazy=%v shards=%d workers=%d step %d col %d: tv %v != %v",
+									tc.name, lazy, shards, workers, step, j, d[j], refDist[step][j])
+							}
+						}
+					}
+					for j := range sources {
+						col := wb.Column(j, nil)
+						for v := range col {
+							if col[v] != refCols[j][v] {
+								t.Fatalf("%s lazy=%v shards=%d: column %d node %d: %v != %v",
+									tc.name, lazy, shards, j, v, col[v], refCols[j][v])
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestEquivalenceShardedBFS requires ShardedBFSBatch level sequences to
+// equal BFSBatch's for full-width batches at 1, 2 and 7 shards.
+func TestEquivalenceShardedBFS(t *testing.T) {
+	ctx := context.Background()
+	for _, tc := range []struct {
+		name string
+		g    *graph.Graph
+	}{
+		{"ba", mustBA(t, 500, 3, 13)},
+		{"clustered", mustClustered(t, 3, 80, 3, 1, 17)},
+		{"withIsolated", withIsolated(t, mustBA(t, 200, 2, 19), 7)},
+	} {
+		g := tc.g
+		rng := rand.New(rand.NewSource(23))
+		sources := make([]graph.NodeID, BFSBatchWidth)
+		for i := range sources {
+			sources[i] = graph.NodeID(rng.Intn(g.NumNodes()))
+		}
+		// Duplicate sources exercise the shared-frontier dedup.
+		sources[5] = sources[3]
+
+		ref := NewBFSBatch(g)
+		want, err := ref.Run(sources)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, shards := range shardCounts {
+			for _, workers := range []int{1, 4} {
+				sg, err := graph.NewSharded(g, shards)
+				if err != nil {
+					t.Fatal(err)
+				}
+				b := NewShardedBFSBatch(sg)
+				got, err := b.Run(ctx, sources, workers)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if len(got) != len(want) {
+					t.Fatalf("%s shards=%d: %d lanes, want %d", tc.name, shards, len(got), len(want))
+				}
+				for j := range want {
+					if len(got[j]) != len(want[j]) {
+						t.Fatalf("%s shards=%d lane %d: %d levels, want %d (%v vs %v)",
+							tc.name, shards, j, len(got[j]), len(want[j]), got[j], want[j])
+					}
+					for d := range want[j] {
+						if got[j][d] != want[j][d] {
+							t.Fatalf("%s shards=%d lane %d depth %d: %d != %d",
+								tc.name, shards, j, d, got[j][d], want[j][d])
+						}
+					}
+				}
+				// Scratch must be clean for reuse.
+				again, err := b.Run(ctx, sources, workers)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for j := range want {
+					for d := range want[j] {
+						if again[j][d] != want[j][d] {
+							t.Fatalf("%s shards=%d: dirty scratch on reuse", tc.name, shards)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestShardedKernelValidation(t *testing.T) {
+	ctx := context.Background()
+	g := mustBA(t, 50, 2, 1)
+	sg, err := graph.NewSharded(g, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewShardedWalkBlock(sg, nil, true); err == nil {
+		t.Error("empty sources: want error")
+	}
+	if _, err := NewShardedWalkBlock(sg, []graph.NodeID{99}, true); err == nil {
+		t.Error("out-of-range source: want error")
+	}
+	b := NewShardedBFSBatch(sg)
+	if _, err := b.Run(ctx, nil, 1); err == nil {
+		t.Error("empty bfs sources: want error")
+	}
+	if _, err := b.Run(ctx, []graph.NodeID{-1}, 1); err == nil {
+		t.Error("bad bfs source: want error")
+	}
+	big := make([]graph.NodeID, BFSBatchWidth+1)
+	if _, err := b.Run(ctx, big, 1); err == nil {
+		t.Error("overwide batch: want error")
+	}
+}
+
+func mustBA(t *testing.T, n, attach int, seed int64) *graph.Graph {
+	t.Helper()
+	g, err := gen.BarabasiAlbert(n, attach, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func mustClustered(t *testing.T, comms, size, attach, bridges int, seed int64) *graph.Graph {
+	t.Helper()
+	g, _, err := gen.ClusteredPA(gen.ClusteredPAConfig{
+		Communities: comms, CommunitySize: size, Attach: attach, Bridges: bridges, Seed: seed,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+// withIsolated pads g with extra isolated nodes (same edges, larger n).
+func withIsolated(t *testing.T, g *graph.Graph, extra int) *graph.Graph {
+	t.Helper()
+	out, err := graph.FromEdges(g.NumNodes()+extra, g.Edges())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}

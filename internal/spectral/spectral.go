@@ -178,7 +178,16 @@ func SLEMContext(ctx context.Context, v graph.View, cfg Config) (*Result, error)
 	if v.NumEdges() == 0 {
 		return nil, errors.New("spectral: graph has no edges")
 	}
-	g := graph.Materialize(v)
+	// The iteration needs aliased neighbor slices. A sharded substrate
+	// already serves them shard by shard; anything else is materialized
+	// once and the copy amortized across all iterations.
+	var g graph.NeighborSlicer
+	sg, sharded := graph.AsSharded(v)
+	if sharded {
+		g = sg
+	} else {
+		g = graph.Materialize(v)
+	}
 	if !graph.IsConnected(g) {
 		return nil, ErrNotConnected
 	}
@@ -256,28 +265,48 @@ func SLEMContext(ctx context.Context, v graph.View, cfg Config) (*Result, error)
 	}
 
 	// Row-partitioned y = N x, N_uv = 1/sqrt(deg u deg v) per edge, in
-	// gather form: block b owns rows [b·blockSize, (b+1)·blockSize) and is
-	// the only writer of those y entries, summing each row's neighbor
-	// contributions in adjacency order regardless of the worker count.
-	// Below parallelThreshold rows the fan-out runs on one worker: the
+	// gather form: each block [lo, hi) is the only writer of its y rows,
+	// and every row's neighbor sum is accumulated in adjacency order
+	// whatever the partition — so the result is bit-for-bit identical at
+	// any block or worker count. On a sharded substrate the partition
+	// follows the shard ranges (one block per shard, the shards' natural
+	// locality); otherwise the rows split into equal blocks. Below
+	// parallelThreshold rows the fan-out runs on one worker: the
 	// per-iteration goroutine spawn would cost more than the mat-vec, and
 	// the gather order (hence the result) is the same either way.
 	const parallelThreshold = 4096
-	blocks := parallel.Workers(cfg.Workers, n)
-	if n < parallelThreshold {
-		blocks = 1
-	}
-	blockSize := (n + blocks - 1) / blocks
-	matVec := func(x, y []float64) {
-		// ForEach with a background context cannot fail here: the only
-		// error sources are fn errors and cancellation.
-		_ = parallel.ForEach(context.Background(), blocks, blocks, func(_, b int) error {
+	var spanLo, spanHi []int
+	if sharded {
+		for s := 0; s < sg.NumShards(); s++ {
+			lo, hi := sg.Range(s)
+			spanLo = append(spanLo, int(lo))
+			spanHi = append(spanHi, int(hi))
+		}
+	} else {
+		blocks := parallel.Workers(cfg.Workers, n)
+		if n < parallelThreshold {
+			blocks = 1
+		}
+		blockSize := (n + blocks - 1) / blocks
+		for b := 0; b < blocks; b++ {
 			lo := b * blockSize
 			hi := lo + blockSize
 			if hi > n {
 				hi = n
 			}
-			for v := lo; v < hi; v++ {
+			spanLo = append(spanLo, lo)
+			spanHi = append(spanHi, hi)
+		}
+	}
+	workers := parallel.Workers(cfg.Workers, len(spanLo))
+	if n < parallelThreshold {
+		workers = 1
+	}
+	matVec := func(x, y []float64) {
+		// ForEach with a background context cannot fail here: the only
+		// error sources are fn errors and cancellation.
+		_ = parallel.ForEach(context.Background(), workers, len(spanLo), func(_, b int) error {
+			for v := spanLo[b]; v < spanHi[b]; v++ {
 				sum := 0.0
 				for _, u := range g.Neighbors(graph.NodeID(v)) {
 					sum += x[u] * invSqrtDeg[u]

@@ -489,23 +489,40 @@ func MeasureMixing(ctx context.Context, g graph.View, cfg MixingConfig) (*Mixing
 			return nil
 		})
 	} else if len(todo) > 0 {
-		cg := graph.Materialize(g)
 		todoSources := make([]graph.NodeID, len(todo))
 		for k, i := range todo {
 			todoSources[k] = sources[i]
 		}
 		blocks := parallel.Blocks(len(todo), width)
 		obsMixKernelBlocks.Add(int64(len(blocks)))
-		runErr = parallel.ForEach(ctx, cfg.Workers, len(blocks), func(_, b int) error {
-			part, err := blockCurves(ctx, cg, todoSources[blocks[b].Start:blocks[b].End], pi, cfg)
-			if err != nil {
-				return err
-			}
-			for j, curve := range part {
-				curves[todo[blocks[b].Start+j]] = curve
-			}
-			return nil
-		})
+		if sg, ok := graph.AsSharded(g); ok {
+			// Sharded substrate: parallelism moves inside each block step
+			// (one worker per shard in ShardedWalkBlock.Step), so the
+			// outer block loop runs inline. Bit-identical to the
+			// monolithic kernel path — see internal/kernels/sharded.go.
+			runErr = parallel.ForEach(ctx, 1, len(blocks), func(_, b int) error {
+				part, err := shardedBlockCurves(ctx, sg, todoSources[blocks[b].Start:blocks[b].End], pi, cfg)
+				if err != nil {
+					return err
+				}
+				for j, curve := range part {
+					curves[todo[blocks[b].Start+j]] = curve
+				}
+				return nil
+			})
+		} else {
+			cg := graph.Materialize(g)
+			runErr = parallel.ForEach(ctx, cfg.Workers, len(blocks), func(_, b int) error {
+				part, err := blockCurves(ctx, cg, todoSources[blocks[b].Start:blocks[b].End], pi, cfg)
+				if err != nil {
+					return err
+				}
+				for j, curve := range part {
+					curves[todo[blocks[b].Start+j]] = curve
+				}
+				return nil
+			})
+		}
 	}
 	if runErr != nil {
 		if !cfg.BestEffort || !isInterrupt(runErr) {
@@ -607,6 +624,34 @@ func blockCurves(ctx context.Context, g *graph.Graph, sources []graph.NodeID, pi
 	if wb.Dense() {
 		obsMixHandovers.Inc()
 	}
+	return curves, nil
+}
+
+// shardedBlockCurves is blockCurves over a sharded substrate: the same
+// block of sources evolves through the gather-form sharded kernel, whose
+// per-step fan-out is one worker per shard.
+func shardedBlockCurves(ctx context.Context, sg *graph.ShardedGraph, sources []graph.NodeID, pi []float64, cfg MixingConfig) ([][]float64, error) {
+	wb, err := kernels.NewShardedWalkBlock(sg, sources, cfg.Lazy)
+	if err != nil {
+		return nil, fmt.Errorf("sources %v: %w", sources, err)
+	}
+	curves := make([][]float64, len(sources))
+	for i := range curves {
+		curves[i] = make([]float64, cfg.MaxSteps)
+	}
+	dist := make([]float64, len(sources))
+	for t := 0; t < cfg.MaxSteps; t++ {
+		if err := wb.Step(ctx, cfg.Workers); err != nil {
+			return nil, err
+		}
+		if err := wb.DistancesTo(pi, dist); err != nil {
+			return nil, err
+		}
+		for i, tvd := range dist {
+			curves[i][t] = tvd
+		}
+	}
+	obsMixSteps.Add(int64(wb.StepCount()) * int64(len(sources)))
 	return curves, nil
 }
 
