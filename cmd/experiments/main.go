@@ -2,21 +2,34 @@
 // evaluation section from the synthetic dataset registry, writing ASCII
 // tables and CSV series under -out (default ./out).
 //
+// Every experiment is a typed job registered in internal/experiments'
+// jobs.Registry; this command is a thin shell over it. -list enumerates
+// the registered jobs with their config fingerprints; -run selects a
+// comma-separated subset (unknown names fail with the nearest valid
+// name). Completed results are content-addressed into <out>/cache by
+// (graph fingerprint, config fingerprint, schema version): a rerun with
+// an unchanged substrate and configuration replays the artifact
+// byte-identically without recomputing (disable with -no-cache).
+//
 // The runner is fault tolerant: a job that fails, panics, or exceeds
 // its -timeout is reported as a failed job while the remaining jobs
 // still run (disable with -keep-going=false), and any failure makes the
 // process exit nonzero with a summary table (panic stacks included).
 // Transient failures are retried with seeded-jitter exponential backoff
 // (-max-retries, -retry-base); every job checkpoints its completion —
-// and, with -best-effort, its partial progress — under <out>/ckpt, so a
-// crashed or killed run continues where it left off when rerun with
-// -resume, producing bit-identical artifacts.
+// and, with -best-effort, its partial progress — under <out>/ckpt,
+// keyed by the canonical graph-substrate fingerprint, so a crashed or
+// killed run continues where it left off when rerun with -resume,
+// producing bit-identical artifacts.
 //
 // Usage:
 //
 //	experiments                 # run everything (minutes)
+//	experiments -list           # enumerate registered jobs + fingerprints
 //	experiments -run tableII    # one experiment
+//	experiments -run tableI,figure1  # a comma-separated subset
 //	experiments -quick          # reduced sampling, seconds
+//	experiments -no-cache       # recompute even on a cache hit
 //	experiments -timeout 2m     # bound each job
 //	experiments -workers 4      # bound measurement parallelism
 //	experiments -best-effort    # salvage partial results at the deadline
@@ -28,7 +41,8 @@
 //
 // Every run writes out/METRICS.json: per-job wall time, allocation and
 // heap figures, and the observability counters/timers/spans the job
-// produced (see internal/obs).
+// produced (see internal/obs). Cache hits surface there as
+// jobs.cache.hits with zero jobs.run.executed in the job's window.
 //
 //	experiments bench           # time the parallel fan-out (workers=1 vs N,
 //	                            # out/BENCH_parallel.json), the batched
@@ -58,7 +72,9 @@ import (
 	"strings"
 	"time"
 
+	"github.com/trustnet/trustnet/internal/datasets"
 	"github.com/trustnet/trustnet/internal/experiments"
+	"github.com/trustnet/trustnet/internal/jobs"
 	"github.com/trustnet/trustnet/internal/obs"
 	"github.com/trustnet/trustnet/internal/report"
 	"github.com/trustnet/trustnet/internal/resilience"
@@ -71,11 +87,17 @@ func main() {
 	}
 }
 
-// job is one experiment: run receives a context already bounded by the
-// per-job timeout and must return rather than os.Exit on failure.
+// job is one experiment queued for the fault-tolerant runner: run
+// receives a context already bounded by the per-job timeout and must
+// return rather than os.Exit on failure.
 type job struct {
 	name string
-	run  func(ctx context.Context) error
+	// fp ties the job's done checkpoint to both the graph substrate and
+	// the job configuration; a run over different datasets or knobs never
+	// resumes this one's checkpoint. Empty matches any checkpoint (legacy
+	// tests only).
+	fp  string
+	run func(ctx context.Context) error
 }
 
 // jobFailure records one failed job for the summary.
@@ -97,11 +119,8 @@ type runnerConfig struct {
 	// own per-dataset checkpoints via experiments.Options.Ckpt); nil
 	// disables job checkpointing.
 	store *resilience.Store
-	// resume skips jobs whose done checkpoint matches fingerprint.
+	// resume skips jobs whose done checkpoint matches the job's fp.
 	resume bool
-	// fingerprint ties job checkpoints to the run configuration
-	// (quick/seed/workers); a changed configuration invalidates them.
-	fingerprint string
 }
 
 func run(args []string) error {
@@ -111,10 +130,12 @@ func run(args []string) error {
 	}
 	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
 	var (
-		only        = fs.String("run", "", "run one experiment: tableI | figure1 | figure2 | tableII | figure3 | figure4 | figure5 | cross | dynamic | modulated | attacker | betweenness | sweep | churn | epochs")
+		only        = fs.String("run", "", "comma-separated experiments to run (default: all; see -list): tableI | figure1 | figure2 | tableII | figure3 | figure4 | figure5 | cross | dynamic | modulated | attacker | betweenness | sweep | churn | epochs")
+		list        = fs.Bool("list", false, "list the registered experiments with their config fingerprints and exit")
 		quick       = fs.Bool("quick", false, "reduced sampling for a fast smoke run")
 		seed        = fs.Int64("seed", 1, "measurement seed")
 		out         = fs.String("out", "out", "output directory")
+		noCache     = fs.Bool("no-cache", false, "recompute jobs even when a cached artifact matches; never read or write <out>/cache")
 		timeout     = fs.Duration("timeout", 0, "per-job timeout (0 = none)")
 		keepGoing   = fs.Bool("keep-going", true, "run remaining jobs after a failure and summarize at the end")
 		workers     = fs.Int("workers", 0, "measurement parallelism; 0 = GOMAXPROCS")
@@ -161,26 +182,42 @@ func run(args []string) error {
 			}
 		}()
 	}
-	reg := obs.Default()
-	if *metricsAddr != "" {
-		srv, addr, err := serveMetrics(*metricsAddr, reg)
-		if err != nil {
-			return err
-		}
-		defer srv.Close()
-		fmt.Fprintf(os.Stderr, "experiments: metrics at http://%s/metrics\n", addr)
-	}
-	mc := newMetricsCollector(reg, *quick, *seed, *workers)
 
 	if *ckptDir == "" {
 		*ckptDir = filepath.Join(*out, "ckpt")
 	}
 	store := resilience.NewStore(*ckptDir)
 	opts := experiments.Options{
+		// One shared dataset cache: the substrate fingerprint generates
+		// every registry graph once and the jobs reuse them.
+		Cache: &datasets.Cache{},
 		Quick: *quick, Seed: *seed, Workers: *workers,
 		BestEffort: *bestEffort, Ckpt: store, Resume: *resume,
 		Incremental: *incr,
 	}
+
+	reg, err := experiments.Jobs(opts)
+	if err != nil {
+		return err
+	}
+	if *list {
+		for _, j := range reg.Jobs() {
+			fmt.Printf("%-12s %s\n", j.Name(), j.Fingerprint())
+		}
+		return nil
+	}
+
+	obsReg := obs.Default()
+	if *metricsAddr != "" {
+		srv, addr, err := serveMetrics(*metricsAddr, obsReg)
+		if err != nil {
+			return err
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "experiments: metrics at http://%s/metrics\n", addr)
+	}
+	mc := newMetricsCollector(obsReg, *quick, *seed, *workers)
+
 	if bench {
 		before := mc.beforeJob()
 		start := time.Now()
@@ -196,31 +233,58 @@ func run(args []string) error {
 		return err
 	}
 
-	jobs := []job{
-		{"tableI", func(ctx context.Context) error { return runTableI(ctx, opts, *out) }},
-		{"figure1", func(ctx context.Context) error { return runFigure1(ctx, opts, *out) }},
-		{"figure2", func(ctx context.Context) error { return runFigure2(ctx, opts, *out) }},
-		{"tableII", func(ctx context.Context) error { return runTableII(ctx, opts, *out) }},
-		{"figure3", func(ctx context.Context) error { return runFigure3(ctx, opts, *out) }},
-		{"figure4", func(ctx context.Context) error { return runFigure4(ctx, opts, *out) }},
-		{"figure5", func(ctx context.Context) error { return runFigure5(ctx, opts, *out) }},
-		{"cross", func(ctx context.Context) error { return runCross(ctx, opts, *out) }},
-		{"dynamic", func(ctx context.Context) error { return runDynamic(ctx, opts, *out) }},
-		{"modulated", func(ctx context.Context) error { return runModulated(ctx, opts, *out) }},
-		{"attacker", func(ctx context.Context) error { return runAttacker(ctx, opts, *out) }},
-		{"betweenness", func(ctx context.Context) error { return runBetweenness(ctx, opts, *out) }},
-		{"sweep", func(ctx context.Context) error { return runSweep(ctx, opts, *out) }},
-		{"churn", func(ctx context.Context) error { return runChurn(ctx, opts, *out) }},
-		{"epochs", func(ctx context.Context) error { return runEpochs(ctx, opts, *out) }},
-	}
-	selected := jobs[:0:0]
-	for _, j := range jobs {
-		if *only == "" || strings.EqualFold(*only, j.name) {
+	// Resolve the selection through the registry before doing any work,
+	// so a typo fails instantly with the nearest valid name.
+	selected := reg.Jobs()
+	if *only != "" {
+		selected = selected[:0:0]
+		for _, name := range strings.Split(*only, ",") {
+			name = strings.TrimSpace(name)
+			if name == "" {
+				continue
+			}
+			j, err := reg.Lookup(name)
+			if err != nil {
+				return err
+			}
 			selected = append(selected, j)
 		}
+		if len(selected) == 0 {
+			return fmt.Errorf("no experiments selected by -run %q", *only)
+		}
 	}
-	if len(selected) == 0 {
-		return fmt.Errorf("unknown experiment %q", *only)
+
+	// The canonical substrate digest: the graph half of every artifact
+	// cache key and job checkpoint fingerprint. Generating it warms the
+	// shared dataset cache the jobs draw from.
+	graphFP, err := experiments.SubstrateFingerprint(opts)
+	if err != nil {
+		return err
+	}
+	var cache *jobs.Store
+	if !*noCache {
+		cache = jobs.NewStore(filepath.Join(*out, "cache"))
+	}
+	runner := &jobs.Runner{
+		Cache:  cache,
+		Env:    jobs.Env{GraphFingerprint: graphFP, Ckpt: store, Resume: *resume},
+		OutDir: *out,
+		Stdout: os.Stdout,
+	}
+	// Substrate generation is setup, not the first job's work.
+	mc.rebase()
+
+	queue := make([]job, 0, len(selected))
+	for _, jj := range selected {
+		jj := jj
+		queue = append(queue, job{
+			name: jj.Name(),
+			fp:   resilience.Fingerprint("job", graphFP, jj.Fingerprint()),
+			run: func(ctx context.Context) error {
+				_, err := runner.Run(ctx, jj)
+				return err
+			},
+		})
 	}
 	rc := runnerConfig{
 		timeout:   *timeout,
@@ -231,11 +295,10 @@ func run(args []string) error {
 			Jitter:      0.25,
 			Seed:        *seed,
 		},
-		store:       store,
-		resume:      *resume,
-		fingerprint: resilience.Fingerprint("job", *quick, *seed, *workers),
+		store:  store,
+		resume: *resume,
 	}
-	err := runJobs(context.Background(), selected, rc, mc, os.Stdout)
+	err = runJobs(context.Background(), queue, rc, mc, os.Stdout)
 	if path, werr := mc.write(*out); werr != nil {
 		if err == nil {
 			err = werr
@@ -246,18 +309,19 @@ func run(args []string) error {
 	return err
 }
 
-// runJobs executes jobs sequentially with per-job timeout, panic
-// recovery, transient-failure retries, and checkpoint-based resume.
-// With keepGoing, a failed job is recorded and the remaining jobs still
-// run; the failures are summarized on w (with the recovered stack for
+// runJobs executes the queued jobs sequentially with per-job timeout,
+// panic recovery, transient-failure retries, and checkpoint-based
+// resume (each job's done marker is keyed by its own fp). With
+// keepGoing, a failed job is recorded and the remaining jobs still run;
+// the failures are summarized on w (with the recovered stack for
 // panics) and returned as a single error so the process exits nonzero.
 // When mc is non-nil, each job's wall time, allocator deltas, attempt
 // count, and metrics window are collected.
-func runJobs(ctx context.Context, jobs []job, rc runnerConfig, mc *metricsCollector, w io.Writer) error {
+func runJobs(ctx context.Context, queue []job, rc runnerConfig, mc *metricsCollector, w io.Writer) error {
 	var failures []jobFailure
-	for _, j := range jobs {
+	for _, j := range queue {
 		if rc.resume && rc.store != nil {
-			c, err := rc.store.Load("job-"+j.name, rc.fingerprint)
+			c, err := rc.store.Load("job-"+j.name, j.fp)
 			if err != nil {
 				return err
 			}
@@ -295,7 +359,7 @@ func runJobs(ctx context.Context, jobs []job, rc runnerConfig, mc *metricsCollec
 			continue
 		}
 		if rc.store != nil {
-			c := &resilience.Checkpoint{Job: "job-" + j.name, Fingerprint: rc.fingerprint, Status: resilience.StatusDone, Attempts: outcome.Attempts}
+			c := &resilience.Checkpoint{Job: "job-" + j.name, Fingerprint: j.fp, Status: resilience.StatusDone, Attempts: outcome.Attempts}
 			if err := rc.store.Save(c); err != nil {
 				return err
 			}
@@ -305,7 +369,7 @@ func runJobs(ctx context.Context, jobs []job, rc runnerConfig, mc *metricsCollec
 	if len(failures) == 0 {
 		return nil
 	}
-	t := report.NewTable(fmt.Sprintf("%d of %d jobs failed", len(failures), len(jobs)),
+	t := report.NewTable(fmt.Sprintf("%d of %d jobs failed", len(failures), len(queue)),
 		"Job", "Class", "Attempts", "Error")
 	for _, f := range failures {
 		if err := t.AddRow(f.name, f.class.String(), fmt.Sprintf("%d", f.attempts), f.err.Error()); err != nil {
@@ -547,305 +611,4 @@ func runBench(ctx context.Context, opts experiments.Options, out string, workers
 		return fmt.Errorf("bench: sharded and monolithic results diverged (see %s)", spath)
 	}
 	return nil
-}
-
-// partialErr is the failure a best-effort job reports after salvaging
-// and writing its partial artifacts: the deadline (not the job) is the
-// cause, so it carries the context error — classified ClassDeadline,
-// never retried — and the run still exits nonzero so the operator knows
-// to rerun with -resume.
-func partialErr(ctx context.Context, name string) error {
-	cause := ctx.Err()
-	if cause == nil {
-		cause = context.DeadlineExceeded
-	}
-	return fmt.Errorf("%s: partial results written (rerun with -resume to continue): %w", name, cause)
-}
-
-func runTableI(ctx context.Context, opts experiments.Options, out string) error {
-	res, err := experiments.TableI(ctx, opts)
-	if err != nil {
-		return err
-	}
-	t, err := res.Table()
-	if err != nil {
-		return err
-	}
-	if err := t.Render(os.Stdout); err != nil {
-		return err
-	}
-	if err := report.SaveTable(filepath.Join(out, "tableI.txt"), t); err != nil {
-		return err
-	}
-	if res.Partial {
-		return partialErr(ctx, "tableI")
-	}
-	return nil
-}
-
-func runFigure1(ctx context.Context, opts experiments.Options, out string) error {
-	res, err := experiments.Figure1(ctx, opts)
-	if err != nil {
-		return err
-	}
-	if err := report.SaveCSV(filepath.Join(out, "figure1a.csv"), res.PanelA); err != nil {
-		return err
-	}
-	if err := report.SaveCSV(filepath.Join(out, "figure1b.csv"), res.PanelB); err != nil {
-		return err
-	}
-	if err := report.SaveCSV(filepath.Join(out, "figure1-sources.csv"), res.SourceECDFs); err != nil {
-		return err
-	}
-	t := report.NewTable("Figure 1: mixing time T(0.1) per dataset (0 = not within budget)", "Dataset", "T(0.1)")
-	for _, s := range append(res.PanelA, res.PanelB...) {
-		if err := t.AddRow(s.Name, report.Int(res.MixingTimes[s.Name])); err != nil {
-			return err
-		}
-		if cov := res.Coverage[s.Name]; cov < 1 {
-			t.AddNote(fmt.Sprintf("PARTIAL: %s covers %.0f%% of its sampled sources", s.Name, cov*100))
-		}
-	}
-	if res.Partial {
-		t.AddNote("PARTIAL: the run was cut short; later datasets are missing (rerun with -resume to continue)")
-	}
-	if err := t.Render(os.Stdout); err != nil {
-		return err
-	}
-	if res.Partial {
-		return partialErr(ctx, "figure1")
-	}
-	return nil
-}
-
-func runFigure2(ctx context.Context, opts experiments.Options, out string) error {
-	res, err := experiments.Figure2(ctx, opts)
-	if err != nil {
-		return err
-	}
-	if err := report.SaveCSV(filepath.Join(out, "figure2a.csv"), res.PanelA); err != nil {
-		return err
-	}
-	if err := report.SaveCSV(filepath.Join(out, "figure2b.csv"), res.PanelB); err != nil {
-		return err
-	}
-	t := report.NewTable("Figure 2: degeneracy per dataset", "Dataset", "Degeneracy")
-	for _, s := range append(res.PanelA, res.PanelB...) {
-		if err := t.AddRow(s.Name, report.Int(res.Degeneracy[s.Name])); err != nil {
-			return err
-		}
-	}
-	return t.Render(os.Stdout)
-}
-
-func runTableII(ctx context.Context, opts experiments.Options, out string) error {
-	res, err := experiments.TableII(ctx, opts)
-	if err != nil {
-		return err
-	}
-	t, err := res.Table()
-	if err != nil {
-		return err
-	}
-	if err := t.Render(os.Stdout); err != nil {
-		return err
-	}
-	return report.SaveTable(filepath.Join(out, "tableII.txt"), t)
-}
-
-func runFigure3(ctx context.Context, opts experiments.Options, out string) error {
-	res, err := experiments.Figure3(ctx, opts)
-	if err != nil {
-		return err
-	}
-	for _, p := range res.Panels {
-		path := filepath.Join(out, fmt.Sprintf("figure3-%s.csv", p.Name))
-		if err := report.SaveCSV(path, []report.Series{p.Min, p.Mean, p.Max}); err != nil {
-			return err
-		}
-	}
-	fmt.Printf("wrote %d figure 3 panels\n", len(res.Panels))
-	return nil
-}
-
-func runFigure4(ctx context.Context, opts experiments.Options, out string) error {
-	res, err := experiments.Figure4(ctx, opts)
-	if err != nil {
-		return err
-	}
-	if err := report.SaveCSV(filepath.Join(out, "figure4a.csv"), res.PanelA); err != nil {
-		return err
-	}
-	if err := report.SaveCSV(filepath.Join(out, "figure4b.csv"), res.PanelB); err != nil {
-		return err
-	}
-	t := report.NewTable("Figure 4: mean expansion factor over small sets", "Dataset", "mean alpha")
-	for _, s := range append(res.PanelA, res.PanelB...) {
-		if err := t.AddRow(s.Name, report.Float(res.MeanAlphaSmall[s.Name], 3)); err != nil {
-			return err
-		}
-	}
-	return t.Render(os.Stdout)
-}
-
-func runFigure5(ctx context.Context, opts experiments.Options, out string) error {
-	res, err := experiments.Figure5(ctx, opts)
-	if err != nil {
-		return err
-	}
-	t := report.NewTable("Figure 5: core structure", "Dataset", "Degeneracy", "Top cores")
-	for _, p := range res.Panels {
-		path := filepath.Join(out, fmt.Sprintf("figure5-%s.csv", p.Name))
-		if err := report.SaveCSV(path, []report.Series{p.RelativeSize, p.LargestRelativeSize, p.NumCores}); err != nil {
-			return err
-		}
-		if err := t.AddRow(p.Name, report.Int(p.Degeneracy), report.Int(p.TopComponents)); err != nil {
-			return err
-		}
-	}
-	return t.Render(os.Stdout)
-}
-
-func runDynamic(ctx context.Context, opts experiments.Options, out string) error {
-	res, err := experiments.FutureWorkDynamic(ctx, opts)
-	if err != nil {
-		return err
-	}
-	t, err := res.Table()
-	if err != nil {
-		return err
-	}
-	if err := t.Render(os.Stdout); err != nil {
-		return err
-	}
-	if err := report.SaveTable(filepath.Join(out, "dynamic.txt"), t); err != nil {
-		return err
-	}
-	return report.SaveCSV(filepath.Join(out, "dynamic.csv"),
-		[]report.Series{res.SLEM, res.Mixing, res.MinAlpha, res.AvgDegree})
-}
-
-func runModulated(ctx context.Context, opts experiments.Options, out string) error {
-	res, err := experiments.FutureWorkModulated(ctx, opts)
-	if err != nil {
-		return err
-	}
-	t, err := res.Table()
-	if err != nil {
-		return err
-	}
-	if err := t.Render(os.Stdout); err != nil {
-		return err
-	}
-	if err := report.SaveTable(filepath.Join(out, "modulated.txt"), t); err != nil {
-		return err
-	}
-	return report.SaveCSV(filepath.Join(out, "modulated.csv"), res.Curves)
-}
-
-func runAttacker(ctx context.Context, opts experiments.Options, out string) error {
-	res, err := experiments.AttackerModels(ctx, opts)
-	if err != nil {
-		return err
-	}
-	t, err := res.Table()
-	if err != nil {
-		return err
-	}
-	if err := t.Render(os.Stdout); err != nil {
-		return err
-	}
-	return report.SaveTable(filepath.Join(out, "attacker.txt"), t)
-}
-
-func runBetweenness(ctx context.Context, opts experiments.Options, out string) error {
-	res, err := experiments.BetweennessDistribution(ctx, opts)
-	if err != nil {
-		return err
-	}
-	t, err := res.Table()
-	if err != nil {
-		return err
-	}
-	if err := t.Render(os.Stdout); err != nil {
-		return err
-	}
-	if err := report.SaveTable(filepath.Join(out, "betweenness.txt"), t); err != nil {
-		return err
-	}
-	return report.SaveCSV(filepath.Join(out, "betweenness.csv"), res.ECDFs)
-}
-
-func runSweep(ctx context.Context, opts experiments.Options, out string) error {
-	res, err := experiments.BridgeSweep(ctx, opts)
-	if err != nil {
-		return err
-	}
-	t, err := res.Table()
-	if err != nil {
-		return err
-	}
-	if err := t.Render(os.Stdout); err != nil {
-		return err
-	}
-	return report.SaveTable(filepath.Join(out, "sweep.txt"), t)
-}
-
-func runChurn(ctx context.Context, opts experiments.Options, out string) error {
-	res, err := experiments.Churn(ctx, opts)
-	if err != nil {
-		return err
-	}
-	t, err := res.Table()
-	if err != nil {
-		return err
-	}
-	if err := t.Render(os.Stdout); err != nil {
-		return err
-	}
-	if err := report.SaveTable(filepath.Join(out, "churn.txt"), t); err != nil {
-		return err
-	}
-	return report.SaveCSV(filepath.Join(out, "churn.csv"), res.Series())
-}
-
-func runEpochs(ctx context.Context, opts experiments.Options, out string) error {
-	res, err := experiments.EpochSweep(ctx, opts)
-	if err != nil {
-		return err
-	}
-	t, err := res.Table()
-	if err != nil {
-		return err
-	}
-	if err := t.Render(os.Stdout); err != nil {
-		return err
-	}
-	return report.SaveTable(filepath.Join(out, "epochs.txt"), t)
-}
-
-func runCross(ctx context.Context, opts experiments.Options, out string) error {
-	res, err := experiments.CrossProperty(ctx, opts)
-	if err != nil {
-		return err
-	}
-	sum, err := res.SummaryTable()
-	if err != nil {
-		return err
-	}
-	corr, err := res.CorrelationTable()
-	if err != nil {
-		return err
-	}
-	if err := sum.Render(os.Stdout); err != nil {
-		return err
-	}
-	fmt.Println()
-	if err := corr.Render(os.Stdout); err != nil {
-		return err
-	}
-	if err := report.SaveTable(filepath.Join(out, "cross-summary.txt"), sum); err != nil {
-		return err
-	}
-	return report.SaveTable(filepath.Join(out, "cross-correlations.txt"), corr)
 }

@@ -5,9 +5,11 @@ import (
 	"context"
 	"encoding/json"
 	"errors"
+	"io"
 	"net/http"
 	"os"
 	"path/filepath"
+	"regexp"
 	"strings"
 	"sync"
 	"testing"
@@ -76,6 +78,143 @@ func TestRunUnknownExperiment(t *testing.T) {
 	}
 }
 
+// A near-miss name fails fast with the nearest registered job as a
+// suggestion, before any measurement work starts.
+func TestRunUnknownExperimentSuggestsNearest(t *testing.T) {
+	err := run([]string{"-run", "tabel1", "-out", t.TempDir()})
+	if err == nil || !strings.Contains(err.Error(), `did you mean "tableI"`) {
+		t.Errorf("run(-run tabel1) = %v, want a tableI suggestion", err)
+	}
+}
+
+// captureStdout redirects os.Stdout around fn; run() prints job output
+// there directly.
+func captureStdout(t *testing.T, fn func() error) (string, error) {
+	t.Helper()
+	old := os.Stdout
+	rp, wp, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = wp
+	defer func() { os.Stdout = old }()
+	done := make(chan string, 1)
+	go func() {
+		data, _ := io.ReadAll(rp)
+		done <- string(data)
+	}()
+	runErr := fn()
+	wp.Close()
+	return <-done, runErr
+}
+
+// -list enumerates the registered battery with config fingerprints and
+// does no measurement work.
+func TestRunList(t *testing.T) {
+	out, err := captureStdout(t, func() error { return run([]string{"-list"}) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{
+		"tableI", "figure1", "figure2", "tableII", "figure3", "figure4", "figure5",
+		"cross", "dynamic", "modulated", "attacker", "betweenness", "sweep", "churn", "epochs",
+	} {
+		if !strings.Contains(out, name) {
+			t.Errorf("-list output missing %s:\n%s", name, out)
+		}
+	}
+	if !regexp.MustCompile(`(?m)^tableI\s+[0-9a-f]{16}$`).MatchString(out) {
+		t.Errorf("-list rows lack 16-hex config fingerprints:\n%s", out)
+	}
+}
+
+// -run accepts a comma-separated subset, resolved through the registry.
+func TestRunCommaSeparatedSubset(t *testing.T) {
+	dir := t.TempDir()
+	if err := run([]string{"-quick", "-run", "tableI,figure2", "-out", dir}); err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range []string{"tableI.txt", "figure2a.csv"} {
+		if _, err := os.Stat(filepath.Join(dir, f)); err != nil {
+			t.Errorf("%s not written: %v", f, err)
+		}
+	}
+	if err := run([]string{"-quick", "-run", "tableI,nope", "-out", t.TempDir()}); err == nil {
+		t.Error("comma list with an unknown name: want error")
+	}
+}
+
+// The artifact cache: an unchanged rerun replays the stored artifact
+// byte-identically with zero job executions — verified through the
+// CACHED line, the emitted files, and the METRICS counters.
+func TestRunSecondRunIsCacheHit(t *testing.T) {
+	dir := t.TempDir()
+	if err := run([]string{"-quick", "-run", "tableI", "-out", dir}); err != nil {
+		t.Fatal(err)
+	}
+	first, err := os.ReadFile(filepath.Join(dir, "tableI.txt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := captureStdout(t, func() error {
+		return run([]string{"-quick", "-run", "tableI", "-out", dir})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "CACHED tableI") {
+		t.Errorf("second run did not replay from cache:\n%s", out)
+	}
+	second, err := os.ReadFile(filepath.Join(dir, "tableI.txt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(first, second) {
+		t.Errorf("replayed tableI.txt differs from the computed one")
+	}
+	// The job's METRICS window proves no kernel ran: one cache hit, zero
+	// executions, no SLEM iterations.
+	data, err := os.ReadFile(filepath.Join(dir, "METRICS.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Jobs []struct {
+			Name    string `json:"name"`
+			Status  string `json:"status"`
+			Metrics struct {
+				Counters map[string]int64 `json:"counters"`
+			} `json:"metrics"`
+		} `json:"jobs"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatal(err)
+	}
+	if len(doc.Jobs) != 1 || doc.Jobs[0].Name != "tableI" || doc.Jobs[0].Status != "ok" {
+		t.Fatalf("jobs = %+v", doc.Jobs)
+	}
+	c := doc.Jobs[0].Metrics.Counters
+	if c["jobs.cache.hits"] != 1 {
+		t.Errorf("cache hits in the job window = %d, want 1 (counters: %v)", c["jobs.cache.hits"], c)
+	}
+	if c["jobs.run.executed"] != 0 {
+		t.Errorf("executions in the job window = %d, want 0", c["jobs.run.executed"])
+	}
+	if c["spectral.slem.iterations"] != 0 {
+		t.Errorf("SLEM iterations on a cache hit = %d, want 0", c["spectral.slem.iterations"])
+	}
+	// -no-cache forces a recompute even with a valid entry present.
+	out, err = captureStdout(t, func() error {
+		return run([]string{"-quick", "-run", "tableI", "-no-cache", "-out", dir})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(out, "CACHED tableI") {
+		t.Errorf("-no-cache still replayed from cache:\n%s", out)
+	}
+}
+
 func TestRunBadFlag(t *testing.T) {
 	if err := run([]string{"-definitely-not-a-flag"}); err == nil {
 		t.Error("run(bad flag): want error")
@@ -100,8 +239,8 @@ func TestRunChurnQuick(t *testing.T) {
 func TestRunJobsKeepGoingAfterFailure(t *testing.T) {
 	var ran []string
 	jobs := []job{
-		{"boom", func(ctx context.Context) error { ran = append(ran, "boom"); return errors.New("kaput") }},
-		{"after", func(ctx context.Context) error { ran = append(ran, "after"); return nil }},
+		{name: "boom", run: func(ctx context.Context) error { ran = append(ran, "boom"); return errors.New("kaput") }},
+		{name: "after", run: func(ctx context.Context) error { ran = append(ran, "after"); return nil }},
 	}
 	var buf bytes.Buffer
 	err := runJobs(context.Background(), jobs, testRunnerConfig(0, true), nil, &buf)
@@ -120,8 +259,8 @@ func TestRunJobsKeepGoingAfterFailure(t *testing.T) {
 func TestRunJobsPanicIsReportedFailure(t *testing.T) {
 	var ran []string
 	jobs := []job{
-		{"panics", func(ctx context.Context) error { panic("exploded") }},
-		{"survivor", func(ctx context.Context) error { ran = append(ran, "survivor"); return nil }},
+		{name: "panics", run: func(ctx context.Context) error { panic("exploded") }},
+		{name: "survivor", run: func(ctx context.Context) error { ran = append(ran, "survivor"); return nil }},
 	}
 	var buf bytes.Buffer
 	err := runJobs(context.Background(), jobs, testRunnerConfig(0, true), nil, &buf)
@@ -141,7 +280,7 @@ func TestRunJobsPanicIsReportedFailure(t *testing.T) {
 
 func TestRunJobsTimeout(t *testing.T) {
 	jobs := []job{
-		{"slow", func(ctx context.Context) error {
+		{name: "slow", run: func(ctx context.Context) error {
 			select {
 			case <-ctx.Done():
 				return ctx.Err()
@@ -149,7 +288,7 @@ func TestRunJobsTimeout(t *testing.T) {
 				return nil
 			}
 		}},
-		{"next", func(ctx context.Context) error { return nil }},
+		{name: "next", run: func(ctx context.Context) error { return nil }},
 	}
 	var buf bytes.Buffer
 	start := time.Now()
@@ -172,7 +311,7 @@ func TestRunJobsIgnoredContextStillTimesOut(t *testing.T) {
 	// A job that never looks at its context cannot stall the runner.
 	block := make(chan struct{})
 	defer close(block)
-	jobs := []job{{"stuck", func(ctx context.Context) error { <-block; return nil }}}
+	jobs := []job{{name: "stuck", run: func(ctx context.Context) error { <-block; return nil }}}
 	var buf bytes.Buffer
 	if err := runJobs(context.Background(), jobs, testRunnerConfig(50*time.Millisecond, true), nil, &buf); err == nil {
 		t.Fatal("runJobs with a stuck job: want error")
@@ -182,8 +321,8 @@ func TestRunJobsIgnoredContextStillTimesOut(t *testing.T) {
 func TestRunJobsStopsWithoutKeepGoing(t *testing.T) {
 	var ran []string
 	jobs := []job{
-		{"boom", func(ctx context.Context) error { return errors.New("kaput") }},
-		{"after", func(ctx context.Context) error { ran = append(ran, "after"); return nil }},
+		{name: "boom", run: func(ctx context.Context) error { return errors.New("kaput") }},
+		{name: "after", run: func(ctx context.Context) error { ran = append(ran, "after"); return nil }},
 	}
 	var buf bytes.Buffer
 	if err := runJobs(context.Background(), jobs, testRunnerConfig(0, false), nil, &buf); err == nil {
@@ -256,7 +395,7 @@ func (w *syncWriter) String() string {
 // its table into the middle of later jobs' output.
 func TestRunJobsCanceledTableIWritesNothing(t *testing.T) {
 	out := &syncWriter{}
-	jobs := []job{{"tableI", func(ctx context.Context) error {
+	jobs := []job{{name: "tableI", run: func(ctx context.Context) error {
 		res, err := experiments.TableI(ctx, experiments.Options{Quick: true, Seed: 1})
 		if err != nil {
 			return err

@@ -79,6 +79,11 @@ func newMetricsCollector(reg *obs.Registry, quick bool, seed int64, workers int)
 	}
 }
 
+// rebase advances the registry baseline so setup work done between
+// collector creation and the first job (substrate fingerprinting, cache
+// probes) is excluded from the first job's metrics window.
+func (c *metricsCollector) rebase() { c.prev = c.reg.Snapshot() }
+
 // beforeJob samples the allocator state the job's deltas are measured
 // against.
 func (c *metricsCollector) beforeJob() runtime.MemStats {

@@ -26,7 +26,7 @@ func testRunnerConfig(timeout time.Duration, keepGoing bool) runnerConfig {
 // crashing frame survives into logs.
 func TestRunJobsPanicStackInSummary(t *testing.T) {
 	jobs := []job{
-		{"detonator", func(ctx context.Context) error { panic("boom with stack") }},
+		{name: "detonator", run: func(ctx context.Context) error { panic("boom with stack") }},
 	}
 	var buf bytes.Buffer
 	err := runJobs(context.Background(), jobs, testRunnerConfig(0, true), nil, &buf)
@@ -52,7 +52,7 @@ func TestRunJobsPanicStackInSummary(t *testing.T) {
 func TestRunJobsRetriesTransient(t *testing.T) {
 	calls := 0
 	jobs := []job{
-		{"flaky", func(ctx context.Context) error {
+		{name: "flaky", run: func(ctx context.Context) error {
 			calls++
 			if calls < 3 {
 				return resilience.MarkTransient(errors.New("injected"))
@@ -77,7 +77,7 @@ func TestRunJobsRetriesTransient(t *testing.T) {
 func TestRunJobsFatalNotRetried(t *testing.T) {
 	calls := 0
 	jobs := []job{
-		{"broken", func(ctx context.Context) error { calls++; return errors.New("deterministic") }},
+		{name: "broken", run: func(ctx context.Context) error { calls++; return errors.New("deterministic") }},
 	}
 	rc := testRunnerConfig(0, true)
 	rc.policy = resilience.Policy{MaxAttempts: 4, BaseDelay: time.Millisecond, Seed: 1}
@@ -95,17 +95,17 @@ func TestRunJobsFatalNotRetried(t *testing.T) {
 
 func TestRunJobsResumeSkipsDone(t *testing.T) {
 	store := resilience.NewStore(t.TempDir())
-	fp := resilience.Fingerprint("job", true, int64(1), 0)
+	fp := resilience.Fingerprint("job", "graph-aaaa", "cfg-0011")
 	if err := store.Save(&resilience.Checkpoint{Job: "job-a", Fingerprint: fp, Status: resilience.StatusDone}); err != nil {
 		t.Fatal(err)
 	}
 	ranB := false
 	jobs := []job{
-		{"a", func(ctx context.Context) error { return errors.New("must not run") }},
-		{"b", func(ctx context.Context) error { ranB = true; return nil }},
+		{name: "a", fp: fp, run: func(ctx context.Context) error { return errors.New("must not run") }},
+		{name: "b", fp: fp, run: func(ctx context.Context) error { ranB = true; return nil }},
 	}
 	rc := testRunnerConfig(0, true)
-	rc.store, rc.resume, rc.fingerprint = store, true, fp
+	rc.store, rc.resume = store, true
 	var buf bytes.Buffer
 	if err := runJobs(context.Background(), jobs, rc, nil, &buf); err != nil {
 		t.Fatalf("resumed run: %v", err)
@@ -122,20 +122,23 @@ func TestRunJobsResumeSkipsDone(t *testing.T) {
 	}
 }
 
-// A stale fingerprint (changed seed/quick/workers) must re-run the job
+// A stale fingerprint (changed configuration) must re-run the job
 // rather than resume another configuration's checkpoint.
 func TestRunJobsResumeIgnoresStaleFingerprint(t *testing.T) {
 	store := resilience.NewStore(t.TempDir())
 	if err := store.Save(&resilience.Checkpoint{
-		Job: "job-a", Fingerprint: resilience.Fingerprint("job", true, int64(99), 0), Status: resilience.StatusDone,
+		Job: "job-a", Fingerprint: resilience.Fingerprint("job", "graph-aaaa", "cfg-9999"), Status: resilience.StatusDone,
 	}); err != nil {
 		t.Fatal(err)
 	}
 	ran := false
-	jobs := []job{{"a", func(ctx context.Context) error { ran = true; return nil }}}
+	jobs := []job{{
+		name: "a",
+		fp:   resilience.Fingerprint("job", "graph-aaaa", "cfg-0011"),
+		run:  func(ctx context.Context) error { ran = true; return nil },
+	}}
 	rc := testRunnerConfig(0, true)
 	rc.store, rc.resume = store, true
-	rc.fingerprint = resilience.Fingerprint("job", true, int64(1), 0)
 	var buf bytes.Buffer
 	if err := runJobs(context.Background(), jobs, rc, nil, &buf); err != nil {
 		t.Fatal(err)
@@ -145,11 +148,41 @@ func TestRunJobsResumeIgnoresStaleFingerprint(t *testing.T) {
 	}
 }
 
+// Regression: job done-markers were once keyed only by (quick, seed,
+// workers), so a checkpoint taken over one dataset registry silently
+// resumed a run over a completely different substrate. The fingerprint
+// now folds in the canonical graph fingerprint: same configuration,
+// different graphs, no skip.
+func TestRunJobsResumeKeyedByGraphFingerprint(t *testing.T) {
+	store := resilience.NewStore(t.TempDir())
+	const cfgFP = "cfg-0011"
+	if err := store.Save(&resilience.Checkpoint{
+		Job: "job-a", Fingerprint: resilience.Fingerprint("job", "graph-aaaa", cfgFP), Status: resilience.StatusDone,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	ran := false
+	jobs := []job{{
+		name: "a",
+		fp:   resilience.Fingerprint("job", "graph-bbbb", cfgFP),
+		run:  func(ctx context.Context) error { ran = true; return nil },
+	}}
+	rc := testRunnerConfig(0, true)
+	rc.store, rc.resume = store, true
+	var buf bytes.Buffer
+	if err := runJobs(context.Background(), jobs, rc, nil, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !ran {
+		t.Fatal("checkpoint from a different graph substrate was resumed")
+	}
+}
+
 // A cooperative best-effort job that returns nil shortly after its
 // deadline fires is a success: the grace window exists precisely so
 // partial results can be salvaged and written.
 func TestRunOneGraceSalvagesBestEffort(t *testing.T) {
-	j := job{"salvage", func(ctx context.Context) error {
+	j := job{name: "salvage", run: func(ctx context.Context) error {
 		<-ctx.Done()
 		time.Sleep(10 * time.Millisecond) // simulate writing partial artifacts
 		return nil
@@ -162,7 +195,7 @@ func TestRunOneGraceSalvagesBestEffort(t *testing.T) {
 // A job that responds to its deadline with the context error (no
 // salvage) still fails with a timeout.
 func TestRunOneGraceStillTimesOut(t *testing.T) {
-	j := job{"stubborn", func(ctx context.Context) error {
+	j := job{name: "stubborn", run: func(ctx context.Context) error {
 		<-ctx.Done()
 		return ctx.Err()
 	}}

@@ -93,7 +93,9 @@ func run(args []string) error {
 	}
 	all := show["all"]
 
-	fmt.Printf("graph %s: n=%d m=%d\n\n", rep.Name, rep.Nodes, rep.Edges)
+	// The canonical topology digest (identical at any shard count) lets
+	// operators tie this output to cached experiment artifacts.
+	fmt.Printf("graph %s: n=%d m=%d fingerprint=%s\n\n", rep.Name, rep.Nodes, rep.Edges, graph.Fingerprint(g))
 	if all || show["slem"] {
 		fmt.Printf("SLEM mu = %.6f\n", rep.SLEM)
 		fmt.Printf("Sinclair bounds at eps=%.2e: %.1f <= T <= %.1f\n\n",

@@ -2,19 +2,16 @@ package experiments
 
 import (
 	"context"
-	"encoding/binary"
 	"fmt"
-	"hash/fnv"
-	"math"
 	"runtime"
 	"time"
 
 	"github.com/trustnet/trustnet/internal/expansion"
 	"github.com/trustnet/trustnet/internal/gen"
 	"github.com/trustnet/trustnet/internal/graph"
+	"github.com/trustnet/trustnet/internal/jobs"
 	"github.com/trustnet/trustnet/internal/kernels"
 	"github.com/trustnet/trustnet/internal/spectral"
-	"github.com/trustnet/trustnet/internal/stats"
 	"github.com/trustnet/trustnet/internal/walk"
 )
 
@@ -278,7 +275,7 @@ func BenchKernels(ctx context.Context, opts Options, repeats int) (*KernelBenchR
 		if err != nil {
 			return "", err
 		}
-		return mixingFingerprint(mr), nil
+		return jobs.MixingFingerprint(mr), nil
 	}
 	walkEntry := KernelBenchEntry{
 		Name: "walk-block", Dataset: "ba-10k",
@@ -311,7 +308,7 @@ func BenchKernels(ctx context.Context, opts Options, repeats int) (*KernelBenchR
 		if err != nil {
 			return "", err
 		}
-		return expansionFingerprint(er), nil
+		return jobs.ExpansionFingerprint(er), nil
 	}
 	bfsEntry := KernelBenchEntry{
 		Name: "bfs64", Dataset: "ba-10k",
@@ -369,64 +366,6 @@ func timeVariant(fn func() (string, error), repeats int) (float64, string, error
 		fp = f
 	}
 	return best, fp, nil
-}
-
-// mixingFingerprint digests every float bit of a mixing result: all
-// per-source curves plus the folded aggregates.
-func mixingFingerprint(mr *walk.MixingResult) string {
-	h := fnv.New64a()
-	buf := make([]byte, 8)
-	put := func(f float64) {
-		binary.LittleEndian.PutUint64(buf, math.Float64bits(f))
-		h.Write(buf)
-	}
-	for _, curve := range mr.Curves {
-		for _, v := range curve {
-			put(v)
-		}
-	}
-	for _, v := range mr.MeanTVD {
-		put(v)
-	}
-	for _, v := range mr.MaxTVD {
-		put(v)
-	}
-	for _, v := range mr.MinTVD {
-		put(v)
-	}
-	for _, s := range mr.Sources {
-		binary.LittleEndian.PutUint64(buf, uint64(s))
-		h.Write(buf)
-	}
-	return fmt.Sprintf("%016x", h.Sum64())
-}
-
-// expansionFingerprint digests an expansion result: both keyed summaries
-// (key, count, min, mean, max — every float at full bit width) and the
-// max eccentricity.
-func expansionFingerprint(er *expansion.Result) string {
-	h := fnv.New64a()
-	buf := make([]byte, 8)
-	putU := func(u uint64) {
-		binary.LittleEndian.PutUint64(buf, u)
-		h.Write(buf)
-	}
-	putF := func(f float64) { putU(math.Float64bits(f)) }
-	digest := func(ks *stats.KeyedSummary) {
-		for _, k := range ks.Keys() {
-			s, _ := ks.Get(k)
-			putU(uint64(k))
-			putU(uint64(s.Count()))
-			putF(s.Min())
-			putF(s.Mean())
-			putF(s.Max())
-		}
-	}
-	digest(er.NeighborsBySetSize)
-	digest(er.FactorBySetSize)
-	putU(uint64(er.MaxEccentricity))
-	putU(uint64(er.Sources))
-	return fmt.Sprintf("%016x", h.Sum64())
 }
 
 // timeKernel runs one kernel variant repeats times and returns the best

@@ -3,9 +3,7 @@ package experiments
 import (
 	"bufio"
 	"context"
-	"encoding/binary"
 	"fmt"
-	"hash/fnv"
 	"os"
 	"path/filepath"
 	"runtime"
@@ -16,6 +14,7 @@ import (
 	"github.com/trustnet/trustnet/internal/expansion"
 	"github.com/trustnet/trustnet/internal/gen"
 	"github.com/trustnet/trustnet/internal/graph"
+	"github.com/trustnet/trustnet/internal/jobs"
 	"github.com/trustnet/trustnet/internal/kcore"
 	"github.com/trustnet/trustnet/internal/spectral"
 	"github.com/trustnet/trustnet/internal/walk"
@@ -197,7 +196,7 @@ func BenchScale(ctx context.Context, opts Options, shards int, scratch string) (
 			if err != nil {
 				return "", err
 			}
-			return mixingFingerprint(mr), nil
+			return jobs.MixingFingerprint(mr), nil
 		}},
 		{"expansion", func(v graph.View) (string, error) {
 			er, err := expansion.Measure(ctx, v, expansion.Config{
@@ -206,7 +205,7 @@ func BenchScale(ctx context.Context, opts Options, shards int, scratch string) (
 			if err != nil {
 				return "", err
 			}
-			return expansionFingerprint(er), nil
+			return jobs.ExpansionFingerprint(er), nil
 		}},
 		{"spectral", func(v graph.View) (string, error) {
 			sr, err := spectral.SLEMContext(ctx, v, spectralCfg)
@@ -220,7 +219,7 @@ func BenchScale(ctx context.Context, opts Options, shards int, scratch string) (
 			if err != nil {
 				return "", err
 			}
-			return corenessFingerprint(dec), nil
+			return jobs.CorenessFingerprint(dec), nil
 		}},
 	}
 	for _, k := range runs {
@@ -267,7 +266,7 @@ func BenchScale(ctx context.Context, opts Options, shards int, scratch string) (
 			if err != nil {
 				return "", err
 			}
-			return mixingFingerprint(mr), nil
+			return jobs.MixingFingerprint(mr), nil
 		},
 		func(v graph.View) (string, error) {
 			er, err := expansion.Measure(ctx, v, expansion.Config{
@@ -276,7 +275,7 @@ func BenchScale(ctx context.Context, opts Options, shards int, scratch string) (
 			if err != nil {
 				return "", err
 			}
-			return expansionFingerprint(er), nil
+			return jobs.ExpansionFingerprint(er), nil
 		},
 	}
 	for _, check := range refChecks {
@@ -295,20 +294,6 @@ func BenchScale(ctx context.Context, opts Options, shards int, scratch string) (
 
 	res.PeakRSSBytes = peakRSSBytes()
 	return res, nil
-}
-
-// corenessFingerprint digests a k-core decomposition: every node's
-// coreness plus the degeneracy.
-func corenessFingerprint(dec *kcore.Decomposition) string {
-	h := fnv.New64a()
-	buf := make([]byte, 8)
-	for _, c := range dec.CorenessValues() {
-		binary.LittleEndian.PutUint64(buf, uint64(c))
-		h.Write(buf)
-	}
-	binary.LittleEndian.PutUint64(buf, uint64(dec.Degeneracy()))
-	h.Write(buf)
-	return fmt.Sprintf("%016x", h.Sum64())
 }
 
 // peakRSSBytes reads the process memory high-water mark (VmHWM) from

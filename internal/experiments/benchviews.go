@@ -10,6 +10,7 @@ import (
 
 	"github.com/trustnet/trustnet/internal/faults"
 	"github.com/trustnet/trustnet/internal/graph"
+	"github.com/trustnet/trustnet/internal/jobs"
 	"github.com/trustnet/trustnet/internal/walk"
 )
 
@@ -188,7 +189,7 @@ func BenchViews(ctx context.Context, opts Options, repeats int) (*ViewBenchResul
 			if err != nil {
 				return "", err
 			}
-			fmt.Fprint(h, mixingFingerprint(mr))
+			fmt.Fprint(h, jobs.MixingFingerprint(mr))
 		}
 		return fmt.Sprintf("%016x", h.Sum64()), nil
 	}

@@ -48,6 +48,11 @@ type Options struct {
 	// scratch. Integer results are bit-identical either way; SLEM agrees
 	// within its convergence tolerance.
 	Incremental bool
+	// Substrate is the canonical graph-substrate fingerprint of the run
+	// (see SubstrateFingerprint). Runners fold it into their per-dataset
+	// checkpoint fingerprints so checkpoints from a different dataset
+	// registry or generator are never resumed. Empty disables the tie.
+	Substrate string
 }
 
 func (o *Options) fill() {

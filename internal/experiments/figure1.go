@@ -63,7 +63,7 @@ func Figure1(ctx context.Context, opts Options) (*Figure1Result, error) {
 				BestEffort: opts.BestEffort,
 			}
 			key := "figure1-" + spec.Name
-			fp := resilience.Fingerprint("figure1", spec.Name, opts.Quick, opts.Seed, cfg.MaxSteps, cfg.Sources)
+			fp := resilience.Fingerprint("figure1", spec.Name, opts.Quick, opts.Seed, cfg.MaxSteps, cfg.Sources, opts.Substrate)
 			if opts.Ckpt != nil && opts.Resume {
 				c, err := opts.Ckpt.Load(key, fp)
 				if err != nil {

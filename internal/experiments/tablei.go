@@ -88,7 +88,7 @@ func TableI(ctx context.Context, opts Options) (*TableIResult, error) {
 			scfg.Tolerance = 1e-5
 		}
 		key := "tableI-" + spec.Name
-		fp := resilience.Fingerprint("tableI", spec.Name, opts.Quick, opts.Seed, scfg.MaxIterations, scfg.Tolerance)
+		fp := resilience.Fingerprint("tableI", spec.Name, opts.Quick, opts.Seed, scfg.MaxIterations, scfg.Tolerance, opts.Substrate)
 		if opts.Ckpt != nil && opts.Resume {
 			c, err := opts.Ckpt.Load(key, fp)
 			if err != nil {

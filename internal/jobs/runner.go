@@ -1,0 +1,101 @@
+package jobs
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"github.com/trustnet/trustnet/internal/obs"
+	"github.com/trustnet/trustnet/internal/resilience"
+)
+
+// Observability instruments for job execution. A replayed run shows
+// hits with zero executions in its metrics window — the verifiable
+// "no kernel ran" contract the cache tests assert.
+var (
+	obsRunExecuted = obs.Default().Counter("jobs.run.executed")
+	obsCacheHits   = obs.Default().Counter("jobs.cache.hits")
+	obsCacheMisses = obs.Default().Counter("jobs.cache.misses")
+)
+
+// Runner executes jobs through the artifact cache: a hit replays the
+// stored artifact byte-identically (summary to Stdout, files under
+// OutDir) without invoking the job; a miss runs the job, emits its
+// artifact the same way, and caches complete results.
+type Runner struct {
+	// Cache is the artifact store; nil disables caching (every run
+	// executes).
+	Cache *Store
+	// Env is handed to jobs at execution time; Env.GraphFingerprint is
+	// also the graph half of every cache key.
+	Env Env
+	// OutDir is where artifact files are written (on run and on replay).
+	OutDir string
+	// Stdout receives the CACHED/summary output; nil discards it.
+	Stdout io.Writer
+}
+
+// Run executes j through the cache, returning whether the result was
+// replayed from a cached artifact. On a miss the job executes under the
+// caller's ctx; its artifact (when non-nil) is emitted even alongside a
+// partial-salvage error, but only complete, error-free artifacts are
+// cached.
+func (r *Runner) Run(ctx context.Context, j Job) (cached bool, err error) {
+	w := r.Stdout
+	if w == nil {
+		w = io.Discard
+	}
+	configFP := j.Fingerprint()
+	if r.Cache != nil {
+		if a := r.Cache.Load(j.Name(), r.Env.GraphFingerprint, configFP); a != nil {
+			obsCacheHits.Inc()
+			fmt.Fprintf(w, "CACHED %s (artifact %s replayed byte-identically)\n",
+				j.Name(), Key(j.Name(), r.Env.GraphFingerprint, configFP))
+			return true, r.emit(w, a)
+		}
+		obsCacheMisses.Inc()
+	}
+	obsRunExecuted.Inc()
+	ctx, span := obs.StartSpan(ctx, "jobs.execute")
+	a, err := j.Run(ctx, r.Env)
+	span.End()
+	if a == nil {
+		return false, err
+	}
+	a.Schema = SchemaVersion
+	a.Job = j.Name()
+	a.GraphFingerprint = r.Env.GraphFingerprint
+	a.ConfigFingerprint = configFP
+	if emitErr := r.emit(w, a); emitErr != nil && err == nil {
+		err = emitErr
+	}
+	if err == nil && !a.Partial && r.Cache != nil {
+		if saveErr := r.Cache.Save(a); saveErr != nil {
+			err = saveErr
+		}
+	}
+	return false, err
+}
+
+// emit writes the artifact's files under OutDir (atomically, creating
+// parent directories) and its summary to w — identical whether the
+// artifact was just computed or replayed from cache.
+func (r *Runner) emit(w io.Writer, a *Artifact) error {
+	for _, f := range a.Files {
+		path := filepath.Join(r.OutDir, filepath.FromSlash(f.Path))
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			return fmt.Errorf("jobs: artifact file %s: %w", f.Path, err)
+		}
+		if err := resilience.WriteFileAtomic(path, f.Data, 0o644); err != nil {
+			return fmt.Errorf("jobs: artifact file %s: %w", f.Path, err)
+		}
+	}
+	if a.Summary != "" {
+		if _, err := io.WriteString(w, a.Summary); err != nil {
+			return fmt.Errorf("jobs: emit summary: %w", err)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,154 @@
+package jobs
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"github.com/trustnet/trustnet/internal/obs"
+	"github.com/trustnet/trustnet/internal/resilience"
+)
+
+// Observability instruments for the artifact cache. Hits and misses are
+// counted by the Runner; the Store counts saves and the corruption and
+// stale-schema entries it refused to replay.
+var (
+	obsCacheSaves   = obs.Default().Counter("jobs.cache.saves")
+	obsCacheCorrupt = obs.Default().Counter("jobs.cache.corrupt")
+	obsCacheStale   = obs.Default().Counter("jobs.cache.stale")
+)
+
+// Store is the content-addressed artifact cache: one JSON envelope per
+// (job, graph fingerprint, config fingerprint, schema version) key,
+// written atomically under a single directory (out/cache/ in the
+// experiments runner).
+type Store struct {
+	dir string
+}
+
+// NewStore returns a store rooted at dir; the directory is created on
+// the first Save.
+func NewStore(dir string) *Store { return &Store{dir: dir} }
+
+// Dir returns the store's root directory.
+func (s *Store) Dir() string { return s.dir }
+
+// Key is the content address of an artifact: an FNV-1a digest of the
+// schema version, job name, and both fingerprint halves. Any change to
+// any component addresses a different cache slot.
+func Key(job, graphFP, configFP string) string {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%s\x00%s\x00%s\x00%s\x00", SchemaVersion, job, graphFP, configFP)
+	return fmt.Sprintf("%016x", h.Sum64())
+}
+
+// Path returns the file an artifact with the given key is stored at.
+// The job name is embedded (sanitized) so out/cache stays browsable.
+func (s *Store) Path(job, key string) string {
+	clean := strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9',
+			r == '-', r == '_', r == '.':
+			return r
+		default:
+			return '_'
+		}
+	}, job)
+	return filepath.Join(s.dir, clean+"-"+key+".json")
+}
+
+// Save persists the artifact under its content address, filling in the
+// schema and integrity digest. Partial artifacts are the caller's
+// responsibility to withhold (the Runner never saves them). The write
+// is atomic, so a crash never leaves a truncated envelope.
+func (s *Store) Save(a *Artifact) error {
+	if a.Job == "" {
+		return errors.New("jobs: save an artifact without a job name")
+	}
+	a.Schema = SchemaVersion
+	a.Digest = a.ContentDigest()
+	if err := os.MkdirAll(s.dir, 0o755); err != nil {
+		return fmt.Errorf("jobs: cache dir: %w", err)
+	}
+	data, err := json.MarshalIndent(a, "", "  ")
+	if err != nil {
+		return fmt.Errorf("jobs: marshal artifact %q: %w", a.Job, err)
+	}
+	key := Key(a.Job, a.GraphFingerprint, a.ConfigFingerprint)
+	if err := resilience.WriteFileAtomic(s.Path(a.Job, key), append(data, '\n'), 0o644); err != nil {
+		return fmt.Errorf("jobs: save artifact %q: %w", a.Job, err)
+	}
+	obsCacheSaves.Inc()
+	return nil
+}
+
+// Load returns the cached artifact for the key, or nil when there is no
+// usable entry. A missing file is a plain miss; a corrupt, truncated,
+// digest-mismatched, or key-mismatched envelope is counted and treated
+// as a miss (the job recomputes and overwrites it); a schema change
+// likewise orphans the entry rather than erroring. Load never fails the
+// run: the cache is an accelerator, not a source of truth.
+func (s *Store) Load(job, graphFP, configFP string) *Artifact {
+	key := Key(job, graphFP, configFP)
+	data, err := os.ReadFile(s.Path(job, key))
+	if errors.Is(err, fs.ErrNotExist) {
+		return nil
+	}
+	if err != nil {
+		obsCacheCorrupt.Inc()
+		return nil
+	}
+	var a Artifact
+	if err := json.Unmarshal(data, &a); err != nil {
+		obsCacheCorrupt.Inc()
+		return nil
+	}
+	if a.Schema != SchemaVersion {
+		obsCacheStale.Inc()
+		return nil
+	}
+	if a.Job != job || a.GraphFingerprint != graphFP || a.ConfigFingerprint != configFP {
+		obsCacheStale.Inc()
+		return nil
+	}
+	if a.Partial || a.Digest != a.ContentDigest() {
+		obsCacheCorrupt.Inc()
+		return nil
+	}
+	return &a
+}
+
+// Stats summarizes the cache directory for logs and CI artifacts.
+type Stats struct {
+	// Entries is the number of cached artifacts; Bytes their total size.
+	Entries int   `json:"entries"`
+	Bytes   int64 `json:"bytes"`
+}
+
+// Stats scans the store directory. A store whose directory does not
+// exist yet is empty, not an error.
+func (s *Store) Stats() (Stats, error) {
+	var st Stats
+	entries, err := os.ReadDir(s.dir)
+	if errors.Is(err, fs.ErrNotExist) {
+		return st, nil
+	}
+	if err != nil {
+		return st, fmt.Errorf("jobs: cache stats: %w", err)
+	}
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".json") {
+			continue
+		}
+		st.Entries++
+		if fi, err := e.Info(); err == nil {
+			st.Bytes += fi.Size()
+		}
+	}
+	return st, nil
+}
