@@ -136,6 +136,7 @@ func run(args []string) error {
 		seed        = fs.Int64("seed", 1, "measurement seed")
 		out         = fs.String("out", "out", "output directory")
 		noCache     = fs.Bool("no-cache", false, "recompute jobs even when a cached artifact matches; never read or write <out>/cache")
+		cacheMax    = fs.Int64("cache-max-bytes", 0, "cap <out>/cache at this many bytes, evicting oldest artifacts first (0 = unbounded)")
 		timeout     = fs.Duration("timeout", 0, "per-job timeout (0 = none)")
 		keepGoing   = fs.Bool("keep-going", true, "run remaining jobs after a failure and summarize at the end")
 		workers     = fs.Int("workers", 0, "measurement parallelism; 0 = GOMAXPROCS")
@@ -209,11 +210,17 @@ func run(args []string) error {
 
 	obsReg := obs.Default()
 	if *metricsAddr != "" {
-		srv, addr, err := serveMetrics(*metricsAddr, obsReg)
+		srv, addr, err := obsReg.Serve(*metricsAddr)
 		if err != nil {
 			return err
 		}
-		defer srv.Close()
+		// Drain, don't Close: a scraper reading /metrics at process exit
+		// gets its response completed instead of a severed connection.
+		defer func() {
+			if derr := obs.DrainServer(srv, 2*time.Second); derr != nil {
+				fmt.Fprintln(os.Stderr, "experiments:", derr)
+			}
+		}()
 		fmt.Fprintf(os.Stderr, "experiments: metrics at http://%s/metrics\n", addr)
 	}
 	mc := newMetricsCollector(obsReg, *quick, *seed, *workers)
@@ -264,6 +271,9 @@ func run(args []string) error {
 	var cache *jobs.Store
 	if !*noCache {
 		cache = jobs.NewStore(filepath.Join(*out, "cache"))
+		if *cacheMax > 0 {
+			cache.SetMaxBytes(*cacheMax)
+		}
 	}
 	runner := &jobs.Runner{
 		Cache:  cache,

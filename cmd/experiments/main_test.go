@@ -477,15 +477,21 @@ func TestRunWritesMetrics(t *testing.T) {
 	}
 }
 
-// The -metrics-addr endpoint serves registry snapshots as JSON.
+// The -metrics-addr endpoint serves registry snapshots as JSON, and is
+// torn down with a graceful drain rather than a connection-severing
+// Close.
 func TestServeMetrics(t *testing.T) {
 	reg := obs.NewRegistry()
 	reg.Counter("cmd.test.metric").Add(3)
-	srv, addr, err := serveMetrics("127.0.0.1:0", reg)
+	srv, addr, err := reg.Serve("127.0.0.1:0")
 	if err != nil {
 		t.Fatal(err)
 	}
-	defer srv.Close()
+	defer func() {
+		if derr := obs.DrainServer(srv, time.Second); derr != nil {
+			t.Errorf("drain: %v", derr)
+		}
+	}()
 	resp, err := http.Get("http://" + addr + "/metrics")
 	if err != nil {
 		t.Fatal(err)

@@ -3,8 +3,6 @@ package main
 import (
 	"encoding/json"
 	"fmt"
-	"net"
-	"net/http"
 	"os"
 	"path/filepath"
 	"runtime"
@@ -144,25 +142,4 @@ func (c *metricsCollector) write(dir string) (string, error) {
 		return "", fmt.Errorf("metrics: %w", err)
 	}
 	return path, nil
-}
-
-// serveMetrics binds addr and serves expvar-style registry snapshots at
-// /metrics (and /) in a background goroutine. It returns the server and
-// the bound address, so ":0" works for tests. The caller closes the
-// server at exit.
-func serveMetrics(addr string, reg *obs.Registry) (*http.Server, string, error) {
-	ln, err := net.Listen("tcp", addr)
-	if err != nil {
-		return nil, "", fmt.Errorf("metrics-addr: %w", err)
-	}
-	mux := http.NewServeMux()
-	mux.Handle("/metrics", reg.Handler())
-	mux.Handle("/", reg.Handler())
-	srv := &http.Server{Handler: mux}
-	go func() {
-		if err := srv.Serve(ln); err != nil && err != http.ErrServerClosed {
-			fmt.Fprintln(os.Stderr, "experiments: metrics server:", err)
-		}
-	}()
-	return srv, ln.Addr().String(), nil
 }

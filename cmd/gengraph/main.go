@@ -14,7 +14,6 @@
 package main
 
 import (
-	"bufio"
 	"flag"
 	"fmt"
 	"os"
@@ -74,7 +73,7 @@ func run(args []string) error {
 		if err != nil {
 			return err
 		}
-		st, err := streamToFile(es, *out)
+		st, err := gen.StreamToFile(es, *out)
 		if err != nil {
 			return err
 		}
@@ -130,32 +129,6 @@ func resolveFormat(format, path string) (string, error) {
 		return "tng2", nil
 	}
 	return "text", nil
-}
-
-// streamToFile drains es through the bounded-memory CSR writer into a
-// TNG2 file, spilling sort runs next to the output.
-func streamToFile(es gen.EdgeStream, path string) (graph.CSRStats, error) {
-	f, err := os.Create(path)
-	if err != nil {
-		return graph.CSRStats{}, err
-	}
-	bw := bufio.NewWriterSize(f, 1<<20)
-	st, err := gen.StreamCSR(es, bw, graph.CSRWriterConfig{TempDir: filepath.Dir(path)})
-	if err != nil {
-		f.Close()
-		os.Remove(path)
-		return graph.CSRStats{}, err
-	}
-	if err := bw.Flush(); err != nil {
-		f.Close()
-		os.Remove(path)
-		return graph.CSRStats{}, err
-	}
-	if err := f.Close(); err != nil {
-		os.Remove(path)
-		return graph.CSRStats{}, err
-	}
-	return st, nil
 }
 
 // buildStream resolves the streaming counterpart of buildGraph's models.
@@ -259,38 +232,14 @@ func runConvert(args []string) error {
 	return nil
 }
 
-// tng1Stream adapts a TNG1 file to gen.EdgeStream for the streamed
-// conversion. The node count comes from a first full scan, which also
-// verifies the checksum before any output exists.
-type tng1Stream struct {
-	path string
-	n    int
-}
-
-func (s *tng1Stream) NumNodes() int { return s.n }
-
-func (s *tng1Stream) Edges(yield func(u, v graph.NodeID) error) error {
-	f, err := os.Open(s.path)
-	if err != nil {
-		return err
-	}
-	defer f.Close()
-	_, _, err = graph.ScanBinaryEdges(bufio.NewReaderSize(f, 1<<20), yield)
-	return err
-}
-
+// convertBinaryStreamed converts a TNG1 file to TNG2 in bounded memory
+// through gen.StreamTNG1 (which verifies the input checksum first).
 func convertBinaryStreamed(in, out string) (graph.CSRStats, error) {
-	f, err := os.Open(in)
+	es, err := gen.StreamTNG1(in)
 	if err != nil {
 		return graph.CSRStats{}, err
 	}
-	n, _, err := graph.ScanBinaryEdges(bufio.NewReaderSize(f, 1<<20),
-		func(u, v graph.NodeID) error { return nil })
-	f.Close()
-	if err != nil {
-		return graph.CSRStats{}, err
-	}
-	return streamToFile(&tng1Stream{path: in, n: n}, out)
+	return gen.StreamToFile(es, out)
 }
 
 func buildGraph(dataset, model string, n int, param, beta float64, comms, bridges int, seed int64) (*graph.Graph, error) {

@@ -1,10 +1,13 @@
 package gen
 
 import (
+	"bufio"
 	"fmt"
 	"io"
 	"math"
 	"math/rand"
+	"os"
+	"path/filepath"
 	"sort"
 
 	"github.com/trustnet/trustnet/internal/graph"
@@ -363,4 +366,68 @@ func (s *clusteredStream) Edges(yield func(u, v graph.NodeID) error) error {
 		}
 	}
 	return nil
+}
+
+// StreamTNG1 adapts a TNG1 binary edge file to an EdgeStream: a first
+// full scan counts nodes and verifies the checksum (so a corrupt input
+// fails before any output exists), and each Edges call replays the
+// file's canonical edge sequence. Combined with StreamToFile this is
+// the bounded-memory TNG1→TNG2 conversion path.
+func StreamTNG1(path string) (EdgeStream, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	n, _, err := graph.ScanBinaryEdges(bufio.NewReaderSize(f, 1<<20),
+		func(u, v graph.NodeID) error { return nil })
+	f.Close()
+	if err != nil {
+		return nil, err
+	}
+	return &tng1Stream{path: path, n: n}, nil
+}
+
+// tng1Stream replays a (pre-verified) TNG1 file's edges.
+type tng1Stream struct {
+	path string
+	n    int
+}
+
+// NumNodes implements EdgeStream.
+func (s *tng1Stream) NumNodes() int { return s.n }
+
+// Edges implements EdgeStream.
+func (s *tng1Stream) Edges(yield func(u, v graph.NodeID) error) error {
+	f, err := os.Open(s.path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	_, _, err = graph.ScanBinaryEdges(bufio.NewReaderSize(f, 1<<20), yield)
+	return err
+}
+
+// StreamToFile drains es through the bounded-memory CSR writer into a
+// TNG2 file at path, spilling sort runs next to the output and removing
+// the partial file on any failure.
+func StreamToFile(es EdgeStream, path string) (graph.CSRStats, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return graph.CSRStats{}, err
+	}
+	bw := bufio.NewWriterSize(f, 1<<20)
+	st, err := StreamCSR(es, bw, graph.CSRWriterConfig{TempDir: filepath.Dir(path)})
+	if err == nil {
+		err = bw.Flush()
+	}
+	if err == nil {
+		err = f.Close()
+	} else {
+		f.Close()
+	}
+	if err != nil {
+		os.Remove(path)
+		return graph.CSRStats{}, err
+	}
+	return st, nil
 }

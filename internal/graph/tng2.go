@@ -302,6 +302,7 @@ func LoadCSR(path string) (*Graph, error) {
 type Mapped struct {
 	g    *Graph
 	data []byte // non-nil only while an actual mapping is live
+	path string
 }
 
 // OpenMapped maps the named TNG2 file and returns the aliasing view.
@@ -327,7 +328,7 @@ func OpenMapped(path string) (*Mapped, error) {
 		if err != nil {
 			return nil, fmt.Errorf("open mapped graph %s: %w", path, err)
 		}
-		return &Mapped{g: g}, nil
+		return &Mapped{g: g, path: path}, nil
 	}
 	n, m, offB, adjB, err := parseTNG2(data)
 	if err != nil {
@@ -340,7 +341,7 @@ func OpenMapped(path string) (*Mapped, error) {
 		if err != nil {
 			return nil, fmt.Errorf("open mapped graph %s: %w", path, err)
 		}
-		return &Mapped{g: g}, nil
+		return &Mapped{g: g, path: path}, nil
 	}
 	offsets := unsafe.Slice((*int64)(unsafe.Pointer(&offB[0])), n+1)
 	var adj []NodeID
@@ -351,7 +352,7 @@ func OpenMapped(path string) (*Mapped, error) {
 		_ = munmapFile(data)
 		return nil, fmt.Errorf("open mapped graph %s: %w", path, err)
 	}
-	return &Mapped{g: &Graph{offsets: offsets, adjacency: adj}, data: data}, nil
+	return &Mapped{g: &Graph{offsets: offsets, adjacency: adj}, data: data, path: path}, nil
 }
 
 // Close releases the mapping. It is idempotent; any use of the view or
@@ -366,6 +367,11 @@ func (mg *Mapped) Close() error {
 	}
 	return munmapFile(data)
 }
+
+// Path returns the file the view was opened from — stable across the
+// view's lifetime (unlike the graph data, it survives Close), so a
+// registry holding mapped graphs can list and evict by it.
+func (mg *Mapped) Path() string { return mg.path }
 
 // CSR implements CSRSource: the backing graph aliases the mapping, so
 // the batched kernels run directly over the file's pages.

@@ -13,9 +13,12 @@ import (
 
 // Observability instruments for job execution. A replayed run shows
 // hits with zero executions in its metrics window — the verifiable
-// "no kernel ran" contract the cache tests assert.
+// "no kernel ran" contract the cache tests assert. Deduped counts the
+// concurrent callers that waited on another execution of the same key
+// instead of running the job themselves.
 var (
 	obsRunExecuted = obs.Default().Counter("jobs.run.executed")
+	obsRunDeduped  = obs.Default().Counter("jobs.run.deduped")
 	obsCacheHits   = obs.Default().Counter("jobs.cache.hits")
 	obsCacheMisses = obs.Default().Counter("jobs.cache.misses")
 )
@@ -28,6 +31,11 @@ type Runner struct {
 	// Cache is the artifact store; nil disables caching (every run
 	// executes).
 	Cache *Store
+	// Flight, when non-nil, deduplicates concurrent runs of the same
+	// (job, graph, config) key across every Runner sharing the group:
+	// one caller executes, the rest wait and replay its artifact. nil
+	// keeps the historical behavior (concurrent identical calls race).
+	Flight *Flight
 	// Env is handed to jobs at execution time; Env.GraphFingerprint is
 	// also the graph half of every cache key.
 	Env Env
@@ -38,22 +46,65 @@ type Runner struct {
 }
 
 // Run executes j through the cache, returning whether the result was
-// replayed from a cached artifact. On a miss the job executes under the
-// caller's ctx; its artifact (when non-nil) is emitted even alongside a
-// partial-salvage error, but only complete, error-free artifacts are
-// cached.
+// replayed (from a cached artifact, or from a concurrent execution of
+// the same key when a Flight is configured). On a miss the job executes
+// under the caller's ctx; its artifact (when non-nil) is emitted even
+// alongside a partial-salvage error, but only complete, error-free
+// artifacts are cached.
 func (r *Runner) Run(ctx context.Context, j Job) (cached bool, err error) {
 	w := r.Stdout
 	if w == nil {
 		w = io.Discard
 	}
 	configFP := j.Fingerprint()
+	key := Key(j.Name(), r.Env.GraphFingerprint, configFP)
+	if r.Flight == nil {
+		_, cached, err = r.execute(ctx, j, w, configFP, key)
+		return cached, err
+	}
+	c, leader := r.Flight.join(key)
+	if !leader {
+		select {
+		case <-c.done:
+		case <-ctx.Done():
+			return false, ctx.Err()
+		}
+		obsRunDeduped.Inc()
+		if c.art == nil {
+			return false, c.err
+		}
+		fmt.Fprintf(w, "CACHED %s (artifact %s replayed from a concurrent run)\n", j.Name(), key)
+		if emitErr := r.emit(w, c.art); emitErr != nil {
+			return true, emitErr
+		}
+		return true, c.err
+	}
+	// finish must run even when the job panics, or every waiter of the
+	// key (and every future caller of it) deadlocks on a flight that
+	// never lands. The panic itself still propagates to the caller;
+	// waiters see a plain error instead of a replayable artifact.
+	var art *Artifact
+	landed := false
+	defer func() {
+		if !landed {
+			err = fmt.Errorf("jobs: %s: execution aborted mid-flight", j.Name())
+		}
+		r.Flight.finish(key, c, art, err)
+	}()
+	art, cached, err = r.execute(ctx, j, w, configFP, key)
+	landed = true
+	return cached, err
+}
+
+// execute is the single-caller run path: cache probe, job execution,
+// artifact emit, cache save. It returns the artifact it emitted (from
+// cache or computed) so a Flight leader can hand it to its waiters.
+func (r *Runner) execute(ctx context.Context, j Job, w io.Writer, configFP, key string) (*Artifact, bool, error) {
 	if r.Cache != nil {
 		if a := r.Cache.Load(j.Name(), r.Env.GraphFingerprint, configFP); a != nil {
 			obsCacheHits.Inc()
-			fmt.Fprintf(w, "CACHED %s (artifact %s replayed byte-identically)\n",
-				j.Name(), Key(j.Name(), r.Env.GraphFingerprint, configFP))
-			return true, r.emit(w, a)
+			fmt.Fprintf(w, "CACHED %s (artifact %s replayed byte-identically)\n", j.Name(), key)
+			return a, true, r.emit(w, a)
 		}
 		obsCacheMisses.Inc()
 	}
@@ -62,7 +113,7 @@ func (r *Runner) Run(ctx context.Context, j Job) (cached bool, err error) {
 	a, err := j.Run(ctx, r.Env)
 	span.End()
 	if a == nil {
-		return false, err
+		return nil, false, err
 	}
 	a.Schema = SchemaVersion
 	a.Job = j.Name()
@@ -76,7 +127,7 @@ func (r *Runner) Run(ctx context.Context, j Job) (cached bool, err error) {
 			err = saveErr
 		}
 	}
-	return false, err
+	return a, false, err
 }
 
 // emit writes the artifact's files under OutDir (atomically, creating

@@ -1,0 +1,56 @@
+package jobs
+
+import "sync"
+
+// Flight deduplicates concurrent executions of the same artifact key: a
+// group of Runners (or one Runner shared by many goroutines) pointing at
+// the same Flight runs each (job, graph fingerprint, config fingerprint)
+// key at most once at a time. The first caller of a key becomes the
+// leader and executes normally; callers arriving while the leader is in
+// flight block until it finishes and then replay the leader's artifact
+// instead of re-executing the job — the duplicate kernel work and the
+// racing writes of the same artifact files both disappear.
+//
+// A Flight must not be copied after first use. The zero value is ready.
+type Flight struct {
+	mu       sync.Mutex
+	inflight map[string]*flightCall
+}
+
+// flightCall is one in-flight key: the leader closes done after
+// recording its artifact and error, and every waiter reads them only
+// after done is closed (the close is the happens-before edge).
+type flightCall struct {
+	done chan struct{}
+	art  *Artifact
+	err  error
+}
+
+// join registers interest in key. The boolean reports leadership: the
+// leader must eventually call finish with the same call, and until then
+// every other joiner of the key receives the same call with leader
+// false.
+func (f *Flight) join(key string) (*flightCall, bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.inflight == nil {
+		f.inflight = make(map[string]*flightCall)
+	}
+	if c, ok := f.inflight[key]; ok {
+		return c, false
+	}
+	c := &flightCall{done: make(chan struct{})}
+	f.inflight[key] = c
+	return c, true
+}
+
+// finish publishes the leader's outcome to the call's waiters and
+// retires the key, so a later caller starts a fresh flight (and, on
+// success, finds the artifact in the cache instead).
+func (f *Flight) finish(key string, c *flightCall, art *Artifact, err error) {
+	f.mu.Lock()
+	delete(f.inflight, key)
+	f.mu.Unlock()
+	c.art, c.err = art, err
+	close(c.done)
+}

@@ -1,0 +1,180 @@
+package jobs
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestFlightDedupesConcurrentRuns hammers one (job, graph, config) key
+// from many goroutines through Runners sharing a Flight and asserts the
+// job body executed exactly once — the jobs.run.executed contract the
+// daemon smoke also checks — while every caller still received the
+// byte-identical summary and artifact files.
+func TestFlightDedupesConcurrentRuns(t *testing.T) {
+	dir := t.TempDir()
+	store := NewStore(filepath.Join(dir, "cache"))
+	flight := &Flight{}
+
+	var executions atomic.Int64
+	release := make(chan struct{})
+	type cfg struct{ Seed int64 }
+	j := New("mixing", cfg{Seed: 7}, func(ctx context.Context, env Env) (*Artifact, error) {
+		executions.Add(1)
+		<-release // hold every concurrent caller in flight
+		b := NewBuilder()
+		b.Printf("mixing summary\n")
+		b.AddFile("mixing.csv", []byte("step,tvd\n1,0.5\n"))
+		return b.Artifact(), nil
+	})
+
+	executedBefore := obsRunExecuted.Value()
+	const callers = 16
+	outs := make([]bytes.Buffer, callers)
+	errs := make([]error, callers)
+	var started, done sync.WaitGroup
+	started.Add(callers)
+	done.Add(callers)
+	for i := 0; i < callers; i++ {
+		i := i
+		go func() {
+			defer done.Done()
+			r := &Runner{
+				Cache:  store,
+				Flight: flight,
+				Env:    Env{GraphFingerprint: "graph-a"},
+				OutDir: filepath.Join(dir, fmt.Sprintf("out%d", i)),
+				Stdout: &outs[i],
+			}
+			started.Done()
+			_, errs[i] = r.Run(context.Background(), j)
+		}()
+	}
+	started.Wait()
+	// Give the stragglers a moment to reach join before the leader is
+	// released; correctness does not depend on it (a late caller simply
+	// becomes a cache hit), only the exactly-one-execution assertion's
+	// strength does.
+	time.Sleep(20 * time.Millisecond)
+	close(release)
+	done.Wait()
+
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("caller %d: %v", i, err)
+		}
+	}
+	if got := executions.Load(); got != 1 {
+		t.Fatalf("job body executed %d times, want exactly 1", got)
+	}
+	if got := obsRunExecuted.Value() - executedBefore; got != 1 {
+		t.Fatalf("jobs.run.executed advanced by %d, want exactly 1", got)
+	}
+	for i := range outs {
+		if !bytes.Contains(outs[i].Bytes(), []byte("mixing summary")) {
+			t.Fatalf("caller %d summary missing: %q", i, outs[i].String())
+		}
+		data, err := os.ReadFile(filepath.Join(dir, fmt.Sprintf("out%d", i), "mixing.csv"))
+		if err != nil {
+			t.Fatalf("caller %d artifact file: %v", i, err)
+		}
+		if string(data) != "step,tvd\n1,0.5\n" {
+			t.Fatalf("caller %d artifact bytes diverged: %q", i, data)
+		}
+	}
+}
+
+// TestFlightDistinctKeysRunIndependently checks that dedup keys on the
+// full (job, graph, config) triple: different graphs execute separately
+// even under one Flight.
+func TestFlightDistinctKeysRunIndependently(t *testing.T) {
+	dir := t.TempDir()
+	flight := &Flight{}
+	var executions atomic.Int64
+	type cfg struct{ Seed int64 }
+	j := New("mixing", cfg{Seed: 7}, func(ctx context.Context, env Env) (*Artifact, error) {
+		executions.Add(1)
+		b := NewBuilder()
+		b.Printf("ok\n")
+		return b.Artifact(), nil
+	})
+	var wg sync.WaitGroup
+	for _, graph := range []string{"graph-a", "graph-b"} {
+		graph := graph
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			r := &Runner{Flight: flight, Env: Env{GraphFingerprint: graph}, OutDir: dir}
+			if _, err := r.Run(context.Background(), j); err != nil {
+				t.Errorf("graph %s: %v", graph, err)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := executions.Load(); got != 2 {
+		t.Fatalf("distinct graphs executed %d times, want 2", got)
+	}
+}
+
+// TestFlightLeaderErrorSharedWithWaiters checks that waiters of a
+// failed execution receive the leader's error instead of silently
+// succeeding without an artifact.
+func TestFlightLeaderErrorSharedWithWaiters(t *testing.T) {
+	flight := &Flight{}
+	boom := errors.New("boom")
+	release := make(chan struct{})
+	var executions atomic.Int64
+	type cfg struct{}
+	j := New("failing", cfg{}, func(ctx context.Context, env Env) (*Artifact, error) {
+		executions.Add(1)
+		<-release
+		return nil, boom
+	})
+	r := &Runner{Flight: flight, OutDir: t.TempDir()}
+	errc := make(chan error, 2)
+	for i := 0; i < 2; i++ {
+		go func() {
+			_, err := r.Run(context.Background(), j)
+			errc <- err
+		}()
+	}
+	time.Sleep(20 * time.Millisecond)
+	close(release)
+	for i := 0; i < 2; i++ {
+		if err := <-errc; !errors.Is(err, boom) {
+			t.Fatalf("caller %d error = %v, want %v", i, err, boom)
+		}
+	}
+	if got := executions.Load(); got != 1 {
+		t.Fatalf("failed job executed %d times, want 1 (waiter must not re-execute)", got)
+	}
+}
+
+// TestFlightWaiterHonorsContext checks a waiter can abandon a stuck
+// flight when its own context dies, instead of blocking forever.
+func TestFlightWaiterHonorsContext(t *testing.T) {
+	flight := &Flight{}
+	release := make(chan struct{})
+	defer close(release)
+	type cfg struct{}
+	j := New("stuck", cfg{}, func(ctx context.Context, env Env) (*Artifact, error) {
+		<-release
+		return NewBuilder().Artifact(), nil
+	})
+	r := &Runner{Flight: flight, OutDir: t.TempDir()}
+	go r.Run(context.Background(), j) // leader, parked on release
+	time.Sleep(20 * time.Millisecond)
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	_, err := r.Run(ctx, j)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("waiter error = %v, want context.DeadlineExceeded", err)
+	}
+}

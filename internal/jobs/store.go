@@ -8,32 +8,60 @@ import (
 	"io/fs"
 	"os"
 	"path/filepath"
+	"sort"
 	"strings"
+	"sync"
+	"time"
 
 	"github.com/trustnet/trustnet/internal/obs"
 	"github.com/trustnet/trustnet/internal/resilience"
 )
 
 // Observability instruments for the artifact cache. Hits and misses are
-// counted by the Runner; the Store counts saves and the corruption and
-// stale-schema entries it refused to replay.
+// counted by the Runner; the Store counts saves, the corruption and
+// stale-schema entries it refused to replay, and the entries evicted by
+// the byte cap.
 var (
 	obsCacheSaves   = obs.Default().Counter("jobs.cache.saves")
 	obsCacheCorrupt = obs.Default().Counter("jobs.cache.corrupt")
 	obsCacheStale   = obs.Default().Counter("jobs.cache.stale")
+	obsCacheEvicted = obs.Default().Counter("jobs.cache.evicted")
 )
 
 // Store is the content-addressed artifact cache: one JSON envelope per
 // (job, graph fingerprint, config fingerprint, schema version) key,
 // written atomically under a single directory (out/cache/ in the
 // experiments runner).
+//
+// A Store is safe for concurrent use: Save (and the eviction scan it
+// may trigger) is serialized by an internal mutex, and Load needs no
+// lock because entries are only ever created whole by an atomic rename
+// — a reader sees either no file or a complete envelope, never a torn
+// write.
 type Store struct {
 	dir string
+	// maxBytes > 0 caps the total size of cached envelopes; Save prunes
+	// oldest-first (by mtime) until the directory fits again.
+	maxBytes int64
+	mu       sync.Mutex
 }
 
 // NewStore returns a store rooted at dir; the directory is created on
-// the first Save.
+// the first Save. The store is unbounded until SetMaxBytes.
 func NewStore(dir string) *Store { return &Store{dir: dir} }
+
+// SetMaxBytes bounds the cache directory: after every Save the oldest
+// entries (by modification time, name-tiebroken for determinism) are
+// evicted until the total size of cached envelopes is at most n bytes.
+// The entry just saved is never evicted, so a cache capped below a
+// single artifact still serves that artifact until the next Save.
+// n <= 0 removes the bound. Evictions are counted by the
+// jobs.cache.evicted counter.
+func (s *Store) SetMaxBytes(n int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.maxBytes = n
+}
 
 // Dir returns the store's root directory.
 func (s *Store) Dir() string { return s.dir }
@@ -65,11 +93,15 @@ func (s *Store) Path(job, key string) string {
 // Save persists the artifact under its content address, filling in the
 // schema and integrity digest. Partial artifacts are the caller's
 // responsibility to withhold (the Runner never saves them). The write
-// is atomic, so a crash never leaves a truncated envelope.
+// is atomic, so a crash never leaves a truncated envelope; concurrent
+// Saves are serialized. When a byte cap is set, Save then prunes the
+// oldest entries until the directory fits it again.
 func (s *Store) Save(a *Artifact) error {
 	if a.Job == "" {
 		return errors.New("jobs: save an artifact without a job name")
 	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	a.Schema = SchemaVersion
 	a.Digest = a.ContentDigest()
 	if err := os.MkdirAll(s.dir, 0o755); err != nil {
@@ -80,10 +112,68 @@ func (s *Store) Save(a *Artifact) error {
 		return fmt.Errorf("jobs: marshal artifact %q: %w", a.Job, err)
 	}
 	key := Key(a.Job, a.GraphFingerprint, a.ConfigFingerprint)
-	if err := resilience.WriteFileAtomic(s.Path(a.Job, key), append(data, '\n'), 0o644); err != nil {
+	path := s.Path(a.Job, key)
+	if err := resilience.WriteFileAtomic(path, append(data, '\n'), 0o644); err != nil {
 		return fmt.Errorf("jobs: save artifact %q: %w", a.Job, err)
 	}
 	obsCacheSaves.Inc()
+	if s.maxBytes > 0 {
+		if err := s.pruneLocked(path); err != nil {
+			return fmt.Errorf("jobs: prune cache: %w", err)
+		}
+	}
+	return nil
+}
+
+// pruneLocked evicts cached envelopes oldest-first (mtime, then name)
+// until the directory's total envelope size is within the byte cap,
+// sparing keep (the entry just saved). Callers hold s.mu.
+func (s *Store) pruneLocked(keep string) error {
+	entries, err := os.ReadDir(s.dir)
+	if err != nil {
+		return err
+	}
+	type cacheFile struct {
+		path  string
+		size  int64
+		mtime time.Time
+	}
+	var files []cacheFile
+	var total int64
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".json") {
+			continue
+		}
+		fi, err := e.Info()
+		if err != nil {
+			// Concurrently removed; nothing left to account for.
+			continue
+		}
+		files = append(files, cacheFile{path: filepath.Join(s.dir, e.Name()), size: fi.Size(), mtime: fi.ModTime()})
+		total += fi.Size()
+	}
+	if total <= s.maxBytes {
+		return nil
+	}
+	sort.Slice(files, func(i, j int) bool {
+		if !files[i].mtime.Equal(files[j].mtime) {
+			return files[i].mtime.Before(files[j].mtime)
+		}
+		return files[i].path < files[j].path
+	})
+	for _, f := range files {
+		if total <= s.maxBytes {
+			break
+		}
+		if f.path == keep {
+			continue
+		}
+		if err := os.Remove(f.path); err != nil && !errors.Is(err, fs.ErrNotExist) {
+			return err
+		}
+		total -= f.size
+		obsCacheEvicted.Inc()
+	}
 	return nil
 }
 

@@ -1,0 +1,113 @@
+package jobs
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// evictArtifact builds a cacheable artifact whose envelope is a few
+// hundred bytes, distinguished by job name.
+func evictArtifact(job string) *Artifact {
+	return &Artifact{
+		Job:               job,
+		GraphFingerprint:  "graph-a",
+		ConfigFingerprint: "cfg-1",
+		Summary:           "summary of " + job + "\n",
+		Files:             []File{{Path: job + ".csv", Data: []byte(strings.Repeat("x", 128))}},
+	}
+}
+
+// TestStoreEvictionRoundTrip fills a byte-capped store past its bound
+// and asserts the oldest entries are pruned on Save, the newest
+// survive and still load byte-identically, and the evictions are
+// counted.
+func TestStoreEvictionRoundTrip(t *testing.T) {
+	s := NewStore(filepath.Join(t.TempDir(), "cache"))
+
+	// Size one envelope, then cap the store to hold about three.
+	if err := s.Save(evictArtifact("probe")); err != nil {
+		t.Fatal(err)
+	}
+	st, err := s.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	one := st.Bytes
+	if one <= 0 {
+		t.Fatalf("probe envelope size %d", one)
+	}
+	s.SetMaxBytes(3 * one)
+
+	evictedBefore := obsCacheEvicted.Value()
+	jobsSaved := []string{"alpha", "beta", "gamma", "delta", "epsilon"}
+	for i, name := range jobsSaved {
+		if err := s.Save(evictArtifact(name)); err != nil {
+			t.Fatal(err)
+		}
+		// Distinct mtimes so oldest-first is unambiguous on coarse
+		// filesystem clocks.
+		past := time.Now().Add(time.Duration(i-len(jobsSaved)) * time.Hour)
+		key := Key(name, "graph-a", "cfg-1")
+		if err := os.Chtimes(s.Path(name, key), past, past); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// One more save triggers the prune against the aged entries.
+	if err := s.Save(evictArtifact("final")); err != nil {
+		t.Fatal(err)
+	}
+
+	st, err = s.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Bytes > 3*one {
+		t.Fatalf("cache holds %d bytes, cap %d", st.Bytes, 3*one)
+	}
+	if got := obsCacheEvicted.Value() - evictedBefore; got < 3 {
+		t.Fatalf("jobs.cache.evicted advanced by %d, want >= 3", got)
+	}
+
+	// The newest entries replay byte-identically; the oldest are gone
+	// (a plain miss, not an error).
+	if a := s.Load("final", "graph-a", "cfg-1"); a == nil {
+		t.Fatal("newest entry evicted")
+	} else if a.Summary != "summary of final\n" {
+		t.Fatalf("replayed summary %q", a.Summary)
+	}
+	if a := s.Load("alpha", "graph-a", "cfg-1"); a != nil {
+		t.Fatal("oldest entry survived a full eviction pass")
+	}
+}
+
+// TestStoreConcurrentSaveLoad drives saves (with a byte cap, so prunes
+// interleave) and loads from many goroutines; under -race this is the
+// Store's concurrency contract.
+func TestStoreConcurrentSaveLoad(t *testing.T) {
+	s := NewStore(filepath.Join(t.TempDir(), "cache"))
+	s.SetMaxBytes(2048)
+	names := []string{"a", "b", "c", "d"}
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			name := names[i%len(names)]
+			for k := 0; k < 20; k++ {
+				if err := s.Save(evictArtifact(name)); err != nil {
+					t.Errorf("save %s: %v", name, err)
+					return
+				}
+				// A load sees a complete envelope or a miss — never a torn
+				// write (Load validates the digest and counts corruption).
+				s.Load(name, "graph-a", "cfg-1")
+			}
+		}()
+	}
+	wg.Wait()
+}

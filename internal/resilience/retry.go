@@ -37,6 +37,12 @@ type Policy struct {
 	// Seed drives the jitter stream, so a retry schedule is a pure
 	// function of (Policy, failure sequence).
 	Seed int64
+	// AttemptTimeout, when > 0, bounds every attempt with its own
+	// deadline derived from the run context: each retry starts with a
+	// fresh budget instead of inheriting whatever the failed attempt
+	// left behind. Pair it with RetryDeadline when a timed-out attempt
+	// should be retried (the daemon's per-job deadline plumbing does).
+	AttemptTimeout time.Duration
 	// RetryDeadline also retries ClassDeadline failures. Off by default:
 	// each attempt gets a fresh budget from the caller, but a
 	// deterministic job that exhausted one budget will exhaust the next;
@@ -102,7 +108,8 @@ func (p Policy) backoff(rng *rand.Rand, n int) time.Duration {
 
 // Run invokes fn until it succeeds, fails un-retryably, or exhausts the
 // attempt budget. fn receives the run context and the 1-based attempt
-// number; per-attempt budgets (timeouts) are fn's own responsibility so
+// number; with AttemptTimeout set the context carries a fresh per-attempt
+// deadline, otherwise per-attempt budgets are fn's own responsibility so
 // every retry starts fresh. Backoff sleeps respect ctx: cancellation
 // during a sleep ends the run with the previous attempt's error wrapped
 // around ctx.Err()'s class.
@@ -121,7 +128,13 @@ func (p Policy) Run(ctx context.Context, fn func(ctx context.Context, attempt in
 	for n := 1; ; n++ {
 		out.Attempts = n
 		obsAttempts.Inc()
-		err = fn(ctx, n)
+		if p.AttemptTimeout > 0 {
+			actx, cancel := context.WithTimeout(ctx, p.AttemptTimeout)
+			err = fn(actx, n)
+			cancel()
+		} else {
+			err = fn(ctx, n)
+		}
 		out.Class = Classify(err)
 		if err == nil || n >= attempts || !p.retryable(out.Class) {
 			break

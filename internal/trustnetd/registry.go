@@ -1,0 +1,230 @@
+package trustnetd
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"sync"
+
+	"github.com/trustnet/trustnet/internal/graph"
+	"github.com/trustnet/trustnet/internal/obs"
+)
+
+// Observability instruments for the graph registry.
+var (
+	obsGraphsRegistered = obs.Default().Counter("trustnetd.graphs.registered")
+	obsGraphsEvicted    = obs.Default().Counter("trustnetd.graphs.evicted")
+)
+
+// graphName validates registry names: they become file names under the
+// data directory and path segments in the API, so the alphabet is tight.
+var graphName = regexp.MustCompile(`^[a-zA-Z0-9][a-zA-Z0-9._-]{0,63}$`)
+
+// errGraphExists reports a name collision on registration.
+var errGraphExists = fmt.Errorf("graph name already registered")
+
+// errGraphNotFound reports a lookup miss.
+var errGraphNotFound = fmt.Errorf("graph not found")
+
+// graphEntry is one registered graph: the mmap-backed view, its
+// canonical fingerprint, and the reference count that keeps eviction
+// from unmapping pages a running measurement is still reading.
+type graphEntry struct {
+	info   GraphInfo
+	mapped *graph.Mapped
+	// refs counts measurements currently holding the view; dying marks
+	// an evicted entry whose unmap is deferred to the last release.
+	refs  int
+	dying bool
+}
+
+// graphRegistry is the daemon's registered-graph table. Graphs live as
+// TNG2 files under dir and are held as zero-copy graph.Mapped views, so
+// a million-node graph serves measurements without loading into RAM.
+// All lifecycle transitions (register, acquire, release, evict) are
+// serialized by mu; eviction while a measurement holds the view is
+// deferred until the last reference drops, never unmapping under a
+// running kernel.
+type graphRegistry struct {
+	dir    string
+	mu     sync.Mutex
+	byName map[string]*graphEntry
+}
+
+// newGraphRegistry returns a registry rooted at dir, creating it.
+func newGraphRegistry(dir string) (*graphRegistry, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("trustnetd: data dir: %w", err)
+	}
+	return &graphRegistry{dir: dir, byName: make(map[string]*graphEntry)}, nil
+}
+
+// list returns the registered graphs sorted by name.
+func (r *graphRegistry) list() []GraphInfo {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]GraphInfo, 0, len(r.byName))
+	for _, e := range r.byName {
+		if e == nil {
+			continue // registration in progress
+		}
+		out = append(out, e.info)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// register builds, validates, fingerprints, and publishes a graph under
+// name. build must write a complete TNG2 file at the path it receives;
+// the registry then mmap-opens it (which verifies the checksum and CSR
+// invariants) and computes the canonical graph.Fingerprint. The name is
+// reserved for the duration of the build, so two concurrent uploads of
+// one name cannot interleave; any failure releases the name and removes
+// the partial file.
+func (r *graphRegistry) register(name, source string, build func(path string) error) (GraphInfo, error) {
+	if !graphName.MatchString(name) {
+		return GraphInfo{}, fmt.Errorf("invalid graph name %q (want %s)", name, graphName)
+	}
+	r.mu.Lock()
+	if _, dup := r.byName[name]; dup {
+		r.mu.Unlock()
+		return GraphInfo{}, fmt.Errorf("%w: %q", errGraphExists, name)
+	}
+	r.byName[name] = nil // reserve while building
+	r.mu.Unlock()
+
+	path := filepath.Join(r.dir, name+".tng2")
+	entry, err := buildEntry(name, source, path, build)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if err != nil {
+		delete(r.byName, name)
+		os.Remove(path)
+		return GraphInfo{}, err
+	}
+	r.byName[name] = entry
+	obsGraphsRegistered.Inc()
+	return entry.info, nil
+}
+
+// buildEntry runs the slow half of register outside the registry lock:
+// the build itself, the verified mmap open, and the O(n+m) fingerprint.
+func buildEntry(name, source, path string, build func(path string) error) (*graphEntry, error) {
+	if err := build(path); err != nil {
+		return nil, err
+	}
+	mg, err := graph.OpenMapped(path)
+	if err != nil {
+		return nil, err
+	}
+	st, err := os.Stat(path)
+	if err != nil {
+		mg.Close()
+		return nil, err
+	}
+	return &graphEntry{
+		info: GraphInfo{
+			Name:        name,
+			Fingerprint: graph.Fingerprint(mg),
+			Nodes:       mg.NumNodes(),
+			Edges:       mg.NumEdges(),
+			Bytes:       st.Size(),
+			Source:      source,
+		},
+		mapped: mg,
+	}, nil
+}
+
+// lookup resolves a graph by registry name or canonical fingerprint.
+// Callers hold r.mu.
+func (r *graphRegistry) lookupLocked(key string) (*graphEntry, error) {
+	if e, ok := r.byName[key]; ok && e != nil {
+		return e, nil
+	}
+	for _, e := range r.byName {
+		if e != nil && e.info.Fingerprint == key {
+			return e, nil
+		}
+	}
+	return nil, fmt.Errorf("%w: %q", errGraphNotFound, key)
+}
+
+// get returns a graph's info by name or fingerprint.
+func (r *graphRegistry) get(key string) (GraphInfo, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	e, err := r.lookupLocked(key)
+	if err != nil {
+		return GraphInfo{}, err
+	}
+	return e.info, nil
+}
+
+// acquire pins a graph for a measurement: the returned view stays
+// mapped until the paired release is called, even across an eviction.
+func (r *graphRegistry) acquire(key string) (GraphInfo, *graph.Mapped, func(), error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	e, err := r.lookupLocked(key)
+	if err != nil {
+		return GraphInfo{}, nil, nil, err
+	}
+	e.refs++
+	release := func() {
+		r.mu.Lock()
+		defer r.mu.Unlock()
+		e.refs--
+		if e.refs == 0 && e.dying {
+			r.closeLocked(e)
+		}
+	}
+	return e.info, e.mapped, release, nil
+}
+
+// evict unregisters a graph by name or fingerprint. The entry leaves
+// the table immediately (no new acquires resolve it); the unmap and
+// file removal happen now when idle, or at the last release when a
+// measurement still holds the view.
+func (r *graphRegistry) evict(key string) (GraphInfo, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	e, err := r.lookupLocked(key)
+	if err != nil {
+		return GraphInfo{}, err
+	}
+	delete(r.byName, e.info.Name)
+	obsGraphsEvicted.Inc()
+	if e.refs == 0 {
+		r.closeLocked(e)
+	} else {
+		e.dying = true
+	}
+	return e.info, nil
+}
+
+// closeLocked unmaps and deletes an entry's backing file. Callers hold
+// r.mu and have already removed the entry from the table.
+func (r *graphRegistry) closeLocked(e *graphEntry) {
+	path := e.mapped.Path()
+	_ = e.mapped.Close()
+	if path != "" {
+		_ = os.Remove(path)
+	}
+}
+
+// closeAll unmaps every idle entry at shutdown; busy entries are left
+// to their releases (the queue drains before this runs, so in practice
+// the table is idle).
+func (r *graphRegistry) closeAll() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for name, e := range r.byName {
+		if e == nil || e.refs > 0 {
+			continue
+		}
+		delete(r.byName, name)
+		_ = e.mapped.Close()
+	}
+}

@@ -1,0 +1,409 @@
+package trustnetd
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/trustnet/trustnet/internal/gen"
+	"github.com/trustnet/trustnet/internal/graph"
+	"github.com/trustnet/trustnet/internal/jobs"
+	"github.com/trustnet/trustnet/internal/obs"
+)
+
+// newTestServer builds a daemon over temp dirs and serves it through
+// httptest.
+func newTestServer(t *testing.T) (*Server, *httptest.Server) {
+	t.Helper()
+	root := t.TempDir()
+	s, err := New(Config{
+		DataDir:      filepath.Join(root, "data"),
+		CacheDir:     filepath.Join(root, "cache"),
+		OutDir:       root,
+		Workers:      2,
+		JobTimeout:   time.Minute,
+		DrainTimeout: 10 * time.Second,
+	})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		s.Close()
+	})
+	return s, ts
+}
+
+// doJSON issues a request with an optional JSON body and decodes the
+// JSON response into out, returning the status code.
+func doJSON(t *testing.T, method, url string, in, out any) int {
+	t.Helper()
+	var body io.Reader
+	if in != nil {
+		data, err := json.Marshal(in)
+		if err != nil {
+			t.Fatalf("marshal request: %v", err)
+		}
+		body = bytes.NewReader(data)
+	}
+	req, err := http.NewRequest(method, url, body)
+	if err != nil {
+		t.Fatalf("new request: %v", err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatalf("%s %s: %v", method, url, err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("read response: %v", err)
+	}
+	if out != nil {
+		if err := json.Unmarshal(data, out); err != nil {
+			t.Fatalf("%s %s: decode %q: %v", method, url, data, err)
+		}
+	}
+	return resp.StatusCode
+}
+
+// generateGraph registers a small deterministic BA graph under name.
+func generateGraph(t *testing.T, ts *httptest.Server, name string) GraphInfo {
+	t.Helper()
+	var info GraphInfo
+	code := doJSON(t, "POST", ts.URL+"/v1/graphs/"+name+"/generate",
+		GenerateRequest{Model: "ba", Nodes: 500, Attach: 4, Seed: 7}, &info)
+	if code != http.StatusCreated {
+		t.Fatalf("generate %s: status %d", name, code)
+	}
+	return info
+}
+
+// waitDone long-polls a job until it leaves the queue/running states.
+func waitDone(t *testing.T, ts *httptest.Server, id string) JobStatus {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		var st JobStatus
+		code := doJSON(t, "GET", ts.URL+"/v1/jobs/"+id+"?wait=5s", nil, &st)
+		if code != http.StatusOK {
+			t.Fatalf("poll %s: status %d", id, code)
+		}
+		if st.State == StateDone || st.State == StateFailed {
+			return st
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job %s stuck in %s", id, st.State)
+		}
+	}
+}
+
+// fetchArtifact returns the raw artifact envelope bytes of a done job.
+func fetchArtifact(t *testing.T, ts *httptest.Server, id string) []byte {
+	t.Helper()
+	resp, err := http.Get(ts.URL + "/v1/jobs/" + id + "/artifact")
+	if err != nil {
+		t.Fatalf("artifact %s: %v", id, err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("artifact %s: read: %v", id, err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("artifact %s: status %d: %s", id, resp.StatusCode, data)
+	}
+	return data
+}
+
+// TestUploadMatchesGeneratedFingerprint uploads the bytes of a locally
+// generated TNG2 file and expects the canonical fingerprint to equal
+// the daemon-generated copy of the same model/seed — same topology,
+// same identity, regardless of how the graph arrived.
+func TestUploadMatchesGeneratedFingerprint(t *testing.T) {
+	_, ts := newTestServer(t)
+	gen1 := generateGraph(t, ts, "generated")
+
+	es, err := gen.StreamBA(500, 4, 7)
+	if err != nil {
+		t.Fatalf("StreamBA: %v", err)
+	}
+	local := filepath.Join(t.TempDir(), "local.tng2")
+	if _, err := gen.StreamToFile(es, local); err != nil {
+		t.Fatalf("StreamToFile: %v", err)
+	}
+	data, err := os.ReadFile(local)
+	if err != nil {
+		t.Fatalf("read local: %v", err)
+	}
+	req, err := http.NewRequest("PUT", ts.URL+"/v1/graphs/uploaded", bytes.NewReader(data))
+	if err != nil {
+		t.Fatalf("new request: %v", err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatalf("upload: %v", err)
+	}
+	var up GraphInfo
+	if err := json.NewDecoder(resp.Body).Decode(&up); err != nil {
+		t.Fatalf("decode upload response: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("upload: status %d", resp.StatusCode)
+	}
+	if up.Fingerprint != gen1.Fingerprint {
+		t.Fatalf("fingerprint mismatch: uploaded %s vs generated %s", up.Fingerprint, gen1.Fingerprint)
+	}
+	if up.Nodes != 500 || up.Edges == 0 {
+		t.Fatalf("bad uploaded info: %+v", up)
+	}
+
+	var list GraphList
+	doJSON(t, "GET", ts.URL+"/v1/graphs", nil, &list)
+	if len(list.Graphs) != 2 {
+		t.Fatalf("want 2 graphs, got %d", len(list.Graphs))
+	}
+
+	// Lookup by fingerprint resolves the same way as by name.
+	var byFP GraphInfo
+	if code := doJSON(t, "GET", ts.URL+"/v1/graphs/"+gen1.Fingerprint, nil, &byFP); code != http.StatusOK {
+		t.Fatalf("lookup by fingerprint: status %d", code)
+	}
+}
+
+// TestJobMatchesDirectRunnerBytes runs mixing through the daemon and
+// through a jobs.Runner directly, and expects the daemon's artifact
+// endpoint to serve exactly the bytes the Store writes — the HTTP
+// surface adds nothing and loses nothing.
+func TestJobMatchesDirectRunnerBytes(t *testing.T) {
+	s, ts := newTestServer(t)
+	info := generateGraph(t, ts, "g")
+	cfg := MeasureConfig{Seed: 3, Sources: 4, MaxSteps: 30}
+
+	var st JobStatus
+	code := doJSON(t, "POST", ts.URL+"/v1/jobs", JobRequest{Graph: "g", Job: "mixing", Config: cfg}, &st)
+	if code != http.StatusAccepted {
+		t.Fatalf("enqueue: status %d", code)
+	}
+	st = waitDone(t, ts, st.ID)
+	if st.State != StateDone {
+		t.Fatalf("job failed: %s", st.Error)
+	}
+	if st.Cached {
+		t.Fatalf("first run reported cached")
+	}
+	viaHTTP := fetchArtifact(t, ts, st.ID)
+
+	// Direct run against the same graph file with an independent store.
+	mg, err := graph.OpenMapped(filepath.Join(s.cfg.DataDir, "g.tng2"))
+	if err != nil {
+		t.Fatalf("OpenMapped: %v", err)
+	}
+	defer mg.Close()
+	reg, err := Jobs(mg, cfg)
+	if err != nil {
+		t.Fatalf("Jobs: %v", err)
+	}
+	j, err := reg.Lookup("mixing")
+	if err != nil {
+		t.Fatalf("Lookup: %v", err)
+	}
+	store := jobs.NewStore(filepath.Join(t.TempDir(), "cache"))
+	runner := &jobs.Runner{
+		Cache:  store,
+		Env:    jobs.Env{GraphFingerprint: info.Fingerprint},
+		OutDir: t.TempDir(),
+		Stdout: io.Discard,
+	}
+	if _, err := runner.Run(context.Background(), j); err != nil {
+		t.Fatalf("direct run: %v", err)
+	}
+	direct, err := os.ReadFile(store.Path("mixing", jobs.Key("mixing", info.Fingerprint, j.Fingerprint())))
+	if err != nil {
+		t.Fatalf("read direct envelope: %v", err)
+	}
+	if !bytes.Equal(viaHTTP, direct) {
+		t.Fatalf("daemon artifact differs from direct runner envelope (%d vs %d bytes)", len(viaHTTP), len(direct))
+	}
+}
+
+// TestSecondIdenticalRequestServedFromCache asserts the daemonsmoke
+// contract over httptest: an identical second request answers from the
+// artifact cache — zero additional executions by the jobs.run.executed
+// counter — with byte-identical artifact bytes.
+func TestSecondIdenticalRequestServedFromCache(t *testing.T) {
+	_, ts := newTestServer(t)
+	generateGraph(t, ts, "g")
+	cfg := MeasureConfig{Seed: 3, Sources: 4, MaxSteps: 30}
+	executed := obs.Default().Counter("jobs.run.executed")
+
+	run := func() (JobStatus, []byte) {
+		var st JobStatus
+		code := doJSON(t, "POST", ts.URL+"/v1/jobs", JobRequest{Graph: "g", Job: "mixing", Config: cfg}, &st)
+		if code != http.StatusAccepted {
+			t.Fatalf("enqueue: status %d", code)
+		}
+		st = waitDone(t, ts, st.ID)
+		if st.State != StateDone {
+			t.Fatalf("job failed: %s", st.Error)
+		}
+		return st, fetchArtifact(t, ts, st.ID)
+	}
+
+	st1, body1 := run()
+	before := executed.Value()
+	st2, body2 := run()
+	after := executed.Value()
+
+	if st1.Cached {
+		t.Fatalf("first run reported cached")
+	}
+	if !st2.Cached {
+		t.Fatalf("second identical run not served from cache")
+	}
+	if after != before {
+		t.Fatalf("second run executed a kernel: jobs.run.executed %d -> %d", before, after)
+	}
+	if !bytes.Equal(body1, body2) {
+		t.Fatalf("cache replay not byte-identical (%d vs %d bytes)", len(body1), len(body2))
+	}
+	if st1.ID == st2.ID {
+		t.Fatalf("distinct requests shared a job ID")
+	}
+}
+
+// TestJobNameSuggestion expects a typo to be answered with the
+// registry's nearest-name suggestion.
+func TestJobNameSuggestion(t *testing.T) {
+	_, ts := newTestServer(t)
+	generateGraph(t, ts, "g")
+	var errResp ErrorResponse
+	code := doJSON(t, "POST", ts.URL+"/v1/jobs", JobRequest{Graph: "g", Job: "mixng"}, &errResp)
+	if code != http.StatusBadRequest {
+		t.Fatalf("typo enqueue: status %d", code)
+	}
+	if !strings.Contains(errResp.Error, "mixing") {
+		t.Fatalf("no suggestion in error: %q", errResp.Error)
+	}
+}
+
+// TestEvictIsDeferredPastRunningJob evicts a graph while a measurement
+// is queued against it: the name disappears immediately, new enqueues
+// fail, but the running job still completes (the view stays mapped
+// until its release).
+func TestEvictIsDeferredPastRunningJob(t *testing.T) {
+	_, ts := newTestServer(t)
+	generateGraph(t, ts, "g")
+	cfg := MeasureConfig{Seed: 9, Sources: 8, MaxSteps: 120}
+
+	var st JobStatus
+	code := doJSON(t, "POST", ts.URL+"/v1/jobs", JobRequest{Graph: "g", Job: "mixing", Config: cfg}, &st)
+	if code != http.StatusAccepted {
+		t.Fatalf("enqueue: status %d", code)
+	}
+	var evicted GraphInfo
+	if code := doJSON(t, "DELETE", ts.URL+"/v1/graphs/g", nil, &evicted); code != http.StatusOK {
+		t.Fatalf("evict: status %d", code)
+	}
+	var errResp ErrorResponse
+	if code := doJSON(t, "GET", ts.URL+"/v1/graphs/g", nil, &errResp); code != http.StatusNotFound {
+		t.Fatalf("get after evict: status %d", code)
+	}
+	if code := doJSON(t, "POST", ts.URL+"/v1/jobs", JobRequest{Graph: "g", Job: "mixing"}, &errResp); code != http.StatusNotFound {
+		t.Fatalf("enqueue after evict: status %d", code)
+	}
+	st = waitDone(t, ts, st.ID)
+	if st.State != StateDone {
+		t.Fatalf("in-flight job should survive eviction, got %s: %s", st.State, st.Error)
+	}
+}
+
+// TestCatalogAndOpenAPI sanity-checks the self-description surfaces:
+// the catalog lists the full battery, and the OpenAPI document derived
+// from the route table names the routes and typed schemas.
+func TestCatalogAndOpenAPI(t *testing.T) {
+	_, ts := newTestServer(t)
+
+	var cat Catalog
+	if code := doJSON(t, "GET", ts.URL+"/v1/catalog", nil, &cat); code != http.StatusOK {
+		t.Fatalf("catalog: status %d", code)
+	}
+	if len(cat.Jobs) != len(measureSpecs) {
+		t.Fatalf("catalog lists %d jobs, want %d", len(cat.Jobs), len(measureSpecs))
+	}
+
+	var doc struct {
+		OpenAPI string                    `json:"openapi"`
+		Paths   map[string]map[string]any `json:"paths"`
+		Comp    struct {
+			Schemas map[string]any `json:"schemas"`
+		} `json:"components"`
+	}
+	if code := doJSON(t, "GET", ts.URL+"/v1/openapi.json", nil, &doc); code != http.StatusOK {
+		t.Fatalf("openapi: status %d", code)
+	}
+	if !strings.HasPrefix(doc.OpenAPI, "3.") {
+		t.Fatalf("openapi version %q", doc.OpenAPI)
+	}
+	for _, p := range []string{"/v1/graphs", "/v1/graphs/{name}", "/v1/jobs", "/v1/jobs/{id}/artifact"} {
+		if _, ok := doc.Paths[p]; !ok {
+			t.Fatalf("openapi missing path %s", p)
+		}
+	}
+	for _, schema := range []string{"GraphInfo", "JobStatus", "JobRequest", "GenerateRequest", "ErrorResponse"} {
+		if _, ok := doc.Comp.Schemas[schema]; !ok {
+			t.Fatalf("openapi missing schema %s", schema)
+		}
+	}
+	if _, ok := doc.Paths["/v1/jobs"]["post"].(map[string]any); !ok {
+		t.Fatalf("openapi missing POST /v1/jobs operation")
+	}
+}
+
+// TestMetricsEndpoint expects /metrics to serve the obs snapshot.
+func TestMetricsEndpoint(t *testing.T) {
+	_, ts := newTestServer(t)
+	var snap struct {
+		Counters map[string]int64 `json:"counters"`
+	}
+	if code := doJSON(t, "GET", ts.URL+"/metrics", nil, &snap); code != http.StatusOK {
+		t.Fatalf("metrics: status %d", code)
+	}
+	if snap.Counters == nil {
+		t.Fatalf("metrics snapshot has no counters section")
+	}
+}
+
+// TestQueueRejectsAfterDrain verifies that a drained daemon refuses new
+// work instead of silently dropping it.
+func TestQueueRejectsAfterDrain(t *testing.T) {
+	s, ts := newTestServer(t)
+	generateGraph(t, ts, "g")
+	s.queue.drain(time.Second)
+	var errResp ErrorResponse
+	code := doJSON(t, "POST", ts.URL+"/v1/jobs", JobRequest{Graph: "g", Job: "mixing"}, &errResp)
+	if code != http.StatusServiceUnavailable {
+		t.Fatalf("enqueue after drain: status %d (%s)", code, errResp.Error)
+	}
+}
+
+// TestInvalidGraphName rejects names that could escape the data dir.
+func TestInvalidGraphName(t *testing.T) {
+	_, ts := newTestServer(t)
+	var errResp ErrorResponse
+	code := doJSON(t, "POST", ts.URL+"/v1/graphs/..%2fescape/generate",
+		GenerateRequest{Model: "ba", Nodes: 10}, &errResp)
+	if code != http.StatusBadRequest && code != http.StatusNotFound {
+		t.Fatalf("bad name accepted: status %d", code)
+	}
+}

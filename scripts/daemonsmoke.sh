@@ -1,0 +1,124 @@
+#!/usr/bin/env bash
+# Daemon smoke: trustnetd must serve the measurement pipeline as a
+# long-lived service with a real cache contract. Start the daemon on an
+# ephemeral port, synthesize a 10^4-node graph through the streaming
+# generator endpoint, run the mixing measurement twice with identical
+# parameters: the first run executes a kernel, the second must be a pure
+# cache replay (jobs.run.executed unchanged on /metrics) with a
+# byte-identical artifact body. SIGTERM must drain cleanly to exit 0.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+tmp=$(mktemp -d)
+daemon_pid=""
+cleanup() {
+    [ -n "$daemon_pid" ] && kill -9 "$daemon_pid" 2>/dev/null || true
+    rm -rf "$tmp"
+}
+trap cleanup EXIT
+
+bin="$tmp/trustnetd"
+go build -o "$bin" ./cmd/trustnetd
+
+echo "== starting trustnetd on an ephemeral port =="
+"$bin" -addr 127.0.0.1:0 -addr-file "$tmp/addr" \
+    -data "$tmp/data" -out "$tmp/out" -workers 2 \
+    > "$tmp/daemon.log" 2>&1 &
+daemon_pid=$!
+
+for _ in $(seq 1 100); do
+    [ -s "$tmp/addr" ] && break
+    sleep 0.1
+done
+if [ ! -s "$tmp/addr" ]; then
+    echo "daemonsmoke: daemon never wrote its address" >&2
+    cat "$tmp/daemon.log" >&2
+    exit 1
+fi
+base="http://$(cat "$tmp/addr")"
+echo "   daemon at $base"
+
+# jfield FILE KEY prints one top-level field of a JSON document.
+jfield() {
+    python3 -c 'import json,sys; print(json.load(open(sys.argv[1]))[sys.argv[2]])' "$1" "$2"
+}
+# executed prints the current jobs.run.executed counter from /metrics.
+executed() {
+    curl -sf "$base/metrics" | python3 -c \
+        'import json,sys; print(json.load(sys.stdin)["counters"].get("jobs.run.executed", 0))'
+}
+
+echo "== generating a 10^4-node graph through the streaming endpoint =="
+curl -sf -X POST "$base/v1/graphs/smoke/generate" \
+    -d '{"model":"ba","nodes":10000,"attach":6,"seed":42}' > "$tmp/graph.json"
+nodes=$(jfield "$tmp/graph.json" nodes)
+if [ "$nodes" != "10000" ]; then
+    echo "daemonsmoke: generated graph has $nodes nodes, want 10000" >&2
+    exit 1
+fi
+echo "   fingerprint $(jfield "$tmp/graph.json" fingerprint)"
+
+echo "== OpenAPI document is served =="
+curl -sf "$base/v1/openapi.json" | python3 -c \
+    'import json,sys; d=json.load(sys.stdin); assert "/v1/jobs" in d["paths"], d["paths"].keys()'
+
+run_mixing() { # run_mixing OUT_PREFIX -> writes status + artifact files
+    curl -sf -X POST "$base/v1/jobs" \
+        -d '{"graph":"smoke","job":"mixing","config":{"seed":3,"sources":8,"max_steps":60}}' \
+        > "$tmp/$1.accepted.json"
+    local id
+    id=$(jfield "$tmp/$1.accepted.json" id)
+    for _ in $(seq 1 60); do
+        curl -sf "$base/v1/jobs/$id?wait=5s" > "$tmp/$1.status.json"
+        state=$(jfield "$tmp/$1.status.json" state)
+        if [ "$state" = done ] || [ "$state" = failed ]; then
+            break
+        fi
+    done
+    if [ "$(jfield "$tmp/$1.status.json" state)" != done ]; then
+        echo "daemonsmoke: $1 mixing run did not finish: $(cat "$tmp/$1.status.json")" >&2
+        exit 1
+    fi
+    curl -sf "$base/v1/jobs/$id/artifact" > "$tmp/$1.artifact.json"
+}
+
+echo "== first mixing run (must execute) =="
+exec_before=$(executed)
+run_mixing first
+exec_after_first=$(executed)
+if [ "$(jfield "$tmp/first.status.json" cached)" != "False" ]; then
+    echo "daemonsmoke: cold run claimed a cache hit" >&2
+    exit 1
+fi
+if [ "$exec_after_first" -le "$exec_before" ]; then
+    echo "daemonsmoke: first run executed no kernel ($exec_before -> $exec_after_first)" >&2
+    exit 1
+fi
+
+echo "== second identical run (must replay from cache) =="
+run_mixing second
+exec_after_second=$(executed)
+if [ "$(jfield "$tmp/second.status.json" cached)" != "True" ]; then
+    echo "daemonsmoke: second identical run was not served from cache" >&2
+    exit 1
+fi
+if [ "$exec_after_second" != "$exec_after_first" ]; then
+    echo "daemonsmoke: cache replay executed a kernel ($exec_after_first -> $exec_after_second)" >&2
+    exit 1
+fi
+cmp "$tmp/first.artifact.json" "$tmp/second.artifact.json"
+echo "   replay byte-identical, jobs.run.executed unchanged at $exec_after_second"
+
+echo "== SIGTERM drains cleanly =="
+kill -TERM "$daemon_pid"
+status=0
+wait "$daemon_pid" || status=$?
+daemon_pid=""
+if [ "$status" != 0 ]; then
+    echo "daemonsmoke: daemon exited $status on SIGTERM" >&2
+    cat "$tmp/daemon.log" >&2
+    exit 1
+fi
+grep -q "drained cleanly" "$tmp/daemon.log"
+
+echo "daemonsmoke: OK"
