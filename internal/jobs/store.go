@@ -19,13 +19,15 @@ import (
 
 // Observability instruments for the artifact cache. Hits and misses are
 // counted by the Runner; the Store counts saves, the corruption and
-// stale-schema entries it refused to replay, and the entries evicted by
-// the byte cap.
+// stale-schema entries it refused to replay, the entries evicted by
+// the byte cap, and eviction scans that failed (prune errors never
+// fail a Save).
 var (
-	obsCacheSaves   = obs.Default().Counter("jobs.cache.saves")
-	obsCacheCorrupt = obs.Default().Counter("jobs.cache.corrupt")
-	obsCacheStale   = obs.Default().Counter("jobs.cache.stale")
-	obsCacheEvicted = obs.Default().Counter("jobs.cache.evicted")
+	obsCacheSaves    = obs.Default().Counter("jobs.cache.saves")
+	obsCacheCorrupt  = obs.Default().Counter("jobs.cache.corrupt")
+	obsCacheStale    = obs.Default().Counter("jobs.cache.stale")
+	obsCacheEvicted  = obs.Default().Counter("jobs.cache.evicted")
+	obsCachePruneErr = obs.Default().Counter("jobs.cache.prune_errors")
 )
 
 // Store is the content-addressed artifact cache: one JSON envelope per
@@ -95,7 +97,10 @@ func (s *Store) Path(job, key string) string {
 // responsibility to withhold (the Runner never saves them). The write
 // is atomic, so a crash never leaves a truncated envelope; concurrent
 // Saves are serialized. When a byte cap is set, Save then prunes the
-// oldest entries until the directory fits it again.
+// oldest entries until the directory fits it again. A prune failure is
+// counted (jobs.cache.prune_errors), not returned: by then the
+// artifact is durably saved, and an over-full cache must not report a
+// successful run as failed.
 func (s *Store) Save(a *Artifact) error {
 	if a.Job == "" {
 		return errors.New("jobs: save an artifact without a job name")
@@ -119,7 +124,7 @@ func (s *Store) Save(a *Artifact) error {
 	obsCacheSaves.Inc()
 	if s.maxBytes > 0 {
 		if err := s.pruneLocked(path); err != nil {
-			return fmt.Errorf("jobs: prune cache: %w", err)
+			obsCachePruneErr.Inc()
 		}
 	}
 	return nil

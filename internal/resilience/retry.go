@@ -40,8 +40,9 @@ type Policy struct {
 	// AttemptTimeout, when > 0, bounds every attempt with its own
 	// deadline derived from the run context: each retry starts with a
 	// fresh budget instead of inheriting whatever the failed attempt
-	// left behind. Pair it with RetryDeadline when a timed-out attempt
-	// should be retried (the daemon's per-job deadline plumbing does).
+	// left behind. On its own a timed-out attempt is still terminal
+	// (ClassDeadline is not retried); pair it with RetryDeadline when
+	// deadline failures should consume the retry budget too.
 	AttemptTimeout time.Duration
 	// RetryDeadline also retries ClassDeadline failures. Off by default:
 	// each attempt gets a fresh budget from the caller, but a

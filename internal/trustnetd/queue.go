@@ -34,7 +34,10 @@ const (
 // the mutable status the API reports. Status fields are guarded by the
 // queue mutex.
 type task struct {
-	status  JobStatus
+	status JobStatus
+	// seq is the task's position in the enqueue sequence; it seeds the
+	// retry jitter so concurrent tasks back off on distinct schedules.
+	seq     int
 	job     jobs.Job
 	release func() // unpins the graph; called exactly once, after the run
 	done    chan struct{}
@@ -115,6 +118,7 @@ func (q *queue) enqueue(j jobs.Job, info GraphInfo, graphKey string, release fun
 			ConfigFingerprint: j.Fingerprint(),
 			State:             StateQueued,
 		},
+		seq:     q.nextID,
 		job:     j,
 		release: release,
 		done:    make(chan struct{}),
@@ -160,7 +164,7 @@ func (q *queue) run(t *task) {
 	var cached bool
 	start := time.Now()
 	pol := q.policy
-	pol.Seed = int64(len(t.status.ID)) // deterministic; jitter seed only
+	pol.Seed = int64(t.seq) // per-task deterministic jitter seed
 	outcome, err := pol.Run(q.runCtx, func(ctx context.Context, _ int) error {
 		var runErr error
 		cached, runErr = runner.Run(ctx, t.job)

@@ -48,8 +48,14 @@ type graphEntry struct {
 // deferred until the last reference drops, never unmapping under a
 // running kernel.
 type graphRegistry struct {
-	dir    string
-	mu     sync.Mutex
+	dir string
+	mu  sync.Mutex
+	// seq makes every registration's backing file unique: a name can be
+	// evicted while pinned and immediately re-registered, and the new
+	// build must never truncate the file the dying entry still has
+	// mapped (nor may the dying entry's deferred close delete the new
+	// entry's file).
+	seq    uint64
 	byName map[string]*graphEntry
 }
 
@@ -93,9 +99,12 @@ func (r *graphRegistry) register(name, source string, build func(path string) er
 		return GraphInfo{}, fmt.Errorf("%w: %q", errGraphExists, name)
 	}
 	r.byName[name] = nil // reserve while building
+	r.seq++
+	// The sequence suffix keeps the path unique per registration, so a
+	// re-registered name never reuses a file a dying (evicted-but-pinned)
+	// predecessor still has mapped.
+	path := filepath.Join(r.dir, fmt.Sprintf("%s.%d.tng2", name, r.seq))
 	r.mu.Unlock()
-
-	path := filepath.Join(r.dir, name+".tng2")
 	entry, err := buildEntry(name, source, path, build)
 	r.mu.Lock()
 	defer r.mu.Unlock()

@@ -1,0 +1,81 @@
+package trustnetd
+
+import (
+	"os"
+	"testing"
+
+	"github.com/trustnet/trustnet/internal/gen"
+)
+
+// registerBA registers a small deterministic BA graph under name,
+// writing through the streaming generator like the generate handler.
+func registerBA(t *testing.T, r *graphRegistry, name string, seed int64) GraphInfo {
+	t.Helper()
+	info, err := r.register(name, "test", func(path string) error {
+		es, err := gen.StreamBA(200, 3, seed)
+		if err != nil {
+			return err
+		}
+		_, err = gen.StreamToFile(es, path)
+		return err
+	})
+	if err != nil {
+		t.Fatalf("register %s: %v", name, err)
+	}
+	return info
+}
+
+// TestReregisterWhilePinnedKeepsBothFiles is the regression test for
+// the eviction/re-registration lifecycle: evicting a pinned graph and
+// immediately re-registering the same name must not let the new build
+// truncate the file the dying entry still has mapped, and the dying
+// entry's deferred close must remove only its own backing file, never
+// the new entry's.
+func TestReregisterWhilePinnedKeepsBothFiles(t *testing.T) {
+	r, err := newGraphRegistry(t.TempDir())
+	if err != nil {
+		t.Fatalf("newGraphRegistry: %v", err)
+	}
+	registerBA(t, r, "g", 1)
+
+	// Pin the first registration (a running measurement), then evict it.
+	_, oldView, release, err := r.acquire("g")
+	if err != nil {
+		t.Fatalf("acquire: %v", err)
+	}
+	oldPath := oldView.Path()
+	if _, err := r.evict("g"); err != nil {
+		t.Fatalf("evict: %v", err)
+	}
+
+	// Re-register the same name while the old entry is dying. A second
+	// seed gives the new file different bytes, so corruption of the old
+	// mapping would be observable.
+	registerBA(t, r, "g", 2)
+	r.mu.Lock()
+	newPath := r.byName["g"].mapped.Path()
+	r.mu.Unlock()
+	if newPath == oldPath {
+		t.Fatalf("re-registration reused the dying entry's backing file %s", oldPath)
+	}
+	if _, err := os.Stat(oldPath); err != nil {
+		t.Fatalf("dying entry's file removed before its last release: %v", err)
+	}
+
+	// The pinned view must still be readable after the re-registration.
+	if oldView.NumNodes() != 200 {
+		t.Fatalf("pinned view corrupted: %d nodes", oldView.NumNodes())
+	}
+
+	// The last release unmaps and deletes the old file — and only it.
+	release()
+	if _, err := os.Stat(oldPath); !os.IsNotExist(err) {
+		t.Fatalf("dying entry's file not removed at last release (stat: %v)", err)
+	}
+	if _, err := os.Stat(newPath); err != nil {
+		t.Fatalf("release of the dying entry removed the new entry's file: %v", err)
+	}
+	if _, err := r.get("g"); err != nil {
+		t.Fatalf("new entry unusable after old entry's release: %v", err)
+	}
+}

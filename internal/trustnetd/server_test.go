@@ -205,7 +205,10 @@ func TestJobMatchesDirectRunnerBytes(t *testing.T) {
 	viaHTTP := fetchArtifact(t, ts, st.ID)
 
 	// Direct run against the same graph file with an independent store.
-	mg, err := graph.OpenMapped(filepath.Join(s.cfg.DataDir, "g.tng2"))
+	s.graphs.mu.Lock()
+	graphPath := s.graphs.byName["g"].mapped.Path()
+	s.graphs.mu.Unlock()
+	mg, err := graph.OpenMapped(graphPath)
 	if err != nil {
 		t.Fatalf("OpenMapped: %v", err)
 	}
